@@ -1,0 +1,44 @@
+"""Shared benchmark-harness configuration.
+
+Every bench regenerates one of the paper's tables/figures and *prints*
+the reproduced rows/series (run pytest with ``-s`` to see them).  Scale
+knobs come from the environment so CI can run small while a full
+regeneration uses paper-scale windows:
+
+- ``REPRO_BENCH_N``      measured instructions per run (default 6000)
+- ``REPRO_BENCH_WARMUP`` warmup instructions (default = N)
+- ``REPRO_BENCH_FULL=1`` use all 18 benchmarks instead of the
+  representative subset
+"""
+
+import os
+
+import pytest
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "6000"))
+BENCH_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", str(BENCH_N)))
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+# Representative subset: the paper's five worst-under-issue benchmarks
+# plus one mild INT and one streaming FP.
+SUBSET_INT = ["bzip2", "twolf", "vpr", "gcc"]
+SUBSET_FP = ["ammp", "mgrid", "swim", "art"]
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return {"num_instructions": BENCH_N, "warmup": BENCH_WARMUP}
+
+
+@pytest.fixture(scope="session")
+def bench_benchmarks():
+    if FULL:
+        from repro.workloads.spec import fp_benchmarks, int_benchmarks
+
+        return {"int": int_benchmarks(), "fp": fp_benchmarks()}
+    return {"int": SUBSET_INT, "fp": SUBSET_FP}
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

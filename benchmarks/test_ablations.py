@@ -1,0 +1,112 @@
+"""Ablation benches: sensitivity of the design choices (see DESIGN.md)."""
+
+from conftest import once
+
+from repro.experiments import ablations
+
+SMALL = dict(num_instructions=4000, warmup=4000,
+             benchmarks=("twolf", "swim", "mcf"))
+
+
+def test_mac_latency_sweep(benchmark):
+    result = once(benchmark, lambda: ablations.mac_latency_sweep(
+        latencies=(20, 74, 300), **SMALL))
+    print("\nMAC latency sweep (authen-then-commit):", {
+        k: round(v, 3) for k, v in result.items()})
+    # A longer MAC latency can only hurt.
+    assert result[20] >= result[300] - 0.01
+
+
+def test_queue_depth_sweep(benchmark):
+    result = once(benchmark, lambda: ablations.queue_depth_sweep(
+        depths=(2, 16), **SMALL))
+    print("\nAuth-queue depth sweep:", {
+        k: round(v, 3) for k, v in result.items()})
+    # A deeper queue relieves backpressure.
+    assert result[16] >= result[2] - 0.01
+
+
+def test_store_buffer_sweep(benchmark):
+    result = once(benchmark, lambda: ablations.store_buffer_sweep(
+        entries=(2, 32), **SMALL))
+    print("\nStore buffer sweep (authen-then-write):", {
+        k: round(v, 3) for k, v in result.items()})
+    assert result[32] >= result[2] - 0.01
+
+
+def test_fetch_variants(benchmark):
+    result = once(benchmark,
+                  lambda: ablations.fetch_variant_comparison(**SMALL))
+    print("\nauthen-then-fetch variants:", {
+        k: round(v, 3) for k, v in result.items()})
+    # The drain variant is at least as conservative as the tag variant.
+    assert result["tag"] >= result["drain"] - 0.01
+    # All variants are functional; precise may win or lose depending on
+    # how branchy the workload is (see ablations docstring).
+    assert 0 < result["precise"] <= 1.01
+
+
+def test_mac_scheme_comparison(benchmark):
+    result = once(benchmark,
+                  lambda: ablations.mac_scheme_comparison(
+                      benchmarks=SMALL["benchmarks"],
+                      num_instructions=SMALL["num_instructions"],
+                      warmup=SMALL["warmup"]))
+    print("\nHMAC vs GMAC:", {
+        scheme: {k: round(v, 3) for k, v in avgs.items()}
+        for scheme, avgs in result.items()})
+    # A Galois MAC closes the gap: every control point gets cheaper.
+    for policy in result["hmac"]:
+        assert result["gmac"][policy] >= result["hmac"][policy] - 0.01
+
+
+def test_encryption_mode_comparison(benchmark):
+    result = once(benchmark,
+                  lambda: ablations.encryption_mode_comparison(
+                      benchmarks=SMALL["benchmarks"],
+                      num_instructions=SMALL["num_instructions"],
+                      warmup=SMALL["warmup"]))
+    print("\nCTR+HMAC vs CBC+CBC-MAC (absolute IPC):", {
+        mode: {k: round(v, 4) for k, v in avgs.items()}
+        for mode, avgs in result.items()})
+    # Counter mode's absolute performance dominates CBC's -- the reason
+    # the paper (and the field) standardised on counter-mode memory
+    # encryption despite the verification gap it opens.
+    assert (result["ctr"]["decrypt-only"]
+            > result["cbc"]["decrypt-only"])
+
+
+def test_prefetch_sweep(benchmark):
+    result = once(benchmark, lambda: ablations.prefetch_sweep(
+        degrees=(0, 4), benchmarks=("swim",),
+        num_instructions=SMALL["num_instructions"],
+        warmup=SMALL["warmup"]))
+    print("\nprefetch sweep (absolute IPC):", {
+        deg: {k: round(v, 4) for k, v in avgs.items()}
+        for deg, avgs in result.items()})
+    # Prefetching helps streams, and it helps the strict policy at least
+    # as much (verification hides behind the prefetch distance).
+    assert result[4]["decrypt-only"] >= result[0]["decrypt-only"] - 0.001
+    gain_issue = (result[4]["authen-then-issue"]
+                  / max(result[0]["authen-then-issue"], 1e-9))
+    gain_base = (result[4]["decrypt-only"]
+                 / max(result[0]["decrypt-only"], 1e-9))
+    assert gain_issue >= gain_base - 0.03
+
+
+def test_split_counters(benchmark):
+    result = once(benchmark, lambda: ablations.split_counter_comparison(
+        benchmarks=("swim", "twolf"),
+        num_instructions=SMALL["num_instructions"],
+        warmup=SMALL["warmup"]))
+    print("\nsplit counters (absolute IPC):",
+          {k: round(v, 4) for k, v in result.items()})
+    # Compact counters cover more data per cache line: never worse.
+    assert result["split"] >= result["monolithic"] * 0.98
+
+
+def test_lazy_comparison(benchmark):
+    result = once(benchmark, lambda: ablations.lazy_comparison(**SMALL))
+    print("\nlazy vs commit:", {k: round(v, 3) for k, v in result.items()})
+    # Lazy gates nothing, so it outruns commit -- that is its weakness.
+    assert result["lazy"] >= result["authen-then-commit"] - 0.01

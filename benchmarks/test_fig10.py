@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 10 -- normalized IPC with a 64-entry RUU."""
+
+from conftest import once
+
+from repro.experiments import fig10_11
+from repro.experiments.fig10_11 import FIG10_POLICIES
+from repro.sim.report import render_table, series_rows
+
+
+def test_fig10(benchmark, bench_scale, bench_benchmarks):
+    benchmarks = bench_benchmarks["int"] + bench_benchmarks["fp"]
+
+    def run():
+        return fig10_11.run(ruu_entries=64, benchmarks=benchmarks,
+                            **bench_scale)
+
+    _, fig10_rows, _ = once(benchmark, run)
+    print("\nFigure 10 -- normalized IPC, 64-entry RUU (256KB L2)")
+    print(render_table(["benchmark"] + list(FIG10_POLICIES),
+                       series_rows(fig10_rows, list(FIG10_POLICIES))))
+
+    averages = fig10_rows[-1][1]
+    # Paper shape: same ranking as the 128-entry RUU -- issue lowest,
+    # write highest.
+    assert averages["authen-then-write"] == max(averages.values())
+    assert averages["authen-then-issue"] <= averages["authen-then-commit"]

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 11 -- speedup over authen-then-issue with the
+64-entry RUU."""
+
+from conftest import once
+
+from repro.experiments import fig10_11
+from repro.sim.report import render_table, series_rows
+
+
+def test_fig11(benchmark, bench_scale, bench_benchmarks):
+    benchmarks = bench_benchmarks["int"] + bench_benchmarks["fp"]
+
+    def run():
+        return fig10_11.run(ruu_entries=64, benchmarks=benchmarks,
+                            **bench_scale)
+
+    _, _, fig11_rows = once(benchmark, run)
+    policies = ["authen-then-commit", "commit+fetch"]
+    print("\nFigure 11 -- speedup over authen-then-issue, 64-entry RUU")
+    print(render_table(["benchmark"] + policies,
+                       series_rows(fig11_rows, policies)))
+
+    averages = fig11_rows[-1][1]
+    assert averages["authen-then-commit"] >= 1.0
+    assert averages["commit+fetch"] >= 0.97

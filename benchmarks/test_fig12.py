@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 12 -- normalized IPC under CHTree hash-tree
+authentication."""
+
+from conftest import once
+
+from repro.experiments import fig12_13
+from repro.experiments.fig12_13 import FIG12_POLICIES
+from repro.sim.report import render_table, series_rows
+
+
+def test_fig12(benchmark, bench_scale, bench_benchmarks):
+    benchmarks = bench_benchmarks["int"] + bench_benchmarks["fp"]
+
+    def run():
+        return fig12_13.run(benchmarks=benchmarks, **bench_scale)
+
+    _, fig12_rows, _ = once(benchmark, run)
+    print("\nFigure 12 -- normalized IPC, hash-tree authentication")
+    print(render_table(["benchmark"] + list(FIG12_POLICIES),
+                       series_rows(fig12_rows, list(FIG12_POLICIES))))
+
+    averages = fig12_rows[-1][1]
+    # Paper shape: ranking preserved (issue slowest single scheme, write
+    # fastest) and the write/commit/fetch gaps compress under the tree.
+    assert averages["authen-then-write"] == max(averages.values())
+    for single in ("authen-then-write", "authen-then-commit",
+                   "authen-then-fetch"):
+        assert averages["authen-then-issue"] <= averages[single] + 0.01
+    spread = (averages["authen-then-write"]
+              - averages["authen-then-commit"])
+    assert spread < 0.15

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 13 -- speedup over authen-then-issue under
+hash-tree authentication."""
+
+from conftest import once
+
+from repro.experiments import fig12_13
+from repro.sim.report import render_table, series_rows
+
+
+def test_fig13(benchmark, bench_scale, bench_benchmarks):
+    benchmarks = bench_benchmarks["int"] + bench_benchmarks["fp"]
+
+    def run():
+        return fig12_13.run(benchmarks=benchmarks, **bench_scale)
+
+    _, _, fig13_rows = once(benchmark, run)
+    policies = ["authen-then-commit", "commit+fetch"]
+    print("\nFigure 13 -- speedup over authen-then-issue, hash tree")
+    print(render_table(["benchmark"] + policies,
+                       series_rows(fig13_rows, policies)))
+
+    averages = fig13_rows[-1][1]
+    assert averages["authen-then-commit"] >= 1.0

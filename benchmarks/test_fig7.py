@@ -1,0 +1,41 @@
+"""Bench: regenerate Figure 7(a-d) -- normalized IPC of the six schemes,
+INT and FP suites, 256KB and 1MB L2."""
+
+import pytest
+from conftest import once
+
+from repro.experiments import fig7
+from repro.experiments.fig7 import FIGURE7_POLICIES
+from repro.sim.report import render_table, series_rows
+
+PANELS = [
+    ("a", "int", 256 * 1024),
+    ("b", "fp", 256 * 1024),
+    ("c", "int", 1024 * 1024),
+    ("d", "fp", 1024 * 1024),
+]
+
+
+@pytest.mark.parametrize("panel,suite,l2", PANELS,
+                         ids=["fig7a_int_256K", "fig7b_fp_256K",
+                              "fig7c_int_1M", "fig7d_fp_1M"])
+def test_fig7_panel(benchmark, bench_scale, bench_benchmarks, panel, suite,
+                    l2):
+    def run():
+        return fig7.run(l2_bytes=l2, suite=suite,
+                        benchmarks=bench_benchmarks[suite], **bench_scale)
+
+    _, rows = once(benchmark, run)
+    title = "Figure 7(%s) %s, %dKB L2" % (panel, suite.upper(), l2 // 1024)
+    print("\n" + fig7.render_panel(rows, title))
+    from repro.sim.charts import render_bars
+
+    print("\naverages:")
+    print(render_bars(rows[-1][1], width=34, max_value=1.0))
+
+    averages = rows[-1][1]
+    # Paper shape: write is the fastest scheme, issue/obfuscation slowest.
+    assert averages["authen-then-write"] == max(averages.values())
+    assert averages["authen-then-issue"] <= averages["authen-then-commit"]
+    for value in averages.values():
+        assert 0.3 < value <= 1.01

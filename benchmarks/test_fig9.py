@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 9 -- normalized IPC vs re-map cache size."""
+
+from conftest import once
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, bench_scale, bench_benchmarks):
+    benchmarks = bench_benchmarks["int"] + bench_benchmarks["fp"]
+    sizes = fig9.DEFAULT_SIZES
+
+    def run():
+        return fig9.run(sizes=sizes, benchmarks=benchmarks, **bench_scale)
+
+    results = once(benchmark, run)
+    averages = fig9.averages(results)
+    print("\nFigure 9 -- normalized IPC vs re-map cache size")
+    for size in sizes:
+        print("  %4dKB: %.3f" % (size // 1024, averages[size]))
+
+    # Paper shape: IPC improves with the size of the re-map cache.
+    ordered = [averages[s] for s in sorted(sizes)]
+    assert ordered[-1] >= ordered[0] - 0.01

@@ -1,0 +1,48 @@
+"""Sensitivity benches (Section 5.2's sensitivity-study companion)."""
+
+from conftest import once
+
+from repro.experiments import sensitivity
+
+SMALL = dict(num_instructions=4000, warmup=4000,
+             benchmarks=("twolf", "swim"))
+
+
+def _show(title, table):
+    print("\n%s" % title)
+    for knob, averages in sorted(table.items()):
+        print("  %6s: %s" % (knob, {k: round(v, 3)
+                                    for k, v in averages.items()}))
+
+
+def test_decrypt_latency_sensitivity(benchmark):
+    table = once(benchmark, lambda: sensitivity.decrypt_latency_sweep(
+        latencies=(40, 160), **SMALL))
+    _show("decrypt latency sweep", table)
+    for averages in table.values():
+        # The ranking is invariant across decryption speeds.
+        assert averages["authen-then-write"] >= averages["authen-then-issue"]
+
+
+def test_memory_speed_sensitivity(benchmark):
+    table = once(benchmark, lambda: sensitivity.memory_speed_sweep(
+        cas_values=(10, 40), **SMALL))
+    _show("CAS latency sweep", table)
+    for averages in table.values():
+        assert averages["authen-then-write"] >= averages["authen-then-issue"]
+
+
+def test_mshr_sensitivity(benchmark):
+    table = once(benchmark, lambda: sensitivity.mshr_sweep(
+        entries=(2, 16), **SMALL))
+    _show("MSHR sweep", table)
+    for averages in table.values():
+        assert averages["authen-then-write"] >= averages["authen-then-issue"]
+
+
+def test_ruu_sweep(benchmark):
+    table = once(benchmark, lambda: sensitivity.ruu_sweep(
+        sizes=(32, 256), **SMALL))
+    _show("RUU sweep", table)
+    for averages in table.values():
+        assert averages["authen-then-write"] >= averages["authen-then-issue"]

@@ -1,0 +1,16 @@
+"""Bench: seed-variance of the Figure 7 averages (robustness check)."""
+
+from conftest import once
+
+from repro.experiments import variance
+
+
+def test_seed_variance(benchmark):
+    result = once(benchmark, lambda: variance.run(
+        seeds=(2006, 7), benchmarks=("twolf", "swim"),
+        num_instructions=4000, warmup=4000))
+    print("\n" + variance.render(result))
+    # The policy ordering is a property of the mechanisms, not the RNG.
+    assert variance.ordering_is_stable(result)
+    for stats in result.values():
+        assert stats["std"] < 0.05

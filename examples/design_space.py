@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Design-space sweep: Figure 7 in miniature.
+
+Runs a subset of the SPEC2000-like workloads under all six schemes at
+two L2 sizes and prints normalized IPC (baseline: decrypt-only), the way
+the paper's evaluation section presents it.
+
+Run:  python examples/design_space.py [instructions]
+"""
+
+import sys
+
+from repro import FIGURE7_POLICIES, PolicySweep, SimConfig
+from repro.sim.report import render_table
+from repro.sim.sweep import normalized_ipc_table
+
+BENCHMARKS = ["mcf", "twolf", "vpr", "ammp", "mgrid", "swim"]
+
+
+def main():
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    for l2 in (256 * 1024, 1024 * 1024):
+        config = SimConfig().with_l2_size(l2)
+        sweep = PolicySweep(BENCHMARKS, list(FIGURE7_POLICIES),
+                            config=config, num_instructions=count,
+                            warmup=count).run()
+        rows = normalized_ipc_table(sweep, list(FIGURE7_POLICIES))
+        print("Normalized IPC, %dKB L2 (baseline: decryption only)"
+              % (l2 // 1024))
+        table = [[b] + [v[p] for p in FIGURE7_POLICIES] for b, v in rows]
+        print(render_table(["benchmark"] + list(FIGURE7_POLICIES), table))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Disclosing-kernel demo (paper Section 3.2.3 + Figure 4).
+
+The adversary knows the plaintext of a function's invariant prologue and
+splices a 10-instruction "disclosing kernel" over it with two XORs:
+
+    cipher' = cipher XOR known_plaintext XOR kernel
+
+The kernel loads a 32-bit secret and discloses it 8 bits at a time by
+using each byte (ORed onto a valid page base) as a fetch address -- the
+shift-window technique that works even under virtual memory.
+
+Run:  python examples/disclosing_kernel_demo.py
+"""
+
+from repro import make_policy
+from repro.attacks.disclosing_kernel import (
+    SECRET_VALUE,
+    DisclosingKernelAttack,
+    IoKernelAttack,
+)
+from repro.attacks.page_mask import PageMaskAttack
+
+
+def show(name, attack, policy_name):
+    machine, result = attack.run(make_policy(policy_name))
+    leaked = attack.leaked_secret(machine, result)
+    verdict = "LEAKED" if leaked else "blocked"
+    print("  %-22s -> %s" % (policy_name, verdict))
+    return result
+
+
+def main():
+    print("Secret in protected memory: 0x%08x" % SECRET_VALUE)
+
+    print("\nFetch-channel kernel (physical addressing):")
+    attack = DisclosingKernelAttack()
+    result = show("kernel", attack, "authen-then-commit")
+    buckets = attack.recovered_bytes(result)
+    print("    window-page offsets observed on the bus: %s" % buckets[:6])
+    print("    (each pins one secret byte to a 32-byte bucket)")
+    show("kernel", DisclosingKernelAttack(), "commit+fetch")
+
+    print("\nSame kernel under virtual memory (page-mask variant):")
+    show("page-mask", PageMaskAttack(), "authen-then-commit")
+    show("page-mask", PageMaskAttack(), "authen-then-issue")
+
+    print("\nI/O-channel kernel (outputs the secret to a port):")
+    show("io-kernel", IoKernelAttack(), "authen-then-write")
+    show("io-kernel", IoKernelAttack(), "authen-then-commit")
+    print("\nNote the asymmetry the paper highlights: authen-then-commit "
+          "stops the I/O\nchannel but NOT the fetch channel; only "
+          "fetch-gating (or obfuscation) closes that.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The linked-list pointer-conversion attack (paper Section 3.2.1),
+end to end on real encrypted memory.
+
+A victim program walks an encrypted linked list.  The adversary flips
+ciphertext bits of the final NULL pointer so it decrypts to the secret's
+address; when the walk dereferences it, the *secret value* appears as a
+plaintext fetch address on the memory bus.
+
+The demo runs the same attack under four authentication control points
+and shows which ones leak.
+
+Run:  python examples/linked_list_attack.py
+"""
+
+from repro import make_policy
+from repro.attacks.pointer_conversion import (
+    SECRET_VALUE,
+    PointerConversionAttack,
+)
+
+POLICIES = ["authen-then-write", "authen-then-commit",
+            "authen-then-fetch", "authen-then-issue"]
+
+
+def main():
+    attack = PointerConversionAttack()
+    print("Secret value stored in protected memory: 0x%08x" % SECRET_VALUE)
+    print("Adversary flips one word of ciphertext (NULL -> secret's "
+          "address) and lets the program run.\n")
+
+    for policy_name in POLICIES:
+        policy = make_policy(policy_name)
+        machine, result = attack.run(policy)
+        leaked = attack.leaked_secret(machine, result)
+        print("=== %s ===" % policy_name)
+        print("  executed %d instructions; integrity violation %s"
+              % (result.steps,
+                 "RAISED" if result.detected else "never raised"))
+        data_fetches = [e for e in result.bus_trace if e.kind == "data"]
+        print("  data addresses on the bus: %s"
+              % ", ".join("0x%06x" % e.addr for e in data_fetches[-6:]))
+        if leaked:
+            print("  -> LEAKED: the secret's line (0x%06x) crossed the bus"
+                  % (SECRET_VALUE & ~31))
+        else:
+            print("  -> blocked: secret never appeared as a fetch address")
+        print()
+
+
+if __name__ == "__main__":
+    main()

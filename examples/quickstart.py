@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one benchmark under several authentication
+control points and compare IPC.
+
+Run:  python examples/quickstart.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro import SimConfig, run_benchmark, table3_parameters
+
+POLICIES = [
+    "decrypt-only",
+    "authen-then-issue",
+    "authen-then-commit",
+    "authen-then-write",
+    "authen-then-fetch",
+    "commit+fetch",
+]
+
+
+def main():
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "twolf"
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 12_000
+    config = SimConfig()
+
+    print("Machine (Table 3):")
+    for name, value in table3_parameters(config):
+        print("  %-22s %s" % (name, value))
+    print()
+    print("Benchmark: %s (%d instructions)" % (benchmark, count))
+    print()
+    print("%-22s %8s %12s" % ("policy", "IPC", "vs baseline"))
+
+    baseline = None
+    for policy in POLICIES:
+        result = run_benchmark(benchmark, count, config=config,
+                               policy=policy)
+        if baseline is None:
+            baseline = result.ipc
+        print("%-22s %8.4f %11.1f%%"
+              % (policy, result.ipc, 100.0 * result.ipc / baseline))
+
+
+if __name__ == "__main__":
+    main()

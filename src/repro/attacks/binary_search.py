@@ -1,0 +1,109 @@
+"""Binary-search exploit (Section 3.2.2, Figure 2).
+
+The victim compares a secret against a constant the adversary knows in
+plaintext (here: zero, "frequently used for testing and comparison").
+By re-running the program with the constant's ciphertext tampered to
+successive power-of-two probes and watching which code path's instruction
+fetches appear on the bus, the adversary recovers the secret in at most
+32 trials.
+"""
+
+from repro.attacks.tamper import flip_word
+from repro.func.loader import load_program
+from repro.func.machine import LINE_BYTES, SecureMachine
+
+CONST_ADDR = 0x2800
+SECRET_ADDR = 0x2900
+# Paths A and B are placed on distinct instruction lines so the control
+# flow is visible in the ifetch trace.
+PATH_A_PC = 0x100
+PATH_B_PC = 0x140
+
+VICTIM = """
+    lui  r1, 0x0
+    ori  r1, r1, 0x2900
+    lw   r1, 0(r1)           ; r1 = secret
+    lui  r2, 0x0
+    ori  r2, r2, 0x2800
+    lw   r2, 0(r2)           ; r2 = constant (plaintext known: 0)
+    bge  r1, r2, 73          ; if secret >= K goto path B (word 80=0x140)
+    jmp  64                  ; goto path A (word 64 = pc 0x100)
+"""
+
+PATH_A = """
+    addi r3, r0, 1
+    halt
+"""
+
+PATH_B = """
+    addi r3, r0, 2
+    halt
+"""
+
+
+class BinarySearchAttack:
+    """Recover a 31-bit secret by probing the comparison constant."""
+
+    name = "binary-search"
+
+    def __init__(self, secret=0x2F5A9C1):
+        if not 0 <= secret < (1 << 31):
+            raise ValueError("secret must be a non-negative 31-bit value")
+        self.secret = secret
+
+    def build_victim(self, policy, constant_plain=0, **machine_kwargs):
+        from repro.func.loader import load_words
+        from repro.isa.assembler import assemble
+
+        machine = SecureMachine(policy, **machine_kwargs)
+        load_program(
+            machine,
+            VICTIM,
+            data={CONST_ADDR: [constant_plain],
+                  SECRET_ADDR: [self.secret]},
+        )
+        load_words(machine, PATH_A_PC, assemble(PATH_A, PATH_A_PC))
+        load_words(machine, PATH_B_PC, assemble(PATH_B, PATH_B_PC))
+        return machine
+
+    def probe(self, policy, guess, **machine_kwargs):
+        """One trial: set K = guess via bit flips; return (went_b, result)."""
+        machine = self.build_victim(policy, **machine_kwargs)
+        if guess:
+            flip_word(machine, CONST_ADDR, 0, guess)
+        result = machine.run(500)
+        a_line = (PATH_A_PC // LINE_BYTES) * LINE_BYTES
+        b_line = (PATH_B_PC // LINE_BYTES) * LINE_BYTES
+        went_b = None
+        for event in result.bus_trace:
+            if event.kind != "ifetch":
+                continue
+            if event.addr == b_line:
+                went_b = True
+                break
+            if event.addr == a_line:
+                went_b = False
+                break
+        return went_b, result
+
+    def recover(self, policy, bits=31, **machine_kwargs):
+        """Full binary search; returns (recovered_or_None, trials, detected).
+
+        ``recovered`` is None when the policy blocked the control-flow
+        observation (no path fetch reached the bus before detection).
+        """
+        low, high = 0, (1 << bits) - 1
+        trials = 0
+        detected = False
+        while low < high:
+            mid = (low + high + 1) // 2
+            went_b, result = self.probe(policy, mid, **machine_kwargs)
+            trials += 1
+            detected = detected or result.detected
+            if went_b is None:
+                return None, trials, detected
+            if went_b:        # secret >= mid
+                low = mid
+            else:
+                high = mid - 1
+        return low, trials, detected

@@ -1,0 +1,83 @@
+"""Brute-force / random page-address tampering (Section 3.3.2), plus the
+fault-log leak (Section 3.3: "many processors throw exception and log the
+faulty address").
+
+The victim is the linked-list walker under virtual memory.  The raw
+pointer-conversion attack faults on translation -- but:
+
+1. the *fault log itself* reveals the secret (the faulting address);
+2. alternatively, the adversary keeps re-running with random flips of
+   the pointer's page-address bits until the tampered pointer lands in
+   mapped space; with F mapped pages out of 2^20, success takes about
+   2^20 / F trials on average.
+"""
+
+from repro.attacks.pointer_conversion import (
+    SECRET_ADDR,
+    SECRET_VALUE,
+    PointerConversionAttack,
+)
+from repro.attacks.tamper import flip_word
+from repro.func.machine import LINE_BYTES
+from repro.util.rng import DeterministicRng
+
+
+class BruteForcePageAttack(PointerConversionAttack):
+    """Pointer conversion vs virtual memory."""
+
+    name = "brute-force-page"
+
+    def __init__(self, mapped_pages=64, seed=7):
+        self.mapped_pages = mapped_pages
+        self.seed = seed
+
+    def build_victim(self, policy, **machine_kwargs):
+        machine_kwargs.setdefault("use_vm", True)
+        machine = super().build_victim(policy, **machine_kwargs)
+        # Map a contiguous block of "application" pages the adversary
+        # knows about (e.g. the heap).
+        base_page = 0x600
+        for vpage in range(base_page, base_page + self.mapped_pages):
+            machine.map_page(vpage)
+        self._mapped_range = (base_page << 12,
+                              (base_page + self.mapped_pages) << 12)
+        return machine
+
+    def fault_log_leak(self, policy, **machine_kwargs):
+        """Variant 1: the page-fault log reveals the secret directly."""
+        machine = self.build_victim(policy, **machine_kwargs)
+        self.tamper(machine)
+        result = machine.run(2000)
+        leaked = any(
+            abs(addr - SECRET_VALUE) < LINE_BYTES
+            for addr in result.fault_log
+        )
+        return leaked, result
+
+    def random_tampering(self, policy, max_trials=200, **machine_kwargs):
+        """Variant 2: flip random page-address bits until one translates.
+
+        Returns ``(success_trial_or_None, trials, any_detected)``; success
+        means a tampered-pointer dereference reached the bus (the low
+        address bits still carry secret bits).
+        """
+        rng = DeterministicRng(self.seed).stream("brute-force")
+        detected = False
+        for trial in range(1, max_trials + 1):
+            machine = self.build_victim(policy, **machine_kwargs)
+            # Convert NULL -> secret address first (as in the base attack),
+            # then randomise the *page* bits of the converted pointer so
+            # the dereference may translate.
+            lo, hi = self._mapped_range
+            guess_page = rng.randrange(lo >> 12, hi >> 12)
+            tampered_pointer = (guess_page << 12) | (SECRET_ADDR & 0xFFF)
+            flip_word(machine, 0x2020, 0, tampered_pointer)
+            result = machine.run(2000)
+            detected = detected or result.detected
+            # Success when the walk dereferenced the guessed page (the
+            # fetch of the fake node reached the bus without faulting).
+            fake_line = (tampered_pointer // LINE_BYTES) * LINE_BYTES
+            if any(e.kind == "data" and e.addr == fake_line
+                   for e in result.bus_trace):
+                return trial, trial, detected
+        return None, max_trials, detected

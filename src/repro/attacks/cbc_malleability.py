@@ -1,0 +1,70 @@
+"""CBC malleability: pointer conversion without counter mode.
+
+Section 3.1 notes that CBC is malleable too, just with a different
+geometry: flipping a bit of ciphertext block *i* garbles the decrypted
+block *i* completely and flips the **same bit of block i+1**.  An
+adversary who can sacrifice the contents of one 16-byte block therefore
+controls the next block bit-for-bit.
+
+This attack replays the linked-list pointer conversion on a CBC-encrypted
+machine.  The list terminator is laid out so its NULL ``next`` pointer
+sits in the *second* AES block of its cache line; flipping the first
+block's ciphertext turns NULL into the secret's address while only
+garbling a sacrificial padding block.
+"""
+
+from repro.func.loader import load_program
+from repro.func.machine import LINE_BYTES, SecureMachine
+
+HEAD = 0x2000
+TERMINATOR = 0x2030          # second 16B block of line 0x2020
+SACRIFICIAL_BLOCK = 0x2020   # garbled by the flip; nothing reads it
+SECRET_ADDR = 0x3000
+SECRET_VALUE = 0x00ABCD44
+
+VICTIM = """
+    lui  r1, 0x0
+    ori  r1, r1, 0x2000      ; r1 = list head
+walk:
+    beq  r1, r0, done
+    lw   r2, 4(r1)           ; node value
+    lw   r1, 0(r1)           ; node->next
+    jmp  walk
+done:
+    halt
+"""
+
+
+class CbcPointerConversionAttack:
+    """Pointer conversion via CBC's flip-next-block property."""
+
+    name = "cbc-pointer-conversion"
+
+    def build_victim(self, policy, **machine_kwargs):
+        machine_kwargs.setdefault("mode", "cbc")
+        machine = SecureMachine(policy, **machine_kwargs)
+        data = {
+            HEAD: [TERMINATOR, 111],       # node 1 -> terminator
+            TERMINATOR: [0x0000, 222],     # terminator: next = NULL
+            SECRET_ADDR: [SECRET_VALUE],
+        }
+        load_program(machine, VICTIM, data=data)
+        return machine
+
+    def tamper(self, machine):
+        # Flip ciphertext of the block *before* the terminator's block:
+        # plaintext there garbles (sacrificial), and the NULL pointer in
+        # the next block XORs with our mask.
+        mask = SECRET_ADDR.to_bytes(4, "big")
+        machine.mem.flip_bits(SACRIFICIAL_BLOCK, mask)
+
+    def run(self, policy, max_steps=2000, **machine_kwargs):
+        machine = self.build_victim(policy, **machine_kwargs)
+        self.tamper(machine)
+        result = machine.run(max_steps)
+        return machine, result
+
+    def leaked_secret(self, machine, result):
+        target_line = (SECRET_VALUE // LINE_BYTES) * LINE_BYTES
+        return any(e.kind == "data" and e.addr == target_line
+                   for e in result.bus_trace)

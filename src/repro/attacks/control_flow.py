@@ -1,0 +1,102 @@
+"""Passive control-flow reconstruction (the Section 3.1 threat model).
+
+No tampering at all: the memory fetch trace of *natural execution*
+already leaks program control flow, because instruction fetches walk the
+(plaintext) address bus.  An adversary who knows the binary's layout can
+read secret-dependent branch directions straight off the trace -- the
+motivation for address obfuscation (Section 4.3).
+
+The victim here branches on a secret bit per iteration; the adversary
+reconstructs the whole secret by watching which per-iteration code path
+is fetched.
+"""
+
+from repro.func.loader import load_program
+from repro.func.machine import LINE_BYTES, SecureMachine
+
+SECRET_ADDR = 0x2000
+
+# Per-bit dispatcher: tests the secret's low bit, visits path A or path B
+# (on different I-lines), shifts, repeats until the counter runs out.
+VICTIM = """
+    lui  r1, 0x0
+    ori  r1, r1, 0x2000
+    lw   r1, 0(r1)           ; r1 = secret
+    addi r2, r0, 16          ; bits to process
+loop:
+    andi r3, r1, 0x0001
+    bne  r3, r0, 42          ; bit set -> path B (word 48 = 0xC0)
+    jmp  32                  ; bit clear -> path A (word 32 = 0x80)
+"""
+
+PATH_A = """
+    addi r4, r4, 1           ; distinctive work on I-line 0x80
+    jmp  64                  ; rejoin (word 64 = 0x100)
+"""
+
+PATH_B = """
+    addi r4, r4, 2           ; distinctive work on I-line 0xC0
+    jmp  64
+"""
+
+REJOIN = """
+    srli r1, r1, 1
+    addi r2, r2, -1
+    bne  r2, r0, -63         ; back to loop (word 4)
+    halt
+"""
+
+PATH_A_PC = 0x80
+PATH_B_PC = 0xC0
+REJOIN_PC = 0x100
+
+
+class ControlFlowAttack:
+    """Reconstruct a 16-bit secret from the ifetch trace alone."""
+
+    name = "control-flow-reconstruction"
+
+    def __init__(self, secret=0xB3C5):
+        if not 0 <= secret < (1 << 16):
+            raise ValueError("secret must be 16 bits")
+        self.secret = secret
+
+    def build_victim(self, policy, **machine_kwargs):
+        from repro.func.loader import load_words
+        from repro.isa.assembler import assemble
+
+        machine = SecureMachine(policy, **machine_kwargs)
+        load_program(machine, VICTIM, data={SECRET_ADDR: [self.secret]})
+        load_words(machine, PATH_A_PC, assemble(PATH_A, PATH_A_PC))
+        load_words(machine, PATH_B_PC, assemble(PATH_B, PATH_B_PC))
+        load_words(machine, REJOIN_PC, assemble(REJOIN, REJOIN_PC))
+        return machine
+
+    def run(self, policy, **machine_kwargs):
+        machine = self.build_victim(policy, **machine_kwargs)
+        result = machine.run(2000)
+        return machine, result
+
+    def reconstruct(self, result):
+        """Read the per-iteration path choice off the ifetch trace."""
+        a_line = (PATH_A_PC // LINE_BYTES) * LINE_BYTES
+        b_line = (PATH_B_PC // LINE_BYTES) * LINE_BYTES
+        raw = []
+        for event in result.bus_trace:
+            if event.kind != "ifetch":
+                continue
+            if event.addr == a_line:
+                raw.append(0)
+            elif event.addr == b_line:
+                raw.append(1)
+        # Each path visit executes two instructions on its I-line, so the
+        # trace shows each direction twice; collapse the pairs.
+        bits = [raw[i] for i in range(0, len(raw), 2)]
+        value = 0
+        for index, bit in enumerate(bits[:16]):
+            value |= bit << index
+        return value, len(bits)
+
+    def leaked_secret(self, machine, result):
+        recovered, observed = self.reconstruct(result)
+        return observed >= 16 and recovered == self.secret

@@ -1,0 +1,159 @@
+"""Disclosing kernels (Section 3.2.3 and Figure 4).
+
+A disclosing kernel is a short injected code sequence that loads
+arbitrary data and uses it as a fetch address (or writes it to an I/O
+port).  Embedding one requires only *known or guessed plaintext*:
+
+    cipher' = cipher XOR known_plaintext XOR kernel
+
+Three variants are implemented:
+
+- :class:`DisclosingKernelAttack` -- code-space splice over an invariant
+  function prologue, shift-window loop exactly like Figure 4;
+- :class:`DataSpaceKernelAttack` -- kernel spliced into a zero-filled
+  data region (frequent-value prediction), plus a one-word control-flow
+  hijack of a known ``jmp``;
+- :class:`IoKernelAttack` -- the kernel ``out``s the secret instead of
+  fetching it, demonstrating that authen-then-commit *is* sufficient for
+  the I/O channel while the fetch channel stays open.
+"""
+
+from repro.attacks.tamper import splice_assembly, splice_words
+from repro.func.loader import load_program
+from repro.func.machine import LINE_BYTES, SecureMachine
+from repro.isa.assembler import assemble
+
+SECRET_ADDR = 0x2C00
+SECRET_VALUE = 0xDEADBEEF
+DISCLOSE_BASE = 0x400000  # valid, attacker-chosen "window" page
+
+# The victim: some computation with a predictable prologue (compilers
+# emit invariant entry sequences -- here 12 known filler instructions,
+# enough to hold the looped Figure 4 kernel).
+_PROLOGUE = "\n".join("addi r%d, r0, 0" % r for r in range(1, 13))
+
+VICTIM = _PROLOGUE + """
+    addi r3, r1, 42          ; real work
+    halt
+"""
+
+
+def _shift_window_kernel(out_instead=False):
+    """The Figure 4 kernel: disclose a 32-bit secret 8 bits at a time,
+    loop-structured exactly like the paper's listing."""
+    lines = [
+        "lui  r9, 0x0",
+        "ori  r9, r9, 0x2c00",
+        "lw   r9, 0(r9)",              # load secret into r9
+    ]
+    if out_instead:
+        lines.append("out  r9")
+    else:
+        lines += [
+            "loop:",
+            "andi r10, r9, 0x00ff",    # low 8 bits
+            "lui  r11, 0x40",          # r11 = valid window page base
+            "or   r10, r10, r11",
+            "lw   r12, 0(r10)",        # disclose 8 bits as an address
+            "srli r9, r9, 8",          # shift the window
+            "bne  r9, r0, loop",
+        ]
+    lines.append("halt")
+    return "\n".join(lines)
+
+
+def _known_prologue_words():
+    return assemble(_PROLOGUE)
+
+
+class DisclosingKernelAttack:
+    """Code-space splice of the Figure 4 shift-window kernel."""
+
+    name = "disclosing-kernel"
+    out_instead = False
+
+    def build_victim(self, policy, **machine_kwargs):
+        machine = SecureMachine(policy, **machine_kwargs)
+        load_program(machine, VICTIM,
+                     data={SECRET_ADDR: [SECRET_VALUE]})
+        if machine.use_vm:
+            for vpage in range(DISCLOSE_BASE >> 12,
+                               (DISCLOSE_BASE >> 12) + 1):
+                machine.map_page(vpage)
+        return machine
+
+    def tamper(self, machine):
+        kernel = _shift_window_kernel(self.out_instead)
+        splice_assembly(machine, 0, _known_prologue_words(), kernel)
+
+    def run(self, policy, max_steps=500, **machine_kwargs):
+        machine = self.build_victim(policy, **machine_kwargs)
+        self.tamper(machine)
+        result = machine.run(max_steps)
+        return machine, result
+
+    def recovered_bytes(self, result):
+        """Reassemble the secret from the window-page fetch offsets."""
+        out = []
+        for event in result.bus_trace:
+            if event.kind != "data":
+                continue
+            if 0 <= event.addr - DISCLOSE_BASE < 0x1000:
+                out.append(event.addr - DISCLOSE_BASE)
+        return out
+
+    def leaked_secret(self, machine, result):
+        observed = self.recovered_bytes(result)
+        expected_lines = [
+            ((SECRET_VALUE >> shift) & 0xFF) // LINE_BYTES * LINE_BYTES
+            for shift in (0, 8, 16, 24)
+        ]
+        # Fetches are line-granular: each observed offset pins a secret
+        # byte to a 32-byte bucket.  A load near a line boundary adds a
+        # straddle fetch, so check the expected buckets appear in order
+        # as a subsequence of the observed ones.
+        it = iter(observed)
+        return all(any(o == want for o in it) for want in expected_lines)
+
+
+class IoKernelAttack(DisclosingKernelAttack):
+    """Kernel that writes the secret to the I/O port instead."""
+
+    name = "disclosing-kernel-io"
+    out_instead = True
+
+    def leaked_secret(self, machine, result):
+        return SECRET_VALUE in result.io_log
+
+
+class DataSpaceKernelAttack(DisclosingKernelAttack):
+    """Kernel spliced into zero-filled data, reached by a hijacked jmp."""
+
+    name = "disclosing-kernel-data"
+    KERNEL_ADDR = 0x3400
+
+    VICTIM = """
+        addi r1, r0, 1
+        jmp  3                   ; known jump over a filler word
+        .word 0
+        addi r2, r0, 2
+        halt
+    """
+
+    def build_victim(self, policy, **machine_kwargs):
+        machine = SecureMachine(policy, **machine_kwargs)
+        # 0x3400.. is a zero-initialised region ("a large percentage of
+        # data values are zeros"): 32 zero words available for the splice.
+        load_program(machine, self.VICTIM,
+                     data={SECRET_ADDR: [SECRET_VALUE],
+                           self.KERNEL_ADDR: [0] * 32})
+        return machine
+
+    def tamper(self, machine):
+        kernel = _shift_window_kernel()
+        words = assemble(kernel, base_address=self.KERNEL_ADDR)
+        splice_words(machine, self.KERNEL_ADDR, [0] * len(words), words)
+        # Hijack the known jmp: retarget it into the kernel.
+        old_jmp = assemble("jmp 3")[0]
+        new_jmp = assemble("jmp %d" % (self.KERNEL_ADDR // 4))[0]
+        splice_words(machine, 4, [old_jmp], [new_jmp])

@@ -1,0 +1,70 @@
+"""Pointer conversion: the linked-list attack (Section 3.2.1, Figure 1).
+
+The victim walks an encrypted linked list (node = [next, value]).  The
+adversary knows where the list terminates and flips the ciphertext of the
+final NULL pointer so that it decrypts to the *secret's address*.  On the
+next walk the program loads the secret as a node pointer and dereferences
+it -- the secret value appears as a plaintext fetch address on the bus.
+"""
+
+from repro.attacks.tamper import flip_word
+from repro.func.loader import load_program
+from repro.func.machine import LINE_BYTES, SecureMachine
+
+HEAD = 0x2000
+SECRET_ADDR = 0x3000
+# The secret doubles as a pointer once converted, so it must look like a
+# valid address for the leak to be directly observable.
+SECRET_VALUE = 0x00ABCD44
+
+VICTIM = """
+    lui  r1, 0x0
+    ori  r1, r1, 0x2000      ; r1 = list head
+walk:
+    beq  r1, r0, done        ; NULL terminator?
+    lw   r2, 4(r1)           ; node value
+    lw   r1, 0(r1)           ; node->next
+    jmp  walk
+done:
+    halt
+"""
+
+
+class PointerConversionAttack:
+    """Convert the list's NULL terminator into a pointer at the secret."""
+
+    name = "pointer-conversion"
+
+    def build_victim(self, policy, **machine_kwargs):
+        machine = SecureMachine(policy, **machine_kwargs)
+        # Three nodes; the last one's next is NULL.
+        nodes = {
+            0x2000: [0x2010, 111],
+            0x2010: [0x2020, 222],
+            0x2020: [0x0000, 333],
+        }
+        data = {addr: words for addr, words in nodes.items()}
+        # The secret lives elsewhere in protected memory.
+        data[SECRET_ADDR] = [SECRET_VALUE]
+        load_program(machine, VICTIM, data=data)
+        return machine
+
+    def tamper(self, machine):
+        # NULL -> address whose node slot overlays the secret: with node
+        # layout [next @0, value @4], pointing the fake node at the secret
+        # makes the *next* field read the secret itself (l - 0 here).
+        flip_word(machine, 0x2020, 0x0000, SECRET_ADDR)
+
+    def run(self, policy, max_steps=2000, **machine_kwargs):
+        machine = self.build_victim(policy, **machine_kwargs)
+        self.tamper(machine)
+        result = machine.run(max_steps)
+        return machine, result
+
+    def leaked_secret(self, machine, result):
+        """Did the secret value appear as a fetch address on the bus?"""
+        target_line = (SECRET_VALUE // LINE_BYTES) * LINE_BYTES
+        for event in result.bus_trace:
+            if event.kind == "data" and event.addr == target_line:
+                return True
+        return False

@@ -1,0 +1,45 @@
+"""Ciphertext-tampering primitives.
+
+Counter-mode encryption is malleable: flipping ciphertext bit *k* flips
+plaintext bit *k*.  Everything here operates on the machine's *external*
+memory -- no keys involved, only the adversary's knowledge (or guess) of
+plaintext values.
+"""
+
+from repro.isa.assembler import assemble
+from repro.util.bitops import xor_bytes
+
+
+def flip_word(machine, addr, old_plain, new_plain):
+    """Turn the 32-bit plaintext ``old_plain`` at ``addr`` into
+    ``new_plain`` by flipping ciphertext bits (one XOR, Section 3.2.1)."""
+    mask = (old_plain ^ new_plain) & 0xFFFFFFFF
+    machine.mem.flip_bits(addr, mask.to_bytes(4, "big"))
+
+
+def splice_words(machine, addr, known_plain_words, new_words):
+    """Replace a *known-plaintext* code/data sequence with ``new_words``.
+
+    This is the disclosing-kernel embedding of Section 3.2.3:
+    ``cipher' = cipher XOR known_plaintext XOR new_plaintext``.
+    The sequences must have equal length.
+    """
+    if len(known_plain_words) != len(new_words):
+        raise ValueError("splice length mismatch")
+    old = b"".join((w & 0xFFFFFFFF).to_bytes(4, "big")
+                   for w in known_plain_words)
+    new = b"".join((w & 0xFFFFFFFF).to_bytes(4, "big") for w in new_words)
+    machine.mem.flip_bits(addr, xor_bytes(old, new))
+
+
+def splice_assembly(machine, addr, known_plain_words, source):
+    """Splice assembled ``source`` over a known sequence at ``addr``."""
+    new_words = assemble(source, base_address=addr)
+    if len(new_words) > len(known_plain_words):
+        raise ValueError(
+            "kernel needs %d words but only %d are known"
+            % (len(new_words), len(known_plain_words))
+        )
+    count = len(new_words)
+    splice_words(machine, addr, known_plain_words[:count], new_words)
+    return count

@@ -1,0 +1,12 @@
+"""Cache substrate: set-associative caches and TLBs.
+
+These are *tag-timing* models: they track which lines are resident, LRU
+state, dirty bits and per-line metadata (decrypt/verify timestamps), but
+not data contents -- the timing simulator is trace-driven, and the
+functional machine keeps plaintext in its own structures.
+"""
+
+from repro.cache.cache import Cache, CacheAccess, LineState
+from repro.cache.tlb import Tlb
+
+__all__ = ["Cache", "CacheAccess", "LineState", "Tlb"]

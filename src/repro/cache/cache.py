@@ -1,0 +1,136 @@
+"""Generic set-associative, write-back, LRU cache (tag-timing model).
+
+Each resident line carries a :class:`LineState` with the timestamps the
+secure processor needs for authentication-control-point gating:
+
+- ``data_time``: when the line's (decrypted) data became available;
+- ``verify_time``: when its integrity verification completed (equal to
+  ``data_time`` for lines that were verified before insertion or produced
+  on-chip, later for lines still in the authentication queue).
+
+A hit to a still-unverified line must observe its pending ``verify_time``:
+that is exactly the window the paper's exploits live in.
+"""
+
+from repro.config import CacheConfig
+from repro.util.statistics import StatGroup
+
+
+class LineState:
+    """Metadata of one resident cache line."""
+
+    __slots__ = ("tag", "dirty", "data_time", "verify_time", "last_use")
+
+    def __init__(self, tag, data_time=0, verify_time=0):
+        self.tag = tag
+        self.dirty = False
+        self.data_time = data_time
+        self.verify_time = verify_time
+        self.last_use = 0
+
+
+class CacheAccess:
+    """Outcome of one cache lookup."""
+
+    __slots__ = ("hit", "line", "victim_addr", "victim_dirty")
+
+    def __init__(self, hit, line, victim_addr=None, victim_dirty=False):
+        self.hit = hit
+        self.line = line
+        self.victim_addr = victim_addr
+        self.victim_dirty = victim_dirty
+
+
+class Cache:
+    """Set-associative cache over line addresses.
+
+    ``lookup`` probes without allocating; ``access`` probes and, on a miss,
+    allocates (evicting the LRU way) and reports the victim so the caller
+    can schedule a writeback.
+    """
+
+    def __init__(self, config, stats=None):
+        if not isinstance(config, CacheConfig):
+            raise TypeError("config must be a CacheConfig")
+        self.config = config
+        self.num_sets = config.num_sets
+        self.line_bytes = config.line_bytes
+        self.assoc = config.associativity
+        self._sets = [dict() for _ in range(self.num_sets)]  # tag -> LineState
+        self.stats = stats if stats is not None else StatGroup(config.name)
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
+        self._evictions = self.stats.counter("evictions")
+        self._writebacks = self.stats.counter("writebacks")
+        self._tick = 0
+
+    def _index_tag(self, addr):
+        line_addr = addr // self.line_bytes
+        return line_addr % self.num_sets, line_addr // self.num_sets
+
+    def line_addr(self, addr):
+        """The line-aligned byte address containing ``addr``."""
+        return (addr // self.line_bytes) * self.line_bytes
+
+    def lookup(self, addr):
+        """Probe for ``addr`` without any state change; LineState or None."""
+        index, tag = self._index_tag(addr)
+        return self._sets[index].get(tag)
+
+    def access(self, addr, is_write=False):
+        """Probe and allocate-on-miss; returns a :class:`CacheAccess`."""
+        self._tick += 1
+        index, tag = self._index_tag(addr)
+        cache_set = self._sets[index]
+        line = cache_set.get(tag)
+        if line is not None:
+            self._hits.add()
+            line.last_use = self._tick
+            if is_write:
+                line.dirty = True
+            return CacheAccess(True, line)
+
+        self._misses.add()
+        victim_addr = None
+        victim_dirty = False
+        if len(cache_set) >= self.assoc:
+            lru_tag = min(cache_set, key=lambda t: cache_set[t].last_use)
+            victim = cache_set.pop(lru_tag)
+            self._evictions.add()
+            victim_dirty = victim.dirty
+            if victim_dirty:
+                self._writebacks.add()
+            victim_addr = (victim.tag * self.num_sets + index) * self.line_bytes
+        line = LineState(tag)
+        line.last_use = self._tick
+        if is_write:
+            line.dirty = True
+        cache_set[tag] = line
+        return CacheAccess(False, line, victim_addr, victim_dirty)
+
+    def invalidate(self, addr):
+        """Drop the line containing ``addr`` if resident (no writeback)."""
+        index, tag = self._index_tag(addr)
+        return self._sets[index].pop(tag, None) is not None
+
+    def resident_lines(self):
+        """Byte addresses of all resident lines (diagnostics/tests)."""
+        out = []
+        for index, cache_set in enumerate(self._sets):
+            for tag in cache_set:
+                out.append((tag * self.num_sets + index) * self.line_bytes)
+        return sorted(out)
+
+    @property
+    def occupancy(self):
+        return sum(len(s) for s in self._sets)
+
+    def miss_rate(self):
+        total = self._hits.value + self._misses.value
+        return self._misses.value / total if total else 0.0
+
+    def reset(self):
+        for cache_set in self._sets:
+            cache_set.clear()
+        self.stats.reset()
+        self._tick = 0

@@ -1,0 +1,44 @@
+"""Set-associative TLB (tag-only).
+
+Virtual memory matters to the paper twice: TLB misses add latency, and
+address translation is what the shift-window / page-mask exploit variants
+(Section 3.3) work around.  The timing TLB here is a thin wrapper around
+page-granular tags; translation itself is identity in the timing model
+(synthetic traces use physical addresses), while the *functional* machine
+implements a real page table for the exploit demos.
+"""
+
+from repro.config import CacheConfig
+from repro.cache.cache import Cache
+
+
+class Tlb:
+    """A TLB modelled as a small set-associative tag cache over pages."""
+
+    def __init__(self, entries=128, associativity=4, page_bytes=4096,
+                 miss_latency=30, name="tlb", stats=None):
+        config = CacheConfig(
+            name=name,
+            size_bytes=entries * page_bytes,
+            line_bytes=page_bytes,
+            associativity=associativity,
+            latency=1,
+        )
+        self._cache = Cache(config, stats=stats)
+        self.miss_latency = miss_latency
+        self.page_bytes = page_bytes
+
+    def translate_latency(self, vaddr):
+        """Latency contribution of translating ``vaddr`` (0 on a hit)."""
+        access = self._cache.access(vaddr)
+        return 0 if access.hit else self.miss_latency
+
+    @property
+    def stats(self):
+        return self._cache.stats
+
+    def miss_rate(self):
+        return self._cache.miss_rate()
+
+    def reset(self):
+        self._cache.reset()

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``table1 | table2 | table3 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12``
+    Regenerate a paper table/figure (text form).
+``run BENCH``
+    Simulate one benchmark under one or more policies.
+``attack NAME``
+    Run one exploit against one policy and report leak/detection.
+``list``
+    Show available benchmarks, policies and attacks.
+"""
+
+import argparse
+import sys
+
+from repro.policies.registry import available_policies
+from repro.workloads.spec import SPEC2000_PROFILES
+
+
+def _add_scale(parser, default_n=12_000):
+    parser.add_argument("-n", "--instructions", type=int, default=default_n,
+                        help="measured instructions per run")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="warmup instructions (default: same as -n)")
+
+
+def _scale(args):
+    warmup = args.warmup if args.warmup is not None else args.instructions
+    return dict(num_instructions=args.instructions, warmup=warmup)
+
+
+def _cmd_figure(args):
+    from repro.experiments import (fig6, fig7, fig8, fig9, fig10_11,
+                                   fig12_13, table1, table2, table3)
+
+    name = args.command
+    if name == "table1":
+        print(table1.render(memory_fetch_latency=args.memory_latency))
+    elif name == "table2":
+        print(table2.render(empirical=not args.static))
+    elif name == "table3":
+        print(table3.render())
+    elif name == "fig6":
+        print(fig6.render(compute_latency=args.compute_latency))
+    elif name == "fig7":
+        print(fig7.render(**_scale(args)))
+    elif name == "fig8":
+        print(fig8.render(**_scale(args)))
+    elif name == "fig9":
+        print(fig9.render(**_scale(args)))
+    elif name == "fig10":
+        print(fig10_11.render(args.ruu, **_scale(args)))
+    elif name == "fig12":
+        print(fig12_13.render(**_scale(args)))
+    return 0
+
+
+def _cmd_run(args):
+    from repro.config import SimConfig
+    from repro.sim.runner import run_benchmark
+
+    config = SimConfig().with_l2_size(args.l2 * 1024)
+    if args.hash_tree:
+        config = config.with_secure(hash_tree_enabled=True)
+    policies = args.policy or ["decrypt-only", "authen-then-issue",
+                               "authen-then-commit", "authen-then-write",
+                               "commit+fetch"]
+    scale = _scale(args)
+    baseline = None
+    print("%-26s %10s %10s" % ("policy", "IPC", "normalized"))
+    for policy in policies:
+        result = run_benchmark(args.benchmark,
+                               scale["num_instructions"], config=config,
+                               policy=policy)
+        if baseline is None:
+            baseline = result.ipc
+        print("%-26s %10.4f %10.3f"
+              % (policy, result.ipc, result.ipc / baseline))
+    return 0
+
+
+def _cmd_attack(args):
+    from repro.attacks.harness import ALL_ATTACKS, run_attack
+
+    attacks = [args.attack] if args.attack != "all" else list(ALL_ATTACKS)
+    failures = 0
+    for attack in attacks:
+        result = run_attack(attack, args.policy)
+        status = "LEAKED" if result.leaked else "blocked"
+        detected = "detected" if result.detected else "undetected"
+        print("%-26s vs %-22s %-8s (%s)"
+              % (attack, args.policy, status, detected))
+        failures += int(result.leaked)
+    return 1 if failures and args.fail_on_leak else 0
+
+
+def _cmd_list(args):
+    from repro.attacks.harness import ALL_ATTACKS
+
+    print("benchmarks: " + ", ".join(sorted(SPEC2000_PROFILES)))
+    print("policies:   " + ", ".join(available_policies()))
+    print("attacks:    " + ", ".join(ALL_ATTACKS) + ", all")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Authentication control points for secure processors "
+                    "(MICRO 2006 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2", "table3", "fig6", "fig7", "fig8",
+                 "fig9", "fig10", "fig12"):
+        p = sub.add_parser(name, help="regenerate %s" % name)
+        _add_scale(p)
+        if name == "table1":
+            p.add_argument("--memory-latency", type=int, default=200)
+        if name == "table2":
+            p.add_argument("--static", action="store_true",
+                           help="skip the empirical attack runs")
+        if name == "fig6":
+            p.add_argument("--compute-latency", type=int, default=30)
+        if name == "fig10":
+            p.add_argument("--ruu", type=int, default=64)
+        p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("run", help="simulate one benchmark")
+    p.add_argument("benchmark", choices=sorted(SPEC2000_PROFILES))
+    p.add_argument("-p", "--policy", action="append",
+                   choices=available_policies())
+    p.add_argument("--l2", type=int, default=256, help="L2 size in KB")
+    p.add_argument("--hash-tree", action="store_true")
+    _add_scale(p)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("attack", help="run an exploit against a policy")
+    p.add_argument("attack")
+    p.add_argument("-p", "--policy", default="authen-then-commit",
+                   choices=available_policies())
+    p.add_argument("--fail-on-leak", action="store_true")
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("list", help="list benchmarks/policies/attacks")
+    p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

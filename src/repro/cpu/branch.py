@@ -1,0 +1,60 @@
+"""Branch prediction.
+
+Two uses:
+
+- synthetic traces carry per-branch ``mispredict`` flags drawn from each
+  benchmark's predictability parameter, so the core needs no predictor;
+- traces converted from *real* program executions (the functional secure
+  machine) are annotated by running this :class:`BimodalPredictor` over
+  the branch outcomes.
+"""
+
+
+class BimodalPredictor:
+    """Classic bimodal predictor: 2-bit saturating counters + a BTB."""
+
+    def __init__(self, table_entries=2048, btb_entries=512):
+        if table_entries & (table_entries - 1):
+            raise ValueError("table_entries must be a power of two")
+        self.table_entries = table_entries
+        self._counters = [2] * table_entries  # weakly taken
+        self._btb = {}
+        self._btb_entries = btb_entries
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def _index(self, pc):
+        return (pc >> 2) & (self.table_entries - 1)
+
+    def predict_update(self, pc, taken, target=None):
+        """Predict the branch at ``pc``, train, and return True on a
+        *mispredict* (direction wrong, or taken with a BTB target miss)."""
+        self.lookups += 1
+        index = self._index(pc)
+        counter = self._counters[index]
+        predicted_taken = counter >= 2
+
+        wrong = predicted_taken != taken
+        if taken and not wrong and target is not None:
+            if self._btb.get(pc) != target:
+                wrong = True  # direction right but target unknown/stale
+
+        # Train direction counter.
+        if taken and counter < 3:
+            self._counters[index] = counter + 1
+        elif not taken and counter > 0:
+            self._counters[index] = counter - 1
+        # Train BTB.
+        if taken and target is not None:
+            if pc not in self._btb and len(self._btb) >= self._btb_entries:
+                self._btb.pop(next(iter(self._btb)))
+            self._btb[pc] = target
+
+        if wrong:
+            self.mispredicts += 1
+        return wrong
+
+    def accuracy(self):
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredicts / self.lookups

@@ -1,0 +1,296 @@
+"""One-pass timestamp model of the out-of-order pipeline.
+
+For each committed-path instruction the model computes, in program order:
+
+``fetch`` -> bounded by fetch width, I-cache/ITLB, branch redirects;
+``dispatch`` -> fetch + pipeline depth, bounded by a free RUU entry (and
+LSQ entry for memory ops);
+``issue`` -> operands ready (register timestamps), bounded by issue width;
+under *authen-then-issue* also by the instruction line's verification;
+``complete`` -> functional-unit latency, or the D-cache/memory path for
+loads (whose value availability is policy-gated);
+``commit`` -> in order, bounded by commit width and, under
+*authen-then-commit*, by verification of the instruction's own line and
+its memory operand's line.  Stores additionally need a free store-buffer
+slot; under *authen-then-write* a slot frees only when the authentication
+frontier recorded at the store's issue has drained.
+
+External fetches triggered by any level are gated through the policy's
+``fetch_gate`` (*authen-then-fetch*).
+"""
+
+from repro.util.statistics import StatGroup
+from repro.workloads.trace import Op
+
+_UNIT_LATENCY = {
+    Op.IALU: 1,
+    Op.IMUL: 3,
+    Op.FPU: 4,
+    Op.BRANCH: 1,
+    Op.JUMP: 1,
+    Op.SYSTEM: 1,
+    Op.STORE: 1,  # address generation; data is written at commit
+}
+
+
+class RunResult:
+    """Outcome of one timing-simulation run."""
+
+    def __init__(self, name, policy_name, instructions, cycles, stats,
+                 miss_summary):
+        self.name = name
+        self.policy_name = policy_name
+        self.instructions = instructions
+        self.cycles = cycles
+        self.stats = stats
+        self.miss_summary = miss_summary
+
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def __repr__(self):
+        return "RunResult(%s/%s, ipc=%.3f)" % (
+            self.name, self.policy_name, self.ipc)
+
+
+class TimestampCore:
+    """Trace-driven out-of-order core with authentication control points."""
+
+    def __init__(self, config, policy, hierarchy, stats=None):
+        self.config = config
+        self.policy = policy
+        self.hierarchy = hierarchy
+        self.stats = stats if stats is not None else StatGroup("core")
+
+    def run(self, trace, warmup=0):
+        """Replay ``trace`` and return a :class:`RunResult`.
+
+        The first ``warmup`` instructions warm the caches, TLBs, counter
+        cache and branch state but are excluded from the reported cycle
+        and instruction counts (the paper warms L1/L2 during SimPoint
+        fast-forward; this is the trace-driven equivalent).
+        """
+        cfg = self.config.core
+        policy = self.policy
+        hier = self.hierarchy
+        engine = hier.engine
+
+        fetch_width = cfg.fetch_width
+        issue_width = cfg.issue_width
+        commit_width = cfg.commit_width
+        ruu_size = cfg.ruu_entries
+        lsq_size = cfg.lsq_entries
+        depth = cfg.pipeline_depth
+        penalty = cfg.branch_mispredict_penalty
+        sb_size = self.config.secure.store_buffer_entries
+        gate_issue = policy.gate_issue
+        gate_commit = policy.gate_commit
+        gate_fetch = policy.gate_fetch
+        gate_store = policy.gate_store
+        precise_fetch = gate_fetch and \
+            getattr(policy, "fetch_mode", "tag") == "precise"
+        iline_bytes = self.config.l1i.line_bytes
+
+        reg_ready = [0] * 64
+        # Precise authen-then-fetch: per-register verification frontier of
+        # the value's whole data/control ancestry, plus the control-flow
+        # frontier carried by branches.
+        reg_frontier = [0] * 64
+        ctrl_frontier = 0
+        ruu_ring = [0] * ruu_size
+        lsq_ring = [0] * lsq_size
+        sb_ring = [0] * sb_size
+
+        fetch_frontier = 0
+        fetched_in_cycle = 0
+        fetch_cycle = -1
+        redirect_time = 0
+        issue_calendar = {}
+        last_commit = 0
+        commit_cycle = -1
+        committed_in_cycle = 0
+        mem_op_count = 0
+        store_count = 0
+        cur_iline = -1
+        iline_timing = None
+
+        auth_commit_stall = self.stats.counter("auth_commit_stall_cycles")
+        auth_issue_stall = self.stats.counter("auth_issue_stall_cycles")
+        sb_full_stall = self.stats.counter("store_buffer_full_stalls")
+        mispredicts = self.stats.counter("branch_mispredicts")
+
+        warmup = min(warmup, len(trace))
+        warmup_commit = 0
+
+        for index, inst in enumerate(trace):
+            if index == warmup and warmup:
+                warmup_commit = last_commit
+                self.hierarchy.reset_stats()
+            # ---------------- fetch ----------------------------------
+            base = fetch_frontier
+            if redirect_time > base:
+                base = redirect_time
+            if base != fetch_cycle:
+                fetch_cycle = base
+                fetched_in_cycle = 0
+            elif fetched_in_cycle >= fetch_width:
+                fetch_cycle += 1
+                fetched_in_cycle = 0
+                base = fetch_cycle
+            fetched_in_cycle += 1
+
+            iline = inst.pc // iline_bytes
+            if iline != cur_iline or iline_timing is None:
+                if precise_fetch:
+                    # Instruction fetch depends on the control slice only.
+                    gate = ctrl_frontier
+                elif gate_fetch:
+                    gate = policy.fetch_gate_time(engine, base, base)
+                else:
+                    gate = 0
+                iline_timing = hier.ifetch(inst.pc, base, gate_time=gate)
+                cur_iline = iline
+            inst_avail = iline_timing.data_time
+            if inst_avail > base:
+                base = inst_avail
+                fetch_cycle = base
+                fetched_in_cycle = 1
+            fetch_frontier = base
+
+            # ---------------- dispatch -------------------------------
+            dispatch = base + depth
+            slot_free = ruu_ring[index % ruu_size]
+            if slot_free > dispatch:
+                dispatch = slot_free
+            if inst.is_mem:
+                lsq_free = lsq_ring[mem_op_count % lsq_size]
+                if lsq_free > dispatch:
+                    dispatch = lsq_free
+
+            # ---------------- issue ----------------------------------
+            ready = dispatch
+            for src in inst.srcs:
+                t = reg_ready[src]
+                if t > ready:
+                    ready = t
+            if gate_issue:
+                v = iline_timing.verify_time
+                if v > ready:
+                    auth_issue_stall.add(v - ready)
+                    ready = v
+            # issue bandwidth
+            count = issue_calendar.get(ready, 0)
+            while count >= issue_width:
+                ready += 1
+                count = issue_calendar.get(ready, 0)
+            issue_calendar[ready] = count + 1
+            issue = ready
+
+            # ---------------- execute --------------------------------
+            op = inst.op
+            verify_needed = iline_timing.verify_time if gate_commit else 0
+            store_frontier = 0
+            if precise_fetch:
+                # Verification frontier of this instruction's slice: its
+                # own I-line, its operands' ancestry, the control slice.
+                slice_frontier = ctrl_frontier
+                v = iline_timing.verify_time
+                if v > slice_frontier:
+                    slice_frontier = v
+                for src in inst.srcs:
+                    f = reg_frontier[src]
+                    if f > slice_frontier:
+                        slice_frontier = f
+            if op == Op.LOAD:
+                if precise_fetch:
+                    gate = slice_frontier
+                elif gate_fetch:
+                    gate = policy.fetch_gate_time(engine, issue, issue + 1)
+                else:
+                    gate = 0
+                timing = hier.load(inst.addr, issue + 1, gate_time=gate)
+                value_time = policy.value_ready(timing.data_time,
+                                                timing.verify_time)
+                if gate_issue and value_time > timing.data_time:
+                    auth_issue_stall.add(value_time - timing.data_time)
+                complete = value_time
+                if inst.dest >= 0:
+                    reg_ready[inst.dest] = value_time
+                    if precise_fetch:
+                        f = slice_frontier
+                        if timing.verify_time > f:
+                            f = timing.verify_time
+                        reg_frontier[inst.dest] = f
+                if gate_commit and timing.verify_time > verify_needed:
+                    verify_needed = timing.verify_time
+            elif op == Op.STORE:
+                complete = issue + 1
+                if gate_store:
+                    store_frontier = engine.auth_frontier(issue)
+            else:
+                complete = issue + _UNIT_LATENCY[op]
+                if inst.dest >= 0:
+                    reg_ready[inst.dest] = complete
+                    if precise_fetch:
+                        reg_frontier[inst.dest] = slice_frontier
+
+            if precise_fetch and (op == Op.BRANCH or op == Op.JUMP):
+                if slice_frontier > ctrl_frontier:
+                    ctrl_frontier = slice_frontier
+
+            if inst.mispredict:
+                mispredicts.add()
+                resolve = complete + penalty
+                if resolve > redirect_time:
+                    redirect_time = resolve
+
+            # ---------------- commit ---------------------------------
+            commit = complete + 1
+            if last_commit > commit:
+                commit = last_commit
+            if verify_needed > commit:
+                auth_commit_stall.add(verify_needed - commit)
+                commit = verify_needed
+            if op == Op.STORE:
+                sb_free = sb_ring[store_count % sb_size]
+                if sb_free > commit:
+                    sb_full_stall.add()
+                    commit = sb_free
+            # commit bandwidth (in order -> monotonic counter)
+            if commit != commit_cycle:
+                commit_cycle = commit
+                committed_in_cycle = 0
+            elif committed_in_cycle >= commit_width:
+                commit_cycle += 1
+                committed_in_cycle = 0
+                commit = commit_cycle
+            committed_in_cycle += 1
+            last_commit = commit
+
+            if op == Op.STORE:
+                release = policy.store_release(commit, store_frontier)
+                if precise_fetch:
+                    gate = slice_frontier
+                elif gate_fetch:
+                    gate = policy.fetch_gate_time(engine, issue, release)
+                else:
+                    gate = 0
+                hier.store(inst.addr, release, gate_time=gate)
+                sb_ring[store_count % sb_size] = release
+                store_count += 1
+
+            ruu_ring[index % ruu_size] = commit
+            if inst.is_mem:
+                lsq_ring[mem_op_count % lsq_size] = commit
+                mem_op_count += 1
+
+        cycles = last_commit - warmup_commit
+        return RunResult(
+            getattr(trace, "name", "trace"),
+            policy.name,
+            len(trace) - warmup,
+            cycles,
+            self.stats,
+            hier.miss_summary(),
+        )

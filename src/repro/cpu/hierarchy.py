@@ -1,0 +1,191 @@
+"""Memory hierarchy glue: L1I/L1D + TLBs + unified L2 + secure engine.
+
+Every resident line carries ``(data_time, verify_time)`` so that hits to
+in-flight or still-unverified lines observe the correct timestamps -- the
+decrypt-to-verify window survives into the caches, which is exactly what
+the authentication control points gate on.
+"""
+
+from repro.cache.cache import Cache
+from repro.cache.tlb import Tlb
+from repro.mem.controller import MemoryController
+from repro.secure.engine import SecureMemoryEngine
+from repro.secure.metadata import MetadataLayout
+from repro.util.statistics import StatGroup
+
+
+class LineTiming:
+    """Timing view of one accessed line."""
+
+    __slots__ = ("data_time", "verify_time")
+
+    def __init__(self, data_time, verify_time):
+        self.data_time = data_time
+        self.verify_time = verify_time
+
+
+class MemoryHierarchy:
+    """Two-level hierarchy in front of the secure-memory engine."""
+
+    def __init__(self, config, policy, rng=None, stats=None,
+                 protected_bytes=256 * 1024 * 1024):
+        self.config = config
+        self.policy = policy
+        self.stats = stats if stats is not None else StatGroup("hier")
+        secure_cfg = config.secure
+        if policy.obfuscation and not secure_cfg.obfuscation_enabled:
+            secure_cfg = config.with_secure(obfuscation_enabled=True).secure
+        layout = MetadataLayout(
+            protected_bytes=protected_bytes,
+            line_bytes=config.l2.line_bytes,
+            counter_bytes=secure_cfg.counter_bytes,
+            mac_bits=secure_cfg.mac_bits,
+            hash_bytes=secure_cfg.hash_bytes,
+        )
+        self.controller = MemoryController(
+            config.dram, line_bytes=config.l2.line_bytes, stats=self.stats
+        )
+        self.engine = SecureMemoryEngine(
+            secure_cfg,
+            layout,
+            self.controller,
+            rng=rng,
+            stats=self.stats,
+            authentication_enabled=policy.authentication,
+        )
+        self.l1i = Cache(config.l1i, stats=StatGroup("l1i"))
+        self.l1d = Cache(config.l1d, stats=StatGroup("l1d"))
+        self.l2 = Cache(config.l2, stats=StatGroup("l2"))
+        if self.engine.hash_tree is not None:
+            # CHTree nodes are cacheable: evicted-but-verified nodes may
+            # also sit in the unified L2 (they compete with data lines).
+            self.engine.hash_tree.attach_backing(self.l2,
+                                                 config.l2.latency)
+        self.itlb = Tlb(config.itlb_entries, config.tlb_associativity,
+                        config.page_bytes, config.tlb_miss_latency, "itlb")
+        self.dtlb = Tlb(config.dtlb_entries, config.tlb_associativity,
+                        config.page_bytes, config.tlb_miss_latency, "dtlb")
+        self._wrap = layout.protected_bytes
+        # MSHRs bound memory-level parallelism: a new external fetch
+        # waits for a free outstanding-miss slot.
+        self._mshr_ring = [0] * max(1, config.mshr_entries)
+        self._mshr_index = 0
+        self._mshr_stalls = self.stats.counter("mshr_stall_events")
+        self._prefetches = self.stats.counter("prefetch_issued")
+
+    # ------------------------------------------------------------------
+
+    def _clamp(self, addr):
+        """Fold any address into the protected region."""
+        return addr % self._wrap
+
+    def _l2_fill(self, addr, cycle, gate_time):
+        """Access L2; fill from memory on a miss.  Returns a LineTiming."""
+        access = self.l2.access(addr)
+        line = access.line
+        if access.hit:
+            data_time = max(cycle, line.data_time)
+            return LineTiming(data_time, max(data_time, line.verify_time))
+        if access.victim_dirty:
+            self.engine.write_line(self._clamp(access.victim_addr), cycle)
+        slot_free = self._mshr_ring[self._mshr_index]
+        if slot_free > cycle:
+            self._mshr_stalls.add()
+            cycle = slot_free
+        fetch = self.engine.fetch_line(self._clamp(self.l2.line_addr(addr)),
+                                       cycle, gate_time=gate_time)
+        self._mshr_ring[self._mshr_index] = fetch.mem_done
+        self._mshr_index = (self._mshr_index + 1) % len(self._mshr_ring)
+        line.data_time = fetch.data_time
+        line.verify_time = fetch.verify_time
+        self._prefetch_after(addr, fetch)
+        return LineTiming(fetch.data_time, fetch.verify_time)
+
+    def _prefetch_after(self, addr, trigger_fetch):
+        """Next-N-lines prefetch on a demand miss.
+
+        Prefetches are never gated by authen-then-fetch (they are not
+        program-dependent), and their verification starts as soon as they
+        arrive -- often completing before the demand access that would
+        otherwise expose the gap.
+        """
+        degree = self.config.prefetch_degree
+        if not degree:
+            return
+        line_bytes = self.l2.line_bytes
+        base = self.l2.line_addr(addr)
+        # Stream detection: only prefetch when the preceding line is
+        # already resident (evidence of a sequential walk) -- otherwise
+        # random misses just pollute the L2 and burn bus bandwidth.
+        if self.l2.lookup(base - line_bytes) is None:
+            return
+        for step in range(1, degree + 1):
+            next_addr = base + step * line_bytes
+            access = self.l2.access(next_addr)
+            if access.hit:
+                continue
+            if access.victim_dirty:
+                self.engine.write_line(self._clamp(access.victim_addr),
+                                       trigger_fetch.mem_done)
+            fetch = self.engine.fetch_line(self._clamp(next_addr),
+                                           trigger_fetch.mem_done)
+            access.line.data_time = fetch.data_time
+            access.line.verify_time = fetch.verify_time
+            self._prefetches.add()
+
+    def _l1_access(self, l1, tlb, addr, cycle, gate_time, is_write=False):
+        cycle = cycle + tlb.translate_latency(addr)
+        access = l1.access(addr, is_write=is_write)
+        line = access.line
+        l1_done = cycle + l1.config.latency
+        if access.hit:
+            data_time = max(l1_done, line.data_time)
+            return LineTiming(data_time, max(data_time, line.verify_time))
+        if access.victim_dirty:
+            self._l1_writeback(access.victim_addr, cycle)
+        timing = self._l2_fill(addr, cycle + l1.config.latency +
+                               self.l2.config.latency, gate_time)
+        line.data_time = max(l1_done, timing.data_time)
+        line.verify_time = max(line.data_time, timing.verify_time)
+        return LineTiming(line.data_time, line.verify_time)
+
+    def _l1_writeback(self, victim_addr, cycle):
+        """Write a dirty L1 victim into L2 (write-validate allocate)."""
+        access = self.l2.access(victim_addr, is_write=True)
+        if not access.hit and access.victim_dirty:
+            self.engine.write_line(self._clamp(access.victim_addr), cycle)
+
+    # ------------------------------------------------------------------
+
+    def ifetch(self, pc, cycle, gate_time=0):
+        """Fetch the instruction line containing ``pc``."""
+        return self._l1_access(self.l1i, self.itlb, pc, cycle, gate_time)
+
+    def load(self, addr, cycle, gate_time=0):
+        """Load access at ``addr`` issued at ``cycle``."""
+        return self._l1_access(self.l1d, self.dtlb, addr, cycle, gate_time)
+
+    def store(self, addr, cycle, gate_time=0):
+        """Commit-time store (write-allocate, write-back)."""
+        return self._l1_access(self.l1d, self.dtlb, addr, cycle, gate_time,
+                               is_write=True)
+
+    # ------------------------------------------------------------------
+
+    def reset_stats(self):
+        """Reset hit/miss counters without touching cache contents
+        (used at the warmup boundary)."""
+        for cache in (self.l1i, self.l1d, self.l2):
+            cache.stats.reset()
+        self.itlb.stats.reset()
+        self.dtlb.stats.reset()
+
+    def miss_summary(self):
+        """Per-level miss rates (diagnostics and calibration tests)."""
+        return {
+            "l1i": self.l1i.miss_rate(),
+            "l1d": self.l1d.miss_rate(),
+            "l2": self.l2.miss_rate(),
+            "itlb": self.itlb.miss_rate(),
+            "dtlb": self.dtlb.miss_rate(),
+        }

@@ -1,0 +1,47 @@
+"""Cryptographic substrate.
+
+Everything here is implemented from scratch (no ``hashlib``/``hmac``
+imports in the primitives) because the attack suite needs to manipulate
+real ciphertext and the paper's latency analysis (Table 1) is parameterised
+by the ciphers' structure:
+
+- :mod:`repro.crypto.aes` -- AES-128/192/256 block cipher (Rijndael).
+- :mod:`repro.crypto.sha256` -- SHA-256 compression function and digest.
+- :mod:`repro.crypto.hmac` -- HMAC and truncated MACs over any hash.
+- :mod:`repro.crypto.modes` -- ECB, CBC and counter (CTR) modes.
+- :mod:`repro.crypto.cbc_mac` -- CBC-MAC for the Table 1 comparison.
+- :mod:`repro.crypto.latency` -- the latency model used by the timing
+  simulator (decryption vs authentication gap, Table 1).
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.cbc_mac import cbc_mac
+from repro.crypto.hmac import hmac_sha256, truncated_mac
+from repro.crypto.latency import CryptoLatencyModel, LatencyGap, latency_gap_table
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_keystream,
+    ctr_transform,
+    ecb_decrypt,
+    ecb_encrypt,
+)
+from repro.crypto.sha256 import Sha256, sha256
+
+__all__ = [
+    "AES",
+    "Sha256",
+    "sha256",
+    "hmac_sha256",
+    "truncated_mac",
+    "cbc_mac",
+    "ecb_encrypt",
+    "ecb_decrypt",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "ctr_keystream",
+    "ctr_transform",
+    "CryptoLatencyModel",
+    "LatencyGap",
+    "latency_gap_table",
+]

@@ -1,0 +1,203 @@
+"""AES (Rijndael) block cipher, implemented from scratch.
+
+Supports 128-, 192- and 256-bit keys on 128-bit blocks, matching the
+paper's reference cipher (Section 5.2.1: a pipelined 256-bit Rijndael with
+an 80 ns reference decryption latency).  This implementation is the
+*functional* half: it produces real ciphertext that the attack suite
+tampers with.  Timing is modelled separately in
+:mod:`repro.crypto.latency`.
+
+The implementation follows FIPS-197: byte-oriented state, S-box generated
+from the GF(2^8) inverse plus affine transform, and the standard
+SubBytes/ShiftRows/MixColumns/AddRoundKey round structure.
+"""
+
+_ROUNDS_BY_KEYLEN = {16: 10, 24: 12, 32: 14}
+
+
+def _build_sbox():
+    """Generate the AES S-box from first principles (GF(2^8) inversion)."""
+    # Build exp/log tables for GF(2^8) with the AES polynomial 0x11B,
+    # using generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def inv(a):
+        return 0 if a == 0 else exp[255 - log[a]]
+
+    sbox = [0] * 256
+    for value in range(256):
+        b = inv(value)
+        res = 0
+        for i in range(8):
+            res |= (
+                (
+                    (b >> i)
+                    ^ (b >> ((i + 4) % 8))
+                    ^ (b >> ((i + 5) % 8))
+                    ^ (b >> ((i + 6) % 8))
+                    ^ (b >> ((i + 7) % 8))
+                    ^ (0x63 >> i)
+                )
+                & 1
+            ) << i
+        sbox[value] = res
+    return sbox, exp, log
+
+
+_SBOX, _EXP, _LOG = _build_sbox()
+_INV_SBOX = [0] * 256
+for _i, _v in enumerate(_SBOX):
+    _INV_SBOX[_v] = _i
+
+
+def _gmul(a, b):
+    """Multiply in GF(2^8) with the AES reduction polynomial."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _last = _RCON[-1]
+    _RCON.append(((_last << 1) ^ (0x11B if _last & 0x80 else 0)) & 0xFF)
+
+
+class AES:
+    """AES block cipher with a fixed key.
+
+    >>> key = bytes(range(16))
+    >>> aes = AES(key)
+    >>> block = b"theblockis16byte"
+    >>> aes.decrypt_block(aes.encrypt_block(block)) == block
+    True
+    """
+
+    block_size = 16
+
+    def __init__(self, key):
+        key = bytes(key)
+        if len(key) not in _ROUNDS_BY_KEYLEN:
+            raise ValueError(
+                "AES key must be 16, 24 or 32 bytes, got %d" % len(key)
+            )
+        self.key = key
+        self.rounds = _ROUNDS_BY_KEYLEN[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key):
+        """FIPS-197 key schedule; returns a list of 4-byte words."""
+        nk = len(key) // 4
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self.rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+        return words
+
+    def _round_key(self, round_index):
+        words = self._round_keys[4 * round_index : 4 * round_index + 4]
+        return [words[c][r] for c in range(4) for r in range(4)]
+
+    # State layout: column-major list of 16 bytes (state[4*c + r]).
+
+    def encrypt_block(self, block):
+        """Encrypt one 16-byte block."""
+        if len(block) != 16:
+            raise ValueError("block must be 16 bytes, got %d" % len(block))
+        state = list(block)
+        state = [b ^ k for b, k in zip(state, self._round_key(0))]
+        for rnd in range(1, self.rounds):
+            state = self._sub_bytes(state, _SBOX)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            state = [b ^ k for b, k in zip(state, self._round_key(rnd))]
+        state = self._sub_bytes(state, _SBOX)
+        state = self._shift_rows(state)
+        state = [b ^ k for b, k in zip(state, self._round_key(self.rounds))]
+        return bytes(state)
+
+    def decrypt_block(self, block):
+        """Decrypt one 16-byte block."""
+        if len(block) != 16:
+            raise ValueError("block must be 16 bytes, got %d" % len(block))
+        state = list(block)
+        state = [b ^ k for b, k in zip(state, self._round_key(self.rounds))]
+        for rnd in range(self.rounds - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            state = self._sub_bytes(state, _INV_SBOX)
+            state = [b ^ k for b, k in zip(state, self._round_key(rnd))]
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        state = self._sub_bytes(state, _INV_SBOX)
+        state = [b ^ k for b, k in zip(state, self._round_key(0))]
+        return bytes(state)
+
+    @staticmethod
+    def _sub_bytes(state, box):
+        return [box[b] for b in state]
+
+    @staticmethod
+    def _shift_rows(state):
+        out = list(state)
+        for r in range(1, 4):
+            row = [state[4 * c + r] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                out[4 * c + r] = row[c]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state):
+        out = list(state)
+        for r in range(1, 4):
+            row = [state[4 * c + r] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                out[4 * c + r] = row[c]
+        return out
+
+    @staticmethod
+    def _mix_columns(state):
+        out = [0] * 16
+        for c in range(4):
+            col = state[4 * c : 4 * c + 4]
+            out[4 * c + 0] = _gmul(col[0], 2) ^ _gmul(col[1], 3) ^ col[2] ^ col[3]
+            out[4 * c + 1] = col[0] ^ _gmul(col[1], 2) ^ _gmul(col[2], 3) ^ col[3]
+            out[4 * c + 2] = col[0] ^ col[1] ^ _gmul(col[2], 2) ^ _gmul(col[3], 3)
+            out[4 * c + 3] = _gmul(col[0], 3) ^ col[1] ^ col[2] ^ _gmul(col[3], 2)
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state):
+        out = [0] * 16
+        for c in range(4):
+            col = state[4 * c : 4 * c + 4]
+            out[4 * c + 0] = (
+                _gmul(col[0], 14) ^ _gmul(col[1], 11) ^ _gmul(col[2], 13) ^ _gmul(col[3], 9)
+            )
+            out[4 * c + 1] = (
+                _gmul(col[0], 9) ^ _gmul(col[1], 14) ^ _gmul(col[2], 11) ^ _gmul(col[3], 13)
+            )
+            out[4 * c + 2] = (
+                _gmul(col[0], 13) ^ _gmul(col[1], 9) ^ _gmul(col[2], 14) ^ _gmul(col[3], 11)
+            )
+            out[4 * c + 3] = (
+                _gmul(col[0], 11) ^ _gmul(col[1], 13) ^ _gmul(col[2], 9) ^ _gmul(col[3], 14)
+            )
+        return out

@@ -1,0 +1,27 @@
+"""CBC-MAC, the second authentication scheme in Table 1.
+
+CBC-MAC chains the cipher over every block of the message, so its latency
+scales with the number of 128-bit chunks in a cache line (N in Table 1).
+We use the length-prepended variant, which is secure for the fixed-length
+cache-line messages the secure processor authenticates.
+"""
+
+from repro.util.bitops import xor_bytes
+
+
+def cbc_mac(cipher, message, mac_bits=64):
+    """Compute a (truncated) CBC-MAC of ``message``.
+
+    The message length is folded into the first block so that the MAC is
+    not extendable; cache lines are fixed-size so this is sufficient.
+    """
+    if mac_bits % 8 or not 0 < mac_bits <= 8 * cipher.block_size:
+        raise ValueError("mac_bits must be a multiple of 8 within one block")
+    size = cipher.block_size
+    original_length = len(message)
+    if len(message) % size:
+        message = message + b"\x00" * (size - len(message) % size)
+    state = cipher.encrypt_block(original_length.to_bytes(size, "big"))
+    for i in range(0, len(message), size):
+        state = cipher.encrypt_block(xor_bytes(state, message[i : i + size]))
+    return state[: mac_bits // 8]

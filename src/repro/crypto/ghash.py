@@ -1,0 +1,62 @@
+"""GHASH and GMAC (the Galois MAC of AES-GCM), from scratch.
+
+Later secure-processor work (e.g. Yan et al. [25]) moved to GCM-class
+authentication because a Galois-field MAC is far shallower in hardware
+than an HMAC: GHASH is a polynomial evaluation in GF(2^128) whose
+per-block step is one carry-less multiply, so the verification engine's
+latency approaches the data arrival itself.  This module provides the
+functional primitive and is wired into the latency model as the
+``counter+gmac`` scheme.
+
+GHASH(H, X1..Xn) = (((X1*H) ^ X2)*H ... ^ Xn)*H   in GF(2^128)
+with the GCM reduction polynomial x^128 + x^7 + x^2 + x + 1.
+"""
+
+from repro.util.bitops import xor_bytes
+
+_R = 0xE1000000000000000000000000000000  # GCM reduction constant
+
+
+def gf128_mul(x, y):
+    """Multiply two 128-bit field elements (GCM bit order)."""
+    if not (0 <= x < 1 << 128 and 0 <= y < 1 << 128):
+        raise ValueError("operands must be 128-bit")
+    z = 0
+    v = x
+    for i in range(128):
+        if (y >> (127 - i)) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def ghash(h_key, data):
+    """GHASH of ``data`` (zero-padded to 16-byte blocks) under ``h_key``."""
+    h = int.from_bytes(h_key, "big") if isinstance(h_key, (bytes, bytearray)) \
+        else h_key
+    if len(data) % 16:
+        data = data + b"\x00" * (16 - len(data) % 16)
+    y = 0
+    for i in range(0, len(data), 16):
+        block = int.from_bytes(data[i : i + 16], "big")
+        y = gf128_mul(y ^ block, h)
+    return y.to_bytes(16, "big")
+
+
+def gmac(cipher, nonce, message, mac_bits=64):
+    """GMAC: GHASH keyed by H = E_k(0), masked by E_k(nonce).
+
+    ``cipher`` is a block cipher (AES); ``nonce`` must be unique per
+    message under a given key -- the secure-memory engine uses the line's
+    (address, counter) pair, exactly like its encryption pads.
+    """
+    if mac_bits % 8 or not 0 < mac_bits <= 128:
+        raise ValueError("mac_bits must be a multiple of 8 in (0, 128]")
+    h = cipher.encrypt_block(b"\x00" * 16)
+    length_block = (len(message) * 8).to_bytes(16, "big")
+    digest = ghash(h, bytes(message) + length_block)
+    mask = cipher.encrypt_block((nonce % (1 << 128)).to_bytes(16, "big"))
+    return xor_bytes(digest, mask)[: mac_bits // 8]

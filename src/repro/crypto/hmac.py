@@ -1,0 +1,28 @@
+"""HMAC (RFC 2104 / FIPS 198) over SHA-256, plus MAC truncation.
+
+The paper's reference MAC is a 64-bit truncated HMAC-SHA-256 per protected
+cache line (Section 5.2.3).
+"""
+
+from repro.crypto.sha256 import Sha256
+
+_BLOCK_SIZE = 64
+
+
+def hmac_sha256(key, message):
+    """Compute HMAC-SHA-256 of ``message`` under ``key``."""
+    key = bytes(key)
+    if len(key) > _BLOCK_SIZE:
+        key = Sha256(key).digest()
+    key = key.ljust(_BLOCK_SIZE, b"\x00")
+    ipad = bytes(b ^ 0x36 for b in key)
+    opad = bytes(b ^ 0x5C for b in key)
+    inner = Sha256(ipad).update(message).digest()
+    return Sha256(opad).update(inner).digest()
+
+
+def truncated_mac(key, message, mac_bits=64):
+    """Truncated HMAC tag, default 64 bits per the reference design."""
+    if mac_bits % 8 or not 0 < mac_bits <= 256:
+        raise ValueError("mac_bits must be a multiple of 8 in (0, 256]")
+    return hmac_sha256(key, message)[: mac_bits // 8]

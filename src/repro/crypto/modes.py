@@ -1,0 +1,105 @@
+"""Block cipher modes of operation: ECB, CBC and counter (CTR).
+
+Counter mode is the paper's preferred memory-encryption mode because the
+keystream ("decryption pad") can be precomputed from the fetch address and
+a per-line counter, in parallel with the memory fetch itself.  CBC is
+provided for the Table 1 comparison and for demonstrating CBC's
+malleability structure in the attack suite.
+
+All functions take an object with ``encrypt_block``/``decrypt_block`` and a
+``block_size`` attribute (e.g. :class:`repro.crypto.aes.AES`).
+"""
+
+from repro.util.bitops import xor_bytes
+
+
+def _check_blocks(cipher, data, what):
+    if len(data) % cipher.block_size:
+        raise ValueError(
+            "%s length %d is not a multiple of the %d-byte block size"
+            % (what, len(data), cipher.block_size)
+        )
+
+
+def ecb_encrypt(cipher, plaintext):
+    """Encrypt ``plaintext`` block-by-block (electronic codebook)."""
+    _check_blocks(cipher, plaintext, "plaintext")
+    size = cipher.block_size
+    return b"".join(
+        cipher.encrypt_block(plaintext[i : i + size])
+        for i in range(0, len(plaintext), size)
+    )
+
+
+def ecb_decrypt(cipher, ciphertext):
+    """Decrypt ``ciphertext`` block-by-block."""
+    _check_blocks(cipher, ciphertext, "ciphertext")
+    size = cipher.block_size
+    return b"".join(
+        cipher.decrypt_block(ciphertext[i : i + size])
+        for i in range(0, len(ciphertext), size)
+    )
+
+
+def cbc_encrypt(cipher, plaintext, iv):
+    """CBC-encrypt ``plaintext`` with initialisation vector ``iv``."""
+    _check_blocks(cipher, plaintext, "plaintext")
+    if len(iv) != cipher.block_size:
+        raise ValueError("iv must be one block")
+    size = cipher.block_size
+    out = []
+    prev = iv
+    for i in range(0, len(plaintext), size):
+        block = cipher.encrypt_block(xor_bytes(plaintext[i : i + size], prev))
+        out.append(block)
+        prev = block
+    return b"".join(out)
+
+
+def cbc_decrypt(cipher, ciphertext, iv):
+    """CBC-decrypt ``ciphertext`` with initialisation vector ``iv``.
+
+    Note the serial structure: block *n*'s plaintext needs block *n-1*'s
+    ciphertext, which is why CBC decryption latency in Table 1 scales with
+    the chunk index.
+    """
+    _check_blocks(cipher, ciphertext, "ciphertext")
+    if len(iv) != cipher.block_size:
+        raise ValueError("iv must be one block")
+    size = cipher.block_size
+    out = []
+    prev = iv
+    for i in range(0, len(ciphertext), size):
+        block = ciphertext[i : i + size]
+        out.append(xor_bytes(cipher.decrypt_block(block), prev))
+        prev = block
+    return b"".join(out)
+
+
+def ctr_keystream(cipher, nonce, length):
+    """Generate ``length`` bytes of counter-mode keystream.
+
+    The counter block is ``nonce + block_index`` (big-endian, one cipher
+    block wide).  For the secure-memory engine the nonce encodes the line's
+    physical address and its per-line write counter, so the pad depends
+    only on (address, counter) -- precomputable before data arrives.
+    """
+    size = cipher.block_size
+    blocks = (length + size - 1) // size
+    limit = 1 << (8 * size)
+    stream = b"".join(
+        cipher.encrypt_block(((nonce + i) % limit).to_bytes(size, "big"))
+        for i in range(blocks)
+    )
+    return stream[:length]
+
+
+def ctr_transform(cipher, nonce, data):
+    """Counter-mode encrypt/decrypt (the operation is its own inverse).
+
+    This mode is *malleable*: flipping ciphertext bit *k* flips plaintext
+    bit *k* -- the property every exploit in Section 3 relies on.
+    """
+    return bytes(
+        d ^ k for d, k in zip(data, ctr_keystream(cipher, nonce, len(data)))
+    )

@@ -1,0 +1,119 @@
+"""SHA-256 (FIPS 180-2), implemented from scratch.
+
+The paper's reference integrity scheme is a truncated HMAC over SHA-256
+with a 74 ns latency per 512-bit padded input (Section 5.2.3).  This module
+provides the functional hash; :mod:`repro.crypto.latency` models the time.
+"""
+
+from repro.util.bitops import rotr32
+
+_K = [
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+]
+
+_H0 = [
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+]
+
+_M32 = 0xFFFFFFFF
+
+
+def _compress(state, block):
+    """One SHA-256 compression round over a 64-byte block."""
+    w = [int.from_bytes(block[i : i + 4], "big") for i in range(0, 64, 4)]
+    for i in range(16, 64):
+        s0 = rotr32(w[i - 15], 7) ^ rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3)
+        s1 = rotr32(w[i - 2], 17) ^ rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10)
+        w.append((w[i - 16] + s0 + w[i - 7] + s1) & _M32)
+
+    a, b, c, d, e, f, g, h = state
+    for i in range(64):
+        s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25)
+        ch = (e & f) ^ (~e & g)
+        temp1 = (h + s1 + ch + _K[i] + w[i]) & _M32
+        s0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22)
+        maj = (a & b) ^ (a & c) ^ (b & c)
+        temp2 = (s0 + maj) & _M32
+        h, g, f, e = g, f, e, (d + temp1) & _M32
+        d, c, b, a = c, b, a, (temp1 + temp2) & _M32
+
+    return [
+        (state[0] + a) & _M32, (state[1] + b) & _M32,
+        (state[2] + c) & _M32, (state[3] + d) & _M32,
+        (state[4] + e) & _M32, (state[5] + f) & _M32,
+        (state[6] + g) & _M32, (state[7] + h) & _M32,
+    ]
+
+
+def pad_message(length):
+    """Return the SHA-256 padding for a message of ``length`` bytes."""
+    padding = b"\x80" + b"\x00" * ((55 - length) % 64)
+    return padding + (length * 8).to_bytes(8, "big")
+
+
+def padded_block_count(length):
+    """Number of 512-bit blocks SHA-256 processes for ``length`` bytes.
+
+    Used by the latency model: the verification engine's latency scales
+    with the number of compression rounds.
+    """
+    return (length + len(pad_message(length))) // 64
+
+
+class Sha256:
+    """Incremental SHA-256 hasher.
+
+    >>> Sha256().update(b"abc").hexdigest()
+    'ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad'
+    """
+
+    digest_size = 32
+    block_size = 64
+
+    def __init__(self, data=b""):
+        self._state = list(_H0)
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data):
+        self._buffer += bytes(data)
+        self._length += len(data)
+        while len(self._buffer) >= 64:
+            self._state = _compress(self._state, self._buffer[:64])
+            self._buffer = self._buffer[64:]
+        return self
+
+    def digest(self):
+        state = list(self._state)
+        tail = self._buffer + pad_message(self._length)
+        for i in range(0, len(tail), 64):
+            state = _compress(state, tail[i : i + 64])
+        return b"".join(word.to_bytes(4, "big") for word in state)
+
+    def hexdigest(self):
+        return self.digest().hex()
+
+    def copy(self):
+        clone = Sha256()
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+
+def sha256(data):
+    """One-shot SHA-256 digest of ``data``."""
+    return Sha256(data).digest()

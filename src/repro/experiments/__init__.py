@@ -1,0 +1,28 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` returning plain data structures and a
+``render(...)`` producing the text table, so the benchmark harness, the
+examples and EXPERIMENTS.md all share one source of truth.
+
+Scale note: the paper simulates 400M-instruction SimPoint windows; these
+drivers default to tens of thousands of trace instructions (pure-Python
+cycle accounting).  Pass larger ``num_instructions`` for tighter numbers.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10_11,
+    fig12_13,
+    sensitivity,
+    table1,
+    table2,
+    table3,
+    variance,
+)
+
+__all__ = ["table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9",
+           "fig10_11", "fig12_13", "ablations", "sensitivity", "variance"]

@@ -1,0 +1,50 @@
+"""Figures 10 and 11: sensitivity to the RUU size (64 entries).
+
+Figure 10: normalized IPC of the four schemes with a 64-entry RUU.
+Figure 11: speedup of authen-then-commit and commit+fetch over
+authen-then-issue with the 64-entry RUU.  The paper finds the same
+performance ranking as with 128 entries.
+"""
+
+from repro.config import SimConfig
+from repro.sim.report import render_table, series_rows
+from repro.sim.sweep import PolicySweep, normalized_ipc_table, speedup_over
+from repro.workloads.spec import fp_benchmarks, int_benchmarks
+
+FIG10_POLICIES = ("authen-then-issue", "authen-then-write",
+                  "authen-then-commit", "commit+fetch")
+
+
+def run(ruu_entries=64, num_instructions=12_000, warmup=12_000,
+        l2_bytes=256 * 1024, benchmarks=None):
+    if benchmarks is None:
+        benchmarks = int_benchmarks() + fp_benchmarks()
+    config = SimConfig().with_l2_size(l2_bytes).with_ruu(ruu_entries)
+    sweep = PolicySweep(benchmarks, list(FIG10_POLICIES), config=config,
+                        num_instructions=num_instructions,
+                        warmup=warmup).run()
+    fig10 = normalized_ipc_table(sweep, list(FIG10_POLICIES))
+    fig11 = speedup_over(sweep, "authen-then-issue",
+                         ["authen-then-commit", "commit+fetch"])
+    return sweep, fig10, fig11
+
+
+def render(ruu_entries=64, num_instructions=12_000, warmup=12_000):
+    _, fig10, fig11 = run(ruu_entries, num_instructions, warmup)
+    out = [
+        "Figure 10 -- normalized IPC, %d-entry RUU (256KB L2)" % ruu_entries,
+        render_table(["benchmark"] + list(FIG10_POLICIES),
+                     series_rows(fig10, list(FIG10_POLICIES))),
+        "",
+        "Figure 11 -- speedup over authen-then-issue, %d-entry RUU"
+        % ruu_entries,
+        render_table(
+            ["benchmark", "authen-then-commit", "commit+fetch"],
+            series_rows(fig11, ["authen-then-commit", "commit+fetch"]),
+        ),
+    ]
+    return "\n".join(out)
+
+
+if __name__ == "__main__":
+    print(render())

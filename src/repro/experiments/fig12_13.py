@@ -1,0 +1,55 @@
+"""Figures 12 and 13: hash-tree (CHTree) authentication.
+
+Figure 12: normalized IPC of five schemes when per-line MACs are replaced
+by an m-ary hash tree with an 8KB on-chip node cache.  Verification
+latency grows (tree-node fetches), every scheme slows down, and the gaps
+between authen-then-write / commit / fetch compress -- while the ranking
+stays the same.  Figure 13: speedup of commit and commit+fetch over
+authen-then-issue under the tree.
+"""
+
+from repro.config import SimConfig
+from repro.sim.report import render_table, series_rows
+from repro.sim.sweep import PolicySweep, normalized_ipc_table, speedup_over
+from repro.workloads.spec import fp_benchmarks, int_benchmarks
+
+FIG12_POLICIES = ("authen-then-issue", "authen-then-write",
+                  "authen-then-commit", "authen-then-fetch",
+                  "commit+fetch")
+
+
+def run(num_instructions=12_000, warmup=12_000, l2_bytes=256 * 1024,
+        tree_cache_bytes=8 * 1024, benchmarks=None):
+    if benchmarks is None:
+        benchmarks = int_benchmarks() + fp_benchmarks()
+    config = (SimConfig().with_l2_size(l2_bytes)
+              .with_secure(hash_tree_enabled=True,
+                           hash_tree_cache_bytes=tree_cache_bytes))
+    sweep = PolicySweep(benchmarks, list(FIG12_POLICIES), config=config,
+                        num_instructions=num_instructions,
+                        warmup=warmup).run()
+    fig12 = normalized_ipc_table(sweep, list(FIG12_POLICIES))
+    fig13 = speedup_over(sweep, "authen-then-issue",
+                         ["authen-then-commit", "commit+fetch"])
+    return sweep, fig12, fig13
+
+
+def render(num_instructions=12_000, warmup=12_000):
+    _, fig12, fig13 = run(num_instructions, warmup)
+    out = [
+        "Figure 12 -- normalized IPC under CHTree hash-tree authentication"
+        " (256KB L2, 8KB tree cache; baseline: decryption only)",
+        render_table(["benchmark"] + list(FIG12_POLICIES),
+                     series_rows(fig12, list(FIG12_POLICIES))),
+        "",
+        "Figure 13 -- speedup over authen-then-issue, hash tree",
+        render_table(
+            ["benchmark", "authen-then-commit", "commit+fetch"],
+            series_rows(fig13, ["authen-then-commit", "commit+fetch"]),
+        ),
+    ]
+    return "\n".join(out)
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,66 @@
+"""Figure 7(a-d): normalized IPC of the six schemes.
+
+Four panels: {INT, FP} x {256KB, 1MB} L2, all normalized against the
+decrypt-only baseline, plus the per-suite averages the paper quotes
+(authen-then-issue ~0.87, ... authen-then-write ~0.98).
+"""
+
+from repro.config import SimConfig
+from repro.policies.registry import FIGURE7_POLICIES
+from repro.sim.report import render_table, series_rows
+from repro.sim.sweep import PolicySweep, normalized_ipc_table
+from repro.workloads.spec import fp_benchmarks, int_benchmarks
+
+DEFAULT_N = 12_000
+DEFAULT_WARMUP = 12_000
+
+
+def run(l2_bytes=256 * 1024, suite="int", num_instructions=DEFAULT_N,
+        warmup=DEFAULT_WARMUP, policies=FIGURE7_POLICIES, benchmarks=None):
+    """One panel of Figure 7; returns (sweep, table_rows)."""
+    if benchmarks is None:
+        benchmarks = int_benchmarks() if suite == "int" else fp_benchmarks()
+    config = SimConfig().with_l2_size(l2_bytes)
+    sweep = PolicySweep(benchmarks, list(policies), config=config,
+                        num_instructions=num_instructions,
+                        warmup=warmup).run()
+    return sweep, normalized_ipc_table(sweep, list(policies))
+
+
+def run_all_panels(num_instructions=DEFAULT_N, warmup=DEFAULT_WARMUP,
+                   policies=FIGURE7_POLICIES, benchmarks_per_suite=None):
+    """All four panels; returns {(suite, l2): table_rows}."""
+    panels = {}
+    for l2 in (256 * 1024, 1024 * 1024):
+        for suite in ("int", "fp"):
+            benchmarks = None
+            if benchmarks_per_suite is not None:
+                benchmarks = benchmarks_per_suite[suite]
+            _, rows = run(l2, suite, num_instructions, warmup, policies,
+                          benchmarks)
+            panels[(suite, l2)] = rows
+    return panels
+
+
+def render_panel(rows, title, policies=FIGURE7_POLICIES):
+    headers = ["benchmark"] + list(policies)
+    return title + "\n" + render_table(headers,
+                                       series_rows(rows, list(policies)))
+
+
+def render(num_instructions=DEFAULT_N, warmup=DEFAULT_WARMUP,
+           policies=FIGURE7_POLICIES):
+    panels = run_all_panels(num_instructions, warmup, policies)
+    out = []
+    names = {("int", 256 * 1024): "Figure 7(a) SPEC2000 INT, 256KB L2",
+             ("fp", 256 * 1024): "Figure 7(b) SPEC2000 FP, 256KB L2",
+             ("int", 1024 * 1024): "Figure 7(c) SPEC2000 INT, 1MB L2",
+             ("fp", 1024 * 1024): "Figure 7(d) SPEC2000 FP, 1MB L2"}
+    for key in sorted(names, key=lambda k: (k[1], k[0])):
+        out.append(render_panel(panels[key], names[key], policies))
+        out.append("")
+    return "\n".join(out)
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,53 @@
+"""Figure 9: normalized IPC vs re-map cache size.
+
+Address obfuscation + authen-then-commit at three re-map cache sizes;
+IPC improves with the size of the re-map cache.
+"""
+
+from repro.config import SimConfig
+from repro.sim.report import render_table
+from repro.sim.sweep import PolicySweep
+
+POLICY = "commit+obfuscation"
+DEFAULT_SIZES = (16 * 1024, 64 * 1024, 256 * 1024)
+
+
+def run(sizes=DEFAULT_SIZES, benchmarks=None, num_instructions=12_000,
+        warmup=12_000, l2_bytes=256 * 1024):
+    """Returns ``{size: {benchmark: normalized ipc}}`` plus averages."""
+    if benchmarks is None:
+        from repro.workloads.spec import fp_benchmarks, int_benchmarks
+
+        benchmarks = int_benchmarks() + fp_benchmarks()
+    results = {}
+    for size in sizes:
+        config = (SimConfig().with_l2_size(l2_bytes)
+                  .with_secure(remap_cache_bytes=size))
+        sweep = PolicySweep(benchmarks, [POLICY], config=config,
+                            num_instructions=num_instructions,
+                            warmup=warmup).run()
+        results[size] = sweep.normalized_series(POLICY)
+    return results
+
+
+def averages(results):
+    return {
+        size: sum(series.values()) / len(series)
+        for size, series in results.items()
+    }
+
+
+def render(sizes=DEFAULT_SIZES, num_instructions=12_000, warmup=12_000):
+    results = run(sizes, num_instructions=num_instructions, warmup=warmup)
+    benchmarks = sorted(next(iter(results.values())))
+    headers = ["benchmark"] + ["%dKB" % (s // 1024) for s in sizes]
+    rows = [[b] + [results[s][b] for s in sizes] for b in benchmarks]
+    avg = averages(results)
+    rows.append(["average"] + [avg[s] for s in sizes])
+    return ("Figure 9 -- normalized IPC vs re-map cache size "
+            "(obfuscation + authen-then-commit, 256KB L2)\n"
+            + render_table(headers, rows))
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,78 @@
+"""Sensitivity studies (Section 5.2: "we conduct sensitivity study to
+capture different variations and design scenarios").
+
+Each sweep varies one reference-implementation parameter and reports the
+average normalized IPC of a representative policy set, so the robustness
+of the Figure 7 conclusions can be checked directly.
+"""
+
+from repro.config import SimConfig
+from repro.sim.sweep import PolicySweep
+
+POLICIES = ("authen-then-issue", "authen-then-commit",
+            "authen-then-write", "commit+fetch")
+BENCHMARKS = ("mcf", "twolf", "swim", "mgrid")
+
+
+def _averages(config, benchmarks, num_instructions, warmup,
+              policies=POLICIES):
+    sweep = PolicySweep(list(benchmarks), list(policies), config=config,
+                        num_instructions=num_instructions,
+                        warmup=warmup).run()
+    return {p: sweep.average_normalized(p) for p in policies}
+
+
+def decrypt_latency_sweep(latencies=(40, 80, 160),
+                          benchmarks=BENCHMARKS,
+                          num_instructions=8000, warmup=8000):
+    """AES pipeline latency: mostly hidden behind the fetch, so the
+    policy ranking should barely move."""
+    return {
+        latency: _averages(
+            SimConfig().with_secure(decrypt_latency=latency),
+            benchmarks, num_instructions, warmup)
+        for latency in latencies
+    }
+
+
+def memory_speed_sweep(cas_values=(10, 20, 40),
+                       benchmarks=BENCHMARKS,
+                       num_instructions=8000, warmup=8000):
+    """Memory CAS latency (bus clocks): slower memory widens every
+    miss but shrinks verification's *relative* share."""
+    import dataclasses
+
+    out = {}
+    for cas in cas_values:
+        config = SimConfig()
+        config = dataclasses.replace(
+            config, dram=dataclasses.replace(config.dram,
+                                             cas_bus_clocks=cas))
+        out[cas] = _averages(config, benchmarks, num_instructions, warmup)
+    return out
+
+
+def mshr_sweep(entries=(2, 8, 16),
+               benchmarks=BENCHMARKS,
+               num_instructions=8000, warmup=8000):
+    """Outstanding-miss slots: fewer MSHRs serialise misses, which makes
+    fetch gating relatively cheaper (the misses were serial anyway)."""
+    import dataclasses
+
+    out = {}
+    for count in entries:
+        config = dataclasses.replace(SimConfig(), mshr_entries=count)
+        out[count] = _averages(config, benchmarks, num_instructions,
+                               warmup)
+    return out
+
+
+def ruu_sweep(sizes=(32, 64, 128, 256),
+              benchmarks=BENCHMARKS,
+              num_instructions=8000, warmup=8000):
+    """Window size beyond the paper's 128/64 pair."""
+    return {
+        size: _averages(SimConfig().with_ruu(size), benchmarks,
+                        num_instructions, warmup)
+        for size in sizes
+    }

@@ -1,0 +1,49 @@
+"""Table 2: security characteristics of the schemes.
+
+Two views: the *analytical* matrix (the policies' declared properties,
+matching the paper's table) and the *empirical* first column, obtained by
+actually running the Section 3 exploits against each policy on the
+functional secure machine.
+"""
+
+from repro.attacks.harness import (
+    FETCH_CHANNEL_ATTACKS,
+    empirical_security_matrix,
+)
+from repro.policies.security import TABLE2_POLICIES, table2_rows
+from repro.sim.report import render_table
+
+
+def run_static(policies=TABLE2_POLICIES):
+    """The analytical matrix (paper's Table 2)."""
+    return table2_rows(policies)
+
+
+def run_empirical(policies=TABLE2_POLICIES, attacks=FETCH_CHANNEL_ATTACKS):
+    """Attack-by-attack outcomes per policy."""
+    return empirical_security_matrix(policies, attacks)
+
+
+def render(policies=TABLE2_POLICIES, empirical=True):
+    rows = run_static(policies)
+    out = ["Table 2 -- characteristics of the authentication schemes",
+           render_table(rows[0], rows[1:])]
+    if empirical:
+        matrix = run_empirical(policies)
+        headers = ["scheme"] + [a for a in FETCH_CHANNEL_ATTACKS]
+        table = []
+        for policy in policies:
+            table.append(
+                [policy]
+                + ["LEAK" if matrix[policy][a].leaked else "blocked"
+                   for a in FETCH_CHANNEL_ATTACKS]
+            )
+        out.append("")
+        out.append("Empirical fetch-side-channel outcomes "
+                   "(functional machine, real ciphertext tampering):")
+        out.append(render_table(headers, table))
+    return "\n".join(out)
+
+
+if __name__ == "__main__":
+    print(render())

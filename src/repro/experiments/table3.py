@@ -1,0 +1,18 @@
+"""Table 3: processor model parameters."""
+
+from repro.config import SimConfig, table3_parameters
+from repro.sim.report import render_table
+
+
+def run(config=None):
+    return table3_parameters(config or SimConfig())
+
+
+def render(config=None):
+    rows = run(config)
+    return ("Table 3 -- processor model parameters\n"
+            + render_table(["parameter", "value"], [list(r) for r in rows]))
+
+
+if __name__ == "__main__":
+    print(render())

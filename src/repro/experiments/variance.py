@@ -1,0 +1,72 @@
+"""Seed-variance analysis for the headline results.
+
+The synthetic workloads are stochastic; the paper's conclusions should
+not depend on one RNG draw.  This experiment repeats the Figure 7
+averages across independent seeds and reports mean and spread per
+policy, so the reproduction's claims carry their own error bars.
+"""
+
+import math
+
+from repro.config import SimConfig
+from repro.sim.sweep import PolicySweep
+
+DEFAULT_POLICIES = ("authen-then-issue", "authen-then-write",
+                    "authen-then-commit", "commit+fetch")
+DEFAULT_BENCHMARKS = ("mcf", "twolf", "swim", "mgrid")
+
+
+def run(seeds=(2006, 7, 42), policies=DEFAULT_POLICIES,
+        benchmarks=DEFAULT_BENCHMARKS, num_instructions=8000,
+        warmup=8000, l2_bytes=256 * 1024):
+    """Per-policy normalized-IPC samples across seeds.
+
+    Returns ``{policy: {"samples": [...], "mean": m, "std": s}}``.
+    """
+    samples = {policy: [] for policy in policies}
+    for seed in seeds:
+        sweep = PolicySweep(list(benchmarks), list(policies),
+                            config=SimConfig().with_l2_size(l2_bytes),
+                            num_instructions=num_instructions,
+                            warmup=warmup, seed=seed).run()
+        for policy in policies:
+            samples[policy].append(sweep.average_normalized(policy))
+    out = {}
+    for policy, values in samples.items():
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        out[policy] = {
+            "samples": values,
+            "mean": mean,
+            "std": math.sqrt(variance),
+        }
+    return out
+
+
+def ordering_is_stable(result, order=("authen-then-issue",
+                                      "authen-then-commit",
+                                      "authen-then-write")):
+    """True when the given slow-to-fast ordering holds for every seed.
+
+    The default omits commit+fetch: its average sits within noise of
+    authen-then-issue (the paper separates them by only ~3pp), so its
+    rank against issue is not seed-stable on small benchmark subsets.
+    """
+    present = [p for p in order if p in result]
+    count = len(result[present[0]]["samples"])
+    for index in range(count):
+        values = [result[p]["samples"][index] for p in present]
+        if any(b < a - 0.005 for a, b in zip(values, values[1:])):
+            return False
+    return True
+
+
+def render(result):
+    lines = ["Seed variance of normalized IPC (mean +/- std):"]
+    for policy, stats in sorted(result.items()):
+        lines.append("  %-24s %.3f +/- %.3f   %s"
+                     % (policy, stats["mean"], stats["std"],
+                        ["%.3f" % v for v in stats["samples"]]))
+    lines.append("ordering stable across seeds: %s"
+                 % ordering_is_stable(result))
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Program loader for the functional secure machine.
+
+Assembles source (or accepts raw words), encrypts line-by-line and
+installs code and data into the machine's protected memory.
+"""
+
+from repro.errors import ConfigError
+from repro.func.machine import LINE_BYTES
+from repro.isa.assembler import assemble
+
+
+def load_words(machine, base_address, words):
+    """Encrypt + install 32-bit ``words`` at ``base_address``."""
+    if base_address % 4:
+        raise ConfigError("base address must be word aligned")
+    data = b"".join((w & 0xFFFFFFFF).to_bytes(4, "big") for w in words)
+    load_bytes(machine, base_address, data)
+
+
+def load_bytes(machine, base_address, data):
+    """Encrypt + install raw ``data`` at ``base_address`` (line RMW)."""
+    addr = base_address
+    remaining = data
+    while remaining:
+        line = (addr // LINE_BYTES) * LINE_BYTES
+        offset = addr - line
+        take = min(len(remaining), LINE_BYTES - offset)
+        plain = bytearray(machine.peek_plaintext(line, LINE_BYTES))
+        plain[offset : offset + take] = remaining[:take]
+        machine.install_line(line, bytes(plain))
+        addr += take
+        remaining = remaining[take:]
+
+
+def load_program(machine, source, base_address=0, data=None):
+    """Assemble ``source``, install it at ``base_address``, set the PC.
+
+    ``data`` is an optional ``{address: words-or-bytes}`` mapping of
+    initialised data regions.  If the machine uses virtual memory, pages
+    covering the installed regions are identity-mapped.
+    """
+    words = assemble(source, base_address)
+    load_words(machine, base_address, words)
+    _map_region(machine, base_address, 4 * len(words))
+    if data:
+        for addr, payload in sorted(data.items()):
+            if isinstance(payload, (bytes, bytearray)):
+                load_bytes(machine, addr, bytes(payload))
+                _map_region(machine, addr, len(payload))
+            else:
+                load_words(machine, addr, list(payload))
+                _map_region(machine, addr, 4 * len(payload))
+    machine.pc = base_address
+    return words
+
+
+def _map_region(machine, base, length):
+    if not machine.use_vm:
+        return
+    for vpage in range(base >> 12, (base + max(length, 1) - 1 >> 12) + 1):
+        machine.map_page(vpage)

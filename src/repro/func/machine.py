@@ -1,0 +1,510 @@
+"""The functional secure machine.
+
+Execution model
+---------------
+
+The machine is a simple RISC interpreter, but its *memory* is the secure
+processor's external RAM: every line is counter-mode encrypted and
+carries a truncated HMAC bound to (address, counter).  Fetching a line:
+
+1. puts the line's (possibly re-mapped) address on the **bus trace** --
+   this is the side channel of Section 3;
+2. decrypts the ciphertext with the line's counter-mode pad (tampered
+   ciphertext decrypts to predictably-flipped garbage -- malleability);
+3. enqueues an authentication request that completes ``auth_delay``
+   *instructions* later, modelling the decrypt-to-verify window in
+   instruction-count units.
+
+The active :class:`~repro.policies.base.AuthPolicy` decides what may
+happen inside that window:
+
+- *authen-then-issue* verifies every line before its first use (window
+  collapses to zero);
+- *authen-then-commit* / *authen-then-write* let dependent loads put
+  secret-derived addresses on the bus before verification completes
+  (the exploits of Section 3.2 succeed);
+- *authen-then-fetch* tracks taint: a memory fetch whose address or
+  control path depends on unverified data forces those verifications
+  first, so tampering is detected before the fetch reaches the bus;
+- *address obfuscation* re-maps the addresses the bus observer sees;
+- ``gate_commit`` policies additionally hold I/O output (``out``) until
+  verification, blocking the I/O variant of the disclosing kernel.
+
+Verification failure raises :class:`~repro.errors.IntegrityError` -- the
+architectural security exception.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt, ctr_transform
+from repro.errors import IntegrityError, IsaError, MemoryError_
+from repro.isa.encoding import decode
+from repro.isa.instructions import OpClass
+from repro.mem.physical import PhysicalMemory
+from repro.secure.hash_tree import MerkleTree
+from repro.secure.verifier import MacVerifier
+
+LINE_BYTES = 32
+_WORD = 0xFFFFFFFF
+
+
+class PageFault(MemoryError_):
+    """Raised when virtual translation fails; the address is logged."""
+
+    def __init__(self, vaddr):
+        super().__init__("page fault at 0x%08x" % vaddr)
+        self.vaddr = vaddr
+
+
+class BusEvent:
+    """One address observed on the memory bus."""
+
+    __slots__ = ("kind", "addr", "instr_index")
+
+    def __init__(self, kind, addr, instr_index):
+        self.kind = kind            # "ifetch" | "data"
+        self.addr = addr            # bus-visible (possibly re-mapped) addr
+        self.instr_index = instr_index
+
+    def __repr__(self):
+        return "BusEvent(%s, 0x%08x, #%d)" % (self.kind, self.addr,
+                                              self.instr_index)
+
+
+class MachineResult:
+    """Outcome of a (possibly attacked) run."""
+
+    def __init__(self, halted, detected, steps, bus_trace, io_log,
+                 fault_log, fault=None):
+        self.halted = halted          # reached HALT normally
+        self.detected = detected      # integrity violation raised
+        self.steps = steps
+        self.bus_trace = bus_trace
+        self.io_log = io_log
+        self.fault_log = fault_log    # page-fault addresses (leaky logs)
+        self.fault = fault
+
+    def bus_addresses(self, kind=None):
+        return [e.addr for e in self.bus_trace
+                if kind is None or e.kind == kind]
+
+
+class _PendingAuth:
+    __slots__ = ("line_addr", "deadline", "ok")
+
+    def __init__(self, line_addr, deadline, ok):
+        self.line_addr = line_addr
+        self.deadline = deadline
+        self.ok = ok
+
+
+class SecureMachine:
+    """Functional secure processor with a real encrypted memory."""
+
+    def __init__(self, policy, key=b"\x13" * 32, memory_bytes=1 << 24,
+                 auth_delay=30, use_vm=False, hash_tree=False,
+                 obfuscator=None, mac_bits=64, mode="ctr"):
+        if mode not in ("ctr", "cbc"):
+            raise ValueError("mode must be 'ctr' or 'cbc'")
+        self.policy = policy
+        self.mode = mode
+        self.aes = AES(key)
+        self.verifier = MacVerifier(key, mac_bits=mac_bits)
+        self.memory_bytes = memory_bytes
+        self.mem = PhysicalMemory(memory_bytes)     # ciphertext
+        self.mac_store = {}                          # line -> tag bytes
+        self.counter_store = {}                      # line -> int
+        if not policy.authentication:
+            self.auth_delay = None     # verification never happens
+        elif policy.gate_issue:
+            self.auth_delay = 0        # verification precedes any use
+        else:
+            self.auth_delay = auth_delay * policy.window_scale
+        self.use_vm = use_vm
+        self.page_table = {}                         # vpage -> ppage
+        self.obfuscator = obfuscator
+        self.hash_tree = (
+            MerkleTree(memory_bytes // LINE_BYTES) if hash_tree else None
+        )
+
+        self.regs = [0] * 32
+        self.pc = 0
+        self.steps = 0
+        self.bus_trace = []
+        self.io_log = []
+        self.fault_log = []
+        self._pending = []                 # FIFO of _PendingAuth
+        self._pending_lines = {}           # line -> _PendingAuth
+        self._reg_taint = [frozenset()] * 32
+        self._pc_taint = frozenset()
+        self._plain_cache = {}             # line -> decrypted bytes
+        # Execution hook for trace capture: (pc, Instruction, mem vaddr)
+        # of the most recently executed instruction.
+        self.last_executed = None
+
+    # ------------------------------------------------------------------
+    # external-memory crypto layer
+
+    def _line_of(self, addr):
+        return (addr // LINE_BYTES) * LINE_BYTES
+
+    def _nonce(self, line_addr, counter):
+        return (line_addr << 64) | (counter & (2**64 - 1))
+
+    def _iv(self, line_addr, counter):
+        """Per-line CBC initialisation vector (derived on-chip)."""
+        material = self._nonce(line_addr, counter).to_bytes(16, "big")
+        return self.aes.encrypt_block(material)
+
+    def _encrypt(self, line_addr, counter, plaintext):
+        if self.mode == "cbc":
+            return cbc_encrypt(self.aes, plaintext,
+                               self._iv(line_addr, counter))
+        return ctr_transform(self.aes, self._nonce(line_addr, counter),
+                             plaintext)
+
+    def _decrypt(self, line_addr, counter, cipher):
+        if self.mode == "cbc":
+            return cbc_decrypt(self.aes, cipher,
+                               self._iv(line_addr, counter))
+        return ctr_transform(self.aes, self._nonce(line_addr, counter),
+                             cipher)
+
+    def install_line(self, line_addr, plaintext):
+        """Encrypt + MAC one line into external memory (trusted loader)."""
+        if len(plaintext) != LINE_BYTES:
+            raise ValueError("line must be %d bytes" % LINE_BYTES)
+        counter = self.counter_store.get(line_addr, 0) + 1
+        self.counter_store[line_addr] = counter
+        cipher = self._encrypt(line_addr, counter, plaintext)
+        self.mem.write(line_addr, cipher)
+        self.mac_store[line_addr] = self.verifier.tag(line_addr, counter,
+                                                      cipher)
+        if self.hash_tree is not None:
+            self.hash_tree.update(line_addr // LINE_BYTES, cipher)
+        self._plain_cache.pop(line_addr, None)
+
+    def peek_plaintext(self, addr, length):
+        """Trusted debug view of decrypted memory (tests/loader only)."""
+        out = b""
+        while length:
+            line = self._line_of(addr)
+            offset = addr - line
+            take = min(length, LINE_BYTES - offset)
+            out += self._decrypt_line(line)[offset : offset + take]
+            addr += take
+            length -= take
+        return out
+
+    def _decrypt_line(self, line_addr):
+        cached = self._plain_cache.get(line_addr)
+        if cached is None:
+            counter = self.counter_store.get(line_addr)
+            if counter is None:
+                # Never-installed memory reads as plaintext zeros (there
+                # is no pad to strip -- nothing was ever encrypted here).
+                cached = self.mem.read(line_addr, LINE_BYTES)
+            else:
+                cipher = self.mem.read(line_addr, LINE_BYTES)
+                cached = self._decrypt(line_addr, counter, cipher)
+            self._plain_cache[line_addr] = cached
+        return cached
+
+    def _verify_line(self, line_addr):
+        """Run the MAC (and hash-tree) check; raise on mismatch."""
+        counter = self.counter_store.get(line_addr, 0)
+        cipher = self.mem.read(line_addr, LINE_BYTES)
+        stored = self.mac_store.get(line_addr)
+        if stored is None or not self.verifier.verify(line_addr, counter,
+                                                      cipher, stored):
+            raise IntegrityError(
+                "MAC mismatch on line 0x%08x" % line_addr,
+                line_addr=line_addr,
+            )
+        if self.hash_tree is not None:
+            self.hash_tree.verify(line_addr // LINE_BYTES, cipher)
+
+    # ------------------------------------------------------------------
+    # speculative-window bookkeeping
+
+    def _fetch_line(self, line_addr, kind):
+        """Bring a line on-chip: bus event + auth request."""
+        bus_addr = line_addr
+        if self.obfuscator is not None:
+            bus_addr = self.obfuscator.remap_address(line_addr)
+        self.bus_trace.append(BusEvent(kind, bus_addr, self.steps))
+        if self.auth_delay is None:
+            return  # decrypt-only baseline: no verification at all
+        if line_addr in self._pending_lines:
+            return
+        if self.auth_delay == 0:
+            # authen-then-issue: verification precedes any use.
+            self._verify_line(line_addr)
+            return
+        pending = _PendingAuth(line_addr, self.steps + self.auth_delay, True)
+        self._pending.append(pending)
+        self._pending_lines[line_addr] = pending
+
+    def _drain_due_auths(self):
+        """Complete verification requests whose window elapsed."""
+        while self._pending and self._pending[0].deadline <= self.steps:
+            pending = self._pending.pop(0)
+            self._pending_lines.pop(pending.line_addr, None)
+            self._verify_line(pending.line_addr)
+
+    def _force_verify(self, taint):
+        """Immediately verify all pending lines in a taint set."""
+        for line_addr in sorted(taint):
+            pending = self._pending_lines.pop(line_addr, None)
+            if pending is not None:
+                self._pending.remove(pending)
+                self._verify_line(line_addr)
+
+    def _drain_all(self):
+        while self._pending:
+            pending = self._pending.pop(0)
+            self._pending_lines.pop(pending.line_addr, None)
+            self._verify_line(pending.line_addr)
+
+    def _line_taint(self, line_addr):
+        if line_addr in self._pending_lines:
+            return frozenset((line_addr,))
+        return frozenset()
+
+    # ------------------------------------------------------------------
+    # address translation
+
+    def map_page(self, vpage, ppage=None):
+        """Install a virtual->physical page mapping (4 KB pages)."""
+        self.page_table[vpage] = ppage if ppage is not None else vpage
+
+    def _translate(self, vaddr):
+        if not self.use_vm:
+            if not 0 <= vaddr < self.memory_bytes:
+                raise PageFault(vaddr & _WORD)
+            return vaddr
+        vpage = (vaddr & _WORD) >> 12
+        ppage = self.page_table.get(vpage)
+        if ppage is None:
+            raise PageFault(vaddr & _WORD)
+        return (ppage << 12) | (vaddr & 0xFFF)
+
+    # ------------------------------------------------------------------
+    # memory operations (policy-aware)
+
+    def _translate_gated(self, vaddr):
+        """Translate, deferring faults behind verification where required.
+
+        A translation fault is an architectural exception: policies with
+        precise (commit-gated) exception semantics cannot take it -- and
+        cannot log its leaky faulting address -- before every outstanding
+        verification has completed.  Pure authen-then-fetch lacks this
+        property (Table 2), which is one reason the paper pairs it with
+        authen-then-commit.
+        """
+        try:
+            return self._translate(vaddr)
+        except PageFault:
+            if self.policy.gate_commit or self.policy.gate_issue:
+                self._drain_all()  # may raise IntegrityError instead
+            raise
+
+    def _load(self, vaddr, addr_taint, width=4):
+        """Policy-gated data load; returns (value, taint)."""
+        paddr = self._translate_gated(vaddr)
+        line = self._line_of(paddr)
+        if self.policy.gate_fetch:
+            # The fetch depends on its address computation: verify that
+            # slice before granting the bus cycle.
+            self._force_verify(addr_taint | self._pc_taint)
+        self._fetch_line(line, "data")
+        plain = self._decrypt_line(line)
+        offset = paddr - line
+        if offset + width > LINE_BYTES:
+            # straddles lines; fetch the second line too
+            second = self._decrypt_line_with_fetch(line + LINE_BYTES)
+            plain = plain + second
+        value = int.from_bytes(plain[offset : offset + width], "big")
+        taint = addr_taint | self._line_taint(line)
+        return value, taint
+
+    def _decrypt_line_with_fetch(self, line_addr):
+        self._fetch_line(line_addr, "data")
+        return self._decrypt_line(line_addr)
+
+    def _store(self, vaddr, value, data_taint, width=4):
+        """Policy-gated store (read-modify-write of the line)."""
+        paddr = self._translate_gated(vaddr)
+        line = self._line_of(paddr)
+        if self.policy.gate_store or self.policy.gate_commit:
+            # Memory state must derive from verified inputs.  The store's
+            # authentication tag covers every request outstanding at its
+            # issue (Section 4.2.2), so drain the whole queue.
+            self._drain_all()
+        plain = bytearray(self._decrypt_line(line))
+        offset = paddr - line
+        plain[offset : offset + width] = (value & _WORD).to_bytes(width,
+                                                                  "big")
+        self.install_line(line, bytes(plain))
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def _set_reg(self, reg, value, taint):
+        if reg != 0:
+            self.regs[reg] = value & _WORD
+            self._reg_taint[reg] = taint
+
+    def _taint_of(self, regs):
+        taint = frozenset()
+        for reg in regs:
+            taint |= self._reg_taint[reg]
+        return taint
+
+    def step(self):
+        """Execute one instruction; returns False when halted."""
+        self._drain_due_auths()
+
+        ipaddr = self._translate_gated(self.pc)
+        iline = self._line_of(ipaddr)
+        if self.policy.gate_fetch and self._pc_taint:
+            # Control-dependent instruction fetch: the control transfer
+            # and everything it depended on must be verified first.
+            self._force_verify(self._pc_taint)
+            self._pc_taint = frozenset()
+        self._fetch_line(iline, "ifetch")
+        word = int.from_bytes(
+            self._decrypt_line(iline)[ipaddr - iline : ipaddr - iline + 4],
+            "big",
+        )
+        inst = decode(word)  # IsaError on tampered garbage
+        inst_taint = self._line_taint(iline)
+
+        self.steps += 1
+        next_pc = self.pc + 4
+        op = inst.op
+        regs = self.regs
+        mem_vaddr = -1
+        if op in ("lw", "lb", "sw", "sb"):
+            mem_vaddr = (regs[inst.rs1] + inst.imm) & _WORD
+        self.last_executed = (self.pc, inst, mem_vaddr)
+
+        if op == "halt":
+            # Architectural completion: everything outstanding verifies.
+            self._drain_all()
+            return False
+        if op == "nop":
+            pass
+        elif op in _ALU_R:
+            value = _ALU_R[op](regs[inst.rs1], regs[inst.rs2])
+            self._set_reg(inst.rd, value,
+                          self._taint_of((inst.rs1, inst.rs2)) | inst_taint)
+        elif op in _ALU_I:
+            value = _ALU_I[op](regs[inst.rs1], inst.imm)
+            self._set_reg(inst.rd, value,
+                          self._taint_of((inst.rs1,)) | inst_taint)
+        elif op == "lui":
+            self._set_reg(inst.rd, (inst.imm & 0xFFFF) << 16, inst_taint)
+        elif op in ("lw", "lb"):
+            width = 4 if op == "lw" else 1
+            vaddr = (regs[inst.rs1] + inst.imm) & _WORD
+            addr_taint = self._taint_of((inst.rs1,)) | inst_taint
+            value, taint = self._load(vaddr, addr_taint, width)
+            self._set_reg(inst.rd, value, taint)
+        elif op in ("sw", "sb"):
+            width = 4 if op == "sw" else 1
+            vaddr = (regs[inst.rs1] + inst.imm) & _WORD
+            taint = self._taint_of((inst.rs1, inst.rd)) | inst_taint
+            self._store(vaddr, regs[inst.rd], taint, width)
+        elif op in ("beq", "bne", "blt", "bge"):
+            lhs, rhs = regs[inst.rs1], regs[inst.rd]
+            taken = _BRANCH[op](_signed(lhs), _signed(rhs))
+            taint = self._taint_of((inst.rs1, inst.rd)) | inst_taint
+            if taken:
+                next_pc = self.pc + 4 + 4 * inst.imm
+            self._pc_taint = self._pc_taint | taint
+        elif op == "jmp":
+            next_pc = 4 * inst.imm
+            self._pc_taint = self._pc_taint | inst_taint
+        elif op == "jal":
+            self._set_reg(31, self.pc + 4, inst_taint)
+            next_pc = 4 * inst.imm
+            self._pc_taint = self._pc_taint | inst_taint
+        elif op == "jalr":
+            target = regs[inst.rs1] & ~3
+            self._set_reg(inst.rd, self.pc + 4, inst_taint)
+            self._pc_taint = (self._pc_taint
+                              | self._taint_of((inst.rs1,)) | inst_taint)
+            next_pc = target
+        elif op == "out":
+            taint = self._taint_of((inst.rs1,)) | inst_taint
+            if self.policy.gate_commit or self.policy.gate_issue:
+                # I/O is an architectural commit point: it happens only
+                # after everything outstanding has been verified (this is
+                # why authen-then-commit stops the I/O disclosing kernel).
+                self._drain_all()
+            self.io_log.append(regs[inst.rs1])
+        else:
+            raise IsaError("unhandled op %r" % op)
+
+        self.pc = next_pc & _WORD
+        return True
+
+    def run(self, max_steps=10_000):
+        """Run until HALT, a fault, or ``max_steps``; never raises."""
+        fault = None
+        halted = False
+        detected = False
+        try:
+            while self.steps < max_steps:
+                if not self.step():
+                    halted = True
+                    break
+        except IntegrityError as exc:
+            detected = True
+            fault = exc
+        except (PageFault, IsaError, MemoryError_) as exc:
+            if isinstance(exc, PageFault):
+                self.fault_log.append(exc.vaddr)
+            fault = exc
+        return MachineResult(halted, detected, self.steps,
+                             list(self.bus_trace), list(self.io_log),
+                             list(self.fault_log), fault)
+
+
+def _signed(value):
+    value &= _WORD
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+_ALU_R = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "sll": lambda a, b: a << (b & 31),
+    "srl": lambda a, b: (a & _WORD) >> (b & 31),
+    "sra": lambda a, b: _signed(a) >> (b & 31),
+    "slt": lambda a, b: int(_signed(a) < _signed(b)),
+    "sltu": lambda a, b: int((a & _WORD) < (b & _WORD)),
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: 0 if b == 0 else _signed(a) // _signed(b),
+}
+
+_ALU_I = {
+    "addi": lambda a, imm: a + imm,
+    "andi": lambda a, imm: a & (imm & 0xFFFF),
+    "ori": lambda a, imm: a | (imm & 0xFFFF),
+    "xori": lambda a, imm: a ^ (imm & 0xFFFF),
+    "slli": lambda a, imm: a << (imm & 31),
+    "srli": lambda a, imm: (a & _WORD) >> (imm & 31),
+    "srai": lambda a, imm: _signed(a) >> (imm & 31),
+    "slti": lambda a, imm: int(_signed(a) < imm),
+}
+
+_BRANCH = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: a < b,
+    "bge": lambda a, b: a >= b,
+}

@@ -1,0 +1,261 @@
+"""A small library of victim/benchmark programs for the repro RISC ISA.
+
+Used by tests, examples and the execution-driven capture bridge.  Each
+entry is (source, data, description); load with
+:func:`repro.func.loader.load_program`.
+"""
+
+# Sums an array of 64 words at 0x2000 into r3, then outputs it.
+ARRAY_SUM = """
+    lui  r1, 0x0
+    ori  r1, r1, 0x2000      ; base
+    addi r2, r0, 64          ; count
+    addi r3, r0, 0           ; sum
+loop:
+    lw   r4, 0(r1)
+    add  r3, r3, r4
+    addi r1, r1, 4
+    addi r2, r2, -1
+    bne  r2, r0, loop
+    out  r3
+    halt
+"""
+
+ARRAY_SUM_DATA = {0x2000: list(range(1, 65))}
+ARRAY_SUM_EXPECTED = sum(range(1, 65))
+
+# Walks a 16-node linked list accumulating node values.
+LIST_WALK = """
+    lui  r1, 0x0
+    ori  r1, r1, 0x4000      ; head
+    addi r3, r0, 0
+walk:
+    beq  r1, r0, done
+    lw   r2, 4(r1)
+    add  r3, r3, r2
+    lw   r1, 0(r1)
+    jmp  walk
+done:
+    out  r3
+    halt
+"""
+
+
+def list_walk_data(nodes=16, base=0x4000, stride=0x40):
+    """Build the linked-list data image for LIST_WALK."""
+    data = {}
+    for index in range(nodes):
+        addr = base + index * stride
+        next_addr = base + (index + 1) * stride if index + 1 < nodes else 0
+        data[addr] = [next_addr, index + 1]
+    return data
+
+
+LIST_WALK_EXPECTED = sum(range(1, 17))
+
+# Computes fib(20) iteratively.
+FIBONACCI = """
+    addi r1, r0, 0           ; fib(0)
+    addi r2, r0, 1           ; fib(1)
+    addi r3, r0, 20          ; iterations
+loop:
+    add  r4, r1, r2
+    add  r1, r0, r2
+    add  r2, r0, r4
+    addi r3, r3, -1
+    bne  r3, r0, loop
+    out  r1
+    halt
+"""
+
+FIBONACCI_EXPECTED = 6765
+
+# Stores then reloads a scratch region (write-back exercise).
+STORE_RELOAD = """
+    lui  r1, 0x0
+    ori  r1, r1, 0x6000
+    addi r2, r0, 32
+    addi r3, r0, 0
+fill:
+    sw   r2, 0(r1)
+    addi r1, r1, 4
+    addi r2, r2, -1
+    bne  r2, r0, fill
+    lui  r1, 0x0
+    ori  r1, r1, 0x6000
+    addi r2, r0, 32
+drain:
+    lw   r4, 0(r1)
+    add  r3, r3, r4
+    addi r1, r1, 4
+    addi r2, r2, -1
+    bne  r2, r0, drain
+    out  r3
+    halt
+"""
+
+STORE_RELOAD_EXPECTED = sum(range(1, 33))
+
+# Insertion sort over 32 words at 0x7000 (in-place), then outputs a
+# checksum sum(value * index) so ordering errors are visible.
+INSERTION_SORT = """
+    lui  r10, 0x0
+    ori  r10, r10, 0x7000    ; base
+    addi r11, r0, 32         ; n
+    addi r1, r0, 1           ; i = 1
+outer:
+    bge  r1, r11, check
+    slli r2, r1, 2
+    add  r2, r2, r10         ; &a[i]
+    lw   r3, 0(r2)           ; key = a[i]
+    addi r4, r1, -1          ; j = i-1
+inner:
+    blt  r4, r0, place
+    slli r5, r4, 2
+    add  r5, r5, r10
+    lw   r6, 0(r5)           ; a[j]
+    bge  r3, r6, place       ; key >= a[j] -> stop shifting
+    sw   r6, 4(r5)           ; a[j+1] = a[j]
+    addi r4, r4, -1
+    jmp  inner
+place:
+    addi r4, r4, 1
+    slli r5, r4, 2
+    add  r5, r5, r10
+    sw   r3, 0(r5)           ; a[j+1] = key
+    addi r1, r1, 1
+    jmp  outer
+check:
+    addi r1, r0, 0           ; i = 0
+    addi r7, r0, 0           ; checksum
+sumloop:
+    bge  r1, r11, done
+    slli r2, r1, 2
+    add  r2, r2, r10
+    lw   r3, 0(r2)
+    mul  r4, r3, r1
+    add  r7, r7, r4
+    addi r1, r1, 1
+    jmp  sumloop
+done:
+    out  r7
+    halt
+"""
+
+
+def insertion_sort_data(values):
+    """Data image for INSERTION_SORT (exactly 32 values)."""
+    if len(values) != 32:
+        raise ValueError("need exactly 32 values")
+    return {0x7000: list(values)}
+
+
+def insertion_sort_expected(values):
+    ordered = sorted(values)
+    return sum(v * i for i, v in enumerate(ordered)) & 0xFFFFFFFF
+
+
+# CRC-32 (bitwise, reflected 0xEDB88320) over 16 bytes at 0x7800.
+CRC32 = """
+    lui  r10, 0x0
+    ori  r10, r10, 0x7800    ; data base
+    addi r11, r0, 16         ; length
+    addi r1, r0, -1          ; crc = 0xffffffff
+    lui  r12, 0xedb8         ; polynomial 0xedb88320
+    ori  r12, r12, 0x8320
+    addi r2, r0, 0           ; byte index
+byteloop:
+    bge  r2, r11, finish
+    add  r3, r10, r2
+    lb   r4, 0(r3)           ; data byte
+    xor  r1, r1, r4
+    addi r5, r0, 8           ; bit counter
+bitloop:
+    beq  r5, r0, nextbyte
+    andi r6, r1, 0x0001
+    srli r1, r1, 1
+    beq  r6, r0, skip
+    xor  r1, r1, r12
+skip:
+    addi r5, r5, -1
+    jmp  bitloop
+nextbyte:
+    addi r2, r2, 1
+    jmp  byteloop
+finish:
+    addi r7, r0, -1
+    xor  r1, r1, r7          ; final xor
+    out  r1
+    halt
+"""
+
+
+def crc32_data(payload):
+    """Data image for CRC32 (exactly 16 bytes)."""
+    if len(payload) != 16:
+        raise ValueError("need exactly 16 bytes")
+    return {0x7800: bytes(payload)}
+
+
+def crc32_expected(payload):
+    import binascii
+
+    return binascii.crc32(bytes(payload)) & 0xFFFFFFFF
+
+
+# 4x4 integer matrix multiply: C = A x B, then outputs sum(C).
+MATMUL = """
+    lui  r10, 0x0
+    ori  r10, r10, 0x7c00    ; A
+    lui  r11, 0x0
+    ori  r11, r11, 0x7d00    ; B
+    addi r9, r0, 0           ; total
+    addi r1, r0, 0           ; i
+iloop:
+    addi r2, r0, 0           ; j
+jloop:
+    addi r3, r0, 0           ; k
+    addi r4, r0, 0           ; acc
+kloop:
+    slli r5, r1, 4           ; i*16
+    slli r6, r3, 2           ; k*4
+    add  r5, r5, r6
+    add  r5, r5, r10
+    lw   r7, 0(r5)           ; A[i][k]
+    slli r5, r3, 4           ; k*16
+    slli r6, r2, 2           ; j*4
+    add  r5, r5, r6
+    add  r5, r5, r11
+    lw   r8, 0(r5)           ; B[k][j]
+    mul  r7, r7, r8
+    add  r4, r4, r7
+    addi r3, r3, 1
+    slti r5, r3, 4
+    bne  r5, r0, kloop
+    add  r9, r9, r4          ; total += C[i][j]
+    addi r2, r2, 1
+    slti r5, r2, 4
+    bne  r5, r0, jloop
+    addi r1, r1, 1
+    slti r5, r1, 4
+    bne  r5, r0, iloop
+    out  r9
+    halt
+"""
+
+
+def matmul_data(a_rows, b_rows):
+    """Data image for MATMUL (two 4x4 integer matrices)."""
+    flat_a = [v for row in a_rows for v in row]
+    flat_b = [v for row in b_rows for v in row]
+    if len(flat_a) != 16 or len(flat_b) != 16:
+        raise ValueError("matrices must be 4x4")
+    return {0x7C00: flat_a, 0x7D00: flat_b}
+
+
+def matmul_expected(a_rows, b_rows):
+    total = 0
+    for i in range(4):
+        for j in range(4):
+            total += sum(a_rows[i][k] * b_rows[k][j] for k in range(4))
+    return total & 0xFFFFFFFF

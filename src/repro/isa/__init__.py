@@ -1,0 +1,40 @@
+"""A small 32-bit RISC ISA used by the functional secure machine.
+
+The paper's exploits (Section 3) are code- and data-tampering attacks on a
+RISC processor.  To execute them end-to-end against real encrypted memory
+we define a compact load/store ISA with fixed 32-bit instruction words --
+"RISC instructions even in encrypted format are highly predictable", and
+fixed-width words are what makes the disclosing-kernel XOR-splice work.
+
+- :mod:`repro.isa.instructions` -- the instruction model and opcode table.
+- :mod:`repro.isa.encoding` -- binary encode/decode of instruction words.
+- :mod:`repro.isa.assembler` -- a two-pass assembler for test programs.
+- :mod:`repro.isa.disassembler` -- inverse rendering for diagnostics.
+"""
+
+from repro.isa.assembler import assemble, assemble_to_bytes
+from repro.isa.disassembler import disassemble, disassemble_word
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import (
+    FORMATS,
+    OPCODES,
+    Instruction,
+    InstructionFormat,
+    OpClass,
+    op_class,
+)
+
+__all__ = [
+    "Instruction",
+    "InstructionFormat",
+    "OpClass",
+    "OPCODES",
+    "FORMATS",
+    "op_class",
+    "encode",
+    "decode",
+    "assemble",
+    "assemble_to_bytes",
+    "disassemble",
+    "disassemble_word",
+]

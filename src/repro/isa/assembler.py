@@ -1,0 +1,269 @@
+"""A two-pass assembler for the repro RISC ISA.
+
+Syntax (one instruction per line, ``;`` or ``#`` start a comment)::
+
+    start:                      ; label
+        addi  r1, r0, 10
+        lw    r2, 4(r1)         ; load word at r1+4
+        sw    r2, 0(r3)
+        beq   r1, r2, done      ; branch to label (PC-relative)
+        lui   r4, 0x1ebc        ; r4 = 0x1ebc << 16
+        jmp   start             ; absolute word target (label)
+    done:
+        halt
+
+    .word 0xdeadbeef            ; literal data word
+    .space 8                    ; 8 zero bytes (must be word multiple)
+
+Branch immediates are encoded as *word* offsets relative to the next
+instruction; jump targets are absolute word indices relative to the code
+base.  The assembler accepts either a label or a bare integer in both
+positions.
+"""
+
+import re
+
+from repro.errors import IsaError
+from repro.isa.encoding import encode
+from repro.isa.instructions import FORMATS, Instruction, InstructionFormat, OPCODES
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_MEM_OPERAND_RE = re.compile(r"^(-?(?:0x[0-9A-Fa-f]+|\d+))\((r\d+|zero)\)$")
+
+
+def _strip(line):
+    for marker in (";", "#"):
+        if marker in line:
+            line = line[: line.index(marker)]
+    return line.strip()
+
+
+def _parse_register(token):
+    token = token.strip().lower()
+    if token == "zero":
+        return 0
+    if token.startswith("r") and token[1:].isdigit():
+        reg = int(token[1:])
+        if 0 <= reg < 32:
+            return reg
+    raise IsaError("bad register %r" % token)
+
+
+def _parse_int(token):
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise IsaError("bad integer literal %r" % token) from None
+
+
+class _Line:
+    """One statement after pass 1: either an instruction or data words."""
+
+    def __init__(self, kind, payload, word_index, source):
+        self.kind = kind  # 'inst' | 'word'
+        self.payload = payload
+        self.word_index = word_index
+        self.source = source
+
+
+def assemble(text, base_address=0):
+    """Assemble ``text`` into a list of 32-bit words.
+
+    ``base_address`` is the byte address the code will be loaded at; it
+    only matters for rendering absolute jump targets of *labels*, which are
+    stored as word indices relative to address 0 (so the loader must place
+    code at ``base_address``).
+    """
+    if base_address % 4:
+        raise IsaError("base_address must be word aligned")
+    labels = {}
+    statements = []
+    word_index = 0
+
+    # Pass 1: record label positions and parse statements.
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            label = match.group(1)
+            if label in labels:
+                raise IsaError("duplicate label %r (line %d)" % (label, lineno))
+            labels[label] = word_index
+            continue
+        if line.startswith(".word"):
+            values = [
+                _parse_int(tok) for tok in line[len(".word") :].split(",") if tok.strip()
+            ]
+            if not values:
+                raise IsaError(".word needs at least one value (line %d)" % lineno)
+            statements.append(_Line("word", values, word_index, raw))
+            word_index += len(values)
+            continue
+        if line.startswith(".space"):
+            count = _parse_int(line[len(".space") :].strip())
+            if count % 4:
+                raise IsaError(".space must be a multiple of 4 (line %d)" % lineno)
+            statements.append(_Line("word", [0] * (count // 4), word_index, raw))
+            word_index += count // 4
+            continue
+        for expanded in _expand_pseudo(line, lineno):
+            statements.append(_Line("inst", (expanded, lineno),
+                                    word_index, raw))
+            word_index += 1
+
+    # Pass 2: encode.
+    words = []
+    for statement in statements:
+        if statement.kind == "word":
+            for value in statement.payload:
+                words.append(value & 0xFFFFFFFF)
+            continue
+        line, lineno = statement.payload
+        inst = _parse_instruction(line, lineno, statement.word_index, labels)
+        words.append(encode(inst))
+    return words
+
+
+def assemble_to_bytes(text, base_address=0):
+    """Assemble to big-endian bytes ready for the loader."""
+    return b"".join(w.to_bytes(4, "big") for w in assemble(text, base_address))
+
+
+def _expand_pseudo(line, lineno):
+    """Expand pseudo-instructions into real instruction lines.
+
+    ``li rX, imm32`` -> ``lui`` + ``ori`` (always two words, so label
+    arithmetic stays predictable); ``mv rA, rB`` -> ``add``;
+    ``not rA, rB`` -> ``xori`` with -1; ``b target`` -> ``jmp target``.
+    """
+    parts = line.replace(",", " ").split()
+    mnemonic = parts[0].lower()
+    operands = parts[1:]
+
+    def want(n):
+        if len(operands) != n:
+            raise IsaError("%s expects %d operands (line %d)"
+                           % (mnemonic, n, lineno))
+
+    if mnemonic == "li":
+        want(2)
+        value = _parse_int(operands[1]) & 0xFFFFFFFF
+        reg = operands[0]
+        return [
+            "lui %s, 0x%x" % (reg, value >> 16),
+            "ori %s, %s, 0x%x" % (reg, reg, value & 0xFFFF),
+        ]
+    if mnemonic == "mv":
+        want(2)
+        return ["add %s, %s, r0" % (operands[0], operands[1])]
+    if mnemonic == "not":
+        want(2)
+        # ~b == -b - 1 (logical immediates are zero-extended, so a
+        # single xori cannot flip the upper half).
+        return [
+            "sub %s, r0, %s" % (operands[0], operands[1]),
+            "addi %s, %s, -1" % (operands[0], operands[0]),
+        ]
+    if mnemonic == "b":
+        want(1)
+        return ["jmp %s" % operands[0]]
+    return [line]
+
+
+def _parse_instruction(line, lineno, word_index, labels):
+    parts = line.replace(",", " ").split()
+    mnemonic = parts[0].lower()
+    operands = parts[1:]
+    if mnemonic not in OPCODES:
+        raise IsaError("unknown mnemonic %r (line %d)" % (mnemonic, lineno))
+    fmt = FORMATS[mnemonic]
+
+    def want(n):
+        if len(operands) != n:
+            raise IsaError(
+                "%s expects %d operands, got %d (line %d)"
+                % (mnemonic, n, len(operands), lineno)
+            )
+
+    if mnemonic == "nop":
+        want(0)
+        return Instruction("nop")
+    if mnemonic == "halt":
+        want(0)
+        return Instruction("halt")
+    if mnemonic == "out":
+        want(1)
+        return Instruction("out", rs1=_parse_register(operands[0]))
+    if mnemonic == "jalr":
+        want(2)
+        return Instruction(
+            "jalr",
+            rd=_parse_register(operands[0]),
+            rs1=_parse_register(operands[1]),
+        )
+    if fmt is InstructionFormat.J:
+        want(1)
+        target = operands[0]
+        if target in labels:
+            imm = labels[target]
+        else:
+            imm = _parse_int(target)
+        return Instruction(mnemonic, imm=imm)
+    if mnemonic == "lui":
+        want(2)
+        return Instruction(
+            "lui", rd=_parse_register(operands[0]), imm=_parse_imm16(operands[1])
+        )
+    if mnemonic in ("lw", "lb", "sw", "sb"):
+        want(2)
+        match = _MEM_OPERAND_RE.match(operands[1].strip())
+        if not match:
+            raise IsaError(
+                "bad memory operand %r (line %d)" % (operands[1], lineno)
+            )
+        return Instruction(
+            mnemonic,
+            rd=_parse_register(operands[0]),
+            rs1=_parse_register(match.group(2)),
+            imm=_parse_int(match.group(1)),
+        )
+    if mnemonic in ("beq", "bne", "blt", "bge"):
+        want(3)
+        target = operands[2]
+        if target in labels:
+            offset = labels[target] - (word_index + 1)
+        else:
+            offset = _parse_int(target)
+        return Instruction(
+            mnemonic,
+            rs1=_parse_register(operands[0]),
+            rd=_parse_register(operands[1]),
+            imm=offset,
+        )
+    if fmt is InstructionFormat.I:
+        want(3)
+        return Instruction(
+            mnemonic,
+            rd=_parse_register(operands[0]),
+            rs1=_parse_register(operands[1]),
+            imm=_parse_imm16(operands[2]),
+        )
+    # R-type ALU
+    want(3)
+    return Instruction(
+        mnemonic,
+        rd=_parse_register(operands[0]),
+        rs1=_parse_register(operands[1]),
+        rs2=_parse_register(operands[2]),
+    )
+
+
+def _parse_imm16(token):
+    value = _parse_int(token)
+    # Accept unsigned-looking literals up to 0xFFFF and reinterpret them,
+    # so `andi r1, r0, 0xff00` works as programmers expect.
+    if 0x8000 <= value <= 0xFFFF:
+        value -= 0x10000
+    return value

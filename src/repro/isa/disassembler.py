@@ -1,0 +1,48 @@
+"""Disassembler: inverse rendering of instruction words for diagnostics."""
+
+from repro.errors import IsaError
+from repro.isa.encoding import decode
+from repro.isa.instructions import InstructionFormat
+
+
+def disassemble_word(word):
+    """Render one instruction word; bad encodings render as ``.word``."""
+    try:
+        inst = decode(word)
+    except IsaError:
+        return ".word 0x%08x" % word
+    return render(inst)
+
+
+def render(inst):
+    """Render a decoded :class:`Instruction` as assembly text."""
+    op = inst.op
+    if op in ("nop", "halt"):
+        return op
+    if op == "out":
+        return "out r%d" % inst.rs1
+    if op == "jalr":
+        return "jalr r%d, r%d" % (inst.rd, inst.rs1)
+    fmt = inst.fmt
+    if fmt is InstructionFormat.J:
+        return "%s %d" % (op, inst.imm)
+    if op in ("lw", "lb", "sw", "sb"):
+        return "%s r%d, %d(r%d)" % (op, inst.rd, inst.imm, inst.rs1)
+    if op in ("beq", "bne", "blt", "bge"):
+        return "%s r%d, r%d, %d" % (op, inst.rs1, inst.rd, inst.imm)
+    if op == "lui":
+        return "lui r%d, 0x%x" % (inst.rd, inst.imm & 0xFFFF)
+    if fmt is InstructionFormat.I:
+        return "%s r%d, r%d, %d" % (op, inst.rd, inst.rs1, inst.imm)
+    return "%s r%d, r%d, r%d" % (op, inst.rd, inst.rs1, inst.rs2)
+
+
+def disassemble(words, base_address=0):
+    """Disassemble a sequence of words into annotated lines."""
+    lines = []
+    for index, word in enumerate(words):
+        lines.append(
+            "0x%08x:  %08x  %s"
+            % (base_address + 4 * index, word, disassemble_word(word))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Binary encoding and decoding of instruction words.
+
+The functional secure machine stores *encoded* instructions in (encrypted)
+memory; the attack toolkit manipulates their ciphertext, so encode/decode
+must be exact inverses for every representable instruction.
+"""
+
+from repro.errors import IsaError
+from repro.isa.instructions import (
+    FORMATS,
+    IMM_BITS,
+    TARGET_BITS,
+    Instruction,
+    InstructionFormat,
+    opcode_name,
+    opcode_number,
+)
+from repro.util.bitops import bits_of, mask, sign_extend
+
+_IMM_MASK = mask(IMM_BITS)
+_TARGET_MASK = mask(TARGET_BITS)
+
+
+def encode(inst):
+    """Encode an :class:`Instruction` into a 32-bit word."""
+    if inst.op == "nop":
+        return 0  # canonical encoding; operand fields are meaningless
+    opcode = opcode_number(inst.op)
+    word = opcode << 26
+    fmt = inst.fmt
+    if fmt is InstructionFormat.R:
+        return word | (inst.rd << 21) | (inst.rs1 << 16) | (inst.rs2 << 11)
+    if fmt is InstructionFormat.I:
+        if not -(1 << (IMM_BITS - 1)) <= inst.imm < (1 << (IMM_BITS - 1)):
+            raise IsaError(
+                "immediate %d does not fit in %d signed bits for %s"
+                % (inst.imm, IMM_BITS, inst.op)
+            )
+        return word | (inst.rd << 21) | (inst.rs1 << 16) | (inst.imm & _IMM_MASK)
+    # J-type: imm is a word index into the code segment.
+    if not 0 <= inst.imm <= _TARGET_MASK:
+        raise IsaError("jump target %d out of 26-bit range" % inst.imm)
+    return word | inst.imm
+
+
+def decode(word):
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises :class:`~repro.errors.IsaError` for unknown opcodes or non-zero
+    padding bits -- tampered code frequently decodes to garbage, and the
+    functional machine treats that as an illegal-instruction fault.
+    """
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise IsaError("instruction word out of 32-bit range: %r" % (word,))
+    opcode = bits_of(word, 26, 6)
+    name = opcode_name(opcode)
+    if name is None:
+        raise IsaError("unknown opcode 0x%02x in word 0x%08x" % (opcode, word))
+    if name == "nop" and word != 0:
+        # Opcode 0 with any operand bits set is not a canonical nop; treat
+        # it as an illegal encoding so tampering cannot hide inside nops.
+        raise IsaError("non-canonical nop encoding 0x%08x" % word)
+    fmt = FORMATS[name]
+    if fmt is InstructionFormat.R:
+        if bits_of(word, 0, 11):
+            raise IsaError("non-zero padding in R-type word 0x%08x" % word)
+        return Instruction(
+            name,
+            rd=bits_of(word, 21, 5),
+            rs1=bits_of(word, 16, 5),
+            rs2=bits_of(word, 11, 5),
+        )
+    if fmt is InstructionFormat.I:
+        return Instruction(
+            name,
+            rd=bits_of(word, 21, 5),
+            rs1=bits_of(word, 16, 5),
+            imm=sign_extend(word & _IMM_MASK, IMM_BITS),
+        )
+    return Instruction(name, imm=word & _TARGET_MASK)
+
+
+def try_decode(word):
+    """Decode ``word``, returning None instead of raising on bad encodings."""
+    try:
+        return decode(word)
+    except IsaError:
+        return None

@@ -1,0 +1,184 @@
+"""Instruction model and opcode table for the repro RISC ISA.
+
+Encoding formats (32-bit words, big-endian in memory):
+
+- R-type: ``opcode[31:26] rd[25:21] rs1[20:16] rs2[15:11] zero[10:0]``
+- I-type: ``opcode[31:26] rd[25:21] rs1[20:16] imm16[15:0]`` (imm signed)
+- J-type: ``opcode[31:26] target26[25:0]`` (word-aligned byte offset / 4)
+
+Register ``r0`` reads as zero and ignores writes, as in MIPS/Alpha.
+
+Stores reuse the ``rd`` field as the *source* register (``sw rd, imm(rs1)``
+stores ``rd``).  Branches reuse ``rd`` as the second comparison operand.
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class InstructionFormat(enum.Enum):
+    R = "R"
+    I = "I"  # noqa: E741 - conventional format name
+    J = "J"
+
+
+class OpClass(enum.Enum):
+    """Execution class, used by the timing model to pick latencies."""
+
+    IALU = "ialu"
+    IMUL = "imul"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    FPU = "fpu"
+    SYSTEM = "system"
+
+
+# name -> (opcode number, format, op class)
+OPCODES = {
+    # R-type ALU
+    "add": (0x01, InstructionFormat.R, OpClass.IALU),
+    "sub": (0x02, InstructionFormat.R, OpClass.IALU),
+    "and": (0x03, InstructionFormat.R, OpClass.IALU),
+    "or": (0x04, InstructionFormat.R, OpClass.IALU),
+    "xor": (0x05, InstructionFormat.R, OpClass.IALU),
+    "sll": (0x06, InstructionFormat.R, OpClass.IALU),
+    "srl": (0x07, InstructionFormat.R, OpClass.IALU),
+    "sra": (0x08, InstructionFormat.R, OpClass.IALU),
+    "slt": (0x09, InstructionFormat.R, OpClass.IALU),
+    "sltu": (0x0A, InstructionFormat.R, OpClass.IALU),
+    "mul": (0x0B, InstructionFormat.R, OpClass.IMUL),
+    "div": (0x0C, InstructionFormat.R, OpClass.IMUL),
+    # I-type ALU
+    "addi": (0x10, InstructionFormat.I, OpClass.IALU),
+    "andi": (0x11, InstructionFormat.I, OpClass.IALU),
+    "ori": (0x12, InstructionFormat.I, OpClass.IALU),
+    "xori": (0x13, InstructionFormat.I, OpClass.IALU),
+    "slli": (0x14, InstructionFormat.I, OpClass.IALU),
+    "srli": (0x15, InstructionFormat.I, OpClass.IALU),
+    "srai": (0x16, InstructionFormat.I, OpClass.IALU),
+    "slti": (0x17, InstructionFormat.I, OpClass.IALU),
+    "lui": (0x18, InstructionFormat.I, OpClass.IALU),
+    # Memory
+    "lw": (0x20, InstructionFormat.I, OpClass.LOAD),
+    "lb": (0x21, InstructionFormat.I, OpClass.LOAD),
+    "sw": (0x22, InstructionFormat.I, OpClass.STORE),
+    "sb": (0x23, InstructionFormat.I, OpClass.STORE),
+    # Control transfer
+    "beq": (0x30, InstructionFormat.I, OpClass.BRANCH),
+    "bne": (0x31, InstructionFormat.I, OpClass.BRANCH),
+    "blt": (0x32, InstructionFormat.I, OpClass.BRANCH),
+    "bge": (0x33, InstructionFormat.I, OpClass.BRANCH),
+    "jmp": (0x38, InstructionFormat.J, OpClass.JUMP),
+    "jal": (0x39, InstructionFormat.J, OpClass.JUMP),
+    "jalr": (0x3A, InstructionFormat.I, OpClass.JUMP),
+    # System
+    "nop": (0x00, InstructionFormat.R, OpClass.IALU),
+    "halt": (0x3E, InstructionFormat.R, OpClass.SYSTEM),
+    "out": (0x3F, InstructionFormat.I, OpClass.SYSTEM),
+}
+
+FORMATS = {name: fmt for name, (_, fmt, _) in OPCODES.items()}
+_BY_NUMBER = {number: name for name, (number, _, _) in OPCODES.items()}
+
+NUM_REGISTERS = 32
+IMM_BITS = 16
+TARGET_BITS = 26
+
+
+def opcode_number(name):
+    """Return the numeric opcode of mnemonic ``name``."""
+    return OPCODES[name][0]
+
+
+def opcode_name(number):
+    """Return the mnemonic for numeric opcode ``number`` (or None)."""
+    return _BY_NUMBER.get(number)
+
+
+def op_class(name):
+    """Return the :class:`OpClass` of mnemonic ``name``."""
+    return OPCODES[name][2]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction.
+
+    ``imm`` is the sign-extended immediate for I-type instructions and the
+    word-index target for J-type ones.  Unused fields are zero.
+    """
+
+    op: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self):
+        from repro.errors import IsaError
+
+        if self.op not in OPCODES:
+            raise IsaError("unknown mnemonic %r" % self.op)
+        for field in ("rd", "rs1", "rs2"):
+            value = getattr(self, field)
+            if not 0 <= value < NUM_REGISTERS:
+                raise IsaError(
+                    "%s=%d out of range for %s" % (field, value, self.op)
+                )
+
+    @property
+    def fmt(self):
+        return FORMATS[self.op]
+
+    @property
+    def op_class(self):
+        return OPCODES[self.op][2]
+
+    @property
+    def is_load(self):
+        return self.op_class is OpClass.LOAD
+
+    @property
+    def is_store(self):
+        return self.op_class is OpClass.STORE
+
+    @property
+    def is_branch(self):
+        return self.op_class is OpClass.BRANCH
+
+    @property
+    def is_control(self):
+        return self.op_class in (OpClass.BRANCH, OpClass.JUMP)
+
+    def sources(self):
+        """Architectural source registers read by this instruction."""
+        if self.op == "nop":
+            return ()
+        fmt = self.fmt
+        if fmt is InstructionFormat.J:
+            return ()
+        if self.is_store:
+            return (self.rs1, self.rd)  # address base + store data
+        if self.is_branch:
+            return (self.rs1, self.rd)  # two comparison operands
+        if self.op == "out":
+            return (self.rs1,)
+        if self.op == "lui":
+            return ()
+        if fmt is InstructionFormat.R:
+            return (self.rs1, self.rs2)
+        return (self.rs1,)
+
+    def destination(self):
+        """Architectural destination register, or None."""
+        if self.op in ("nop", "halt", "out", "sw", "sb"):
+            return None
+        if self.is_branch or self.op == "jmp":
+            return None
+        if self.op == "jal":
+            return 31  # link register by convention
+        if self.rd == 0:
+            return None  # writes to r0 are discarded
+        return self.rd

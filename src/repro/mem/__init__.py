@@ -1,0 +1,23 @@
+"""Memory substrate: physical store, SDRAM timing, bus and controller.
+
+The timing half (:mod:`repro.mem.dram`, :mod:`repro.mem.bus`,
+:mod:`repro.mem.controller`) models the PC-SDRAM system of Table 3 --
+banks, open rows, CAS/RCD/RP and a 200 MHz 8-byte data bus.  The
+functional half (:mod:`repro.mem.physical`) is the byte-addressable
+backing store that the functional secure machine (and the attacker)
+actually reads and writes.
+"""
+
+from repro.mem.bus import BandwidthBus
+from repro.mem.controller import MemAccess, MemoryController
+from repro.mem.dram import DramModel, PageStatus
+from repro.mem.physical import PhysicalMemory
+
+__all__ = [
+    "BandwidthBus",
+    "DramModel",
+    "PageStatus",
+    "MemAccess",
+    "MemoryController",
+    "PhysicalMemory",
+]

@@ -1,0 +1,51 @@
+"""A shared bandwidth-limited bus.
+
+Models the front-side / memory data bus: a single transfer owns the bus
+for a number of cycles derived from its size and the bus width.  Requests
+are serialised in arrival order; the class only tracks the next-free time,
+which is sufficient for the timestamp-based simulator (requests are
+presented in non-decreasing time order per producer).
+"""
+
+from repro.util.statistics import StatGroup
+
+
+class BandwidthBus:
+    """Serialises transfers on a bus of ``width_bytes`` per ``cycle_per_beat``."""
+
+    def __init__(self, width_bytes=8, cycles_per_beat=5, name="membus",
+                 stats=None):
+        if width_bytes <= 0 or cycles_per_beat <= 0:
+            raise ValueError("bus parameters must be positive")
+        self.width_bytes = width_bytes
+        self.cycles_per_beat = cycles_per_beat
+        self.free_at = 0
+        self.stats = stats if stats is not None else StatGroup(name)
+        self._busy = self.stats.counter("busy_cycles")
+        self._transfers = self.stats.counter("transfers")
+        self._wait = self.stats.counter("wait_cycles")
+
+    def transfer_cycles(self, num_bytes):
+        """Bus occupancy in cycles for a transfer of ``num_bytes``."""
+        beats = -(-num_bytes // self.width_bytes)
+        return beats * self.cycles_per_beat
+
+    def reserve(self, earliest, num_bytes):
+        """Reserve the bus for a transfer; returns (start, end) cycles.
+
+        ``earliest`` is the first cycle the data could be on the bus.  The
+        transfer starts at ``max(earliest, free_at)`` and holds the bus for
+        ``transfer_cycles(num_bytes)``.
+        """
+        duration = self.transfer_cycles(num_bytes)
+        start = max(earliest, self.free_at)
+        end = start + duration
+        self.free_at = end
+        self._busy.add(duration)
+        self._transfers.add()
+        self._wait.add(start - earliest)
+        return start, end
+
+    def reset(self):
+        self.free_at = 0
+        self.stats.reset()

@@ -1,0 +1,84 @@
+"""Memory controller: the timing interface the cache hierarchy talks to.
+
+The controller serialises line fetches and writebacks onto the SDRAM and
+accounts for the secure-memory metadata traffic (MAC words fetched with
+each protected line, counter fetches on counter-cache misses, re-map table
+accesses for address obfuscation).  Metadata riders are modelled as extra
+bus payload on the same access; separate metadata *lines* (counters,
+re-map entries, tree nodes) are full accesses of their own.
+"""
+
+from repro.config import DramConfig
+from repro.mem.dram import DramModel
+from repro.util.statistics import StatGroup
+
+
+class MemAccess:
+    """Timing summary of one controller-level line access."""
+
+    __slots__ = ("addr", "issue_cycle", "start_cycle", "critical_cycle",
+                 "done_cycle", "kind")
+
+    def __init__(self, addr, issue_cycle, start_cycle, critical_cycle,
+                 done_cycle, kind):
+        self.addr = addr
+        self.issue_cycle = issue_cycle
+        self.start_cycle = start_cycle
+        self.critical_cycle = critical_cycle
+        self.done_cycle = done_cycle
+        self.kind = kind
+
+    @property
+    def latency(self):
+        return self.done_cycle - self.issue_cycle
+
+
+class MemoryController:
+    """Timed front-end to the SDRAM."""
+
+    def __init__(self, dram_config=None, line_bytes=64, mac_rider_bytes=0,
+                 stats=None):
+        self.stats = stats if stats is not None else StatGroup("memctl")
+        self.dram = DramModel(dram_config or DramConfig(), stats=self.stats)
+        self.line_bytes = line_bytes
+        # MAC tags travel with the line they protect (Section 2: "MACs are
+        # stored along with each data block"), widening every transfer.
+        self.mac_rider_bytes = mac_rider_bytes
+        self._reads = self.stats.counter("line_reads")
+        self._writes = self.stats.counter("line_writes")
+        self._meta = self.stats.counter("metadata_accesses")
+        self._read_latency = self.stats.histogram("read_latency")
+
+    def fetch_line(self, addr, cycle, kind="data"):
+        """Fetch one protected line (plus its MAC rider)."""
+        result = self.dram.access(
+            addr, cycle, num_bytes=self.line_bytes + self.mac_rider_bytes
+        )
+        self._reads.add()
+        access = MemAccess(addr, cycle, result.start_cycle,
+                           result.critical_cycle, result.done_cycle, kind)
+        self._read_latency.add(access.latency)
+        return access
+
+    def write_line(self, addr, cycle, kind="writeback"):
+        """Retire one line writeback (posted; caller rarely waits on it)."""
+        result = self.dram.access(
+            addr, cycle,
+            num_bytes=self.line_bytes + self.mac_rider_bytes,
+            is_write=True,
+        )
+        self._writes.add()
+        return MemAccess(addr, cycle, result.start_cycle,
+                         result.critical_cycle, result.done_cycle, kind)
+
+    def fetch_metadata(self, addr, cycle, num_bytes, kind="metadata"):
+        """Fetch secure-layer metadata (counter block, re-map entry, tree
+        node) as a standalone access."""
+        result = self.dram.access(addr, cycle, num_bytes=num_bytes)
+        self._meta.add()
+        return MemAccess(addr, cycle, result.start_cycle,
+                         result.critical_cycle, result.done_cycle, kind)
+
+    def reset(self):
+        self.dram.reset()
+        self.stats.reset()

@@ -1,0 +1,120 @@
+"""PC-SDRAM timing model (banks, open rows, CAS/RCD/RP).
+
+Follows the structure of the Gries/Romer embedded-SDRAM model the paper
+integrated into SimpleScalar: each access classifies against the target
+bank's row-buffer state --
+
+- **row hit**: the row is open, pay CAS only;
+- **row empty**: bank is precharged/idle, pay RCD + CAS;
+- **row conflict**: a different row is open, pay RP + RCD + CAS.
+
+Data then streams over the shared data bus in 8-byte beats.  The returned
+``critical_cycle`` is when the first beat (the critical word) is on the
+bus, which the counter-mode decryption engine can consume immediately.
+"""
+
+import enum
+
+from repro.config import DramConfig
+from repro.mem.bus import BandwidthBus
+from repro.util.statistics import StatGroup
+
+
+class PageStatus(enum.Enum):
+    HIT = "hit"
+    EMPTY = "empty"
+    CONFLICT = "conflict"
+
+
+class _Bank:
+    __slots__ = ("open_row", "ready_at")
+
+    def __init__(self):
+        self.open_row = None
+        self.ready_at = 0
+
+
+class DramAccessResult:
+    """Timing of one DRAM access."""
+
+    __slots__ = ("start_cycle", "critical_cycle", "done_cycle", "status")
+
+    def __init__(self, start_cycle, critical_cycle, done_cycle, status):
+        self.start_cycle = start_cycle
+        self.critical_cycle = critical_cycle
+        self.done_cycle = done_cycle
+        self.status = status
+
+    @property
+    def latency(self):
+        return self.done_cycle - self.start_cycle
+
+
+class DramModel:
+    """Timing-only SDRAM with per-bank row-buffer state."""
+
+    def __init__(self, config=None, stats=None):
+        self.config = config or DramConfig()
+        self.stats = stats if stats is not None else StatGroup("dram")
+        self.bus = BandwidthBus(
+            width_bytes=self.config.bus_width_bytes,
+            cycles_per_beat=self.config.bus_multiplier,
+            stats=self.stats,
+        )
+        self._banks = [_Bank() for _ in range(self.config.num_banks)]
+        self._hits = self.stats.counter("row_hits")
+        self._empties = self.stats.counter("row_empty")
+        self._conflicts = self.stats.counter("row_conflicts")
+        self._accesses = self.stats.counter("accesses")
+
+    def _locate(self, addr):
+        # Fine-grained bank interleaving ([row | column-high | bank |
+        # column-low]): sequential streams walk the banks round-robin and
+        # keep every bank's row buffer open.
+        cfg = self.config
+        bank = (addr // cfg.interleave_bytes) % cfg.num_banks
+        row = addr // (cfg.num_banks * cfg.row_bytes)
+        return self._banks[bank], row
+
+    def classify(self, addr):
+        """Return the :class:`PageStatus` the next access to ``addr`` sees."""
+        bank, row = self._locate(addr)
+        if bank.open_row == row:
+            return PageStatus.HIT
+        if bank.open_row is None:
+            return PageStatus.EMPTY
+        return PageStatus.CONFLICT
+
+    def access(self, addr, cycle, num_bytes=64, is_write=False):
+        """Perform a timed access; returns a :class:`DramAccessResult`.
+
+        Writes occupy the bank and the data bus identically to reads in
+        this model; write latency is not on the load critical path because
+        the controller retires writes from a posted queue.
+        """
+        cfg = self.config
+        bank, row = self._locate(addr)
+        status = self.classify(addr)
+        self._accesses.add()
+        start = max(cycle, bank.ready_at)
+        if status is PageStatus.HIT:
+            self._hits.add()
+            ras_to_data = cfg.cas_cycles
+        elif status is PageStatus.EMPTY:
+            self._empties.add()
+            ras_to_data = cfg.rcd_cycles + cfg.cas_cycles
+        else:
+            self._conflicts.add()
+            ras_to_data = cfg.rp_cycles + cfg.rcd_cycles + cfg.cas_cycles
+        data_ready = start + ras_to_data
+        critical, done = self.bus.reserve(data_ready, num_bytes)
+        bank.open_row = row
+        bank.ready_at = done
+        return DramAccessResult(start, critical, done, status)
+
+    def reset(self):
+        for bank in self._banks:
+            bank.open_row = None
+            bank.ready_at = 0
+        self.bus.free_at = 0
+        self.stats.reset()

@@ -1,0 +1,91 @@
+"""Byte-addressable physical memory (the functional backing store).
+
+This is the untrusted external RAM of the secure computing model: the
+secure-memory engine stores *ciphertext* and MACs here, and the attack
+toolkit mutates it directly (an adversary with physical access).
+
+Storage is sparse (per-page bytearrays) so a 4 GB address space costs
+nothing until touched.
+"""
+
+from repro.errors import MemoryError_
+
+_PAGE_BITS = 12
+_PAGE_BYTES = 1 << _PAGE_BITS
+
+
+class PhysicalMemory:
+    """Sparse byte-addressable memory with bounds checking."""
+
+    def __init__(self, size_bytes=1 << 32):
+        if size_bytes <= 0:
+            raise MemoryError_("memory size must be positive")
+        self.size_bytes = size_bytes
+        self._pages = {}
+
+    def _page(self, addr):
+        index = addr >> _PAGE_BITS
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(_PAGE_BYTES)
+            self._pages[index] = page
+        return page
+
+    def _check(self, addr, length):
+        if addr < 0 or length < 0 or addr + length > self.size_bytes:
+            raise MemoryError_(
+                "access [0x%x, +%d) outside memory of %d bytes"
+                % (addr, length, self.size_bytes)
+            )
+
+    def read(self, addr, length):
+        """Read ``length`` bytes at ``addr`` (crossing pages is fine)."""
+        self._check(addr, length)
+        out = bytearray()
+        while length:
+            offset = addr & (_PAGE_BYTES - 1)
+            take = min(length, _PAGE_BYTES - offset)
+            out += self._page(addr)[offset : offset + take]
+            addr += take
+            length -= take
+        return bytes(out)
+
+    def write(self, addr, data):
+        """Write ``data`` at ``addr``."""
+        self._check(addr, len(data))
+        offset_in_data = 0
+        length = len(data)
+        while length:
+            offset = addr & (_PAGE_BYTES - 1)
+            take = min(length, _PAGE_BYTES - offset)
+            self._page(addr)[offset : offset + take] = data[
+                offset_in_data : offset_in_data + take
+            ]
+            addr += take
+            offset_in_data += take
+            length -= take
+
+    def read_word(self, addr):
+        """Read a big-endian 32-bit word (must be aligned)."""
+        if addr % 4:
+            raise MemoryError_("misaligned word read at 0x%x" % addr)
+        return int.from_bytes(self.read(addr, 4), "big")
+
+    def write_word(self, addr, value):
+        """Write a big-endian 32-bit word (must be aligned)."""
+        if addr % 4:
+            raise MemoryError_("misaligned word write at 0x%x" % addr)
+        self.write(addr, (value & 0xFFFFFFFF).to_bytes(4, "big"))
+
+    def flip_bits(self, addr, bit_mask_bytes):
+        """XOR the bytes at ``addr`` with ``bit_mask_bytes``.
+
+        This is the adversary's primitive operation: bit-flipping
+        ciphertext in the external RAM (Section 3.1).
+        """
+        current = self.read(addr, len(bit_mask_bytes))
+        self.write(addr, bytes(c ^ m for c, m in zip(current, bit_mask_bytes)))
+
+    def touched_pages(self):
+        """Indices of pages that have been materialised (for tests)."""
+        return sorted(self._pages)

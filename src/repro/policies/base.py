@@ -1,0 +1,201 @@
+"""Policy interface: where authentication gates the pipeline."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SecurityProperties:
+    """The four columns of the paper's Table 2."""
+
+    prevents_fetch_side_channel: bool
+    precise_exception: bool
+    authenticated_memory_state: bool
+    authenticated_processor_state: bool
+
+
+class AuthPolicy:
+    """Base authentication control point.
+
+    Subclasses toggle the four gates; the timing core consults them at the
+    matching pipeline points.  The base class is the *decrypt-only
+    baseline*: verification never blocks anything (and is not even
+    performed -- ``authentication`` is False).
+    """
+
+    name = "decrypt-only"
+    #: verification engine active at all (False only for the baseline)
+    authentication = False
+    #: operands/instructions usable only once verified (authen-then-issue)
+    gate_issue = False
+    #: instructions commit only once verified (authen-then-commit)
+    gate_commit = False
+    #: stores leave the store buffer only once verified (authen-then-write)
+    gate_store = False
+    #: bus fetches gated on the authentication frontier (authen-then-fetch)
+    gate_fetch = False
+    #: fetch gating granularity: "tag" (LastRequest register), "drain"
+    #: (whole queue), or "precise" (exact data/control dependency slice)
+    fetch_mode = "tag"
+    #: address obfuscation layer enabled
+    obfuscation = False
+    #: multiplier on the functional machine's verification window (lazy
+    #: authentication batches verification over a much larger window)
+    window_scale = 1
+
+    security = SecurityProperties(
+        prevents_fetch_side_channel=False,
+        precise_exception=False,
+        authenticated_memory_state=False,
+        authenticated_processor_state=False,
+    )
+
+    # ---- decision points consulted by the timing core -----------------
+
+    def value_ready(self, data_time, verify_time):
+        """When a fetched value may feed dependent instructions."""
+        return verify_time if self.gate_issue else data_time
+
+    def commit_ready(self, complete_time, verify_time):
+        """When a finished instruction may commit."""
+        if self.gate_commit or self.gate_issue:
+            # authen-then-issue subsumes commit gating: nothing unverified
+            # ever issued, so the max() here is a no-op for it, but keeping
+            # the bound makes the invariant explicit.
+            return max(complete_time, verify_time)
+        return complete_time
+
+    def store_release(self, commit_time, auth_frontier_time):
+        """When a committed store may drain to the memory system."""
+        if self.gate_store:
+            return max(commit_time, auth_frontier_time)
+        return commit_time
+
+    def fetch_gate_time(self, engine, issue_time, fetch_time):
+        """Earliest cycle a new external fetch may be granted.
+
+        The tag variant (Section 4.2.4) waits on the LastRequest register
+        as read at the *triggering instruction's issue*; see the drain
+        variant below for the alternative.
+        """
+        if not self.gate_fetch:
+            return 0
+        return engine.auth_frontier(issue_time)
+
+    # ---- functional-machine semantics ----------------------------------
+
+    @property
+    def speculation_window(self):
+        """May unverified instructions execute speculatively at all?
+
+        True for every policy except authen-then-issue: that is precisely
+        the decryption/authentication disassociation under study.
+        """
+        return not self.gate_issue
+
+    def __repr__(self):
+        return "<policy %s>" % self.name
+
+
+class DecryptOnlyPolicy(AuthPolicy):
+    """Baseline: decryption only, no integrity verification (Figure 7's
+    normalisation baseline)."""
+
+    name = "decrypt-only"
+
+
+class AuthenThenIssuePolicy(AuthPolicy):
+    """Section 4.2.1: conservative; verification is on the critical path."""
+
+    name = "authen-then-issue"
+    authentication = True
+    gate_issue = True
+    security = SecurityProperties(True, True, True, True)
+
+
+class AuthenThenWritePolicy(AuthPolicy):
+    """Section 4.2.2: only memory state must derive from verified inputs."""
+
+    name = "authen-then-write"
+    authentication = True
+    gate_store = True
+    security = SecurityProperties(False, False, True, False)
+
+
+class AuthenThenCommitPolicy(AuthPolicy):
+    """Section 4.2.3: speculative issue, verified commit, precise
+    authentication exceptions."""
+
+    name = "authen-then-commit"
+    authentication = True
+    gate_commit = True
+    security = SecurityProperties(False, True, True, True)
+
+
+class AuthenThenFetchPolicy(AuthPolicy):
+    """Section 4.2.4 (LastRequest-tag variant): a bus fetch waits for the
+    authentication frontier recorded at its triggering instruction."""
+
+    name = "authen-then-fetch"
+    authentication = True
+    gate_fetch = True
+    # Alone it neither commits-verified nor write-gates; the paper pairs
+    # it with authen-then-commit for the full property set.
+    security = SecurityProperties(True, False, False, False)
+
+
+class DrainAuthenThenFetchPolicy(AuthenThenFetchPolicy):
+    """Section 4.2.4 drain variant: a new fetch waits for every request
+    outstanding at *fetch-creation* time to drain (more conservative than
+    the tag variant, which snapshots at the trigger's issue)."""
+
+    name = "authen-then-fetch-drain"
+    fetch_mode = "drain"
+
+    def fetch_gate_time(self, engine, issue_time, fetch_time):
+        return engine.auth_frontier(fetch_time)
+
+
+class PreciseAuthenThenFetchPolicy(AuthenThenFetchPolicy):
+    """Section 4.2.4's *precise* implementation: a fetch waits only for
+    verification of the exact program slice it depends on (the fetch
+    instruction, its address operands, and their control/data ancestry).
+    The paper deems the required dependency tracking "too complex and
+    expensive" in hardware; this variant quantifies what the tag/drain
+    simplifications give up.
+
+    The timing core computes the slice frontier itself (per-register
+    verification timestamps); ``fetch_gate_time`` is not used."""
+
+    name = "authen-then-fetch-precise"
+    fetch_mode = "precise"
+
+
+class CommitPlusFetchPolicy(AuthPolicy):
+    """The paper's recommended combination (Table 2 row 4)."""
+
+    name = "commit+fetch"
+    authentication = True
+    gate_commit = True
+    gate_fetch = True
+    security = SecurityProperties(True, True, True, True)
+
+
+class CommitPlusObfuscationPolicy(AuthPolicy):
+    """Authen-then-commit plus address obfuscation (Table 2 row 5)."""
+
+    name = "commit+obfuscation"
+    authentication = True
+    gate_commit = True
+    obfuscation = True
+    security = SecurityProperties(True, True, True, True)
+
+
+class LazyAuthPolicy(AuthPolicy):
+    """Lazy authentication (Yan et al. [25], discussed in Section 6):
+    verification happens in large batches over a vulnerable window; no
+    pipeline gating at all.  Weaker than every scheme above."""
+
+    name = "lazy"
+    authentication = True
+    window_scale = 100
+    security = SecurityProperties(False, False, False, False)

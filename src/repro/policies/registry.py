@@ -1,0 +1,62 @@
+"""Policy registry: construct policies by name."""
+
+from repro.errors import ConfigError
+from repro.policies.base import (
+    AuthenThenCommitPolicy,
+    AuthenThenFetchPolicy,
+    AuthenThenIssuePolicy,
+    AuthenThenWritePolicy,
+    CommitPlusFetchPolicy,
+    CommitPlusObfuscationPolicy,
+    DecryptOnlyPolicy,
+    DrainAuthenThenFetchPolicy,
+    LazyAuthPolicy,
+    PreciseAuthenThenFetchPolicy,
+)
+
+_POLICIES = {
+    cls.name: cls
+    for cls in (
+        DecryptOnlyPolicy,
+        AuthenThenIssuePolicy,
+        AuthenThenWritePolicy,
+        AuthenThenCommitPolicy,
+        AuthenThenFetchPolicy,
+        DrainAuthenThenFetchPolicy,
+        PreciseAuthenThenFetchPolicy,
+        CommitPlusFetchPolicy,
+        CommitPlusObfuscationPolicy,
+        LazyAuthPolicy,
+    )
+}
+
+POLICY_NAMES = tuple(sorted(_POLICIES))
+
+#: The six schemes of Figure 7, in the paper's presentation order.
+FIGURE7_POLICIES = (
+    "authen-then-issue",
+    "authen-then-write",
+    "authen-then-commit",
+    "authen-then-fetch",
+    "commit+fetch",
+    "commit+obfuscation",
+)
+
+
+def make_policy(name):
+    """Instantiate the policy called ``name``.
+
+    >>> make_policy("authen-then-commit").gate_commit
+    True
+    """
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ConfigError(
+            "unknown policy %r (available: %s)" % (name, ", ".join(POLICY_NAMES))
+        ) from None
+
+
+def available_policies():
+    """All registered policy names."""
+    return POLICY_NAMES

@@ -1,0 +1,39 @@
+"""Secure-memory engine (Figure 5 of the paper).
+
+Every block fetched from external memory passes through two decoupled
+paths:
+
+- the **decryption path** (counter cache + counter-mode pad precompute),
+  which usually finishes as the data arrives; and
+- the **authentication path** (the authentication queue + MAC verification
+  unit, optionally a CHTree hash tree), which finishes tens to hundreds of
+  cycles later.
+
+The gap between the two is the security window the authentication control
+points (:mod:`repro.policies`) manage.
+"""
+
+from repro.secure.auth_queue import AuthQueue, NO_REQUEST
+from repro.secure.counter_cache import CounterCache
+from repro.secure.decryption import DecryptionEngine
+from repro.secure.engine import ProtectedFetch, SecureMemoryEngine
+from repro.secure.hash_tree import HashTreeTiming, MerkleTree
+from repro.secure.metadata import MetadataLayout
+from repro.secure.remap import AddressObfuscator, RemapTable
+from repro.secure.verifier import MacVerifier
+
+__all__ = [
+    "AuthQueue",
+    "NO_REQUEST",
+    "CounterCache",
+    "DecryptionEngine",
+    "MacVerifier",
+    "MerkleTree",
+    "HashTreeTiming",
+    "MetadataLayout",
+    "RemapTable",
+    "AddressObfuscator",
+    "MetadataLayout",
+    "ProtectedFetch",
+    "SecureMemoryEngine",
+]

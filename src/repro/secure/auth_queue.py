@@ -1,0 +1,124 @@
+"""The authentication queue and LastRequest register (Section 4.1).
+
+Every block fetched from memory becomes a numbered authentication request.
+The verification unit drains the queue **in request order**; a request's
+entry index is its identity, and the *LastRequest register* always names
+the most recent request.  Policies use these tags:
+
+- authen-then-write associates the LastRequest value with each ready
+  store and holds the store until that request completes;
+- authen-then-fetch stalls a new bus fetch until the request tagged at
+  the triggering instruction's issue has completed.
+
+The timing model is a pipelined, in-order engine: request *n* may start
+``throughput`` cycles after request *n-1* started (initiation interval),
+takes ``mac_latency`` (plus any hash-tree extra) to finish, and never
+completes before its predecessor.  A finite ``depth`` applies
+backpressure: request *n* cannot enter the queue until request
+``n - depth`` has left it.
+"""
+
+import bisect
+
+NO_REQUEST = -1
+
+
+class AuthQueue:
+    """In-order integrity-verification queue (timing model)."""
+
+    def __init__(self, depth=16, mac_latency=74, throughput=18, stats=None):
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        if mac_latency < 1 or throughput < 1:
+            raise ValueError("latencies must be >= 1")
+        self.depth = depth
+        self.mac_latency = mac_latency
+        self.throughput = throughput
+        self._completions = []
+        # Monotone (running-max) fetch-initiation time per request, so the
+        # frontier query below can bisect.
+        self._fetch_times = []
+        self._last_start = None
+        self.stats = stats
+        if stats is not None:
+            self._requests = stats.counter("auth_requests")
+            self._queue_full = stats.counter("auth_queue_full")
+        else:
+            self._requests = None
+            self._queue_full = None
+
+    @property
+    def last_request(self):
+        """Contents of the LastRequest register (NO_REQUEST when empty)."""
+        return len(self._completions) - 1
+
+    def enqueue(self, ready_time, extra_latency=0, fetch_time=None):
+        """Add a verification request; returns ``(tag, completion_time)``.
+
+        ``ready_time`` is when the block's ciphertext (and MAC) is fully
+        on-chip; ``extra_latency`` accounts for hash-tree ancestor work.
+        ``fetch_time`` is when the block's *memory fetch was initiated* --
+        the moment the LastRequest register was bumped for this request
+        (defaults to ``ready_time``).
+        """
+        tag = len(self._completions)
+        if fetch_time is None:
+            fetch_time = ready_time
+        if self._fetch_times and fetch_time < self._fetch_times[-1]:
+            fetch_time = self._fetch_times[-1]
+        self._fetch_times.append(fetch_time)
+        if tag >= self.depth:
+            slot_free = self._completions[tag - self.depth]
+            if slot_free > ready_time and self._queue_full is not None:
+                self._queue_full.add()
+            ready_time = max(ready_time, slot_free)
+        if self._last_start is None:
+            start = ready_time
+        else:
+            start = max(ready_time, self._last_start + self.throughput)
+        done = start + self.mac_latency + extra_latency
+        if self._completions and done < self._completions[-1]:
+            done = self._completions[-1]  # in-order completion broadcast
+        self._last_start = start
+        self._completions.append(done)
+        if self._requests is not None:
+            self._requests.add()
+        return tag, done
+
+    def completion_time(self, tag):
+        """Cycle when request ``tag`` completes (0 for NO_REQUEST)."""
+        if tag == NO_REQUEST:
+            return 0
+        return self._completions[tag]
+
+    def drained_after(self, tag):
+        """Cycle by which every request up to ``tag`` has completed.
+
+        Because completion is in order, this equals ``completion_time``;
+        the method exists for readability at drain-style call sites.
+        """
+        return self.completion_time(tag)
+
+    def frontier_completion(self, cycle):
+        """Completion time of the LastRequest as observed at ``cycle``.
+
+        This is the tag mechanism of Section 4.2.4: an instruction issuing
+        at ``cycle`` records the then-current LastRequest register; a fetch
+        it triggers stalls until that request completes.  Requests whose
+        memory fetch had not yet been initiated at ``cycle`` are *not*
+        waited on -- which is why bursts of independent misses issued from
+        the window do not serialise each other.
+        """
+        index = bisect.bisect_right(self._fetch_times, cycle) - 1
+        if index < 0:
+            return 0
+        return self._completions[index]
+
+    def pending_at(self, cycle):
+        """Number of requests not yet complete at ``cycle`` (diagnostics)."""
+        return sum(1 for done in self._completions if done > cycle)
+
+    def reset(self):
+        self._completions.clear()
+        self._fetch_times.clear()
+        self._last_start = None

@@ -1,0 +1,53 @@
+"""Counter cache: on-chip cache of per-line counter-mode counters.
+
+Counter-mode pad precomputation needs the line's counter.  When the
+counter is cached on-chip, pad generation starts the moment the fetch
+address is known; on a miss the counter must itself be fetched from
+memory first, delaying the pad (and widening the window in which the
+arriving ciphertext sits undecrypted).
+"""
+
+from repro.cache.cache import Cache
+from repro.config import CacheConfig
+
+
+class CounterCache:
+    """Tag cache over counter *blocks* (several counters per line)."""
+
+    def __init__(self, size_bytes=32 * 1024, line_bytes=64, associativity=4,
+                 stats=None):
+        config = CacheConfig(
+            name="counter_cache",
+            size_bytes=size_bytes,
+            line_bytes=line_bytes,
+            associativity=associativity,
+            latency=1,
+        )
+        self._cache = Cache(config, stats=stats)
+
+    def lookup_counter(self, counter_addr):
+        """Probe-and-fill for the counter block; returns True on a hit.
+
+        The fill models the counter block arriving later via
+        :meth:`install`; callers that miss must schedule the metadata
+        fetch themselves.
+        """
+        return self._cache.access(counter_addr).hit
+
+    def install(self, counter_addr):
+        """Ensure the counter block is resident (after a metadata fetch)."""
+        self._cache.access(counter_addr)
+
+    def bump(self, counter_addr):
+        """Mark the counter block dirty (a writeback incremented a counter)."""
+        self._cache.access(counter_addr, is_write=True)
+
+    @property
+    def stats(self):
+        return self._cache.stats
+
+    def miss_rate(self):
+        return self._cache.miss_rate()
+
+    def reset(self):
+        self._cache.reset()

@@ -1,0 +1,44 @@
+"""Counter-mode decryption engine (timing model).
+
+Implements the paper's reference decryption path (Section 5.2.2, based on
+the counter-mode architecture of [19]): the pad for a line is
+
+    pad = AES_k(line address || line counter)
+
+and can be computed *in parallel with the memory fetch* whenever the
+counter is known (counter-cache hit).  Decrypted data is then a single XOR
+away from the arriving ciphertext:
+
+    data_time = max(ciphertext arrival, pad_start + decrypt_latency)
+
+On a counter-cache miss the pad cannot start until the counter block
+arrives from memory.
+"""
+
+
+class DecryptionEngine:
+    """Timing of the counter-mode decryption path."""
+
+    def __init__(self, decrypt_latency=80, xor_latency=1, stats=None):
+        if decrypt_latency < 1:
+            raise ValueError("decrypt_latency must be >= 1")
+        self.decrypt_latency = decrypt_latency
+        self.xor_latency = xor_latency
+        self.stats = stats
+        if stats is not None:
+            self._hidden = stats.counter("pad_fully_hidden")
+            self._exposed = stats.counter("pad_exposed_cycles")
+        else:
+            self._hidden = None
+            self._exposed = None
+
+    def data_ready(self, pad_start, ciphertext_arrival):
+        """Cycle when plaintext is available to the cache hierarchy."""
+        pad_done = pad_start + self.decrypt_latency
+        ready = max(ciphertext_arrival, pad_done) + self.xor_latency
+        if self._hidden is not None:
+            if pad_done <= ciphertext_arrival:
+                self._hidden.add()
+            else:
+                self._exposed.add(pad_done - ciphertext_arrival)
+        return ready

@@ -1,0 +1,105 @@
+"""Physical layout of the secure-memory metadata.
+
+The protected region occupies the bottom of the physical address space.
+Per-line metadata lives in dedicated regions above it:
+
+- per-line counters (counter-mode nonces, bumped on every writeback);
+- the re-map table for address obfuscation;
+- hash-tree node levels (level 0 = hashes over data lines, level k over
+  level k-1), each level contiguous.
+
+MAC tags are *co-located* with their lines (fetched as a rider on the same
+burst), so they need no address of their own; the layout still reports the
+MAC rider size for bus accounting.
+"""
+
+from repro.errors import ConfigError
+
+
+class MetadataLayout:
+    """Address arithmetic for secure-memory metadata regions."""
+
+    def __init__(self, protected_bytes=256 * 1024 * 1024, line_bytes=64,
+                 counter_bytes=8, mac_bits=64, remap_entry_bytes=8,
+                 hash_bytes=16):
+        if protected_bytes % line_bytes:
+            raise ConfigError("protected region must be a whole number of lines")
+        self.protected_bytes = protected_bytes
+        self.line_bytes = line_bytes
+        self.counter_bytes = counter_bytes
+        self.mac_bytes = mac_bits // 8
+        self.remap_entry_bytes = remap_entry_bytes
+        self.hash_bytes = hash_bytes
+        self.num_lines = protected_bytes // line_bytes
+
+        self.counter_base = protected_bytes
+        counter_region = self.num_lines * counter_bytes
+        self.remap_base = self.counter_base + counter_region
+        remap_region = self.num_lines * remap_entry_bytes
+        self.tree_base = self.remap_base + remap_region
+
+        # CHTree levels: level 0 holds one hash per data line, packed into
+        # line_bytes-sized nodes; each higher level hashes the level below.
+        self.tree_arity = line_bytes // hash_bytes
+        if self.tree_arity < 2:
+            raise ConfigError("hash tree arity must be >= 2")
+        self._level_bases = []
+        self._level_nodes = []
+        count = self.num_lines
+        base = self.tree_base
+        while count > 1:
+            nodes = -(-count // self.tree_arity)
+            self._level_bases.append(base)
+            self._level_nodes.append(nodes)
+            # Skew successive level bases by a few lines: without this,
+            # node 0 of every level aliases to the same tree-cache set
+            # (power-of-two level sizes), evicting a hot path's ancestors.
+            base += (nodes + 3) * line_bytes
+            count = nodes
+        self.total_bytes = base
+
+    def line_index(self, addr):
+        """Index of the protected line containing byte address ``addr``."""
+        if not 0 <= addr < self.protected_bytes:
+            raise ConfigError(
+                "address 0x%x outside protected region (%d bytes)"
+                % (addr, self.protected_bytes)
+            )
+        return addr // self.line_bytes
+
+    def counter_addr(self, line_index):
+        """Physical address of the per-line counter."""
+        return self.counter_base + line_index * self.counter_bytes
+
+    def counters_per_line(self):
+        """How many counters share one memory line (fetch granularity)."""
+        return self.line_bytes // self.counter_bytes
+
+    def remap_entry_addr(self, line_index):
+        """Physical address of the re-map table entry for a line."""
+        return self.remap_base + line_index * self.remap_entry_bytes
+
+    @property
+    def tree_levels(self):
+        """Number of internal tree levels (excluding the on-chip root)."""
+        return len(self._level_bases)
+
+    def tree_node_addr(self, level, node_index):
+        """Physical address of node ``node_index`` at tree ``level``."""
+        if not 0 <= level < self.tree_levels:
+            raise ConfigError("tree level %d out of range" % level)
+        if not 0 <= node_index < self._level_nodes[level]:
+            raise ConfigError("tree node %d out of range at level %d"
+                              % (node_index, level))
+        return self._level_bases[level] + node_index * self.line_bytes
+
+    def tree_path(self, line_index):
+        """Addresses of the tree nodes covering ``line_index``, leaf-up."""
+        path = []
+        index = line_index
+        for level in range(self.tree_levels):
+            index //= self.tree_arity
+            # Level 0 node covering the line is at line_index//arity; each
+            # higher level divides again.
+            path.append(self.tree_node_addr(level, index))
+        return path

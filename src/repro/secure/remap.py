@@ -1,0 +1,188 @@
+"""Address obfuscation: chunk-granular memory re-mapping (HIDE-style).
+
+Based on the revised model of [29] in Section 5.2.4.  The protected space
+is divided into *chunks* (default 1 KB = 16 lines).  A permutation over
+chunks plus a keyed intra-chunk line scramble determines every line's
+current physical location, so the address bus never carries a protected
+address in the clear.  An on-chip **re-map cache** holds recently used
+(encrypted) re-map entries; missing entries are fetched from the re-map
+table in external memory.  When a line is written back, its location is
+re-mapped: the re-map entry is updated and, periodically, the whole chunk
+is re-shuffled (charged as a burst of line moves on the bus).
+
+Two classes:
+
+- :class:`RemapTable` -- the functional permutation (always a bijection).
+- :class:`AddressObfuscator` -- the timing model + address transform.
+"""
+
+from repro.cache.cache import Cache
+from repro.config import CacheConfig
+
+
+class RemapTable:
+    """A lazily materialised permutation of chunk indices."""
+
+    def __init__(self, num_chunks, rng):
+        if num_chunks < 1:
+            raise ValueError("need at least one chunk")
+        self.num_chunks = num_chunks
+        self._rng = rng
+        self._forward = {}   # chunk -> slot (identity if absent)
+        self._reverse = {}   # slot -> chunk
+
+    def _check(self, chunk):
+        if not 0 <= chunk < self.num_chunks:
+            raise ValueError("chunk %d out of range" % chunk)
+
+    def lookup(self, chunk):
+        """Current slot of ``chunk``.
+
+        Invariant: reshuffles are slot *swaps*, so a chunk absent from the
+        forward map still owns its identity slot.
+        """
+        self._check(chunk)
+        return self._forward.get(chunk, chunk)
+
+    def reshuffle(self, chunk):
+        """Swap ``chunk`` into a random slot; returns
+        ``(new_slot, displaced_chunk)``."""
+        self._check(chunk)
+        target_slot = self._rng.randrange(self.num_chunks)
+        current_slot = self.lookup(chunk)
+        occupant = self._reverse.get(target_slot, target_slot)
+        if occupant == chunk:
+            return current_slot, chunk
+        self._set(chunk, target_slot)
+        self._set(occupant, current_slot)
+        return target_slot, occupant
+
+    def _set(self, chunk, slot):
+        self._forward[chunk] = slot
+        self._reverse[slot] = chunk
+
+    def is_permutation(self):
+        """Check bijectivity over all entries (tests)."""
+        slots = [self.lookup(chunk) for chunk in range(self.num_chunks)]
+        return sorted(slots) == list(range(self.num_chunks))
+
+
+class AddressObfuscator:
+    """Timing + address transform of the obfuscation layer."""
+
+    def __init__(self, layout, rng, cache_bytes=256 * 1024,
+                 entry_bytes=8, cache_latency=2, chunk_bytes=1024,
+                 shuffle_period=16, stats=None):
+        if chunk_bytes % layout.line_bytes:
+            raise ValueError("chunk must be a whole number of lines")
+        self.layout = layout
+        self.chunk_bytes = chunk_bytes
+        self.lines_per_chunk = chunk_bytes // layout.line_bytes
+        self.num_chunks = layout.protected_bytes // chunk_bytes
+        self.table = RemapTable(self.num_chunks, rng)
+        self.entry_bytes = entry_bytes
+        self.cache_latency = cache_latency
+        self.shuffle_period = shuffle_period
+        self._rng = rng
+        self._writebacks_per_chunk = {}
+        config = CacheConfig(
+            name="remap_cache",
+            size_bytes=cache_bytes,
+            line_bytes=64,
+            associativity=4,
+            latency=cache_latency,
+        )
+        self.remap_cache = Cache(config, stats=stats)
+        self.stats = stats
+        if stats is not None:
+            self._lookups = stats.counter("remap_lookups")
+            self._entry_fetches = stats.counter("remap_entry_fetches")
+            self._reshuffles = stats.counter("remap_reshuffles")
+        else:
+            self._lookups = self._entry_fetches = self._reshuffles = None
+
+    def _chunk_of(self, addr):
+        return addr // self.chunk_bytes
+
+    def _entry_addr(self, chunk):
+        # Re-map entries are packed in the table region (one per chunk).
+        return self.layout.remap_base + chunk * self.entry_bytes
+
+    def _scramble(self, chunk, line_in_chunk):
+        """Keyed intra-chunk line permutation (bijective for powers of 2).
+
+        An affine map ``(a*x + b) mod n`` with odd ``a`` is a permutation
+        of the power-of-two range ``n``; ``a``/``b`` derive from the chunk
+        index so every chunk scrambles differently.
+        """
+        n = self.lines_per_chunk
+        a = (chunk * 2 + 1) % n or 1
+        b = (chunk * 7 + 3) % n
+        return (a * line_in_chunk + b) % n
+
+    def remap_address(self, addr):
+        """The physical (bus-visible) address of protected byte ``addr``."""
+        chunk = self._chunk_of(addr)
+        slot = self.table.lookup(chunk)
+        line_in_chunk = (addr % self.chunk_bytes) // self.layout.line_bytes
+        offset = addr % self.layout.line_bytes
+        scrambled = self._scramble(chunk, line_in_chunk)
+        return (slot * self.chunk_bytes
+                + scrambled * self.layout.line_bytes + offset)
+
+    def resolve(self, line_addr, cycle, controller):
+        """Map a protected line address to its current physical location.
+
+        Returns ``(remapped_addr, ready_cycle)``: the location, and when it
+        is known (after the re-map cache lookup and, on a miss, the
+        encrypted table-entry fetch from external memory).
+        """
+        chunk = self._chunk_of(line_addr)
+        if self._lookups is not None:
+            self._lookups.add()
+        ready = cycle + self.cache_latency
+        access = self.remap_cache.access(self._entry_addr(chunk))
+        if not access.hit:
+            fetch = controller.fetch_metadata(
+                self._entry_addr(chunk), ready, self.entry_bytes,
+                kind="remap",
+            )
+            ready = fetch.done_cycle
+            if self._entry_fetches is not None:
+                self._entry_fetches.add()
+        return self.remap_address(line_addr), ready
+
+    def reshuffle_on_writeback(self, line_addr, cycle, controller):
+        """Re-map the line being written back; returns its new address.
+
+        The line is written to its (re-mapped) location; every
+        ``shuffle_period``-th writeback to a chunk triggers a chunk
+        re-shuffle: the chunk swaps slots with a random peer and both
+        chunks' lines are re-written (a burst of bus traffic), modelling
+        the periodic re-randomisation of [29].
+        """
+        chunk = self._chunk_of(line_addr)
+        count = self._writebacks_per_chunk.get(chunk, 0) + 1
+        self._writebacks_per_chunk[chunk] = count
+        if count % self.shuffle_period == 0:
+            new_slot, displaced = self.table.reshuffle(chunk)
+            self.remap_cache.access(self._entry_addr(chunk), is_write=True)
+            if displaced != chunk:
+                self.remap_cache.access(self._entry_addr(displaced),
+                                        is_write=True)
+            # Chunk move: both chunks' lines stream over the bus.
+            base = new_slot * self.chunk_bytes
+            for i in range(self.lines_per_chunk):
+                controller.write_line(base + i * self.layout.line_bytes,
+                                      cycle, kind="reshuffle")
+            if self._reshuffles is not None:
+                self._reshuffles.add()
+        else:
+            self.remap_cache.access(self._entry_addr(chunk), is_write=True)
+        target = self.remap_address(line_addr)
+        controller.write_line(target, cycle, kind="writeback")
+        return target
+
+    def reset(self):
+        self.remap_cache.reset()
+        self._writebacks_per_chunk.clear()

@@ -1,0 +1,15 @@
+"""Simulation drivers: assembly, runners, sweeps and report rendering."""
+
+from repro.sim.runner import build_simulator, run_benchmark, run_trace
+from repro.sim.sweep import PolicySweep, normalized_ipc_table, speedup_over
+from repro.sim.report import render_table
+
+__all__ = [
+    "build_simulator",
+    "run_trace",
+    "run_benchmark",
+    "PolicySweep",
+    "normalized_ipc_table",
+    "speedup_over",
+    "render_table",
+]

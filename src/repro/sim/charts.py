@@ -1,0 +1,44 @@
+"""Plain-text bar charts for the figure experiments.
+
+The paper's evaluation figures are grouped bar charts of normalized IPC.
+``render_bars`` draws a horizontal-bar version in a terminal; the figure
+benches use it so the regenerated results *look* like figures, not just
+tables.
+"""
+
+
+def render_bars(series, width=40, value_format="%.3f", max_value=None):
+    """Render ``{label: value}`` as horizontal bars.
+
+    >>> print(render_bars({"a": 1.0, "b": 0.5}, width=4))
+    a  ████  1.000
+    b  ██    0.500
+    """
+    if not series:
+        return ""
+    labels = list(series)
+    peak = max_value if max_value is not None else max(series.values())
+    peak = peak or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label in labels:
+        value = series[label]
+        filled = int(round(width * min(value, peak) / peak))
+        bar = "█" * filled + " " * (width - filled)
+        lines.append("%-*s  %s  %s"
+                     % (label_width, label, bar, value_format % value))
+    return "\n".join(lines)
+
+
+def render_grouped_bars(rows, policies, width=30, value_format="%.2f"):
+    """Render sweep-style rows ``[(benchmark, {policy: value}), ...]`` as
+    per-benchmark bar groups (the Figure 7 layout)."""
+    blocks = []
+    for benchmark, values in rows:
+        series = {policy: values[policy] for policy in policies}
+        blocks.append(benchmark)
+        block = render_bars(series, width=width,
+                            value_format=value_format, max_value=1.0)
+        blocks.append("\n".join("  " + line
+                                for line in block.splitlines()))
+    return "\n".join(blocks)

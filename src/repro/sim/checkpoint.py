@@ -1,0 +1,72 @@
+"""Persist sweep results as JSON.
+
+Experiment runs are minutes-long; checkpointing lets EXPERIMENTS.md
+regeneration, notebooks and regression comparisons reuse results without
+re-simulating.  Only plain data is stored (benchmark, policy, cycles,
+instructions, ipc, miss rates), so files are stable across versions.
+"""
+
+import json
+
+from repro.sim.sweep import PolicySweep
+
+
+def sweep_to_dict(sweep):
+    """Flatten a finished PolicySweep into a JSON-able dict."""
+    runs = []
+    for (benchmark, policy), result in sorted(sweep.results.items()):
+        runs.append({
+            "benchmark": benchmark,
+            "policy": policy,
+            "instructions": result.instructions,
+            "cycles": result.cycles,
+            "ipc": result.ipc,
+            "miss_rates": result.miss_summary,
+        })
+    return {
+        "benchmarks": list(sweep.benchmarks),
+        "policies": list(sweep.policies),
+        "num_instructions": sweep.num_instructions,
+        "warmup": sweep.warmup,
+        "seed": sweep.seed,
+        "runs": runs,
+    }
+
+
+def save_sweep(sweep, path):
+    """Write a finished sweep to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(sweep_to_dict(sweep), handle, indent=1, sort_keys=True)
+
+
+class SweepView:
+    """Read-only view over a saved sweep with the PolicySweep accessors."""
+
+    def __init__(self, payload):
+        self.benchmarks = payload["benchmarks"]
+        self.policies = payload["policies"]
+        self.num_instructions = payload["num_instructions"]
+        self.warmup = payload["warmup"]
+        self.seed = payload["seed"]
+        self._ipc = {
+            (run["benchmark"], run["policy"]): run["ipc"]
+            for run in payload["runs"]
+        }
+
+    def ipc(self, benchmark, policy):
+        return self._ipc[(benchmark, policy)]
+
+    def normalized(self, benchmark, policy, baseline="decrypt-only"):
+        base = self.ipc(benchmark, baseline)
+        return self.ipc(benchmark, policy) / base if base else 0.0
+
+    def average_normalized(self, policy, baseline="decrypt-only"):
+        values = [self.normalized(b, policy, baseline)
+                  for b in self.benchmarks]
+        return sum(values) / len(values)
+
+
+def load_sweep(path):
+    """Load a saved sweep as a :class:`SweepView`."""
+    with open(path) as handle:
+        return SweepView(json.load(handle))

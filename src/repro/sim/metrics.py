@@ -1,0 +1,118 @@
+"""Derived run metrics: everything a memory-system architect asks next.
+
+Computes, from a finished (core, hierarchy) pair:
+
+- DRAM traffic decomposition (data reads, writebacks, metadata by kind);
+- bus utilisation and mean queueing delay;
+- DRAM row-buffer behaviour;
+- authentication-engine pressure (requests, queue-full events, the
+  decrypt-to-verify gap distribution);
+- per-level miss rates.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunMetrics:
+    """Derived metrics of one simulation run."""
+
+    cycles: int
+    instructions: int
+    ipc: float
+    miss_rates: dict = field(default_factory=dict)
+    dram_reads: int = 0
+    dram_writes: int = 0
+    dram_metadata: int = 0
+    row_hit_rate: float = 0.0
+    bus_utilisation: float = 0.0
+    mean_bus_wait: float = 0.0
+    mean_read_latency: float = 0.0
+    auth_requests: int = 0
+    auth_queue_full: int = 0
+    mean_verify_gap: float = 0.0
+    reads_per_kinst: float = 0.0
+
+    def as_dict(self):
+        out = dict(self.__dict__)
+        out["miss_rates"] = dict(self.miss_rates)
+        return out
+
+
+def collect_metrics(result, hierarchy):
+    """Build :class:`RunMetrics` from a RunResult and its hierarchy."""
+    stats = hierarchy.controller.stats
+    cycles = max(result.cycles, 1)
+
+    reads = stats["line_reads"].value
+    writes = stats["line_writes"].value
+    metadata = stats["metadata_accesses"].value
+
+    hits = stats["row_hits"].value
+    total_rows = (hits + stats["row_empty"].value
+                  + stats["row_conflicts"].value)
+    row_hit_rate = hits / total_rows if total_rows else 0.0
+
+    busy = stats["busy_cycles"].value
+    transfers = stats["transfers"].value
+    wait = stats["wait_cycles"].value
+
+    read_latency = stats["read_latency"]
+    hier_stats = hierarchy.stats
+    auth_requests = (hier_stats["auth_requests"].value
+                     if "auth_requests" in hier_stats else 0)
+    queue_full = (hier_stats["auth_queue_full"].value
+                  if "auth_queue_full" in hier_stats else 0)
+    gap = (hier_stats["decrypt_verify_gap"].mean()
+           if "decrypt_verify_gap" in hier_stats else 0.0)
+
+    return RunMetrics(
+        cycles=result.cycles,
+        instructions=result.instructions,
+        ipc=result.ipc,
+        miss_rates=result.miss_summary,
+        dram_reads=reads,
+        dram_writes=writes,
+        dram_metadata=metadata,
+        row_hit_rate=row_hit_rate,
+        bus_utilisation=min(1.0, busy / cycles),
+        mean_bus_wait=wait / transfers if transfers else 0.0,
+        mean_read_latency=read_latency.mean(),
+        auth_requests=auth_requests,
+        auth_queue_full=queue_full,
+        mean_verify_gap=gap,
+        reads_per_kinst=1000.0 * reads / max(result.instructions, 1),
+    )
+
+
+def run_with_metrics(trace, config=None, policy="decrypt-only",
+                     warmup=0):
+    """Convenience: run a trace and return (RunResult, RunMetrics)."""
+    from repro.config import SimConfig
+    from repro.sim.runner import build_simulator
+
+    core, hierarchy = build_simulator(config or SimConfig(), policy)
+    result = core.run(trace, warmup=warmup)
+    return result, collect_metrics(result, hierarchy)
+
+
+def render_metrics(metrics):
+    """Human-readable metric block."""
+    lines = [
+        "cycles=%d instructions=%d ipc=%.4f"
+        % (metrics.cycles, metrics.instructions, metrics.ipc),
+        "dram: reads=%d (%.1f/kinst) writes=%d metadata=%d"
+        % (metrics.dram_reads, metrics.reads_per_kinst,
+           metrics.dram_writes, metrics.dram_metadata),
+        "dram rows: hit rate %.1f%%; bus util %.1f%%, mean wait %.0f cyc"
+        % (100 * metrics.row_hit_rate, 100 * metrics.bus_utilisation,
+           metrics.mean_bus_wait),
+        "mean read latency %.0f cyc" % metrics.mean_read_latency,
+        "auth: %d requests, %d queue-full, mean verify gap %.0f cyc"
+        % (metrics.auth_requests, metrics.auth_queue_full,
+           metrics.mean_verify_gap),
+        "miss rates: " + "  ".join(
+            "%s=%.3f" % (k, v) for k, v in sorted(
+                metrics.miss_rates.items())),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Plain-text rendering of experiment tables."""
+
+
+def render_table(headers, rows, float_format="%.3f"):
+    """Render a list-of-lists table with aligned columns."""
+    def fmt(value):
+        if isinstance(value, float):
+            return float_format % value
+        return str(value)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def series_rows(table_rows, policies):
+    """Convert sweep table rows into render_table rows."""
+    out = []
+    for benchmark, values in table_rows:
+        out.append([benchmark] + [values[p] for p in policies])
+    return out

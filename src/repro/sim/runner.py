@@ -1,0 +1,43 @@
+"""Assemble and run one simulation: config + policy + trace -> RunResult."""
+
+from repro.config import SimConfig
+from repro.cpu.core import TimestampCore
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.policies.registry import make_policy
+from repro.util.rng import DeterministicRng
+from repro.util.statistics import StatGroup
+from repro.workloads.spec import get_profile
+from repro.workloads.tracegen import generate_trace
+
+
+def build_simulator(config=None, policy="decrypt-only"):
+    """Build a fresh (core, hierarchy) pair for one run.
+
+    ``policy`` may be a name or an :class:`~repro.policies.base.AuthPolicy`
+    instance.  Every run gets private caches, DRAM state, and an
+    authentication queue -- no state leaks between runs.
+    """
+    config = config or SimConfig()
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    stats = StatGroup("sim")
+    rng = DeterministicRng(config.seed).stream("remap")
+    hierarchy = MemoryHierarchy(config, policy, rng=rng, stats=stats)
+    core = TimestampCore(config, policy, hierarchy, stats=stats)
+    return core, hierarchy
+
+
+def run_trace(trace, config=None, policy="decrypt-only"):
+    """Run ``trace`` under ``policy``; returns a RunResult."""
+    core, _ = build_simulator(config, policy)
+    return core.run(trace)
+
+
+def run_benchmark(benchmark, num_instructions=20_000, config=None,
+                  policy="decrypt-only", seed=None):
+    """Generate the named benchmark's trace and run it under ``policy``."""
+    config = config or SimConfig()
+    profile = get_profile(benchmark)
+    trace = generate_trace(profile, num_instructions,
+                           seed=seed if seed is not None else config.seed)
+    return run_trace(trace, config, policy)

@@ -1,0 +1,101 @@
+"""Experiment sweeps: benchmarks x policies with shared traces.
+
+A :class:`PolicySweep` generates each benchmark's trace once and replays
+it under every requested policy, then normalises against the decrypt-only
+baseline (the paper's Figure 7 presentation) or against authen-then-issue
+(Figures 8/11/13).
+"""
+
+from repro.config import SimConfig
+from repro.sim.runner import build_simulator
+from repro.workloads.spec import get_profile
+from repro.workloads.tracegen import generate_trace
+
+BASELINE = "decrypt-only"
+
+
+class PolicySweep:
+    """Run a set of benchmarks under a set of policies."""
+
+    def __init__(self, benchmarks, policies, config=None,
+                 num_instructions=20_000, seed=None, warmup=None):
+        self.benchmarks = list(benchmarks)
+        self.policies = list(policies)
+        self.config = config or SimConfig()
+        self.num_instructions = num_instructions
+        self.warmup = warmup if warmup is not None else num_instructions // 3
+        self.seed = seed if seed is not None else self.config.seed
+        self.results = {}  # (benchmark, policy) -> RunResult
+
+    def run(self, include_baseline=True):
+        """Execute the sweep; returns self for chaining."""
+        policies = list(self.policies)
+        if include_baseline and BASELINE not in policies:
+            policies.append(BASELINE)
+        for benchmark in self.benchmarks:
+            profile = get_profile(benchmark)
+            trace = generate_trace(profile,
+                                   self.num_instructions + self.warmup,
+                                   seed=self.seed)
+            for policy in policies:
+                core, _ = build_simulator(self.config, policy)
+                self.results[(benchmark, policy)] = core.run(
+                    trace, warmup=self.warmup)
+        return self
+
+    def ipc(self, benchmark, policy):
+        return self.results[(benchmark, policy)].ipc
+
+    def normalized(self, benchmark, policy, baseline=BASELINE):
+        """IPC of ``policy`` normalised to ``baseline`` for a benchmark."""
+        base = self.ipc(benchmark, baseline)
+        return self.ipc(benchmark, policy) / base if base else 0.0
+
+    def normalized_series(self, policy, baseline=BASELINE):
+        """Per-benchmark normalised IPC for one policy."""
+        return {
+            benchmark: self.normalized(benchmark, policy, baseline)
+            for benchmark in self.benchmarks
+        }
+
+    def average_normalized(self, policy, baseline=BASELINE):
+        values = self.normalized_series(policy, baseline).values()
+        return sum(values) / len(self.benchmarks)
+
+
+def normalized_ipc_table(sweep, policies=None, baseline=BASELINE):
+    """Rows of (benchmark, {policy: normalized ipc}) plus an average row."""
+    policies = policies or sweep.policies
+    rows = []
+    for benchmark in sweep.benchmarks:
+        rows.append((
+            benchmark,
+            {p: sweep.normalized(benchmark, p, baseline) for p in policies},
+        ))
+    rows.append((
+        "average",
+        {p: sweep.average_normalized(p, baseline) for p in policies},
+    ))
+    return rows
+
+
+def speedup_over(sweep, reference, policies=None):
+    """Figure 8/11/13 presentation: IPC speedup over ``reference``.
+
+    Returns rows of (benchmark, {policy: speedup}) where speedup is
+    ``ipc(policy) / ipc(reference)``.
+    """
+    policies = policies or [p for p in sweep.policies if p != reference]
+    rows = []
+    for benchmark in sweep.benchmarks:
+        ref = sweep.ipc(benchmark, reference)
+        rows.append((
+            benchmark,
+            {p: (sweep.ipc(benchmark, p) / ref if ref else 0.0)
+             for p in policies},
+        ))
+    averages = {
+        p: sum(row[1][p] for row in rows) / len(rows) for p in policies
+    }
+    rows.append(("average", averages))
+    return rows

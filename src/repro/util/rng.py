@@ -1,0 +1,49 @@
+"""Deterministic random-number streams.
+
+Every stochastic component in the simulator (workload generation, address
+re-mapping, tampering choices in randomized attacks) draws from a named
+stream so that experiments are exactly reproducible and independent
+components never perturb each other's sequences.
+"""
+
+import hashlib
+import random
+
+
+class DeterministicRng:
+    """A factory of independent, reproducible ``random.Random`` streams.
+
+    Streams are derived from a root seed and a string name, so adding a new
+    consumer never shifts the sequence seen by existing consumers:
+
+    >>> rng = DeterministicRng(7)
+    >>> a = rng.stream("workload.mcf")
+    >>> b = rng.stream("remap")
+    >>> a is not b
+    True
+    >>> DeterministicRng(7).stream("workload.mcf").random() == \\
+    ...     DeterministicRng(7).stream("workload.mcf").random()
+    True
+    """
+
+    def __init__(self, seed):
+        self._seed = int(seed)
+        self._streams = {}
+
+    @property
+    def seed(self):
+        return self._seed
+
+    def stream(self, name):
+        """Return (creating on first use) the stream called ``name``."""
+        if name not in self._streams:
+            digest = hashlib.sha256(
+                ("%d:%s" % (self._seed, name)).encode()
+            ).digest()
+            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+        return self._streams[name]
+
+    def derive(self, name):
+        """Return a new :class:`DeterministicRng` rooted under ``name``."""
+        digest = hashlib.sha256(("%d:%s" % (self._seed, name)).encode()).digest()
+        return DeterministicRng(int.from_bytes(digest[8:16], "big"))

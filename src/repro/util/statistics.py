@@ -1,0 +1,110 @@
+"""Lightweight statistics collection for the simulator.
+
+The timing model and the memory hierarchy attach counters and histograms to
+a shared :class:`StatGroup` so that experiment drivers can render a single
+report per run (miss rates, queue occupancies, stall cycles, ...).
+"""
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount=1):
+        self.value += amount
+
+    def reset(self):
+        self.value = 0
+
+    def __repr__(self):
+        return "Counter(%s=%d)" % (self.name, self.value)
+
+
+class Histogram:
+    """A named histogram over integer buckets."""
+
+    __slots__ = ("name", "buckets")
+
+    def __init__(self, name):
+        self.name = name
+        self.buckets = {}
+
+    def add(self, key, amount=1):
+        self.buckets[key] = self.buckets.get(key, 0) + amount
+
+    @property
+    def total(self):
+        return sum(self.buckets.values())
+
+    def mean(self):
+        """Weighted mean of bucket keys; 0.0 for an empty histogram."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return sum(k * v for k, v in self.buckets.items()) / total
+
+    def reset(self):
+        self.buckets.clear()
+
+    def __repr__(self):
+        return "Histogram(%s, n=%d)" % (self.name, self.total)
+
+
+class StatGroup:
+    """A flat namespace of counters and histograms.
+
+    >>> stats = StatGroup("l2")
+    >>> stats.counter("miss").add()
+    >>> stats["miss"].value
+    1
+    """
+
+    def __init__(self, name=""):
+        self.name = name
+        self._stats = {}
+
+    def counter(self, name):
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = Counter(name)
+            self._stats[name] = stat
+        elif not isinstance(stat, Counter):
+            raise TypeError("stat %r exists and is not a Counter" % name)
+        return stat
+
+    def histogram(self, name):
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = Histogram(name)
+            self._stats[name] = stat
+        elif not isinstance(stat, Histogram):
+            raise TypeError("stat %r exists and is not a Histogram" % name)
+        return stat
+
+    def __getitem__(self, name):
+        return self._stats[name]
+
+    def __contains__(self, name):
+        return name in self._stats
+
+    def names(self):
+        return sorted(self._stats)
+
+    def reset(self):
+        for stat in self._stats.values():
+            stat.reset()
+
+    def as_dict(self):
+        """Flatten to ``{name: value-or-bucket-dict}`` for reporting."""
+        out = {}
+        for name, stat in self._stats.items():
+            if isinstance(stat, Counter):
+                out[name] = stat.value
+            else:
+                out[name] = dict(stat.buckets)
+        return out

@@ -1,0 +1,88 @@
+"""Trace containers for the timing simulator.
+
+A trace is the committed-path instruction stream: the timestamp core
+replays it, so wrong-path effects are folded into the branch-mispredict
+redirect penalty (standard practice for trace-driven models).
+"""
+
+
+class Op:
+    """Execution classes (small ints for speed in the hot loop)."""
+
+    IALU = 0
+    IMUL = 1
+    FPU = 2
+    LOAD = 3
+    STORE = 4
+    BRANCH = 5
+    JUMP = 6
+    SYSTEM = 7
+
+    NAMES = {
+        IALU: "ialu",
+        IMUL: "imul",
+        FPU: "fpu",
+        LOAD: "load",
+        STORE: "store",
+        BRANCH: "branch",
+        JUMP: "jump",
+        SYSTEM: "system",
+    }
+
+
+class TraceInst:
+    """One committed instruction.
+
+    ``srcs`` are architectural source register ids; ``dest`` is -1 when
+    the instruction produces no register value.  ``addr`` is the effective
+    byte address for loads/stores (-1 otherwise).  ``mispredict`` marks
+    branches the front-end predicted wrongly (redirect penalty applies
+    when the branch resolves).
+    """
+
+    __slots__ = ("pc", "op", "dest", "srcs", "addr", "mispredict")
+
+    def __init__(self, pc, op, dest=-1, srcs=(), addr=-1, mispredict=False):
+        self.pc = pc
+        self.op = op
+        self.dest = dest
+        self.srcs = srcs
+        self.addr = addr
+        self.mispredict = mispredict
+
+    @property
+    def is_mem(self):
+        return self.op == Op.LOAD or self.op == Op.STORE
+
+    def __repr__(self):
+        return "TraceInst(pc=0x%x, op=%s, dest=%d, srcs=%s, addr=0x%x)" % (
+            self.pc,
+            Op.NAMES.get(self.op, self.op),
+            self.dest,
+            self.srcs,
+            self.addr if self.addr >= 0 else 0,
+        )
+
+
+class Trace:
+    """A named instruction trace plus workload metadata."""
+
+    def __init__(self, name, instructions, footprint_bytes=0, suite=""):
+        self.name = name
+        self.instructions = instructions
+        self.footprint_bytes = footprint_bytes
+        self.suite = suite
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def op_mix(self):
+        """Fraction of instructions per op class (diagnostics)."""
+        counts = {}
+        for inst in self.instructions:
+            counts[inst.op] = counts.get(inst.op, 0) + 1
+        total = len(self.instructions) or 1
+        return {Op.NAMES[op]: count / total for op, count in counts.items()}

@@ -1,0 +1,50 @@
+"""Passive control-flow reconstruction tests (Section 3.1 / 4.3)."""
+
+import pytest
+
+from repro.attacks.control_flow import ControlFlowAttack
+from repro.attacks.harness import _make_obfuscator, run_attack
+from repro.policies.registry import make_policy
+
+
+class TestControlFlowReconstruction:
+    def test_recovers_secret_without_tampering(self):
+        attack = ControlFlowAttack(secret=0xB3C5)
+        machine, result = attack.run(make_policy("decrypt-only"))
+        recovered, observed = attack.reconstruct(result)
+        assert recovered == 0xB3C5
+        assert observed == 16
+        assert result.halted and not result.detected
+
+    def test_authentication_cannot_stop_passive_leak(self):
+        """No tampering happens, so even authen-then-issue leaks: this is
+        the threat class only obfuscation addresses (Section 4.3)."""
+        for policy in ("authen-then-issue", "commit+fetch"):
+            attack = ControlFlowAttack(secret=0x1234)
+            machine, result = attack.run(make_policy(policy))
+            assert attack.leaked_secret(machine, result), policy
+
+    def test_obfuscation_blocks_reconstruction(self):
+        attack = ControlFlowAttack(secret=0xB3C5)
+        machine, result = attack.run(make_policy("commit+obfuscation"),
+                                     obfuscator=_make_obfuscator())
+        assert result.halted
+        assert not attack.leaked_secret(machine, result)
+
+    def test_different_secrets_give_different_traces(self):
+        traces = []
+        for secret in (0x0000, 0xFFFF):
+            attack = ControlFlowAttack(secret=secret)
+            machine, result = attack.run(make_policy("decrypt-only"))
+            recovered, _ = attack.reconstruct(result)
+            assert recovered == secret
+            traces.append(result.bus_addresses("ifetch"))
+        assert traces[0] != traces[1]
+
+    def test_harness_integration(self):
+        assert run_attack("control-flow", "decrypt-only").leaked
+        assert not run_attack("control-flow", "commit+obfuscation").leaked
+
+    def test_secret_bounds(self):
+        with pytest.raises(ValueError):
+            ControlFlowAttack(secret=1 << 16)

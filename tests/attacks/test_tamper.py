@@ -1,0 +1,75 @@
+"""Tamper-toolkit unit tests (the adversary's primitives)."""
+
+import pytest
+
+from repro import load_program, make_policy
+from repro.attacks.tamper import flip_word, splice_assembly, splice_words
+from repro.func.loader import load_words
+from repro.func.machine import SecureMachine
+from repro.isa.assembler import assemble
+
+
+def machine():
+    return SecureMachine(make_policy("decrypt-only"))
+
+
+class TestFlipWord:
+    def test_flip_changes_decrypted_word(self):
+        m = machine()
+        load_words(m, 0x2000, [0x1111])
+        flip_word(m, 0x2000, 0x1111, 0x2222)
+        assert int.from_bytes(m.peek_plaintext(0x2000, 4), "big") == 0x2222
+
+    def test_flip_is_relative_to_claimed_plaintext(self):
+        """A wrong plaintext guess produces a predictable wrong result."""
+        m = machine()
+        load_words(m, 0x2000, [0xAAAA])
+        flip_word(m, 0x2000, 0x0000, 0xFFFF)  # guess was wrong
+        value = int.from_bytes(m.peek_plaintext(0x2000, 4), "big")
+        assert value == 0xAAAA ^ 0xFFFF
+
+    def test_neighbouring_words_untouched(self):
+        m = machine()
+        load_words(m, 0x2000, [1, 2, 3])
+        flip_word(m, 0x2004, 2, 99)
+        assert int.from_bytes(m.peek_plaintext(0x2000, 4), "big") == 1
+        assert int.from_bytes(m.peek_plaintext(0x2008, 4), "big") == 3
+
+
+class TestSplice:
+    def test_splice_replaces_known_code(self):
+        m = machine()
+        original = assemble("addi r1, r0, 1\naddi r2, r0, 2")
+        load_words(m, 0, original)
+        new = assemble("out r5\nhalt")
+        splice_words(m, 0, original, new)
+        plain = m.peek_plaintext(0, 8)
+        assert [int.from_bytes(plain[i:i+4], "big")
+                for i in (0, 4)] == new
+
+    def test_splice_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            splice_words(machine(), 0, [1, 2], [3])
+
+    def test_splice_assembly_returns_word_count(self):
+        m = machine()
+        known = assemble("\n".join(["nop"] * 4))
+        load_words(m, 0, known)
+        count = splice_assembly(m, 0, known, "addi r1, r0, 7\nhalt")
+        assert count == 2
+
+    def test_splice_assembly_too_large_rejected(self):
+        m = machine()
+        known = assemble("nop")
+        load_words(m, 0, known)
+        with pytest.raises(ValueError):
+            splice_assembly(m, 0, known, "nop\nnop\nnop")
+
+    def test_spliced_code_executes(self):
+        """End to end: splice runs as injected code on the machine."""
+        m = machine()
+        load_program(m, "\n".join(["addi r1, r0, 0"] * 4 + ["halt"]))
+        known = assemble("\n".join(["addi r1, r0, 0"] * 4))
+        splice_assembly(m, 0, known, "addi r9, r0, 99\nout r9\nhalt")
+        result = m.run(100)
+        assert result.io_log == [99]

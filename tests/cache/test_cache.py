@@ -1,0 +1,159 @@
+"""Set-associative cache model tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+from repro.config import CacheConfig
+
+
+def small_cache(assoc=2, sets=4, line=32):
+    return Cache(
+        CacheConfig("test", sets * assoc * line, line, assoc, latency=1)
+    )
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0x100).hit
+        assert cache.access(0x100).hit
+
+    def test_same_line_different_offset_hits(self):
+        cache = small_cache(line=32)
+        cache.access(0x100)
+        assert cache.access(0x11F).hit
+        assert not cache.access(0x120).hit
+
+    def test_lookup_does_not_allocate(self):
+        cache = small_cache()
+        assert cache.lookup(0x40) is None
+        assert cache.occupancy == 0
+
+    def test_line_addr(self):
+        cache = small_cache(line=32)
+        assert cache.line_addr(0x47) == 0x40
+
+
+class TestLru:
+    def test_lru_eviction_order(self):
+        cache = small_cache(assoc=2, sets=1, line=32)
+        cache.access(0x00)
+        cache.access(0x20)
+        cache.access(0x00)          # touch: 0x20 becomes LRU
+        result = cache.access(0x40)  # evicts 0x20
+        assert result.victim_addr == 0x20
+        assert cache.access(0x00).hit
+        assert not cache.access(0x20).hit
+
+    def test_victim_address_reconstruction(self):
+        cache = small_cache(assoc=1, sets=4, line=32)
+        cache.access(0x60)  # set index 3
+        result = cache.access(0x60 + 4 * 32)  # same set, different tag
+        assert result.victim_addr == 0x60
+
+
+class TestWriteBack:
+    def test_dirty_victim_reports_writeback(self):
+        cache = small_cache(assoc=1, sets=1, line=32)
+        cache.access(0x00, is_write=True)
+        result = cache.access(0x20)
+        assert result.victim_dirty
+        assert cache.stats["writebacks"].value == 1
+
+    def test_clean_victim_no_writeback(self):
+        cache = small_cache(assoc=1, sets=1, line=32)
+        cache.access(0x00)
+        result = cache.access(0x20)
+        assert not result.victim_dirty
+        assert cache.stats["writebacks"].value == 0
+
+    def test_write_hit_sets_dirty(self):
+        cache = small_cache(assoc=1, sets=1, line=32)
+        cache.access(0x00)
+        cache.access(0x00, is_write=True)
+        assert cache.access(0x20).victim_dirty
+
+
+class TestMetadataTimestamps:
+    def test_line_state_persists_verify_time(self):
+        """A hit must see the pending verify_time set at fill."""
+        cache = small_cache()
+        fill = cache.access(0x100)
+        fill.line.data_time = 500
+        fill.line.verify_time = 700
+        hit = cache.access(0x100)
+        assert hit.line.verify_time == 700
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(0x100)
+        assert cache.invalidate(0x100)
+        assert not cache.invalidate(0x100)
+        assert not cache.access(0x100).hit
+
+
+class TestStatsAndProperties:
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate() == pytest.approx(1 / 3)
+
+    def test_reset(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.reset()
+        assert cache.occupancy == 0
+        assert cache.stats["misses"].value == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(addrs=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=100))
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        cache = small_cache(assoc=2, sets=4)
+        for addr in addrs:
+            cache.access(addr)
+        assert cache.occupancy <= 8
+        for s in cache._sets:
+            assert len(s) <= 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(addrs=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=60))
+    def test_resident_lines_are_hits(self, addrs):
+        cache = small_cache(assoc=4, sets=8)
+        for addr in addrs:
+            cache.access(addr)
+        for line_addr in cache.resident_lines():
+            assert cache.lookup(line_addr) is not None
+
+    @settings(max_examples=30, deadline=None)
+    @given(addrs=st.lists(st.integers(0, 1 << 12), min_size=2, max_size=80))
+    def test_hits_plus_misses_equals_accesses(self, addrs):
+        cache = small_cache()
+        for addr in addrs:
+            cache.access(addr)
+        total = cache.stats["hits"].value + cache.stats["misses"].value
+        assert total == len(addrs)
+
+
+class TestTlb:
+    def test_miss_then_hit_latency(self):
+        from repro.cache.tlb import Tlb
+
+        tlb = Tlb(entries=8, associativity=2, miss_latency=30)
+        assert tlb.translate_latency(0x1234) == 30
+        assert tlb.translate_latency(0x1FFF) == 0  # same 4KB page
+        assert tlb.translate_latency(0x2000) == 30
+
+    def test_config_validation(self):
+        from repro.config import CacheConfig
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 100, 32, 4, 1)
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 4096, 24, 1, 1)
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 4096, 32, 1, 0)

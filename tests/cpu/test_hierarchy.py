@@ -1,0 +1,120 @@
+"""Memory hierarchy tests: line timing propagation and policy gating."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.policies.registry import make_policy
+from repro.util.rng import DeterministicRng
+
+
+def make_hier(policy="authen-then-commit", **secure_kwargs):
+    config = SimConfig()
+    if secure_kwargs:
+        config = config.with_secure(**secure_kwargs)
+    rng = DeterministicRng(5).stream("remap")
+    return MemoryHierarchy(config, make_policy(policy), rng=rng)
+
+
+class TestBasicAccess:
+    def test_l1_hit_is_fast(self):
+        hier = make_hier()
+        hier.load(0x1000, 0)
+        timing = hier.load(0x1000, 10_000)
+        assert timing.data_time <= 10_002
+
+    def test_miss_goes_to_memory(self):
+        hier = make_hier()
+        timing = hier.load(0x1000, 0)
+        assert timing.data_time > 100  # DRAM-class latency
+
+    def test_verify_never_before_data(self):
+        hier = make_hier()
+        for addr in (0x1000, 0x2000, 0x1000, 0x80000):
+            timing = hier.load(addr, 0)
+            assert timing.verify_time >= timing.data_time
+
+    def test_unverified_line_hit_sees_pending_verify(self):
+        """The security-critical propagation: an L1 hit shortly after the
+        fill still observes the line's future verify_time."""
+        hier = make_hier()
+        miss = hier.load(0x1000, 0)
+        hit = hier.load(0x1004, miss.data_time + 1)
+        assert hit.verify_time == miss.verify_time
+        assert hit.data_time < hit.verify_time
+
+    def test_old_line_hit_is_fully_verified(self):
+        hier = make_hier()
+        miss = hier.load(0x1000, 0)
+        late = hier.load(0x1004, miss.verify_time + 10_000)
+        assert late.verify_time == late.data_time
+
+    def test_ifetch_uses_l1i(self):
+        hier = make_hier()
+        hier.ifetch(0x100, 0)
+        assert hier.l1i.stats["misses"].value == 1
+        assert hier.l1d.stats["misses"].value == 0
+
+    def test_l2_shared_between_sides(self):
+        hier = make_hier()
+        hier.ifetch(0x40, 0)     # fills L2 line 0x40
+        timing = hier.load(0x40, 10_000)
+        # The load misses L1D but hits the unified L2.
+        assert timing.data_time < 10_000 + 100
+
+
+class TestWriteback:
+    def test_store_allocates_and_dirties(self):
+        hier = make_hier()
+        hier.store(0x1000, 0)
+        line = hier.l1d.lookup(0x1000)
+        assert line is not None and line.dirty
+
+    def test_dirty_eviction_reaches_memory(self):
+        hier = make_hier()
+        # Write one line, then walk addresses mapping to the same L1 set
+        # until it is evicted, then push the dirty line out of L2 too.
+        hier.store(0x0, 0)
+        l1_span = hier.l1d.config.size_bytes
+        l2_span = hier.l2.config.size_bytes
+        for i in range(1, hier.l2.config.associativity + 2):
+            hier.load(i * l2_span, 1000 * i)
+        assert hier.controller.stats["line_writes"].value >= 1
+
+
+class TestFetchGating:
+    def test_gate_time_delays_memory_fetch(self):
+        hier = make_hier("commit+fetch")
+        gated = hier.load(0x9000, 0, gate_time=50_000)
+        assert gated.data_time > 50_000
+
+    def test_gate_ignored_on_hits(self):
+        hier = make_hier("commit+fetch")
+        hier.load(0x9000, 0)
+        hit = hier.load(0x9000, 10_000, gate_time=99_999)
+        assert hit.data_time < 11_000
+
+
+class TestObfuscationWiring:
+    def test_policy_obfuscation_enables_remapper(self):
+        hier = make_hier("commit+obfuscation")
+        assert hier.engine.obfuscator is not None
+
+    def test_plain_policy_has_no_remapper(self):
+        hier = make_hier("authen-then-commit")
+        assert hier.engine.obfuscator is None
+
+
+class TestStats:
+    def test_miss_summary_keys(self):
+        hier = make_hier()
+        hier.load(0x1000, 0)
+        summary = hier.miss_summary()
+        assert set(summary) == {"l1i", "l1d", "l2", "itlb", "dtlb"}
+
+    def test_reset_stats_keeps_contents(self):
+        hier = make_hier()
+        hier.load(0x1000, 0)
+        hier.reset_stats()
+        assert hier.l1d.stats["misses"].value == 0
+        assert hier.l1d.lookup(0x1000) is not None

@@ -1,0 +1,95 @@
+"""GHASH/GMAC tests: NIST GCM vectors and properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.ghash import gf128_mul, ghash, gmac
+from repro.crypto.latency import CryptoLatencyModel
+
+
+class TestGf128:
+    def test_zero_annihilates(self):
+        assert gf128_mul(0, 12345) == 0
+        assert gf128_mul(12345, 0) == 0
+
+    def test_one_is_identity(self):
+        # In GCM bit order, the multiplicative identity is 2^127.
+        one = 1 << 127
+        assert gf128_mul(one, 0xABCDEF) == 0xABCDEF
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.integers(0, 2**128 - 1), b=st.integers(0, 2**128 - 1))
+    def test_commutative(self, a, b):
+        assert gf128_mul(a, b) == gf128_mul(b, a)
+
+    @settings(max_examples=15, deadline=None)
+    @given(a=st.integers(0, 2**128 - 1), b=st.integers(0, 2**128 - 1),
+           c=st.integers(0, 2**128 - 1))
+    def test_distributive_over_xor(self, a, b, c):
+        assert gf128_mul(a ^ b, c) == gf128_mul(a, c) ^ gf128_mul(b, c)
+
+    def test_operand_range(self):
+        with pytest.raises(ValueError):
+            gf128_mul(1 << 128, 1)
+
+
+class TestGhashVectors:
+    def test_nist_gcm_test_case_2(self):
+        """GHASH step of NIST GCM spec test case 2 (zero key block)."""
+        aes = AES(bytes(16))
+        h = aes.encrypt_block(bytes(16))
+        cipher_block = bytes.fromhex("0388dace60b6a392f328c2b971b2fe78")
+        length_block = (128).to_bytes(16, "big")
+        digest = ghash(h, cipher_block + length_block)
+        # GCM tag for test case 2 = E(K, Y0) XOR this digest; with the
+        # known tag ab6e47d42cec13bdf53a67b21257bddf and
+        # E(K,Y0)=58e2fccefa7e3061367f1d57a4e7455a:
+        expected = bytes(
+            a ^ b for a, b in zip(
+                bytes.fromhex("ab6e47d42cec13bdf53a67b21257bddf"),
+                bytes.fromhex("58e2fccefa7e3061367f1d57a4e7455a"),
+            )
+        )
+        assert digest == expected
+
+    def test_padding(self):
+        h = AES(bytes(16)).encrypt_block(bytes(16))
+        assert ghash(h, b"\x01") == ghash(h, b"\x01" + bytes(15))
+
+
+class TestGmac:
+    def test_deterministic(self):
+        aes = AES(b"k" * 16)
+        assert gmac(aes, 7, b"line") == gmac(aes, 7, b"line")
+
+    def test_nonce_separates(self):
+        aes = AES(b"k" * 16)
+        assert gmac(aes, 7, b"line") != gmac(aes, 8, b"line")
+
+    def test_detects_modification(self):
+        aes = AES(b"k" * 16)
+        assert gmac(aes, 7, b"line") != gmac(aes, 7, b"lin3")
+
+    def test_length_binding(self):
+        aes = AES(b"k" * 16)
+        assert gmac(aes, 7, b"ab") != gmac(aes, 7, b"ab\x00")
+
+    def test_truncation(self):
+        aes = AES(b"k" * 16)
+        assert len(gmac(aes, 1, b"x", mac_bits=32)) == 4
+        with pytest.raises(ValueError):
+            gmac(aes, 1, b"x", mac_bits=7)
+
+
+class TestGmacLatencyScheme:
+    def test_counter_gmac_row(self):
+        model = CryptoLatencyModel()
+        row = model.gap_for("counter+gmac", 200)
+        assert row.gap < model.gap_for("counter+hmac", 200).gap
+        assert row.authentication_latency == 200 + model.gmac_line_latency()
+
+    def test_gmac_nearly_closes_gap(self):
+        model = CryptoLatencyModel()
+        assert model.gap_for("counter+gmac", 200).gap <= 10

@@ -1,0 +1,101 @@
+"""Tests of the Table 1 latency-gap model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.latency import CryptoLatencyModel, latency_gap_table
+
+
+class TestModelConstruction:
+    def test_defaults_match_paper_reference(self):
+        model = CryptoLatencyModel()
+        assert model.decrypt_latency == 80
+        assert model.hmac_latency == 74
+        assert model.chunks_per_line == 4  # 64B line / 16B chunks
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ValueError):
+            CryptoLatencyModel(decrypt_latency=0)
+        with pytest.raises(ValueError):
+            CryptoLatencyModel(hmac_latency=-1)
+
+    def test_rejects_partial_block_line(self):
+        with pytest.raises(ValueError):
+            CryptoLatencyModel(line_bytes=60)
+
+
+class TestCounterModeLatency:
+    def test_pad_hides_behind_long_fetch(self):
+        model = CryptoLatencyModel(decrypt_latency=80)
+        # Memory arrives at cycle 200 > 0+80, so plaintext at arrival.
+        assert model.counter_mode_data_ready(0, 200) == 200
+
+    def test_pad_exposed_on_fast_fetch(self):
+        model = CryptoLatencyModel(decrypt_latency=80)
+        assert model.counter_mode_data_ready(0, 40) == 80
+
+    def test_counter_cache_miss_delays_pad(self):
+        model = CryptoLatencyModel(decrypt_latency=80)
+        # Pad generation could not start until cycle 150.
+        assert model.counter_mode_data_ready(0, 200, pad_start=150) == 230
+
+    def test_auth_always_after_arrival(self):
+        model = CryptoLatencyModel()
+        assert model.counter_mode_auth_done(200) == 200 + model.hmac_line_latency()
+
+
+class TestCbcLatency:
+    def test_chunk_latency_is_serial(self):
+        model = CryptoLatencyModel(decrypt_latency=80)
+        assert model.cbc_chunk_ready(100, 0) == 180
+        assert model.cbc_chunk_ready(100, 3) == 100 + 80 * 4
+
+    def test_chunk_index_bounds(self):
+        model = CryptoLatencyModel()
+        with pytest.raises(ValueError):
+            model.cbc_chunk_ready(0, 4)
+        with pytest.raises(ValueError):
+            model.cbc_chunk_ready(0, -1)
+
+    def test_cbcmac_equals_last_chunk(self):
+        model = CryptoLatencyModel()
+        n = model.chunks_per_line
+        assert model.cbc_mac_auth_done(50) == model.cbc_chunk_ready(50, n - 1)
+
+
+class TestTable1:
+    def test_table_has_both_schemes(self):
+        rows = latency_gap_table(CryptoLatencyModel(), 200)
+        assert [r.scheme for r in rows] == ["counter+hmac", "cbc+cbcmac"]
+
+    def test_counter_mode_gap_is_positive(self):
+        """The paper's premise: auth lags full decryption under CTR+HMAC."""
+        row = CryptoLatencyModel().gap_for("counter+hmac", 200)
+        assert row.gap > 0
+
+    def test_cbc_gap_is_zero(self):
+        """CBC+CBC-MAC closes the gap (but with terrible decrypt latency)."""
+        row = CryptoLatencyModel().gap_for("cbc+cbcmac", 200)
+        assert row.gap == 0
+
+    def test_counter_critical_word_beats_cbc(self):
+        model = CryptoLatencyModel()
+        ctr = model.gap_for("counter+hmac", 200)
+        cbc = model.gap_for("cbc+cbcmac", 200)
+        assert ctr.decryption_latency < cbc.decryption_latency
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            CryptoLatencyModel().gap_for("ecb+magic", 100)
+
+    @settings(max_examples=30, deadline=None)
+    @given(mem=st.integers(1, 2000))
+    def test_auth_latency_tracks_memory_latency(self, mem):
+        model = CryptoLatencyModel()
+        row = model.gap_for("counter+hmac", mem)
+        assert row.authentication_latency == mem + model.hmac_line_latency()
+        # Once the fetch dominates the pad (realistic memory latencies),
+        # authentication always lags decryption -- the paper's premise.
+        if mem >= model.decrypt_latency:
+            assert row.gap == model.hmac_line_latency()

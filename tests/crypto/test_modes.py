@@ -1,0 +1,124 @@
+"""Mode-of-operation tests: NIST vectors, roundtrips, malleability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.cbc_mac import cbc_mac
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_keystream,
+    ctr_transform,
+    ecb_decrypt,
+    ecb_encrypt,
+)
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+NIST_PLAIN = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+)
+
+
+@pytest.fixture
+def aes():
+    return AES(KEY)
+
+
+class TestEcb:
+    def test_nist_sp800_38a_vector(self, aes):
+        expected = bytes.fromhex(
+            "3ad77bb40d7a3660a89ecaf32466ef97"
+            "f5d3d58503b9699de785895a96fdbaaf"
+        )
+        assert ecb_encrypt(aes, NIST_PLAIN) == expected
+        assert ecb_decrypt(aes, expected) == NIST_PLAIN
+
+    def test_rejects_partial_block(self, aes):
+        with pytest.raises(ValueError):
+            ecb_encrypt(aes, b"short")
+
+
+class TestCbc:
+    IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+    def test_nist_sp800_38a_vector(self, aes):
+        expected = bytes.fromhex(
+            "7649abac8119b246cee98e9b12e9197d"
+            "5086cb9b507219ee95db113a917678b2"
+        )
+        assert cbc_encrypt(aes, NIST_PLAIN, self.IV) == expected
+        assert cbc_decrypt(aes, expected, self.IV) == NIST_PLAIN
+
+    def test_rejects_bad_iv(self, aes):
+        with pytest.raises(ValueError):
+            cbc_encrypt(aes, NIST_PLAIN, b"shortiv")
+
+    @settings(max_examples=20, deadline=None)
+    @given(blocks=st.integers(1, 4), data=st.data())
+    def test_roundtrip(self, blocks, data):
+        aes = AES(KEY)
+        plain = data.draw(st.binary(min_size=16 * blocks, max_size=16 * blocks))
+        iv = data.draw(st.binary(min_size=16, max_size=16))
+        assert cbc_decrypt(aes, cbc_encrypt(aes, plain, iv), iv) == plain
+
+
+class TestCtr:
+    def test_is_self_inverse(self, aes):
+        cipher = ctr_transform(aes, 99, NIST_PLAIN)
+        assert ctr_transform(aes, 99, cipher) == NIST_PLAIN
+
+    def test_keystream_is_deterministic(self, aes):
+        assert ctr_keystream(aes, 5, 48) == ctr_keystream(aes, 5, 48)
+
+    def test_keystream_prefix_property(self, aes):
+        assert ctr_keystream(aes, 5, 64)[:20] == ctr_keystream(aes, 5, 20)
+
+    def test_distinct_nonces_distinct_streams(self, aes):
+        assert ctr_keystream(aes, 1, 32) != ctr_keystream(aes, 2, 32)
+
+    def test_counter_wraps_at_block_width(self, aes):
+        limit = 1 << 128
+        assert ctr_keystream(aes, limit - 1, 32) == (
+            ctr_keystream(aes, limit - 1, 16) + ctr_keystream(aes, 0, 16)
+        )
+
+    def test_malleability_bit_flip(self, aes):
+        """The attack-enabling property: ciphertext bit k flips plaintext bit k."""
+        cipher = ctr_transform(aes, 7, NIST_PLAIN)
+        tampered = bytearray(cipher)
+        tampered[3] ^= 0x10
+        plain = ctr_transform(aes, 7, bytes(tampered))
+        expected = bytearray(NIST_PLAIN)
+        expected[3] ^= 0x10
+        assert plain == bytes(expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        nonce=st.integers(0, 2**128 - 1),
+        data=st.binary(max_size=100),
+    )
+    def test_roundtrip_any_length(self, nonce, data):
+        aes = AES(KEY)
+        assert ctr_transform(aes, nonce, ctr_transform(aes, nonce, data)) == data
+
+
+class TestCbcMac:
+    def test_deterministic(self, aes):
+        assert cbc_mac(aes, b"line data") == cbc_mac(aes, b"line data")
+
+    def test_detects_modification(self, aes):
+        assert cbc_mac(aes, b"line data") != cbc_mac(aes, b"line Data")
+
+    def test_length_binding(self, aes):
+        # Same padded content, different declared lengths -> different MACs.
+        assert cbc_mac(aes, b"ab") != cbc_mac(aes, b"ab\x00")
+
+    def test_truncation_width(self, aes):
+        assert len(cbc_mac(aes, b"x" * 64, mac_bits=32)) == 4
+
+    def test_rejects_bad_width(self, aes):
+        with pytest.raises(ValueError):
+            cbc_mac(aes, b"x", mac_bits=3)

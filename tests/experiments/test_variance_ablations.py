@@ -1,0 +1,65 @@
+"""Variance and ablation experiment-driver tests (small scale)."""
+
+import pytest
+
+from repro.experiments import ablations, variance
+
+SMALL = dict(num_instructions=2500, warmup=2500)
+
+
+class TestVariance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return variance.run(seeds=(1, 2), benchmarks=("twolf",), **SMALL)
+
+    def test_sample_counts(self, result):
+        for stats in result.values():
+            assert len(stats["samples"]) == 2
+
+    def test_mean_and_std_consistent(self, result):
+        for stats in result.values():
+            a, b = stats["samples"]
+            assert stats["mean"] == pytest.approx((a + b) / 2)
+            assert stats["std"] == pytest.approx(abs(a - b) / 2)
+
+    def test_render(self, result):
+        text = variance.render(result)
+        assert "+/-" in text and "ordering stable" in text
+
+    def test_ordering_helper_detects_violation(self):
+        fake = {
+            "a": {"samples": [0.9], "mean": 0.9, "std": 0},
+            "b": {"samples": [0.5], "mean": 0.5, "std": 0},
+        }
+        assert not variance.ordering_is_stable(fake, order=("a", "b"))
+        assert variance.ordering_is_stable(fake, order=("b", "a"))
+
+
+class TestAblationDrivers:
+    def test_mac_latency_keys(self):
+        table = ablations.mac_latency_sweep(latencies=(74,),
+                                            benchmarks=("twolf",), **SMALL)
+        assert list(table) == [74]
+        assert 0 < table[74] <= 1.01
+
+    def test_fetch_variants_keys(self):
+        result = ablations.fetch_variant_comparison(
+            benchmarks=("twolf",), **SMALL)
+        assert set(result) == {"tag", "drain", "precise"}
+
+    def test_mode_comparison_keys(self):
+        result = ablations.encryption_mode_comparison(
+            benchmarks=("twolf",), **SMALL)
+        assert set(result) == {"ctr", "cbc"}
+        assert set(result["ctr"]) == {"decrypt-only", "authen-then-issue",
+                                      "authen-then-commit"}
+
+    def test_split_counter_keys(self):
+        result = ablations.split_counter_comparison(
+            benchmarks=("twolf",), **SMALL)
+        assert set(result) == {"monolithic", "split"}
+
+    def test_prefetch_keys(self):
+        result = ablations.prefetch_sweep(degrees=(0, 2),
+                                          benchmarks=("swim",), **SMALL)
+        assert set(result) == {0, 2}

@@ -1,0 +1,306 @@
+"""Functional secure machine tests: ISA semantics, crypto layer, windows."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.func.loader import load_bytes, load_program, load_words
+from repro.func.machine import LINE_BYTES, PageFault, SecureMachine
+from repro.policies.registry import make_policy
+
+
+def machine(policy="authen-then-commit", **kwargs):
+    return SecureMachine(make_policy(policy), **kwargs)
+
+
+class TestIsaSemantics:
+    def run_src(self, src, regs=None, policy="decrypt-only", steps=1000,
+                **kwargs):
+        m = machine(policy, **kwargs)
+        if regs:
+            for reg, value in regs.items():
+                m.regs[reg] = value
+        load_program(m, src)
+        result = m.run(steps)
+        return m, result
+
+    def test_arithmetic(self):
+        m, r = self.run_src("""
+            addi r1, r0, 6
+            addi r2, r0, 7
+            mul  r3, r1, r2
+            sub  r4, r3, r1
+            out  r4
+            halt
+        """)
+        assert r.io_log == [36]
+        assert r.halted
+
+    def test_logic_and_shifts(self):
+        m, r = self.run_src("""
+            addi r1, r0, 0x0ff0
+            andi r2, r1, 0x00f0
+            ori  r3, r2, 0x0001
+            slli r4, r3, 4
+            srli r5, r4, 8
+            out  r2
+            out  r3
+            out  r4
+            out  r5
+            halt
+        """)
+        assert r.io_log == [0xF0, 0xF1, 0xF10, 0xF]
+
+    def test_signed_compare_and_branch(self):
+        m, r = self.run_src("""
+            addi r1, r0, -5
+            addi r2, r0, 3
+            blt  r1, r2, neg
+            out  r0
+            halt
+        neg:
+            addi r3, r0, 1
+            out  r3
+            halt
+        """)
+        assert r.io_log == [1]
+
+    def test_memory_roundtrip(self):
+        m, r = self.run_src("""
+            lui  r1, 0x0
+            ori  r1, r1, 0x2000
+            addi r2, r0, 1234
+            sw   r2, 0(r1)
+            lw   r3, 0(r1)
+            out  r3
+            halt
+        """)
+        assert r.io_log == [1234]
+
+    def test_byte_access(self):
+        m, r = self.run_src("""
+            lui  r1, 0x0
+            ori  r1, r1, 0x2000
+            addi r2, r0, 0xab
+            sb   r2, 3(r1)
+            lb   r3, 3(r1)
+            out  r3
+            halt
+        """)
+        assert r.io_log == [0xAB]
+
+    def test_loop_with_jal(self):
+        m, r = self.run_src("""
+            addi r1, r0, 0
+            addi r2, r0, 5
+        loop:
+            addi r1, r1, 10
+            addi r2, r2, -1
+            bne  r2, r0, loop
+            out  r1
+            halt
+        """)
+        assert r.io_log == [50]
+
+    def test_jalr_links(self):
+        m, r = self.run_src("""
+            addi r1, r0, 12       ; byte address of target (word 3)
+            jalr r2, r1
+            halt                   ; skipped
+        target:
+            out  r2
+            halt
+        """)
+        # jalr at word 1 -> link value = 8
+        assert r.io_log == [8]
+
+    def test_r0_is_hardwired_zero(self):
+        m, r = self.run_src("""
+            addi r0, r0, 99
+            out  r0
+            halt
+        """)
+        assert r.io_log == [0]
+
+    def test_max_steps_stops_infinite_loop(self):
+        m, r = self.run_src("loop:\n jmp loop", steps=50)
+        assert not r.halted
+        assert r.steps == 50
+
+
+class TestCryptoLayer:
+    def test_memory_is_really_encrypted(self):
+        m = machine()
+        load_words(m, 0x2000, [0xCAFEBABE])
+        stored = m.mem.read(0x2000, 4)
+        assert stored != b"\xca\xfe\xba\xbe"
+        assert m.peek_plaintext(0x2000, 4) == b"\xca\xfe\xba\xbe"
+
+    def test_counter_bumps_on_rewrite(self):
+        m = machine()
+        load_words(m, 0x2000, [1])
+        first = m.mem.read(0x2000, 4)
+        load_words(m, 0x2000, [1])
+        assert m.mem.read(0x2000, 4) != first  # fresh pad
+
+    def test_macs_stored_per_line(self):
+        m = machine()
+        load_words(m, 0x2000, [1, 2, 3])
+        assert (0x2000 // LINE_BYTES) * LINE_BYTES in m.mac_store
+
+    def test_bit_flip_flips_plaintext(self):
+        """Counter-mode malleability end to end."""
+        m = machine()
+        load_words(m, 0x2000, [0])
+        m.mem.flip_bits(0x2000, b"\x00\x00\x00\xff")
+        assert m.peek_plaintext(0x2000, 4) == b"\x00\x00\x00\xff"
+
+    def test_loader_line_rmw_preserves_neighbours(self):
+        m = machine()
+        load_words(m, 0x2000, [111, 222])
+        load_words(m, 0x2004, [999])
+        assert int.from_bytes(m.peek_plaintext(0x2000, 4), "big") == 111
+        assert int.from_bytes(m.peek_plaintext(0x2004, 4), "big") == 999
+
+    def test_load_bytes_unaligned(self):
+        m = machine()
+        load_bytes(m, 0x2003, b"hello-world-across-lines" * 2)
+        assert m.peek_plaintext(0x2003, 48) == b"hello-world-across-lines" * 2
+
+
+class TestTamperDetection:
+    SRC = """
+        lui  r1, 0x0
+        ori  r1, r1, 0x2000
+        lw   r2, 0(r1)
+        out  r2
+        halt
+    """
+
+    def test_untampered_run_verifies(self):
+        m = machine("authen-then-commit")
+        load_program(m, self.SRC, data={0x2000: [7]})
+        r = m.run()
+        assert r.halted and not r.detected
+        assert r.io_log == [7]
+
+    def test_data_tamper_detected_at_window(self):
+        m = machine("authen-then-commit")
+        load_program(m, self.SRC, data={0x2000: [7]})
+        m.mem.flip_bits(0x2000, b"\x00\x00\x00\x01")
+        r = m.run()
+        assert r.detected
+        assert isinstance(r.fault, IntegrityError)
+
+    def test_issue_policy_detects_before_use(self):
+        m = machine("authen-then-issue")
+        load_program(m, self.SRC, data={0x2000: [7]})
+        m.mem.flip_bits(0x2000, b"\x00\x00\x00\x01")
+        r = m.run()
+        assert r.detected
+        assert r.io_log == []  # the tampered value never reached I/O
+
+    def test_commit_policy_gates_io(self):
+        """Speculation proceeds, but OUT waits for verification."""
+        m = machine("authen-then-commit")
+        load_program(m, self.SRC, data={0x2000: [7]})
+        m.mem.flip_bits(0x2000, b"\x00\x00\x00\x01")
+        r = m.run()
+        assert r.io_log == []
+
+    def test_write_policy_leaks_io_but_protects_memory(self):
+        src = """
+            lui  r1, 0x0
+            ori  r1, r1, 0x2000
+            lw   r2, 0(r1)
+            out  r2               ; unverified I/O (allowed under write)
+            sw   r2, 4(r1)        ; memory write forces verification
+            halt
+        """
+        m = machine("authen-then-write")
+        load_program(m, src, data={0x2000: [7]})
+        m.mem.flip_bits(0x2000, b"\x00\x00\x00\x01")
+        r = m.run()
+        assert r.io_log == [6]     # flipped low bit observable on I/O
+        assert r.detected          # but the store never landed
+        assert int.from_bytes(m.peek_plaintext(0x2004, 4), "big") == 0
+
+    def test_decrypt_only_never_detects(self):
+        m = machine("decrypt-only")
+        load_program(m, self.SRC, data={0x2000: [7]})
+        m.mem.flip_bits(0x2000, b"\x00\x00\x00\x01")
+        r = m.run()
+        assert not r.detected
+        assert r.io_log == [6]
+
+    def test_mac_splice_to_other_line_detected(self):
+        """Relocating a valid (cipher, MAC) pair is caught (address
+        binding in the MAC)."""
+        m = machine("authen-then-commit")
+        load_program(m, self.SRC, data={0x2000: [7], 0x2020: [9]})
+        line_a, line_b = 0x2000, 0x2020
+        m.mem.write(line_b, m.mem.read(line_a, LINE_BYTES))
+        m.mac_store[line_b] = m.mac_store[line_a]
+        m.counter_store[line_b] = m.counter_store[line_a]
+        m._plain_cache.pop(line_b, None)
+        m.pc = 0
+        # Read the spliced line.
+        src = """
+            lui  r1, 0x0
+            ori  r1, r1, 0x2020
+            lw   r2, 0(r1)
+            halt
+        """
+        load_program(m, src, base_address=0x400)
+        r = m.run()
+        assert r.detected
+
+
+class TestVirtualMemory:
+    def test_unmapped_page_faults_and_logs(self):
+        m = machine("decrypt-only", use_vm=True)
+        load_program(m, """
+            lui  r1, 0x00ab
+            lw   r2, 0(r1)
+            halt
+        """)
+        r = m.run()
+        assert not r.halted
+        assert r.fault_log == [0x00AB0000]
+
+    def test_mapped_page_translates(self):
+        m = machine("decrypt-only", use_vm=True)
+        load_program(m, """
+            lui  r1, 0x0
+            ori  r1, r1, 0x2000
+            lw   r2, 0(r1)
+            halt
+        """, data={0x2000: [5]})
+        r = m.run()
+        assert r.halted
+
+    def test_commit_policy_defers_fault_behind_verification(self):
+        """A tampered pointer's page fault cannot be logged before the
+        tampering is detected (precise exceptions, Section 3.3)."""
+        m = machine("authen-then-commit", use_vm=True)
+        load_program(m, """
+            lui  r1, 0x0
+            ori  r1, r1, 0x2000
+            lw   r2, 0(r1)
+            lw   r3, 0(r2)
+            halt
+        """, data={0x2000: [0x2100]})
+        # Turn the benign pointer into an unmapped one.
+        m.mem.flip_bits(0x2000, (0x2100 ^ 0x00AB0000).to_bytes(4, "big"))
+        r = m.run()
+        assert r.detected
+        assert r.fault_log == []
+
+
+class TestStepBudgetAndWindows:
+    def test_window_scales_with_lazy_policy(self):
+        lazy = machine("lazy")
+        commit = machine("authen-then-commit")
+        assert lazy.auth_delay > commit.auth_delay
+
+    def test_decrypt_only_has_no_auth(self):
+        assert machine("decrypt-only").auth_delay is None

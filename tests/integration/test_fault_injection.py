@@ -1,0 +1,77 @@
+"""Fault-injection property tests: the security model under random flips.
+
+The strongest statement the functional model can make: under a verifying
+policy, **no random ciphertext tampering ever produces silently wrong
+output** -- every run either completes with the correct result (the flip
+hit unused memory) or raises the integrity exception before bad data
+reaches I/O.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import load_program, make_policy
+from repro.func import programs
+from repro.func.machine import SecureMachine
+
+
+def fresh_machine(policy):
+    machine = SecureMachine(make_policy(policy))
+    load_program(machine, programs.ARRAY_SUM,
+                 data=programs.ARRAY_SUM_DATA)
+    return machine
+
+
+# The program's whole working image: code at 0, data at 0x2000.
+_TARGET_REGIONS = st.one_of(
+    st.integers(0, 60),                    # code bytes
+    st.integers(0x2000, 0x2000 + 255),     # data bytes
+)
+
+
+class TestRandomTamperNeverSilentlyWrong:
+    @settings(max_examples=40, deadline=None)
+    @given(addr=_TARGET_REGIONS, mask=st.integers(1, 255))
+    def test_issue_policy_integrity(self, addr, mask):
+        machine = fresh_machine("authen-then-issue")
+        machine.mem.flip_bits(addr, bytes([mask]))
+        result = machine.run(5000)
+        if result.io_log:
+            # Output happened: it must be the correct value, and the run
+            # must have been clean.
+            assert result.io_log == [programs.ARRAY_SUM_EXPECTED]
+        if result.halted and not result.detected:
+            assert result.io_log == [programs.ARRAY_SUM_EXPECTED]
+
+    @settings(max_examples=40, deadline=None)
+    @given(addr=_TARGET_REGIONS, mask=st.integers(1, 255))
+    def test_commit_policy_io_integrity(self, addr, mask):
+        """authen-then-commit gates I/O: output is never wrong even
+        though speculation runs ahead."""
+        machine = fresh_machine("authen-then-commit")
+        machine.mem.flip_bits(addr, bytes([mask]))
+        result = machine.run(5000)
+        if result.io_log:
+            assert result.io_log == [programs.ARRAY_SUM_EXPECTED]
+
+    @settings(max_examples=25, deadline=None)
+    @given(addr=st.integers(0x2000, 0x2000 + 255),
+           mask=st.integers(1, 255))
+    def test_data_flip_always_detected_by_issue(self, addr, mask):
+        """Every data byte is consumed by the sum, so any flip there is
+        caught before the program can halt cleanly."""
+        machine = fresh_machine("authen-then-issue")
+        machine.mem.flip_bits(addr, bytes([mask]))
+        result = machine.run(5000)
+        assert result.detected
+        assert result.io_log == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(addr=_TARGET_REGIONS, mask=st.integers(1, 255))
+    def test_decrypt_only_can_be_silently_wrong(self, addr, mask):
+        """The contrast: without verification, flips corrupt silently.
+        (Not every flip changes the output -- but none is ever detected.)"""
+        machine = fresh_machine("decrypt-only")
+        machine.mem.flip_bits(addr, bytes([mask]))
+        result = machine.run(5000)
+        assert not result.detected

@@ -1,0 +1,166 @@
+"""Assembler and disassembler tests."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.assembler import assemble, assemble_to_bytes
+from repro.isa.disassembler import disassemble, disassemble_word
+from repro.isa.encoding import decode
+
+
+class TestBasicAssembly:
+    def test_single_alu(self):
+        words = assemble("add r1, r2, r3")
+        inst = decode(words[0])
+        assert (inst.op, inst.rd, inst.rs1, inst.rs2) == ("add", 1, 2, 3)
+
+    def test_immediate(self):
+        inst = decode(assemble("addi r1, r0, -7")[0])
+        assert (inst.op, inst.imm) == ("addi", -7)
+
+    def test_hex_immediate_reinterpreted(self):
+        inst = decode(assemble("andi r1, r2, 0xff00")[0])
+        assert inst.imm == 0xFF00 - 0x10000
+
+    def test_memory_operand(self):
+        inst = decode(assemble("lw r2, 4(r1)")[0])
+        assert (inst.op, inst.rd, inst.rs1, inst.imm) == ("lw", 2, 1, 4)
+
+    def test_negative_displacement(self):
+        inst = decode(assemble("sw r2, -8(r5)")[0])
+        assert inst.imm == -8
+
+    def test_comments_and_blanks_ignored(self):
+        words = assemble(
+            """
+            ; leading comment
+            nop      # trailing comment
+
+            halt
+            """
+        )
+        assert len(words) == 2
+
+    def test_zero_alias(self):
+        inst = decode(assemble("add r1, zero, r3")[0])
+        assert inst.rs1 == 0
+
+
+class TestLabels:
+    def test_forward_branch(self):
+        words = assemble(
+            """
+            beq r1, r2, done
+            nop
+            done:
+            halt
+            """
+        )
+        inst = decode(words[0])
+        # Offset is relative to the *next* instruction: skip exactly 'nop'.
+        assert inst.imm == 1
+
+    def test_backward_branch(self):
+        words = assemble(
+            """
+            loop:
+            nop
+            bne r1, r0, loop
+            """
+        )
+        assert decode(words[1]).imm == -2
+
+    def test_jump_label_is_absolute_word_index(self):
+        words = assemble(
+            """
+            nop
+            target:
+            nop
+            jmp target
+            """
+        )
+        assert decode(words[2]).imm == 1
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(IsaError):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_numeric_branch_offset(self):
+        assert decode(assemble("beq r0, r0, -1")[0]).imm == -1
+
+
+class TestDataDirectives:
+    def test_word_literal(self):
+        assert assemble(".word 0xdeadbeef")[0] == 0xDEADBEEF
+
+    def test_word_list(self):
+        assert assemble(".word 1, 2, 3") == [1, 2, 3]
+
+    def test_space(self):
+        assert assemble(".space 12") == [0, 0, 0]
+
+    def test_space_must_be_word_multiple(self):
+        with pytest.raises(IsaError):
+            assemble(".space 6")
+
+    def test_labels_count_data_words(self):
+        words = assemble(
+            """
+            .word 0, 0
+            entry:
+            jmp entry
+            """
+        )
+        assert decode(words[2]).imm == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "frob r1, r2, r3",
+            "add r1, r2",
+            "lw r1, r2, r3",
+            "addi r1, r0, notanumber",
+            "add r1, r2, r99",
+        ],
+    )
+    def test_bad_lines_rejected(self, line):
+        with pytest.raises(IsaError):
+            assemble(line)
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(IsaError):
+            assemble("nop", base_address=2)
+
+
+class TestBytesAndDisassembly:
+    def test_assemble_to_bytes_big_endian(self):
+        data = assemble_to_bytes("jmp 1")
+        assert len(data) == 4
+        assert decode(int.from_bytes(data, "big")).op == "jmp"
+
+    def test_disassemble_roundtrip_text(self):
+        source = [
+            "add r1, r2, r3",
+            "addi r4, r1, -5",
+            "lw r2, 8(r1)",
+            "sw r2, 0(r3)",
+            "beq r1, r2, 3",
+            "lui r4, 0x1ebc",
+            "jalr r1, r2",
+            "out r5",
+            "halt",
+        ]
+        words = assemble("\n".join(source))
+        for line, word in zip(source, words):
+            rendered = disassemble_word(word)
+            # Re-assembling the rendering gives the identical word.
+            assert assemble(rendered)[0] == word, (line, rendered)
+
+    def test_bad_word_renders_as_data(self):
+        assert disassemble_word(0x3D << 26).startswith(".word")
+
+    def test_listing_format(self):
+        listing = disassemble(assemble("nop\nhalt"), base_address=0x100)
+        assert "0x00000100" in listing and "halt" in listing

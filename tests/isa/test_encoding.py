@@ -1,0 +1,143 @@
+"""Encode/decode roundtrip and validation tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IsaError
+from repro.isa.encoding import decode, encode, try_decode
+from repro.isa.instructions import (
+    OPCODES,
+    Instruction,
+    InstructionFormat,
+    OpClass,
+    op_class,
+)
+
+R_OPS = sorted(n for n, (_, f, _) in OPCODES.items() if f is InstructionFormat.R)
+I_OPS = sorted(n for n, (_, f, _) in OPCODES.items() if f is InstructionFormat.I)
+J_OPS = sorted(n for n, (_, f, _) in OPCODES.items() if f is InstructionFormat.J)
+
+
+def _instructions():
+    """Hypothesis strategy over every encodable instruction."""
+    regs = st.integers(0, 31)
+    r_type = st.builds(
+        Instruction,
+        op=st.sampled_from(R_OPS),
+        rd=regs,
+        rs1=regs,
+        rs2=regs,
+    )
+    i_type = st.builds(
+        Instruction,
+        op=st.sampled_from(I_OPS),
+        rd=regs,
+        rs1=regs,
+        imm=st.integers(-(1 << 15), (1 << 15) - 1),
+    )
+    j_type = st.builds(
+        Instruction,
+        op=st.sampled_from(J_OPS),
+        imm=st.integers(0, (1 << 26) - 1),
+    )
+    return st.one_of(r_type, i_type, j_type)
+
+
+class TestRoundtrip:
+    @settings(max_examples=300, deadline=None)
+    @given(inst=_instructions())
+    def test_decode_inverts_encode(self, inst):
+        word = encode(inst)
+        back = decode(word)
+        if inst.op == "nop":
+            assert back.op == "nop"
+            return
+        assert back.op == inst.op
+        fmt = inst.fmt
+        if fmt is InstructionFormat.R:
+            assert (back.rd, back.rs1, back.rs2) == (inst.rd, inst.rs1, inst.rs2)
+        elif fmt is InstructionFormat.I:
+            assert (back.rd, back.rs1, back.imm) == (inst.rd, inst.rs1, inst.imm)
+        else:
+            assert back.imm == inst.imm
+
+    def test_nop_is_all_zero(self):
+        assert encode(Instruction("nop")) == 0
+        assert decode(0).op == "nop"
+
+
+class TestValidation:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(IsaError):
+            Instruction("frobnicate")
+
+    def test_register_bounds(self):
+        with pytest.raises(IsaError):
+            Instruction("add", rd=32)
+
+    def test_immediate_bounds(self):
+        with pytest.raises(IsaError):
+            encode(Instruction("addi", rd=1, rs1=1, imm=1 << 15))
+        with pytest.raises(IsaError):
+            encode(Instruction("addi", rd=1, rs1=1, imm=-(1 << 15) - 1))
+
+    def test_jump_target_bounds(self):
+        with pytest.raises(IsaError):
+            encode(Instruction("jmp", imm=1 << 26))
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(IsaError):
+            decode(0x3D << 26)  # opcode 0x3d is unassigned
+
+    def test_noncanonical_nop_rejected(self):
+        with pytest.raises(IsaError):
+            decode(0x00000001)
+
+    def test_r_type_padding_must_be_zero(self):
+        word = encode(Instruction("add", rd=1, rs1=2, rs2=3))
+        with pytest.raises(IsaError):
+            decode(word | 0x7)
+
+    def test_try_decode_swallow(self):
+        assert try_decode(0x3D << 26) is None
+        assert try_decode(encode(Instruction("halt"))).op == "halt"
+
+    def test_word_range(self):
+        with pytest.raises(IsaError):
+            decode(-1)
+        with pytest.raises(IsaError):
+            decode(1 << 32)
+
+
+class TestSemanticsMetadata:
+    def test_store_sources_include_data_register(self):
+        inst = Instruction("sw", rd=5, rs1=2, imm=8)
+        assert set(inst.sources()) == {2, 5}
+        assert inst.destination() is None
+
+    def test_branch_has_no_destination(self):
+        inst = Instruction("beq", rs1=1, rd=2, imm=-4)
+        assert inst.destination() is None
+        assert set(inst.sources()) == {1, 2}
+
+    def test_load_destination(self):
+        inst = Instruction("lw", rd=7, rs1=3, imm=0)
+        assert inst.destination() == 7
+        assert inst.sources() == (3,)
+
+    def test_write_to_r0_discarded(self):
+        assert Instruction("add", rd=0, rs1=1, rs2=2).destination() is None
+
+    def test_jal_links_r31(self):
+        assert Instruction("jal", imm=10).destination() == 31
+
+    def test_op_classes(self):
+        assert op_class("lw") is OpClass.LOAD
+        assert op_class("sw") is OpClass.STORE
+        assert op_class("beq") is OpClass.BRANCH
+        assert op_class("mul") is OpClass.IMUL
+        assert op_class("jmp") is OpClass.JUMP
+
+    def test_lui_has_no_register_sources(self):
+        assert Instruction("lui", rd=1, imm=5).sources() == ()

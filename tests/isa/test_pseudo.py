@@ -1,0 +1,79 @@
+"""Pseudo-instruction tests (assembler expansion + machine semantics)."""
+
+import pytest
+
+from repro import load_program, make_policy
+from repro.errors import IsaError
+from repro.func.machine import SecureMachine
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode
+
+
+class TestExpansion:
+    def test_li_is_always_two_words(self):
+        assert len(assemble("li r1, 0x12345678")) == 2
+        assert len(assemble("li r1, 5")) == 2
+
+    def test_li_encoding(self):
+        words = assemble("li r3, 0xdeadbeef")
+        first, second = decode(words[0]), decode(words[1])
+        assert first.op == "lui" and (first.imm & 0xFFFF) == 0xDEAD
+        assert second.op == "ori"
+
+    def test_mv(self):
+        inst = decode(assemble("mv r4, r7")[0])
+        assert (inst.op, inst.rd, inst.rs1, inst.rs2) == ("add", 4, 7, 0)
+
+    def test_b_is_jmp(self):
+        words = assemble("target:\nnop\nb target")
+        assert decode(words[1]).op == "jmp"
+
+    def test_labels_account_for_expansion(self):
+        words = assemble("""
+            li   r1, 0x10000
+            after:
+            jmp  after
+        """)
+        # li expands to two words, so 'after' is word 2.
+        assert decode(words[2]).imm == 2
+
+    def test_operand_count_validation(self):
+        with pytest.raises(IsaError):
+            assemble("li r1")
+        with pytest.raises(IsaError):
+            assemble("mv r1, r2, r3")
+
+
+class TestMachineSemantics:
+    def run_src(self, src):
+        machine = SecureMachine(make_policy("decrypt-only"))
+        load_program(machine, src)
+        result = machine.run(1000)
+        assert result.halted
+        return result
+
+    def test_li_loads_full_word(self):
+        result = self.run_src("""
+            li  r1, 0xdeadbeef
+            out r1
+            halt
+        """)
+        assert result.io_log == [0xDEADBEEF]
+
+    def test_mv_copies(self):
+        result = self.run_src("""
+            addi r2, r0, 77
+            mv   r3, r2
+            out  r3
+            halt
+        """)
+        assert result.io_log == [77]
+
+    def test_not_flips_all_bits(self):
+        result = self.run_src("""
+            li  r1, 0x0f0f0f0f
+            not r2, r1
+            out r2
+            halt
+        """)
+        assert result.io_log == [0xF0F0F0F0]

@@ -1,0 +1,146 @@
+"""SDRAM timing model tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DramConfig
+from repro.mem.bus import BandwidthBus
+from repro.mem.controller import MemoryController
+from repro.mem.dram import DramModel, PageStatus
+
+CFG = DramConfig()  # 5 core cycles/bus clock, CAS=100, RCD=35, RP=35 cycles
+
+
+class TestBus:
+    def test_transfer_cycles(self):
+        bus = BandwidthBus(width_bytes=8, cycles_per_beat=5)
+        assert bus.transfer_cycles(64) == 40
+        assert bus.transfer_cycles(1) == 5
+        assert bus.transfer_cycles(9) == 10
+
+    def test_serialisation(self):
+        bus = BandwidthBus(width_bytes=8, cycles_per_beat=5)
+        s1, e1 = bus.reserve(0, 64)
+        s2, e2 = bus.reserve(0, 64)
+        assert (s1, e1) == (0, 40)
+        assert (s2, e2) == (40, 80)
+
+    def test_idle_gap_preserved(self):
+        bus = BandwidthBus(width_bytes=8, cycles_per_beat=5)
+        bus.reserve(0, 8)
+        start, _ = bus.reserve(100, 8)
+        assert start == 100
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BandwidthBus(width_bytes=0)
+
+
+class TestRowBuffer:
+    def test_first_access_is_empty_page(self):
+        dram = DramModel(CFG)
+        assert dram.classify(0) is PageStatus.EMPTY
+        result = dram.access(0, 0)
+        assert result.status is PageStatus.EMPTY
+
+    def test_second_access_same_row_hits(self):
+        dram = DramModel(CFG)
+        dram.access(0, 0)
+        assert dram.classify(64) is PageStatus.HIT
+
+    def test_conflict_on_same_bank_other_row(self):
+        dram = DramModel(CFG)
+        dram.access(0, 0)
+        # Same bank: row index differs by num_banks rows.
+        conflict_addr = CFG.row_bytes * CFG.num_banks
+        assert dram.classify(conflict_addr) is PageStatus.CONFLICT
+
+    def test_other_bank_is_independent(self):
+        dram = DramModel(CFG)
+        dram.access(0, 0)
+        assert dram.classify(CFG.interleave_bytes) is PageStatus.EMPTY
+
+    def test_latency_ordering(self):
+        """conflict > empty > hit for back-to-back idle accesses."""
+        def latency_of(status_addr_pairs):
+            dram = DramModel(CFG)
+            last = None
+            for addr in status_addr_pairs:
+                last = dram.access(addr, 10_000 * (1 + status_addr_pairs.index(addr)))
+            return last.done_cycle - last.start_cycle
+
+        hit = latency_of([0, 64])
+        empty = latency_of([0])
+        conflict = latency_of([0, CFG.row_bytes * CFG.num_banks])
+        assert conflict > empty > hit
+
+    def test_hit_latency_value(self):
+        dram = DramModel(CFG)
+        dram.access(0, 0)
+        result = dram.access(64, 10_000)
+        assert result.done_cycle - result.start_cycle == (
+            CFG.cas_cycles + dram.bus.transfer_cycles(64)
+        )
+
+    def test_critical_word_before_done(self):
+        dram = DramModel(CFG)
+        result = dram.access(0, 0)
+        assert result.start_cycle <= result.critical_cycle < result.done_cycle
+
+    def test_reset(self):
+        dram = DramModel(CFG)
+        dram.access(0, 0)
+        dram.reset()
+        assert dram.classify(0) is PageStatus.EMPTY
+        assert dram.stats["accesses"].value == 0
+
+
+class TestTimingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        addrs=st.lists(st.integers(0, 1 << 24).map(lambda a: a & ~63),
+                       min_size=1, max_size=20),
+    )
+    def test_monotonic_completion_under_contention(self, addrs):
+        """Issuing at cycle 0, completions never go backwards in time."""
+        dram = DramModel(CFG)
+        last_done = 0
+        for addr in addrs:
+            result = dram.access(addr, 0)
+            assert result.done_cycle >= last_done
+            last_done = result.done_cycle
+
+    @settings(max_examples=40, deadline=None)
+    @given(cycle=st.integers(0, 10**6), addr=st.integers(0, 1 << 30))
+    def test_no_time_travel(self, cycle, addr):
+        dram = DramModel(CFG)
+        result = dram.access(addr & ~63, cycle)
+        assert result.start_cycle >= cycle
+        assert result.done_cycle > result.start_cycle
+
+
+class TestController:
+    def test_mac_rider_widens_transfer(self):
+        plain = MemoryController(CFG, line_bytes=64, mac_rider_bytes=0)
+        tagged = MemoryController(CFG, line_bytes=64, mac_rider_bytes=8)
+        a = plain.fetch_line(0, 0)
+        b = tagged.fetch_line(0, 0)
+        assert b.latency == a.latency + plain.dram.bus.cycles_per_beat
+
+    def test_metadata_access_counted(self):
+        ctl = MemoryController(CFG)
+        ctl.fetch_metadata(4096, 0, 8)
+        assert ctl.stats["metadata_accesses"].value == 1
+
+    def test_read_latency_histogram(self):
+        ctl = MemoryController(CFG)
+        ctl.fetch_line(0, 0)
+        ctl.fetch_line(64, 1000)
+        assert ctl.stats["read_latency"].total == 2
+
+    def test_writes_counted_separately(self):
+        ctl = MemoryController(CFG)
+        ctl.write_line(0, 0)
+        assert ctl.stats["line_writes"].value == 1
+        assert ctl.stats["line_reads"].value == 0

@@ -1,0 +1,93 @@
+"""Physical memory tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.mem.physical import PhysicalMemory
+
+
+class TestBasics:
+    def test_zero_initialised(self):
+        mem = PhysicalMemory(1 << 20)
+        assert mem.read(0x1234, 8) == bytes(8)
+
+    def test_write_read_roundtrip(self):
+        mem = PhysicalMemory(1 << 20)
+        mem.write(100, b"hello world")
+        assert mem.read(100, 11) == b"hello world"
+
+    def test_cross_page_access(self):
+        mem = PhysicalMemory(1 << 20)
+        data = bytes(range(64))
+        mem.write(4096 - 20, data)
+        assert mem.read(4096 - 20, 64) == data
+
+    def test_word_accessors(self):
+        mem = PhysicalMemory(1 << 20)
+        mem.write_word(8, 0xDEADBEEF)
+        assert mem.read_word(8) == 0xDEADBEEF
+        assert mem.read(8, 4) == b"\xde\xad\xbe\xef"  # big-endian
+
+    def test_word_alignment_enforced(self):
+        mem = PhysicalMemory(1 << 20)
+        with pytest.raises(MemoryError_):
+            mem.read_word(2)
+        with pytest.raises(MemoryError_):
+            mem.write_word(5, 0)
+
+    def test_bounds(self):
+        mem = PhysicalMemory(1024)
+        with pytest.raises(MemoryError_):
+            mem.read(1020, 8)
+        with pytest.raises(MemoryError_):
+            mem.write(-1, b"x")
+
+    def test_bad_size(self):
+        with pytest.raises(MemoryError_):
+            PhysicalMemory(0)
+
+    def test_sparse_pages(self):
+        mem = PhysicalMemory(1 << 32)
+        mem.write(5 * 4096, b"x")
+        assert mem.touched_pages() == [5]
+
+
+class TestFlipBits:
+    def test_flip_is_xor(self):
+        mem = PhysicalMemory(1 << 16)
+        mem.write(0, b"\xff\x00\xaa")
+        mem.flip_bits(0, b"\x0f\xf0\xff")
+        assert mem.read(0, 3) == b"\xf0\xf0\x55"
+
+    def test_double_flip_restores(self):
+        mem = PhysicalMemory(1 << 16)
+        mem.write(10, b"secret42")
+        mem.flip_bits(10, b"\x55" * 8)
+        mem.flip_bits(10, b"\x55" * 8)
+        assert mem.read(10, 8) == b"secret42"
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        addr=st.integers(0, 8000),
+        data=st.binary(min_size=1, max_size=200),
+    )
+    def test_roundtrip_anywhere(self, addr, data):
+        mem = PhysicalMemory(1 << 16)
+        mem.write(addr, data)
+        assert mem.read(addr, len(data)) == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        first=st.binary(min_size=4, max_size=32),
+        second=st.binary(min_size=4, max_size=32),
+    )
+    def test_disjoint_writes_do_not_interfere(self, first, second):
+        mem = PhysicalMemory(1 << 16)
+        mem.write(0, first)
+        mem.write(1000, second)
+        assert mem.read(0, len(first)) == first
+        assert mem.read(1000, len(second)) == second

@@ -1,0 +1,142 @@
+"""Policy semantics and registry tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.policies.base import AuthPolicy
+from repro.policies.registry import (
+    FIGURE7_POLICIES,
+    POLICY_NAMES,
+    available_policies,
+    make_policy,
+)
+from repro.policies.security import TABLE2_POLICIES, security_matrix
+
+
+class TestRegistry:
+    def test_all_policies_constructible(self):
+        for name in available_policies():
+            policy = make_policy(name)
+            assert policy.name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            make_policy("authen-then-magic")
+
+    def test_figure7_policies_registered(self):
+        for name in FIGURE7_POLICIES:
+            assert name in POLICY_NAMES
+
+    def test_instances_are_fresh(self):
+        assert make_policy("lazy") is not make_policy("lazy")
+
+
+class TestGates:
+    def test_baseline_gates_nothing(self):
+        p = make_policy("decrypt-only")
+        assert not (p.gate_issue or p.gate_commit or p.gate_store
+                    or p.gate_fetch or p.authentication)
+
+    def test_issue_gates_values(self):
+        p = make_policy("authen-then-issue")
+        assert p.value_ready(100, 180) == 180
+        assert p.commit_ready(200, 180) == 200
+
+    def test_commit_gates_commit_only(self):
+        p = make_policy("authen-then-commit")
+        assert p.value_ready(100, 180) == 100
+        assert p.commit_ready(150, 180) == 180
+        assert p.commit_ready(200, 180) == 200
+
+    def test_write_gates_stores_only(self):
+        p = make_policy("authen-then-write")
+        assert p.value_ready(100, 180) == 100
+        assert p.commit_ready(150, 180) == 150
+        assert p.store_release(150, 300) == 300
+        assert p.store_release(400, 300) == 400
+
+    def test_non_write_store_release(self):
+        p = make_policy("authen-then-commit")
+        assert p.store_release(150, 300) == 150
+
+    def test_speculation_window(self):
+        assert not make_policy("authen-then-issue").speculation_window
+        assert make_policy("authen-then-commit").speculation_window
+
+    def test_combined_policies(self):
+        p = make_policy("commit+fetch")
+        assert p.gate_commit and p.gate_fetch and not p.gate_issue
+        p = make_policy("commit+obfuscation")
+        assert p.gate_commit and p.obfuscation and not p.gate_fetch
+
+    def test_lazy_has_wide_window(self):
+        assert make_policy("lazy").window_scale > 1
+
+
+class _StubEngine:
+    def __init__(self, frontier_by_cycle):
+        self._table = frontier_by_cycle
+
+    def auth_frontier(self, cycle):
+        return self._table.get(cycle, 0)
+
+
+class TestFetchGate:
+    def test_ungated_policy_returns_zero(self):
+        p = make_policy("authen-then-commit")
+        assert p.fetch_gate_time(_StubEngine({10: 500}), 10, 20) == 0
+
+    def test_tag_variant_uses_issue_time(self):
+        p = make_policy("authen-then-fetch")
+        engine = _StubEngine({10: 500, 20: 900})
+        assert p.fetch_gate_time(engine, 10, 20) == 500
+
+    def test_drain_variant_uses_fetch_time(self):
+        p = make_policy("authen-then-fetch-drain")
+        engine = _StubEngine({10: 500, 20: 900})
+        assert p.fetch_gate_time(engine, 10, 20) == 900
+
+
+class TestSecurityMatrix:
+    def test_table2_rows_present(self):
+        matrix = security_matrix()
+        assert set(matrix) == set(TABLE2_POLICIES)
+
+    def test_issue_has_all_properties(self):
+        s = make_policy("authen-then-issue").security
+        assert (s.prevents_fetch_side_channel and s.precise_exception
+                and s.authenticated_memory_state
+                and s.authenticated_processor_state)
+
+    def test_write_only_memory_state(self):
+        s = make_policy("authen-then-write").security
+        assert s.authenticated_memory_state
+        assert not s.prevents_fetch_side_channel
+        assert not s.precise_exception
+        assert not s.authenticated_processor_state
+
+    def test_commit_lacks_side_channel_protection(self):
+        s = make_policy("authen-then-commit").security
+        assert not s.prevents_fetch_side_channel
+        assert s.precise_exception
+
+    def test_recommended_combinations_full_marks(self):
+        for name in ("commit+fetch", "commit+obfuscation"):
+            s = make_policy(name).security
+            assert (s.prevents_fetch_side_channel and s.precise_exception
+                    and s.authenticated_memory_state
+                    and s.authenticated_processor_state)
+
+    def test_matrix_matches_paper_table2(self):
+        """The exact check/blank pattern of the paper's Table 2."""
+        matrix = security_matrix()
+        expected = {
+            "authen-then-issue": (True, True, True, True),
+            "authen-then-write": (False, False, True, False),
+            "authen-then-commit": (False, True, True, True),
+            "commit+fetch": (True, True, True, True),
+            "commit+obfuscation": (True, True, True, True),
+        }
+        for policy, flags in expected.items():
+            row = matrix[policy]
+            assert tuple(row.values()) == flags, policy

@@ -1,0 +1,101 @@
+"""Authentication queue semantics (Section 4.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.secure.auth_queue import NO_REQUEST, AuthQueue
+
+
+class TestBasics:
+    def test_empty_queue_last_request(self):
+        queue = AuthQueue()
+        assert queue.last_request == NO_REQUEST
+        assert queue.completion_time(NO_REQUEST) == 0
+
+    def test_single_request_latency(self):
+        queue = AuthQueue(mac_latency=74)
+        tag, done = queue.enqueue(100)
+        assert tag == 0
+        assert done == 174
+        assert queue.last_request == 0
+
+    def test_tags_are_sequential(self):
+        queue = AuthQueue()
+        tags = [queue.enqueue(i)[0] for i in range(5)]
+        assert tags == [0, 1, 2, 3, 4]
+
+    def test_extra_latency_added(self):
+        queue = AuthQueue(mac_latency=74)
+        _, done = queue.enqueue(0, extra_latency=100)
+        assert done == 74 + 100
+
+
+class TestInOrderCompletion:
+    def test_later_request_never_completes_earlier(self):
+        queue = AuthQueue(mac_latency=74, throughput=18)
+        _, d1 = queue.enqueue(0, extra_latency=500)   # slow request
+        _, d2 = queue.enqueue(10)                      # fast request
+        assert d2 >= d1
+
+    def test_pipelined_throughput(self):
+        queue = AuthQueue(mac_latency=74, throughput=18)
+        _, d1 = queue.enqueue(0)
+        _, d2 = queue.enqueue(0)
+        # Second request starts at the initiation interval, not after d1.
+        assert d2 == 18 + 74
+
+    def test_idle_queue_restarts_clean(self):
+        queue = AuthQueue(mac_latency=74, throughput=18)
+        queue.enqueue(0)
+        _, done = queue.enqueue(10_000)
+        assert done == 10_000 + 74
+
+
+class TestBackpressure:
+    def test_full_queue_delays_entry(self):
+        queue = AuthQueue(depth=2, mac_latency=100, throughput=1)
+        _, d0 = queue.enqueue(0)       # completes at 100
+        queue.enqueue(0)
+        _, d2 = queue.enqueue(0)       # must wait for request 0's slot
+        assert d2 >= d0 + 100
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            AuthQueue(depth=0)
+        with pytest.raises(ValueError):
+            AuthQueue(mac_latency=0)
+
+
+class TestDrain:
+    def test_drained_after_equals_completion(self):
+        queue = AuthQueue()
+        for i in range(4):
+            queue.enqueue(10 * i)
+        assert queue.drained_after(3) == queue.completion_time(3)
+
+    def test_pending_at(self):
+        queue = AuthQueue(mac_latency=74, throughput=18)
+        queue.enqueue(0)
+        queue.enqueue(0)
+        assert queue.pending_at(0) == 2
+        assert queue.pending_at(10_000) == 0
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(ready_times=st.lists(st.integers(0, 10_000), min_size=1,
+                                max_size=40))
+    def test_completions_monotone_nondecreasing(self, ready_times):
+        queue = AuthQueue(depth=8)
+        dones = [queue.enqueue(t)[1] for t in ready_times]
+        assert all(b >= a for a, b in zip(dones, dones[1:]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(ready_times=st.lists(st.integers(0, 10_000), min_size=1,
+                                max_size=40))
+    def test_completion_after_ready_plus_latency(self, ready_times):
+        queue = AuthQueue(depth=8, mac_latency=74)
+        for t in ready_times:
+            _, done = queue.enqueue(t)
+            assert done >= t + 74

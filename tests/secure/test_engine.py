@@ -1,0 +1,131 @@
+"""SecureMemoryEngine integration tests."""
+
+import random
+
+import pytest
+
+from repro.config import DramConfig, SecureConfig
+from repro.mem.controller import MemoryController
+from repro.secure.engine import SecureMemoryEngine
+from repro.secure.metadata import MetadataLayout
+from repro.util.statistics import StatGroup
+
+
+def make_engine(**secure_kwargs):
+    config = SecureConfig(**secure_kwargs)
+    controller = MemoryController(DramConfig())
+    layout = MetadataLayout(protected_bytes=1 << 20)
+    rng = random.Random(42)
+    stats = StatGroup("sec")
+    engine = SecureMemoryEngine(config, layout, controller, rng, stats)
+    return engine, controller
+
+
+class TestDataAndVerifyTimes:
+    def test_verify_lags_data(self):
+        """The paper's premise: a positive decrypt-to-verify gap."""
+        engine, _ = make_engine()
+        fetch = engine.fetch_line(0, 0)
+        assert fetch.verify_time > fetch.data_time
+        assert fetch.gap > 0
+
+    def test_tags_increment(self):
+        engine, _ = make_engine()
+        f1 = engine.fetch_line(0, 0)
+        f2 = engine.fetch_line(4096, 100)
+        assert (f1.tag, f2.tag) == (0, 1)
+        assert engine.last_request == 1
+
+    def test_auth_completion_lookup(self):
+        engine, _ = make_engine()
+        fetch = engine.fetch_line(0, 0)
+        assert engine.auth_completion(fetch.tag) == fetch.verify_time
+
+    def test_gate_time_delays_everything(self):
+        engine, _ = make_engine()
+        gated = engine.fetch_line(0, 0, gate_time=5000)
+        assert gated.data_time > 5000
+
+    def test_counter_cache_miss_first_hit_second(self):
+        engine, controller = make_engine()
+        engine.fetch_line(0, 0)
+        meta_first = controller.stats["metadata_accesses"].value
+        engine.fetch_line(64, 10_000)  # adjacent line: counter block cached
+        assert controller.stats["metadata_accesses"].value == meta_first
+
+
+class TestAuthenticationDisabled:
+    def test_baseline_has_no_gap(self):
+        config = SecureConfig()
+        controller = MemoryController(DramConfig())
+        layout = MetadataLayout(protected_bytes=1 << 20)
+        engine = SecureMemoryEngine(config, layout, controller,
+                                    authentication_enabled=False)
+        fetch = engine.fetch_line(0, 0)
+        assert fetch.gap == 0
+        assert fetch.tag == -1
+
+    def test_baseline_skips_mac_rider(self):
+        config = SecureConfig()
+        controller = MemoryController(DramConfig())
+        layout = MetadataLayout(protected_bytes=1 << 20)
+        SecureMemoryEngine(config, layout, controller,
+                           authentication_enabled=False)
+        assert controller.mac_rider_bytes == 0
+
+
+class TestHashTreeIntegration:
+    def test_tree_widens_gap(self):
+        plain, _ = make_engine()
+        treed, _ = make_engine(hash_tree_enabled=True)
+        f_plain = plain.fetch_line(0, 0)
+        f_tree = treed.fetch_line(0, 0)
+        assert f_tree.gap > f_plain.gap
+
+    def test_tree_cache_warms_up(self):
+        engine, controller = make_engine(hash_tree_enabled=True)
+        engine.fetch_line(0, 0)
+        fetches_cold = controller.stats["metadata_accesses"].value
+        engine.fetch_line(64, 50_000)
+        # Adjacent line shares the whole path: no new tree fetches, and the
+        # counter block is shared too.
+        assert controller.stats["metadata_accesses"].value == fetches_cold
+
+
+class TestObfuscationIntegration:
+    def test_requires_rng(self):
+        config = SecureConfig(obfuscation_enabled=True)
+        controller = MemoryController(DramConfig())
+        layout = MetadataLayout(protected_bytes=1 << 20)
+        with pytest.raises(ValueError):
+            SecureMemoryEngine(config, layout, controller)
+
+    def test_remap_adds_latency(self):
+        plain, _ = make_engine()
+        obf, _ = make_engine(obfuscation_enabled=True)
+        f_plain = plain.fetch_line(0, 0)
+        f_obf = obf.fetch_line(0, 0)
+        assert f_obf.data_time > f_plain.data_time
+
+    def test_writeback_reshuffles(self):
+        engine, controller = make_engine(obfuscation_enabled=True)
+        engine.write_line(128, 100)
+        assert engine.obfuscator.table.lookup(2) is not None
+        assert controller.stats["line_writes"].value == 1
+
+
+class TestWriteback:
+    def test_writeback_without_obfuscation(self):
+        engine, controller = make_engine()
+        engine.write_line(0, 100)
+        assert controller.stats["line_writes"].value == 1
+
+    def test_writeback_bumps_counter(self):
+        engine, _ = make_engine()
+        engine.write_line(0, 100)
+        counter_addr = engine.layout.counter_addr(0)
+        assert engine.counter_cache._cache.lookup(counter_addr).dirty
+
+    def test_requires_controller(self):
+        with pytest.raises(ValueError):
+            SecureMemoryEngine(SecureConfig(), None, None)

@@ -1,0 +1,106 @@
+"""Engine tests for the CBC and GMAC paths and the arrival frontier."""
+
+import pytest
+
+from repro.config import DramConfig, SecureConfig
+from repro.mem.controller import MemoryController
+from repro.secure.engine import SecureMemoryEngine
+from repro.secure.metadata import MetadataLayout
+from repro.util.statistics import StatGroup
+
+
+def make_engine(**secure_kwargs):
+    config = SecureConfig(**secure_kwargs)
+    controller = MemoryController(DramConfig())
+    layout = MetadataLayout(protected_bytes=1 << 20)
+    stats = StatGroup("sec")
+    engine = SecureMemoryEngine(config, layout, controller, stats=stats)
+    return engine, controller
+
+
+class TestCbcEngine:
+    def test_cbc_data_later_than_ctr(self):
+        ctr, _ = make_engine()
+        cbc, _ = make_engine(encryption_mode="cbc")
+        f_ctr = ctr.fetch_line(0, 0)
+        f_cbc = cbc.fetch_line(0, 0)
+        assert f_cbc.data_time > f_ctr.data_time
+
+    def test_cbc_needs_no_counter_fetches(self):
+        engine, controller = make_engine(encryption_mode="cbc")
+        for i in range(8):
+            engine.fetch_line(i * 4096, 1000 * i)
+        assert controller.stats["metadata_accesses"].value == 0
+
+    def test_cbc_verify_tracks_full_line_decrypt(self):
+        engine, _ = make_engine(encryption_mode="cbc")
+        fetch = engine.fetch_line(0, 0)
+        # Verification (CBC-MAC) completes with the serial decryption of
+        # the full line, so the gap is bounded by the serial tail plus
+        # the in-order queue -- far smaller relative to data_time.
+        assert fetch.verify_time >= fetch.data_time
+
+    def test_cbc_gate_respected(self):
+        engine, _ = make_engine(encryption_mode="cbc")
+        fetch = engine.fetch_line(0, 0, gate_time=9000)
+        assert fetch.data_time > 9000
+
+
+class TestGmacEngine:
+    def test_gmac_narrows_gap(self):
+        hmac, _ = make_engine(mac_scheme="hmac")
+        gmac, _ = make_engine(mac_scheme="gmac")
+        gap_hmac = hmac.fetch_line(0, 0).gap
+        gap_gmac = gmac.fetch_line(0, 0).gap
+        assert gap_gmac < gap_hmac
+        assert gap_gmac <= SecureConfig().gmac_latency + 2
+
+    def test_gmac_still_verifies_after_data(self):
+        engine, _ = make_engine(mac_scheme="gmac")
+        fetch = engine.fetch_line(0, 0)
+        assert fetch.verify_time > fetch.data_time - 1
+
+
+class TestArrivalFrontier:
+    def test_frontier_before_any_request_is_zero(self):
+        engine, _ = make_engine()
+        assert engine.auth_frontier(0) == 0
+
+    def test_frontier_excludes_unarrived_blocks(self):
+        engine, _ = make_engine()
+        fetch = engine.fetch_line(0, 0)
+        # An instruction issuing before the block arrived cannot depend
+        # on it, so the frontier there is still empty.
+        assert engine.auth_frontier(fetch.mem_done - 1) == 0
+        assert engine.auth_frontier(fetch.mem_done) == fetch.verify_time
+
+    def test_frontier_monotone(self):
+        engine, _ = make_engine()
+        for i in range(6):
+            engine.fetch_line(i * 4096, 500 * i)
+        values = [engine.auth_frontier(t) for t in range(0, 6000, 250)]
+        assert values == sorted(values)
+
+    def test_frontier_disabled_without_authentication(self):
+        config = SecureConfig()
+        controller = MemoryController(DramConfig())
+        layout = MetadataLayout(protected_bytes=1 << 20)
+        engine = SecureMemoryEngine(config, layout, controller,
+                                    authentication_enabled=False)
+        engine.fetch_line(0, 0)
+        assert engine.auth_frontier(10**9) == 0
+
+
+class TestMshr:
+    def test_limited_mshrs_throttle_misses(self):
+        import dataclasses
+
+        from repro import SimConfig, generate_trace, get_profile, run_trace
+
+        trace = generate_trace(get_profile("swim"), 6000)
+        few = dataclasses.replace(SimConfig(), mshr_entries=1)
+        many = dataclasses.replace(SimConfig(), mshr_entries=32)
+        slow = run_trace(trace, few, "decrypt-only")
+        fast = run_trace(trace, many, "decrypt-only")
+        assert slow.ipc < fast.ipc
+        assert slow.stats["mshr_stall_events"].value > 0

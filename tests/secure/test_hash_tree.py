@@ -1,0 +1,125 @@
+"""Merkle tree (functional) and CHTree timing tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DramConfig
+from repro.errors import IntegrityError
+from repro.mem.controller import MemoryController
+from repro.secure.hash_tree import HashTreeTiming, MerkleTree
+from repro.secure.metadata import MetadataLayout
+
+
+class TestMerkleFunctional:
+    def test_update_then_verify(self):
+        tree = MerkleTree(num_leaves=16, arity=4)
+        tree.update(3, b"hello line")
+        assert tree.verify(3, b"hello line")
+
+    def test_unwritten_leaf_fails(self):
+        tree = MerkleTree(num_leaves=16)
+        with pytest.raises(IntegrityError):
+            tree.verify(0, b"anything")
+
+    def test_tamper_detected(self):
+        tree = MerkleTree(num_leaves=16)
+        tree.update(5, b"original")
+        with pytest.raises(IntegrityError):
+            tree.verify(5, b"originaX")
+
+    def test_replay_detected(self):
+        """The attack MACs alone cannot stop: restore stale data."""
+        tree = MerkleTree(num_leaves=16)
+        tree.update(5, b"version1")
+        tree.update(5, b"version2")
+        with pytest.raises(IntegrityError):
+            tree.verify(5, b"version1")
+        assert tree.verify(5, b"version2")
+
+    def test_cross_leaf_splice_detected(self):
+        """Moving a valid leaf to another index must fail (address binding)."""
+        tree = MerkleTree(num_leaves=16)
+        tree.update(1, b"payload")
+        tree.update(2, b"other")
+        with pytest.raises(IntegrityError):
+            tree.verify(2, b"payload")
+
+    def test_root_changes_on_update(self):
+        tree = MerkleTree(num_leaves=16)
+        tree.update(0, b"a")
+        root1 = tree.root
+        tree.update(15, b"b")
+        assert tree.root != root1
+
+    def test_single_leaf_tree(self):
+        tree = MerkleTree(num_leaves=1)
+        tree.update(0, b"only")
+        assert tree.verify(0, b"only")
+
+    def test_bounds(self):
+        tree = MerkleTree(num_leaves=4)
+        with pytest.raises(ValueError):
+            tree.update(4, b"x")
+        with pytest.raises(ValueError):
+            tree.verify(-1, b"x")
+        with pytest.raises(ValueError):
+            MerkleTree(num_leaves=0)
+        with pytest.raises(ValueError):
+            MerkleTree(num_leaves=4, arity=1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        leaf=st.integers(0, 63),
+        data=st.binary(min_size=1, max_size=64),
+        flip_byte=st.integers(0, 63),
+        flip_mask=st.integers(1, 255),
+    )
+    def test_any_single_byte_tamper_detected(self, leaf, data, flip_byte,
+                                             flip_mask):
+        tree = MerkleTree(num_leaves=64, arity=4)
+        padded = data.ljust(64, b"\x00")
+        tree.update(leaf, padded)
+        tampered = bytearray(padded)
+        tampered[flip_byte] ^= flip_mask
+        with pytest.raises(IntegrityError):
+            tree.verify(leaf, bytes(tampered))
+
+
+class TestHashTreeTiming:
+    def _setup(self):
+        layout = MetadataLayout(protected_bytes=1 << 20)
+        controller = MemoryController(DramConfig())
+        timing = HashTreeTiming(layout, cache_bytes=8 * 1024, hash_latency=74)
+        return layout, controller, timing
+
+    def test_cold_walk_fetches_all_levels(self):
+        layout, controller, timing = self._setup()
+        ready, extra = timing.verification_extra(0, 1000, controller)
+        assert ready > 1000
+        # Node fetches serialise; hashing is pipelined (one extra hash).
+        assert extra == 74
+        assert controller.stats["metadata_accesses"].value == \
+            layout.tree_levels
+
+    def test_cached_ancestors_shorten_walk(self):
+        layout, controller, timing = self._setup()
+        timing.verification_extra(0, 1000, controller)
+        # Line 1 shares line 0's entire path (arity 4): all nodes cached.
+        ready, extra = timing.verification_extra(64, 50_000, controller)
+        assert extra == 0
+        assert ready == 50_000
+
+    def test_far_line_shares_only_top_levels(self):
+        layout, controller, timing = self._setup()
+        timing.verification_extra(0, 1000, controller)
+        far_addr = (layout.num_lines - 1) * layout.line_bytes
+        _, extra = timing.verification_extra(far_addr, 50_000, controller)
+        assert 0 < extra < 74 * layout.tree_levels
+
+    def test_update_touch_dirties_cached_nodes(self):
+        layout, controller, timing = self._setup()
+        timing.verification_extra(0, 1000, controller)
+        timing.touch_for_update(0)
+        leaf_node = layout.tree_path(0)[0]
+        assert timing.node_cache.lookup(leaf_node).dirty

@@ -1,0 +1,97 @@
+"""Metadata layout, counter cache and decryption engine tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.secure.counter_cache import CounterCache
+from repro.secure.decryption import DecryptionEngine
+from repro.secure.metadata import MetadataLayout
+
+
+class TestLayout:
+    def test_regions_do_not_overlap(self):
+        layout = MetadataLayout(protected_bytes=1 << 20)
+        assert layout.counter_base == 1 << 20
+        assert layout.remap_base > layout.counter_base
+        assert layout.tree_base > layout.remap_base
+        assert layout.total_bytes > layout.tree_base
+
+    def test_line_index(self):
+        layout = MetadataLayout(protected_bytes=1 << 20, line_bytes=64)
+        assert layout.line_index(0) == 0
+        assert layout.line_index(63) == 0
+        assert layout.line_index(64) == 1
+
+    def test_line_index_bounds(self):
+        layout = MetadataLayout(protected_bytes=1 << 20)
+        with pytest.raises(ConfigError):
+            layout.line_index(1 << 20)
+        with pytest.raises(ConfigError):
+            layout.line_index(-1)
+
+    def test_counter_addresses_distinct(self):
+        layout = MetadataLayout(protected_bytes=1 << 20, counter_bytes=8)
+        addrs = {layout.counter_addr(i) for i in range(100)}
+        assert len(addrs) == 100
+
+    def test_tree_levels_shrink_to_root(self):
+        layout = MetadataLayout(protected_bytes=1 << 20, line_bytes=64,
+                                hash_bytes=16)
+        # 16384 lines, arity 4 -> 4096, 1024, 256, 64, 16, 4, 1 nodes.
+        assert layout.tree_arity == 4
+        assert layout._level_nodes[-1] == 1
+        for a, b in zip(layout._level_nodes, layout._level_nodes[1:]):
+            assert b == -(-a // 4)
+
+    def test_tree_path_is_leaf_up(self):
+        layout = MetadataLayout(protected_bytes=1 << 20)
+        path = layout.tree_path(0)
+        assert len(path) == layout.tree_levels
+        assert path[0] == layout.tree_node_addr(0, 0)
+
+    def test_tree_path_shares_ancestors(self):
+        layout = MetadataLayout(protected_bytes=1 << 20)
+        p0 = layout.tree_path(0)
+        p1 = layout.tree_path(1)  # same leaf-level node (arity 4)
+        assert p0 == p1
+        p_far = layout.tree_path(layout.num_lines - 1)
+        assert p0[-1] == p_far[-1]  # same top node
+        assert p0[0] != p_far[0]
+
+    def test_unaligned_region_rejected(self):
+        with pytest.raises(ConfigError):
+            MetadataLayout(protected_bytes=100, line_bytes=64)
+
+
+class TestCounterCache:
+    def test_miss_then_hit(self):
+        cache = CounterCache(size_bytes=4096)
+        assert not cache.lookup_counter(0x1000)
+        assert cache.lookup_counter(0x1000)
+
+    def test_spatial_locality_of_counters(self):
+        """Counters for adjacent lines share a counter-cache line."""
+        layout = MetadataLayout(protected_bytes=1 << 20, counter_bytes=8)
+        cache = CounterCache(size_bytes=4096, line_bytes=64)
+        assert not cache.lookup_counter(layout.counter_addr(0))
+        for line in range(1, layout.counters_per_line()):
+            assert cache.lookup_counter(layout.counter_addr(line))
+
+    def test_bump_marks_dirty(self):
+        cache = CounterCache(size_bytes=4096)
+        cache.bump(0)
+        assert cache._cache.lookup(0).dirty
+
+
+class TestDecryptionEngine:
+    def test_pad_hidden_behind_fetch(self):
+        engine = DecryptionEngine(decrypt_latency=80, xor_latency=1)
+        assert engine.data_ready(pad_start=0, ciphertext_arrival=200) == 201
+
+    def test_pad_on_critical_path_when_late(self):
+        engine = DecryptionEngine(decrypt_latency=80, xor_latency=1)
+        assert engine.data_ready(pad_start=190, ciphertext_arrival=200) == 271
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecryptionEngine(decrypt_latency=0)

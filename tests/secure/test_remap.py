@@ -1,0 +1,126 @@
+"""Address obfuscation (re-map table + re-map cache) tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DramConfig
+from repro.mem.controller import MemoryController
+from repro.secure.metadata import MetadataLayout
+from repro.secure.remap import AddressObfuscator, RemapTable
+
+
+class TestRemapTable:
+    def test_identity_until_reshuffle(self):
+        table = RemapTable(16, random.Random(1))
+        assert [table.lookup(i) for i in range(16)] == list(range(16))
+
+    def test_reshuffle_is_swap(self):
+        table = RemapTable(16, random.Random(1))
+        new_slot, displaced = table.reshuffle(3)
+        assert table.lookup(3) == new_slot
+        if displaced != 3:
+            assert table.lookup(displaced) == 3
+
+    def test_bounds(self):
+        table = RemapTable(4, random.Random(0))
+        with pytest.raises(ValueError):
+            table.lookup(4)
+        with pytest.raises(ValueError):
+            table.reshuffle(-1)
+        with pytest.raises(ValueError):
+            RemapTable(0, random.Random(0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        ops=st.lists(st.integers(0, 31), min_size=1, max_size=100),
+    )
+    def test_always_a_permutation(self, seed, ops):
+        """The core invariant: remapping never aliases two chunks."""
+        table = RemapTable(32, random.Random(seed))
+        for chunk in ops:
+            table.reshuffle(chunk)
+        assert table.is_permutation()
+
+
+def _setup(cache_bytes=4096, chunk_bytes=1024, shuffle_period=4):
+    layout = MetadataLayout(protected_bytes=1 << 20)
+    controller = MemoryController(DramConfig())
+    obf = AddressObfuscator(layout, random.Random(7),
+                            cache_bytes=cache_bytes,
+                            chunk_bytes=chunk_bytes,
+                            shuffle_period=shuffle_period)
+    return layout, controller, obf
+
+
+class TestAddressTransform:
+    def test_scramble_is_line_permutation(self):
+        _, _, obf = _setup()
+        for chunk in range(20):
+            mapped = {obf._scramble(chunk, i)
+                      for i in range(obf.lines_per_chunk)}
+            assert mapped == set(range(obf.lines_per_chunk))
+
+    def test_remap_preserves_byte_offset(self):
+        _, _, obf = _setup()
+        assert obf.remap_address(0x123) % 64 == 0x123 % 64
+
+    def test_distinct_lines_stay_distinct(self):
+        _, _, obf = _setup()
+        lines = [obf.remap_address(i * 64) // 64 for i in range(256)]
+        assert len(set(lines)) == 256
+
+    def test_address_is_not_identity_for_most_lines(self):
+        """The scramble must hide line identities even before shuffling."""
+        _, _, obf = _setup()
+        moved = sum(1 for i in range(256) if obf.remap_address(i * 64) != i * 64)
+        assert moved > 128
+
+
+class TestObfuscatorTiming:
+    def test_resolution_latency_hit(self):
+        layout, controller, obf = _setup()
+        obf.resolve(128, 100, controller)  # warm the entry
+        _, ready = obf.resolve(128, 10_000, controller)
+        assert ready == 10_000 + obf.cache_latency
+
+    def test_cache_miss_fetches_entry(self):
+        layout, controller, obf = _setup()
+        obf.resolve(128, 100, controller)
+        assert controller.stats["metadata_accesses"].value == 1
+
+    def test_same_chunk_shares_entry(self):
+        layout, controller, obf = _setup(chunk_bytes=1024)
+        obf.resolve(0, 100, controller)
+        obf.resolve(512, 5000, controller)  # same 1KB chunk
+        assert controller.stats["metadata_accesses"].value == 1
+
+    def test_writeback_goes_to_remapped_location(self):
+        layout, controller, obf = _setup()
+        target = obf.reshuffle_on_writeback(128, 100, controller)
+        assert target == obf.remap_address(128)
+        assert controller.stats["line_writes"].value == 1
+
+    def test_periodic_shuffle_bursts_traffic(self):
+        layout, controller, obf = _setup(shuffle_period=2)
+        obf.reshuffle_on_writeback(0, 100, controller)
+        before = controller.stats["line_writes"].value
+        obf.reshuffle_on_writeback(0, 200, controller)  # 2nd: shuffles
+        after = controller.stats["line_writes"].value
+        assert after - before == obf.lines_per_chunk + 1
+
+    def test_chunk_must_be_whole_lines(self):
+        layout = MetadataLayout(protected_bytes=1 << 20)
+        with pytest.raises(ValueError):
+            AddressObfuscator(layout, random.Random(0), chunk_bytes=100)
+
+    def test_reset_clears_state(self):
+        layout, controller, obf = _setup()
+        obf.resolve(0, 100, controller)
+        obf.reshuffle_on_writeback(0, 100, controller)
+        obf.reset()
+        assert obf.remap_cache.occupancy == 0
+        assert obf._writebacks_per_chunk == {}

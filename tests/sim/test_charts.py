@@ -1,0 +1,44 @@
+"""ASCII chart renderer tests."""
+
+from repro.sim.charts import render_bars, render_grouped_bars
+
+
+class TestRenderBars:
+    def test_empty(self):
+        assert render_bars({}) == ""
+
+    def test_full_bar_for_peak(self):
+        text = render_bars({"x": 2.0, "y": 1.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_values_rendered(self):
+        text = render_bars({"a": 0.876}, value_format="%.3f")
+        assert "0.876" in text
+
+    def test_labels_aligned(self):
+        text = render_bars({"a": 1.0, "longer": 1.0})
+        first, second = text.splitlines()
+        assert first.index("█") == second.index("█")
+
+    def test_max_value_clamps(self):
+        text = render_bars({"a": 5.0}, width=10, max_value=1.0)
+        assert text.count("█") == 10
+
+    def test_zero_values(self):
+        text = render_bars({"a": 0.0, "b": 0.0})
+        assert "█" not in text
+
+
+class TestGroupedBars:
+    def test_layout(self):
+        rows = [("bench1", {"p1": 0.9, "p2": 0.5})]
+        text = render_grouped_bars(rows, ["p1", "p2"])
+        assert text.startswith("bench1")
+        assert "p1" in text and "p2" in text
+
+    def test_multiple_groups(self):
+        rows = [("b1", {"p": 0.9}), ("b2", {"p": 0.8})]
+        text = render_grouped_bars(rows, ["p"])
+        assert "b1" in text and "b2" in text

@@ -1,0 +1,46 @@
+"""Sweep checkpoint (JSON persistence) tests."""
+
+import pytest
+
+from repro.sim.checkpoint import load_sweep, save_sweep, sweep_to_dict
+from repro.sim.sweep import PolicySweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return PolicySweep(["gzip"], ["authen-then-write"],
+                       num_instructions=2000, warmup=1000).run()
+
+
+class TestCheckpoint:
+    def test_dict_shape(self, sweep):
+        payload = sweep_to_dict(sweep)
+        assert payload["benchmarks"] == ["gzip"]
+        assert len(payload["runs"]) == 2  # policy + baseline
+        run = payload["runs"][0]
+        assert {"benchmark", "policy", "ipc", "cycles",
+                "instructions", "miss_rates"} <= set(run)
+
+    def test_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        view = load_sweep(path)
+        assert view.ipc("gzip", "authen-then-write") == pytest.approx(
+            sweep.ipc("gzip", "authen-then-write"))
+        assert view.normalized("gzip", "authen-then-write") == \
+            pytest.approx(sweep.normalized("gzip", "authen-then-write"))
+
+    def test_average_normalized_matches(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        view = load_sweep(path)
+        assert view.average_normalized("authen-then-write") == \
+            pytest.approx(sweep.average_normalized("authen-then-write"))
+
+    def test_json_is_valid(self, sweep, tmp_path):
+        import json
+
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        with open(path) as handle:
+            json.load(handle)

@@ -1,0 +1,60 @@
+"""CLI tests (direct main() invocation, no subprocess)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "authen-then-commit" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "counter+hmac" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "RUU" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6", "--compute-latency", "15"]) == 0
+        assert "cycles earlier" in capsys.readouterr().out
+
+    def test_run_single_policy(self, capsys):
+        code = main(["run", "gzip", "-n", "1500",
+                     "-p", "decrypt-only", "-p", "authen-then-write"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "authen-then-write" in out
+
+    def test_attack_blocked_exit_zero(self, capsys):
+        code = main(["attack", "pointer-conversion",
+                     "-p", "commit+fetch", "--fail-on-leak"])
+        assert code == 0
+        assert "blocked" in capsys.readouterr().out
+
+    def test_attack_leak_exit_one(self, capsys):
+        code = main(["attack", "pointer-conversion",
+                     "-p", "authen-then-write", "--fail-on-leak"])
+        assert code == 1
+        assert "LEAKED" in capsys.readouterr().out
+
+    def test_attack_all(self, capsys):
+        assert main(["attack", "all", "-p", "commit+fetch"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 7
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_benchmark_errors(self):
+        with pytest.raises(SystemExit):
+            main(["run", "doom3"])
+
+    def test_table2_static(self, capsys):
+        assert main(["table2", "--static"]) == 0
+        assert "authen-then-issue" in capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""Derived-metrics tests."""
+
+import pytest
+
+from repro import SimConfig, generate_trace, get_profile
+from repro.sim.metrics import render_metrics, run_with_metrics
+
+
+@pytest.fixture(scope="module")
+def run():
+    trace = generate_trace(get_profile("twolf"), 5000)
+    return run_with_metrics(trace, SimConfig(), "authen-then-commit")
+
+
+class TestMetrics:
+    def test_basic_fields(self, run):
+        result, metrics = run
+        assert metrics.ipc == result.ipc
+        assert metrics.cycles == result.cycles
+        assert metrics.instructions == 5000
+
+    def test_traffic_decomposition(self, run):
+        _, metrics = run
+        assert metrics.dram_reads > 0
+        assert metrics.reads_per_kinst == pytest.approx(
+            1000 * metrics.dram_reads / 5000)
+
+    def test_rates_in_range(self, run):
+        _, metrics = run
+        assert 0 <= metrics.row_hit_rate <= 1
+        assert 0 <= metrics.bus_utilisation <= 1
+        assert metrics.mean_read_latency > 100  # DRAM-class
+
+    def test_auth_pressure_visible(self, run):
+        _, metrics = run
+        assert metrics.auth_requests > 0
+        assert metrics.mean_verify_gap > 0
+
+    def test_baseline_has_no_auth_activity(self):
+        trace = generate_trace(get_profile("twolf"), 3000)
+        _, metrics = run_with_metrics(trace, SimConfig(), "decrypt-only")
+        assert metrics.auth_requests == 0
+        assert metrics.mean_verify_gap == 0.0
+
+    def test_as_dict_roundtrip(self, run):
+        _, metrics = run
+        d = metrics.as_dict()
+        assert d["ipc"] == metrics.ipc
+        assert isinstance(d["miss_rates"], dict)
+
+    def test_render(self, run):
+        _, metrics = run
+        text = render_metrics(metrics)
+        assert "dram:" in text and "auth:" in text

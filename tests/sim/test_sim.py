@@ -1,0 +1,124 @@
+"""Simulation driver tests: runner, sweep, report, config."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.sim.report import render_table, series_rows
+from repro.sim.runner import build_simulator, run_benchmark
+from repro.sim.sweep import PolicySweep, normalized_ipc_table, speedup_over
+
+
+class TestConfig:
+    def test_defaults_match_table3(self):
+        config = SimConfig()
+        assert config.core.fetch_width == 8
+        assert config.core.ruu_entries == 128
+        assert config.l1i.size_bytes == 16 * 1024
+        assert config.l2.size_bytes == 256 * 1024
+        assert config.l2.latency == 4
+        assert config.secure.decrypt_latency == 80
+        assert config.secure.hmac_latency == 74
+
+    def test_with_l2_size_adjusts_latency(self):
+        big = SimConfig().with_l2_size(1024 * 1024)
+        assert big.l2.size_bytes == 1024 * 1024
+        assert big.l2.latency == 8
+
+    def test_with_ruu(self):
+        assert SimConfig().with_ruu(64).core.ruu_entries == 64
+
+    def test_with_secure(self):
+        config = SimConfig().with_secure(hash_tree_enabled=True)
+        assert config.secure.hash_tree_enabled
+        assert not SimConfig().secure.hash_tree_enabled  # original intact
+
+    def test_dram_cycle_conversions(self):
+        dram = SimConfig().dram
+        assert dram.cas_cycles == 100
+        assert dram.rcd_cycles == 35
+        assert dram.transfer_cycles(64) == 40
+
+    def test_validation(self):
+        from repro.config import CoreConfig
+
+        with pytest.raises(ConfigError):
+            CoreConfig(ruu_entries=4)
+        with pytest.raises(ConfigError):
+            CoreConfig(branch_predictor_accuracy=1.5)
+
+
+class TestRunner:
+    def test_run_benchmark(self):
+        result = run_benchmark("gzip", 2000)
+        assert result.instructions == 2000
+        assert 0 < result.ipc < 8
+
+    def test_policy_object_accepted(self):
+        from repro.policies.registry import make_policy
+
+        core, _ = build_simulator(SimConfig(),
+                                  make_policy("authen-then-commit"))
+        assert core.policy.name == "authen-then-commit"
+
+    def test_runs_are_isolated(self):
+        a = run_benchmark("gzip", 2000)
+        b = run_benchmark("gzip", 2000)
+        assert a.ipc == b.ipc  # fresh state both times
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return PolicySweep(
+            ["gzip", "twolf"],
+            ["authen-then-issue", "authen-then-write"],
+            num_instructions=3000,
+            warmup=2000,
+        ).run()
+
+    def test_results_populated(self, sweep):
+        assert ("gzip", "authen-then-issue") in sweep.results
+        assert ("twolf", "decrypt-only") in sweep.results  # baseline added
+
+    def test_normalized_le_one(self, sweep):
+        for benchmark in sweep.benchmarks:
+            for policy in sweep.policies:
+                assert 0 < sweep.normalized(benchmark, policy) <= 1.001
+
+    def test_write_beats_issue(self, sweep):
+        assert (sweep.average_normalized("authen-then-write")
+                > sweep.average_normalized("authen-then-issue"))
+
+    def test_table_has_average_row(self, sweep):
+        rows = normalized_ipc_table(sweep)
+        assert rows[-1][0] == "average"
+        assert len(rows) == 3
+
+    def test_speedup_over_reference(self, sweep):
+        rows = speedup_over(sweep, "authen-then-issue",
+                            ["authen-then-write"])
+        for _, values in rows:
+            assert values["authen-then-write"] >= 0.99
+
+    def test_shared_trace_across_policies(self, sweep):
+        a = sweep.results[("gzip", "authen-then-issue")]
+        b = sweep.results[("gzip", "authen-then-write")]
+        assert a.instructions == b.instructions
+
+
+class TestReport:
+    def test_render_alignment(self):
+        text = render_table(["name", "value"],
+                            [["a", 1.0], ["longer", 0.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) <= 2
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.123456]], float_format="%.2f")
+        assert "0.12" in text
+
+    def test_series_rows(self):
+        rows = series_rows([("b1", {"p": 0.5})], ["p"])
+        assert rows == [["b1", 0.5]]

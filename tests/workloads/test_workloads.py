@@ -1,0 +1,154 @@
+"""Workload profile and trace generator tests."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.spec import (
+    SPEC2000_PROFILES,
+    fp_benchmarks,
+    get_profile,
+    int_benchmarks,
+)
+from repro.workloads.trace import Op, Trace, TraceInst
+from repro.workloads.tracegen import DATA_BASE, generate_trace
+
+
+class TestProfiles:
+    def test_eighteen_benchmarks(self):
+        assert len(SPEC2000_PROFILES) == 18
+        assert len(int_benchmarks()) == 8
+        assert len(fp_benchmarks()) == 10
+
+    def test_suites_disjoint(self):
+        assert not set(int_benchmarks()) & set(fp_benchmarks())
+
+    def test_get_profile(self):
+        assert get_profile("mcf").suite == "int"
+        with pytest.raises(KeyError):
+            get_profile("doom3")
+
+    def test_int_profiles_have_no_fp(self):
+        for name in int_benchmarks():
+            assert get_profile(name).fp_fraction == 0.0
+
+    def test_validation_rejects_bad_fractions(self):
+        base = get_profile("mcf")
+        with pytest.raises(ValueError):
+            dataclasses.replace(base, load_fraction=0.9, store_fraction=0.2)
+        with pytest.raises(ValueError):
+            dataclasses.replace(base, chase_fraction=1.5)
+
+    def test_memory_bound_benchmarks_have_large_footprints(self):
+        for name in ("mcf", "swim", "mgrid"):
+            assert get_profile(name).footprint_bytes >= 8 * 1024 * 1024
+
+
+class TestTraceContainer:
+    def test_trace_inst_repr_and_flags(self):
+        inst = TraceInst(0x100, Op.LOAD, dest=3, srcs=(1,), addr=0x2000)
+        assert inst.is_mem
+        assert "load" in repr(inst)
+        assert not TraceInst(0, Op.IALU).is_mem
+
+    def test_trace_len_iter(self):
+        trace = Trace("t", [TraceInst(0, Op.IALU)] * 5)
+        assert len(trace) == 5
+        assert sum(1 for _ in trace) == 5
+
+    def test_op_mix(self):
+        trace = Trace("t", [TraceInst(0, Op.LOAD), TraceInst(4, Op.IALU)])
+        mix = trace.op_mix()
+        assert mix["load"] == 0.5
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        p = get_profile("twolf")
+        a = generate_trace(p, 500, seed=1)
+        b = generate_trace(p, 500, seed=1)
+        assert [(i.pc, i.op, i.addr) for i in a] == [
+            (i.pc, i.op, i.addr) for i in b
+        ]
+
+    def test_seed_changes_trace(self):
+        p = get_profile("twolf")
+        a = generate_trace(p, 500, seed=1)
+        b = generate_trace(p, 500, seed=2)
+        assert [(i.pc, i.op) for i in a] != [(i.pc, i.op) for i in b]
+
+    def test_requested_length(self):
+        assert len(generate_trace(get_profile("gcc"), 321)) == 321
+        assert len(generate_trace(get_profile("gcc"), 0)) == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(get_profile("gcc"), -1)
+
+    def test_op_mix_tracks_profile(self):
+        p = get_profile("swim")
+        trace = generate_trace(p, 20_000)
+        mix = trace.op_mix()
+        assert mix["load"] == pytest.approx(p.load_fraction, abs=0.02)
+        assert mix["store"] == pytest.approx(p.store_fraction, abs=0.02)
+        assert mix["fpu"] == pytest.approx(p.fp_fraction, abs=0.02)
+
+    def test_mem_ops_have_addresses(self):
+        for inst in generate_trace(get_profile("art"), 2000):
+            if inst.is_mem:
+                assert inst.addr >= DATA_BASE
+            else:
+                assert inst.addr == -1
+
+    def test_addresses_within_protected_region(self):
+        p = get_profile("mcf")  # largest footprint
+        for inst in generate_trace(p, 5000):
+            if inst.is_mem:
+                assert inst.addr < 256 * 1024 * 1024
+
+    def test_pcs_within_code_region(self):
+        p = get_profile("gcc")
+        for inst in generate_trace(p, 5000):
+            assert 0 <= inst.pc < p.code_bytes
+            assert inst.pc % 4 == 0
+
+    def test_mispredicts_only_on_branches(self):
+        for inst in generate_trace(get_profile("twolf"), 5000):
+            if inst.mispredict:
+                assert inst.op == Op.BRANCH
+
+    def test_mispredict_rate_tracks_profile(self):
+        p = get_profile("twolf")
+        trace = generate_trace(p, 30_000)
+        branches = [i for i in trace if i.op == Op.BRANCH]
+        rate = sum(i.mispredict for i in branches) / len(branches)
+        assert rate == pytest.approx(p.mispredict_rate, abs=0.02)
+
+    def test_loads_have_destinations(self):
+        for inst in generate_trace(get_profile("gap"), 2000):
+            if inst.op == Op.LOAD:
+                assert inst.dest > 0
+
+    def test_chase_heavy_profile_has_load_dependent_loads(self):
+        trace = generate_trace(get_profile("mcf"), 5000)
+        load_dests = set()
+        chases = 0
+        for inst in trace:
+            if inst.op == Op.LOAD:
+                if any(s in load_dests for s in inst.srcs):
+                    chases += 1
+                load_dests.add(inst.dest)
+            elif inst.dest in load_dests:
+                load_dests.discard(inst.dest)
+        loads = sum(1 for i in trace if i.op == Op.LOAD)
+        assert chases / loads > 0.15
+
+    @settings(max_examples=10, deadline=None)
+    @given(name=st.sampled_from(sorted(SPEC2000_PROFILES)))
+    def test_sources_are_valid_registers(self, name):
+        for inst in generate_trace(get_profile(name), 300):
+            for src in inst.srcs:
+                assert 0 <= src < 64
+            assert -1 <= inst.dest < 64
