@@ -6,7 +6,11 @@ Commands
 ``table1 | table2 | table3 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12``
     Regenerate a paper table/figure (text form).
 ``run BENCH``
-    Simulate one benchmark under one or more policies.
+    Simulate one benchmark under one or more policies.  ``--trace-out``
+    records a Chrome trace-event file (open in Perfetto); ``--emit-json``
+    writes the run manifest (config, seed, phase timings, stats).
+``trace BENCH``
+    Record one run and render the decrypt-to-verify gap timeline as text.
 ``attack NAME``
     Run one exploit against one policy and report leak/detection.
 ``list``
@@ -60,7 +64,12 @@ def _cmd_figure(args):
 
 def _cmd_run(args):
     from repro.config import SimConfig
-    from repro.sim.runner import run_benchmark
+    from repro.obs import (ChromeTraceSink, PhaseProfiler, Tracer,
+                           build_run_manifest, build_run_set_manifest,
+                           write_json)
+    from repro.sim.metrics import run_with_metrics
+    from repro.workloads.spec import get_profile
+    from repro.workloads.tracegen import generate_trace
 
     config = SimConfig().with_l2_size(args.l2 * 1024)
     if args.hash_tree:
@@ -69,16 +78,74 @@ def _cmd_run(args):
                                "authen-then-commit", "authen-then-write",
                                "commit+fetch"]
     scale = _scale(args)
+    profiler = PhaseProfiler()
+    try:
+        chrome = ChromeTraceSink(args.trace_out) if args.trace_out else None
+        if args.emit_json:  # fail before the simulation, not after it
+            open(args.emit_json, "a").close()
+    except OSError as exc:
+        print("error: cannot write output file: %s" % exc, file=sys.stderr)
+        return 2
+    tracer = Tracer([chrome]) if chrome is not None else None
+
+    with profiler.phase("tracegen"):
+        trace = generate_trace(get_profile(args.benchmark),
+                               scale["num_instructions"], seed=config.seed)
     baseline = None
+    recorded = []
     print("%-26s %10s %10s" % ("policy", "IPC", "normalized"))
     for policy in policies:
-        result = run_benchmark(args.benchmark,
-                               scale["num_instructions"], config=config,
-                               policy=policy)
+        if chrome is not None:
+            chrome.begin_process("%s/%s" % (args.benchmark, policy))
+        result, metrics = run_with_metrics(trace, config, policy,
+                                           tracer=tracer,
+                                           profiler=profiler)
+        recorded.append((result, metrics))
         if baseline is None:
             baseline = result.ipc
         print("%-26s %10.4f %10.3f"
               % (policy, result.ipc, result.ipc / baseline))
+    if tracer is not None:
+        tracer.close()
+        print("chrome trace written to %s (open in Perfetto)"
+              % args.trace_out)
+    if args.emit_json:
+        if len(recorded) == 1:
+            manifest = build_run_manifest(
+                recorded[0][0], recorded[0][1], config=config,
+                seed=config.seed, profiler=profiler)
+        else:
+            manifest = build_run_set_manifest(
+                recorded, config=config, seed=config.seed,
+                profiler=profiler, benchmark=args.benchmark)
+        write_json(manifest, args.emit_json)
+        print("run manifest written to %s" % args.emit_json)
+    if args.trace_out or args.emit_json:
+        print(profiler.render())
+    return 0
+
+
+def _cmd_trace(args):
+    from repro.config import SimConfig
+    from repro.obs import (MemorySink, Tracer, render_gap_timeline,
+                           render_lane_census)
+    from repro.sim.runner import run_benchmark
+
+    sink = MemorySink(capacity=args.buffer)
+    tracer = Tracer([sink])
+    result = run_benchmark(args.benchmark, args.instructions,
+                           config=SimConfig(), policy=args.policy,
+                           tracer=tracer)
+    print("%s under %s: %d instructions, %d cycles, ipc=%.4f"
+          % (args.benchmark, args.policy, result.instructions,
+             result.cycles, result.ipc))
+    if sink.dropped:
+        print("(ring buffer dropped %d oldest events; raise --buffer)"
+              % sink.dropped)
+    print()
+    print(render_lane_census(sink.events))
+    print()
+    print(render_gap_timeline(sink.events, limit=args.limit))
     return 0
 
 
@@ -134,8 +201,26 @@ def build_parser():
                    choices=available_policies())
     p.add_argument("--l2", type=int, default=256, help="L2 size in KB")
     p.add_argument("--hash-tree", action="store_true")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="record a Chrome trace-event JSON (Perfetto)")
+    p.add_argument("--emit-json", metavar="FILE",
+                   help="write the run manifest (config, seed, phase "
+                        "timings, full stats snapshot)")
     _add_scale(p)
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("trace",
+                       help="record one run and render the decrypt-to-"
+                            "verify gap timeline")
+    p.add_argument("benchmark", choices=sorted(SPEC2000_PROFILES))
+    p.add_argument("-p", "--policy", default="authen-then-commit",
+                   choices=available_policies())
+    p.add_argument("-n", "--instructions", type=int, default=4000)
+    p.add_argument("--limit", type=int, default=32,
+                   help="max windows rendered in the timeline")
+    p.add_argument("--buffer", type=int, default=None,
+                   help="ring-buffer capacity (default: unbounded)")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("attack", help="run an exploit against a policy")
     p.add_argument("attack")

@@ -19,6 +19,19 @@ External fetches triggered by any level are gated through the policy's
 ``fetch_gate`` (*authen-then-fetch*).
 """
 
+from time import perf_counter
+
+from repro.obs.events import (
+    COMMIT,
+    FETCH_ISSUED,
+    ISSUE,
+    LANE_COMMIT,
+    LANE_FETCH,
+    LANE_ISSUE,
+    LANE_STORE,
+    SQUASH,
+    STORE_RELEASED,
+)
 from repro.util.statistics import StatGroup
 from repro.workloads.trace import Op
 
@@ -57,19 +70,23 @@ class RunResult:
 class TimestampCore:
     """Trace-driven out-of-order core with authentication control points."""
 
-    def __init__(self, config, policy, hierarchy, stats=None):
+    def __init__(self, config, policy, hierarchy, stats=None, tracer=None):
         self.config = config
         self.policy = policy
         self.hierarchy = hierarchy
         self.stats = stats if stats is not None else StatGroup("core")
+        self.tracer = tracer
 
-    def run(self, trace, warmup=0):
+    def run(self, trace, warmup=0, profiler=None):
         """Replay ``trace`` and return a :class:`RunResult`.
 
         The first ``warmup`` instructions warm the caches, TLBs, counter
         cache and branch state but are excluded from the reported cycle
         and instruction counts (the paper warms L1/L2 during SimPoint
         fast-forward; this is the trace-driven equivalent).
+
+        ``profiler`` (a :class:`~repro.obs.profile.PhaseProfiler`) splits
+        the replay wall clock into ``warmup`` and ``measure`` phases.
         """
         cfg = self.config.core
         policy = self.policy
@@ -123,10 +140,21 @@ class TimestampCore:
         warmup = min(warmup, len(trace))
         warmup_commit = 0
 
+        # Tracing fast path: one hoisted boolean; a disabled tracer costs
+        # the hot loop only these predicate tests.
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        op_names = Op.NAMES
+        run_start = perf_counter() if profiler is not None else 0.0
+        warmup_wall = 0.0
+
         for index, inst in enumerate(trace):
             if index == warmup and warmup:
                 warmup_commit = last_commit
                 self.hierarchy.reset_stats()
+                if profiler is not None:
+                    warmup_wall = perf_counter() - run_start
+                    profiler.add("warmup", warmup_wall)
             # ---------------- fetch ----------------------------------
             base = fetch_frontier
             if redirect_time > base:
@@ -149,6 +177,9 @@ class TimestampCore:
                     gate = policy.fetch_gate_time(engine, base, base)
                 else:
                     gate = 0
+                if tracing:
+                    tracer.emit(FETCH_ISSUED, LANE_FETCH, base, pc=inst.pc,
+                                iline=iline)
                 iline_timing = hier.ifetch(inst.pc, base, gate_time=gate)
                 cur_iline = iline
             inst_avail = iline_timing.data_time
@@ -186,6 +217,9 @@ class TimestampCore:
                 count = issue_calendar.get(ready, 0)
             issue_calendar[ready] = count + 1
             issue = ready
+            if tracing:
+                tracer.emit(ISSUE, LANE_ISSUE, issue, pc=inst.pc,
+                            op=op_names.get(inst.op, inst.op))
 
             # ---------------- execute --------------------------------
             op = inst.op
@@ -242,6 +276,8 @@ class TimestampCore:
             if inst.mispredict:
                 mispredicts.add()
                 resolve = complete + penalty
+                if tracing:
+                    tracer.emit(SQUASH, LANE_FETCH, resolve, pc=inst.pc)
                 if resolve > redirect_time:
                     redirect_time = resolve
 
@@ -267,6 +303,9 @@ class TimestampCore:
                 commit = commit_cycle
             committed_in_cycle += 1
             last_commit = commit
+            if tracing:
+                tracer.emit(COMMIT, LANE_COMMIT, commit, pc=inst.pc,
+                            op=op_names.get(inst.op, inst.op))
 
             if op == Op.STORE:
                 release = policy.store_release(commit, store_frontier)
@@ -276,6 +315,9 @@ class TimestampCore:
                     gate = policy.fetch_gate_time(engine, issue, release)
                 else:
                     gate = 0
+                if tracing:
+                    tracer.emit(STORE_RELEASED, LANE_STORE, release,
+                                addr=inst.addr)
                 hier.store(inst.addr, release, gate_time=gate)
                 sb_ring[store_count % sb_size] = release
                 store_count += 1
@@ -285,6 +327,8 @@ class TimestampCore:
                 lsq_ring[mem_op_count % lsq_size] = commit
                 mem_op_count += 1
 
+        if profiler is not None:
+            profiler.add("measure", perf_counter() - run_start - warmup_wall)
         cycles = last_commit - warmup_commit
         return RunResult(
             getattr(trace, "name", "trace"),

@@ -9,6 +9,7 @@ the authentication control points gate on.
 from repro.cache.cache import Cache
 from repro.cache.tlb import Tlb
 from repro.mem.controller import MemoryController
+from repro.obs.events import L2_MISS, LANE_MEM, MSHR_STALL
 from repro.secure.engine import SecureMemoryEngine
 from repro.secure.metadata import MetadataLayout
 from repro.util.statistics import StatGroup
@@ -28,10 +29,11 @@ class MemoryHierarchy:
     """Two-level hierarchy in front of the secure-memory engine."""
 
     def __init__(self, config, policy, rng=None, stats=None,
-                 protected_bytes=256 * 1024 * 1024):
+                 protected_bytes=256 * 1024 * 1024, tracer=None):
         self.config = config
         self.policy = policy
         self.stats = stats if stats is not None else StatGroup("hier")
+        self.tracer = tracer
         secure_cfg = config.secure
         if policy.obfuscation and not secure_cfg.obfuscation_enabled:
             secure_cfg = config.with_secure(obfuscation_enabled=True).secure
@@ -43,7 +45,8 @@ class MemoryHierarchy:
             hash_bytes=secure_cfg.hash_bytes,
         )
         self.controller = MemoryController(
-            config.dram, line_bytes=config.l2.line_bytes, stats=self.stats
+            config.dram, line_bytes=config.l2.line_bytes, stats=self.stats,
+            tracer=tracer,
         )
         self.engine = SecureMemoryEngine(
             secure_cfg,
@@ -52,6 +55,7 @@ class MemoryHierarchy:
             rng=rng,
             stats=self.stats,
             authentication_enabled=policy.authentication,
+            tracer=tracer,
         )
         self.l1i = Cache(config.l1i, stats=StatGroup("l1i"))
         self.l1d = Cache(config.l1d, stats=StatGroup("l1d"))
@@ -88,10 +92,18 @@ class MemoryHierarchy:
             return LineTiming(data_time, max(data_time, line.verify_time))
         if access.victim_dirty:
             self.engine.write_line(self._clamp(access.victim_addr), cycle)
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         slot_free = self._mshr_ring[self._mshr_index]
         if slot_free > cycle:
             self._mshr_stalls.add()
+            if tracing:
+                tracer.emit(MSHR_STALL, LANE_MEM, cycle,
+                            dur=slot_free - cycle, addr=addr)
             cycle = slot_free
+        if tracing:
+            tracer.emit(L2_MISS, LANE_MEM, cycle,
+                        addr=self._clamp(self.l2.line_addr(addr)))
         fetch = self.engine.fetch_line(self._clamp(self.l2.line_addr(addr)),
                                        cycle, gate_time=gate_time)
         self._mshr_ring[self._mshr_index] = fetch.mem_done

@@ -36,3 +36,8 @@ class SecurityException(IntegrityError):
 
 class SimulationError(ReproError):
     """Raised when the timing simulator reaches an inconsistent state."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a persisted artifact (sweep checkpoint, run manifest)
+    is malformed or has an incompatible format version."""

@@ -7,6 +7,7 @@ which is sufficient for the timestamp-based simulator (requests are
 presented in non-decreasing time order per producer).
 """
 
+from repro.obs.events import BUS_GRANT, LANE_BUS
 from repro.util.statistics import StatGroup
 
 
@@ -14,13 +15,14 @@ class BandwidthBus:
     """Serialises transfers on a bus of ``width_bytes`` per ``cycle_per_beat``."""
 
     def __init__(self, width_bytes=8, cycles_per_beat=5, name="membus",
-                 stats=None):
+                 stats=None, tracer=None):
         if width_bytes <= 0 or cycles_per_beat <= 0:
             raise ValueError("bus parameters must be positive")
         self.width_bytes = width_bytes
         self.cycles_per_beat = cycles_per_beat
         self.free_at = 0
         self.stats = stats if stats is not None else StatGroup(name)
+        self.tracer = tracer
         self._busy = self.stats.counter("busy_cycles")
         self._transfers = self.stats.counter("transfers")
         self._wait = self.stats.counter("wait_cycles")
@@ -44,6 +46,10 @@ class BandwidthBus:
         self._busy.add(duration)
         self._transfers.add()
         self._wait.add(start - earliest)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(BUS_GRANT, LANE_BUS, start, dur=duration,
+                        bytes=num_bytes, wait=start - earliest)
         return start, end
 
     def reset(self):

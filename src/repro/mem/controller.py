@@ -37,9 +37,11 @@ class MemoryController:
     """Timed front-end to the SDRAM."""
 
     def __init__(self, dram_config=None, line_bytes=64, mac_rider_bytes=0,
-                 stats=None):
+                 stats=None, tracer=None):
         self.stats = stats if stats is not None else StatGroup("memctl")
-        self.dram = DramModel(dram_config or DramConfig(), stats=self.stats)
+        self.tracer = tracer
+        self.dram = DramModel(dram_config or DramConfig(), stats=self.stats,
+                              tracer=tracer)
         self.line_bytes = line_bytes
         # MAC tags travel with the line they protect (Section 2: "MACs are
         # stored along with each data block"), widening every transfer.

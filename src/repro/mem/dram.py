@@ -17,6 +17,7 @@ import enum
 
 from repro.config import DramConfig
 from repro.mem.bus import BandwidthBus
+from repro.obs.events import LANE_DRAM, ROW_CONFLICT
 from repro.util.statistics import StatGroup
 
 
@@ -53,13 +54,15 @@ class DramAccessResult:
 class DramModel:
     """Timing-only SDRAM with per-bank row-buffer state."""
 
-    def __init__(self, config=None, stats=None):
+    def __init__(self, config=None, stats=None, tracer=None):
         self.config = config or DramConfig()
         self.stats = stats if stats is not None else StatGroup("dram")
+        self.tracer = tracer
         self.bus = BandwidthBus(
             width_bytes=self.config.bus_width_bytes,
             cycles_per_beat=self.config.bus_multiplier,
             stats=self.stats,
+            tracer=tracer,
         )
         self._banks = [_Bank() for _ in range(self.config.num_banks)]
         self._hits = self.stats.counter("row_hits")
@@ -106,6 +109,11 @@ class DramModel:
         else:
             self._conflicts.add()
             ras_to_data = cfg.rp_cycles + cfg.rcd_cycles + cfg.cas_cycles
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.emit(ROW_CONFLICT, LANE_DRAM, start, addr=addr,
+                            bank=(addr // cfg.interleave_bytes)
+                            % cfg.num_banks)
         data_ready = start + ras_to_data
         critical, done = self.bus.reserve(data_ready, num_bytes)
         bank.open_row = row

@@ -1,0 +1,36 @@
+"""Observability: event tracing, run manifests, phase profiling.
+
+See ``docs/observability.md`` for the event taxonomy, sink formats and
+manifest schema.
+"""
+
+from repro.obs import events
+from repro.obs.export import (
+    build_run_manifest,
+    build_run_set_manifest,
+    build_sweep_manifest,
+    write_json,
+    write_sweep_csv,
+)
+from repro.obs.profile import PhaseProfiler
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, MemorySink, Sink
+from repro.obs.timeline import render_gap_timeline, render_lane_census
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "events",
+    "Tracer",
+    "NULL_TRACER",
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "PhaseProfiler",
+    "build_run_manifest",
+    "build_run_set_manifest",
+    "build_sweep_manifest",
+    "write_json",
+    "write_sweep_csv",
+    "render_gap_timeline",
+    "render_lane_census",
+]

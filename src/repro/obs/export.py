@@ -1,0 +1,154 @@
+"""Run manifests and machine-readable result export.
+
+A *manifest* is a self-describing JSON artifact for one run (or one
+sweep): the full configuration, policy, seed, git revision, wall-clock
+phase timings, the complete :class:`~repro.util.statistics.StatGroup`
+snapshot and the derived :class:`~repro.sim.metrics.RunMetrics`.  Two
+manifests are comparable without knowing how they were produced, which is
+what regression dashboards and the perf work on ROADMAP.md key off.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+
+MANIFEST_VERSION = 1
+
+
+def config_to_dict(config):
+    """Flatten a (possibly nested) frozen-dataclass config to plain data."""
+    if config is None:
+        return None
+    if dataclasses.is_dataclass(config):
+        return dataclasses.asdict(config)
+    return dict(config)
+
+
+def git_describe():
+    """Best-effort ``git describe`` of the working tree (None offline)."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def build_run_manifest(result, metrics=None, config=None, seed=None,
+                       profiler=None, extra=None):
+    """Manifest for one :class:`~repro.cpu.core.RunResult`."""
+    manifest = {
+        "format_version": MANIFEST_VERSION,
+        "kind": "run",
+        "benchmark": result.name,
+        "policy": result.policy_name,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "seed": seed,
+        "git": git_describe(),
+        "config": config_to_dict(config),
+        "phases": profiler.as_dict() if profiler is not None else {},
+        "stats": result.stats.as_dict(),
+        "miss_rates": dict(result.miss_summary),
+        "metrics": metrics.as_dict() if metrics is not None else None,
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def build_run_set_manifest(runs, config=None, seed=None, profiler=None,
+                           benchmark=None):
+    """Manifest for several policies over one benchmark trace.
+
+    ``runs`` is a list of ``(result, metrics-or-None)`` pairs.
+    """
+    return {
+        "format_version": MANIFEST_VERSION,
+        "kind": "run-set",
+        "benchmark": benchmark or (runs[0][0].name if runs else None),
+        "seed": seed,
+        "git": git_describe(),
+        "config": config_to_dict(config),
+        "phases": profiler.as_dict() if profiler is not None else {},
+        "runs": [
+            {
+                "policy": result.policy_name,
+                "instructions": result.instructions,
+                "cycles": result.cycles,
+                "ipc": result.ipc,
+                "stats": result.stats.as_dict(),
+                "miss_rates": dict(result.miss_summary),
+                "metrics": metrics.as_dict() if metrics is not None
+                else None,
+            }
+            for result, metrics in runs
+        ],
+    }
+
+
+def build_sweep_manifest(sweep, profiler=None):
+    """Manifest for a finished :class:`~repro.sim.sweep.PolicySweep`."""
+    runs = []
+    for (benchmark, policy), result in sorted(sweep.results.items()):
+        runs.append({
+            "benchmark": benchmark,
+            "policy": policy,
+            "instructions": result.instructions,
+            "cycles": result.cycles,
+            "ipc": result.ipc,
+            "stats": result.stats.as_dict(),
+            "miss_rates": dict(result.miss_summary),
+        })
+    return {
+        "format_version": MANIFEST_VERSION,
+        "kind": "sweep",
+        "benchmarks": list(sweep.benchmarks),
+        "policies": list(sweep.policies),
+        "num_instructions": sweep.num_instructions,
+        "warmup": sweep.warmup,
+        "seed": sweep.seed,
+        "git": git_describe(),
+        "config": config_to_dict(sweep.config),
+        "phases": profiler.as_dict() if profiler is not None else {},
+        "runs": runs,
+    }
+
+
+def write_json(payload, path):
+    """Write any manifest to ``path`` (stable key order)."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True, default=str)
+    return path
+
+
+def write_sweep_csv(sweep, path, baseline="decrypt-only"):
+    """Flatten a sweep to CSV: one row per (benchmark, policy) run."""
+    import csv
+
+    miss_keys = ("l1i", "l1d", "l2", "itlb", "dtlb")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["benchmark", "policy", "instructions", "cycles",
+                         "ipc", "ipc_normalized"]
+                        + ["miss_%s" % key for key in miss_keys])
+        for (benchmark, policy), result in sorted(sweep.results.items()):
+            if (benchmark, baseline) in sweep.results:
+                base = sweep.results[(benchmark, baseline)].ipc
+                normalized = result.ipc / base if base else 0.0
+            else:
+                normalized = ""
+            writer.writerow(
+                [benchmark, policy, result.instructions, result.cycles,
+                 "%.6f" % result.ipc,
+                 "%.6f" % normalized if normalized != "" else ""]
+                + ["%.6f" % result.miss_summary.get(key, 0.0)
+                   for key in miss_keys])
+    return path

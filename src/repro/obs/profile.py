@@ -1,0 +1,62 @@
+"""Wall-clock phase profiling for simulation runs.
+
+Experiment drivers wrap the expensive stages -- trace generation, warmup,
+measurement, metrics collection -- in :meth:`PhaseProfiler.phase` blocks;
+the profiler accumulates seconds per phase (re-entering a phase name adds
+to it, so per-benchmark sweep loops aggregate naturally).  The result
+feeds the run manifest (``phases`` key) and the text report, which is how
+"make the hot path faster" PRs prove where the time went.
+"""
+
+import time
+from contextlib import contextmanager
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds per named phase."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._phases = {}   # name -> seconds, insertion-ordered
+        self._counts = {}
+
+    @contextmanager
+    def phase(self, name):
+        """Time a ``with`` block under ``name``."""
+        start = self._clock()
+        try:
+            yield self
+        finally:
+            self.add(name, self._clock() - start)
+
+    def add(self, name, seconds):
+        """Credit ``seconds`` to ``name`` directly (for producers that
+        measure their own boundaries, like the core's warmup split)."""
+        self._phases[name] = self._phases.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    @property
+    def total(self):
+        return sum(self._phases.values())
+
+    def seconds(self, name):
+        return self._phases.get(name, 0.0)
+
+    def as_dict(self):
+        """``{phase: seconds}`` in first-entered order (manifest format)."""
+        return {name: round(seconds, 6)
+                for name, seconds in self._phases.items()}
+
+    def render(self):
+        """Human-readable phase table."""
+        if not self._phases:
+            return "phases: (none recorded)"
+        total = self.total or 1.0
+        width = max(len(name) for name in self._phases)
+        lines = ["phase timings (wall clock):"]
+        for name, seconds in self._phases.items():
+            lines.append("  %-*s %8.3fs %5.1f%%  (x%d)" % (
+                width, name, seconds, 100.0 * seconds / total,
+                self._counts[name]))
+        lines.append("  %-*s %8.3fs" % (width, "total", self.total))
+        return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Event sinks: where traced events go.
+
+Three built-ins cover the workflows in ``docs/observability.md``:
+
+- :class:`MemorySink` -- bounded in-memory ring buffer for tests and the
+  ``python -m repro trace`` text timeline;
+- :class:`JsonlSink` -- one JSON object per line, grep/pandas friendly;
+- :class:`ChromeTraceSink` -- Chrome trace-event JSON that opens directly
+  in Perfetto / chrome://tracing with one thread per lane (and one
+  process per recorded run, so a policy sweep lands side by side).
+
+Sinks receive :class:`~repro.obs.events.Event` objects via ``accept`` and
+must be ``close``d to flush (the tracer's context manager does this).
+"""
+
+import json
+from collections import deque
+
+from repro.obs.events import LANES
+
+
+class Sink:
+    """Interface: accept events until closed."""
+
+    def accept(self, event):
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+
+class MemorySink(Sink):
+    """Ring buffer of the most recent ``capacity`` events (unbounded when
+    ``capacity`` is None)."""
+
+    def __init__(self, capacity=None):
+        self._events = deque(maxlen=capacity)
+        self.dropped = 0
+
+    @property
+    def events(self):
+        return list(self._events)
+
+    def accept(self, event):
+        if self._events.maxlen is not None and \
+                len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(event)
+
+    def by_lane(self, lane):
+        """Events on one lane, in emission order."""
+        return [e for e in self._events if e.lane == lane]
+
+    def by_kind(self, kind):
+        """Events of one kind, in emission order."""
+        return [e for e in self._events if e.kind == kind]
+
+    def clear(self):
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self):
+        return len(self._events)
+
+
+class JsonlSink(Sink):
+    """Append events to a JSON-lines file (or any writable handle)."""
+
+    def __init__(self, path_or_handle):
+        if hasattr(path_or_handle, "write"):
+            self._handle = path_or_handle
+            self._owns = False
+        else:
+            self._handle = open(path_or_handle, "w")
+            self._owns = True
+
+    def accept(self, event):
+        self._handle.write(json.dumps(event.as_dict()) + "\n")
+
+    def close(self):
+        if self._owns:
+            self._handle.close()
+        else:
+            self._handle.flush()
+
+
+class ChromeTraceSink(Sink):
+    """Buffer events and write Chrome trace-event JSON on close.
+
+    Cycles map one-to-one onto trace microseconds (``ts``), so Perfetto's
+    time axis reads directly in core cycles.  Interval events (``dur`` >
+    0) become complete (``"X"``) slices; point events become instants
+    (``"i"``).  ``begin_process`` starts a new ``pid`` -- the CLI calls it
+    once per policy so a multi-policy run opens as parallel processes.
+    """
+
+    def __init__(self, path, process_name="run"):
+        # Open eagerly so an unwritable path fails before the simulation
+        # runs, not after.
+        self._handle = open(path, "w")
+        self._events = []
+        self._pid = 0
+        self._process_names = {0: process_name}
+
+    def begin_process(self, name):
+        """Route subsequent events to a new process; returns its pid.
+
+        Before any event arrives this renames the initial process, so the
+        first ``begin_process`` of a run doesn't leave an empty pid 0.
+        """
+        if self._events:
+            self._pid += 1
+        self._process_names[self._pid] = name
+        return self._pid
+
+    def accept(self, event):
+        record = {
+            "name": event.kind,
+            "cat": event.lane,
+            "ts": event.cycle,
+            "pid": self._pid,
+            "tid": LANES.index(event.lane) if event.lane in LANES else 99,
+        }
+        if event.dur:
+            record["ph"] = "X"
+            record["dur"] = event.dur
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        if event.args:
+            record["args"] = dict(event.args)
+        self._events.append(record)
+
+    def _metadata(self):
+        meta = []
+        for pid, name in self._process_names.items():
+            meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "tid": 0, "args": {"name": name}})
+            for tid, lane in enumerate(LANES):
+                meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                             "tid": tid, "args": {"name": lane}})
+        return meta
+
+    def close(self):
+        payload = {
+            "traceEvents": self._metadata() + self._events,
+            "displayTimeUnit": "ns",
+            "otherData": {"clock": "core cycles (1 cycle == 1 us in ts)"},
+        }
+        with self._handle as handle:
+            json.dump(payload, handle)

@@ -1,0 +1,77 @@
+"""The event tracer: one ``emit`` call per observable simulator event.
+
+Producers hold an optional tracer and guard every emission site with a
+plain ``is not None`` / ``enabled`` check, so a run without tracing pays
+one hoisted boolean test per hot loop -- the disabled path allocates
+nothing and calls nothing.  When enabled, ``emit`` builds one
+:class:`~repro.obs.events.Event` and hands it to every attached sink.
+"""
+
+from repro.obs.events import Event
+
+
+class Tracer:
+    """Fans simulator events out to the attached sinks."""
+
+    __slots__ = ("enabled", "_sinks")
+
+    def __init__(self, sinks=()):
+        self._sinks = list(sinks)
+        self.enabled = bool(self._sinks)
+
+    @property
+    def sinks(self):
+        return tuple(self._sinks)
+
+    def add_sink(self, sink):
+        """Attach a sink; enables the tracer."""
+        self._sinks.append(sink)
+        self.enabled = True
+        return sink
+
+    def emit(self, kind, lane, cycle, dur=0, **args):
+        """Record one event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        event = Event(cycle, kind, lane, dur, args or None)
+        for sink in self._sinks:
+            sink.accept(event)
+
+    def pause(self):
+        """Temporarily drop events (e.g. during warmup)."""
+        self.enabled = False
+
+    def resume(self):
+        self.enabled = bool(self._sinks)
+
+    def close(self):
+        """Flush and close every sink."""
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class _NullTracer(Tracer):
+    """Shared always-disabled tracer for call sites that want an object
+    rather than ``None``; refuses sinks so it stays disabled."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__(())
+
+    def add_sink(self, sink):
+        raise ValueError("NULL_TRACER cannot take sinks; build a Tracer")
+
+    def resume(self):
+        pass
+
+
+#: Module-level disabled tracer (safe to share: it never holds state).
+NULL_TRACER = _NullTracer()

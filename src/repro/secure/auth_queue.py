@@ -20,13 +20,16 @@ backpressure: request *n* cannot enter the queue until request
 
 import bisect
 
+from repro.obs.events import AUTH_QUEUE_FULL, LANE_VERIFY
+
 NO_REQUEST = -1
 
 
 class AuthQueue:
     """In-order integrity-verification queue (timing model)."""
 
-    def __init__(self, depth=16, mac_latency=74, throughput=18, stats=None):
+    def __init__(self, depth=16, mac_latency=74, throughput=18, stats=None,
+                 tracer=None):
         if depth < 1:
             raise ValueError("queue depth must be >= 1")
         if mac_latency < 1 or throughput < 1:
@@ -40,6 +43,7 @@ class AuthQueue:
         self._fetch_times = []
         self._last_start = None
         self.stats = stats
+        self.tracer = tracer
         if stats is not None:
             self._requests = stats.counter("auth_requests")
             self._queue_full = stats.counter("auth_queue_full")
@@ -69,8 +73,13 @@ class AuthQueue:
         self._fetch_times.append(fetch_time)
         if tag >= self.depth:
             slot_free = self._completions[tag - self.depth]
-            if slot_free > ready_time and self._queue_full is not None:
-                self._queue_full.add()
+            if slot_free > ready_time:
+                if self._queue_full is not None:
+                    self._queue_full.add()
+                tracer = self.tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.emit(AUTH_QUEUE_FULL, LANE_VERIFY, ready_time,
+                                dur=slot_free - ready_time, tag=tag)
             ready_time = max(ready_time, slot_free)
         if self._last_start is None:
             start = ready_time

@@ -15,6 +15,14 @@ authen-then-fetch.
 """
 
 from repro.config import SecureConfig
+from repro.obs.events import (
+    DECRYPT_DONE,
+    LANE_DECRYPT,
+    LANE_GAP,
+    LANE_VERIFY,
+    VERIFY_DONE,
+    VERIFY_WINDOW,
+)
 from repro.secure.auth_queue import AuthQueue
 from repro.secure.counter_cache import CounterCache
 from repro.secure.decryption import DecryptionEngine
@@ -45,7 +53,7 @@ class SecureMemoryEngine:
     """Timing model of the secure processor's memory crypto engine."""
 
     def __init__(self, config=None, layout=None, controller=None, rng=None,
-                 stats=None, authentication_enabled=True):
+                 stats=None, authentication_enabled=True, tracer=None):
         if controller is None:
             raise ValueError("a MemoryController is required")
         self.config = config or SecureConfig()
@@ -55,6 +63,7 @@ class SecureMemoryEngine:
         )
         self.controller = controller
         self.stats = stats
+        self.tracer = tracer
         self.authentication_enabled = authentication_enabled
         # MACs ride along with each line only when verification is on.
         controller.mac_rider_bytes = (
@@ -81,6 +90,7 @@ class SecureMemoryEngine:
             mac_latency=mac_latency,
             throughput=mac_throughput,
             stats=stats,
+            tracer=tracer,
         )
         self.hash_tree = None
         if authentication_enabled and self.config.hash_tree_enabled:
@@ -154,6 +164,20 @@ class SecureMemoryEngine:
         ) & (2**64 - 1)
         return (self._predict_state >> 33) & 0xFFFF < self._predict_threshold
 
+    def _trace_fetch(self, addr, tag, data_time, verify_time):
+        """Emit the decrypt/verify events of one protected fetch."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        tracer.emit(DECRYPT_DONE, LANE_DECRYPT, data_time, addr=addr)
+        if tag < 0:
+            return
+        tracer.emit(VERIFY_DONE, LANE_VERIFY, verify_time, addr=addr,
+                    tag=tag, gap=verify_time - data_time)
+        if verify_time > data_time:
+            tracer.emit(VERIFY_WINDOW, LANE_GAP, data_time,
+                        dur=verify_time - data_time, addr=addr, tag=tag)
+
     @property
     def last_request(self):
         """The LastRequest register (Section 4.1)."""
@@ -212,6 +236,7 @@ class SecureMemoryEngine:
         data_time = self.decrypt.data_ready(pad_start, access.done_cycle)
 
         if not self.authentication_enabled:
+            self._trace_fetch(addr, -1, data_time, data_time)
             return ProtectedFetch(addr, -1, data_time, data_time,
                                   access.done_cycle)
 
@@ -234,6 +259,7 @@ class SecureMemoryEngine:
             verify_ready, extra, fetch_time=access.done_cycle)
         if self._gap_hist is not None:
             self._gap_hist.add(max(0, verify_time - data_time))
+        self._trace_fetch(addr, tag, data_time, verify_time)
         return ProtectedFetch(addr, tag, data_time, verify_time,
                               access.done_cycle)
 
@@ -255,6 +281,7 @@ class SecureMemoryEngine:
         data_time = access.done_cycle + decrypt * ((chunks + 1) // 2)
         full_line = access.done_cycle + decrypt * chunks
         if not self.authentication_enabled:
+            self._trace_fetch(addr, -1, data_time, data_time)
             return ProtectedFetch(addr, -1, data_time, data_time,
                                   access.done_cycle)
         verify_ready = full_line
@@ -267,6 +294,7 @@ class SecureMemoryEngine:
             verify_ready, extra, fetch_time=access.done_cycle)
         if self._gap_hist is not None:
             self._gap_hist.add(max(0, verify_time - data_time))
+        self._trace_fetch(addr, tag, data_time, verify_time)
         return ProtectedFetch(addr, tag, data_time, verify_time,
                               access.done_cycle)
 

@@ -1,8 +1,9 @@
 """Simulation drivers: assembly, runners, sweeps and report rendering."""
 
+from repro.sim.metrics import RunMetrics, collect_metrics, run_with_metrics
+from repro.sim.report import render_table
 from repro.sim.runner import build_simulator, run_benchmark, run_trace
 from repro.sim.sweep import PolicySweep, normalized_ipc_table, speedup_over
-from repro.sim.report import render_table
 
 __all__ = [
     "build_simulator",
@@ -12,4 +13,7 @@ __all__ = [
     "normalized_ipc_table",
     "speedup_over",
     "render_table",
+    "RunMetrics",
+    "collect_metrics",
+    "run_with_metrics",
 ]

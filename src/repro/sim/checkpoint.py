@@ -2,13 +2,21 @@
 
 Experiment runs are minutes-long; checkpointing lets EXPERIMENTS.md
 regeneration, notebooks and regression comparisons reuse results without
-re-simulating.  Only plain data is stored (benchmark, policy, cycles,
-instructions, ipc, miss rates), so files are stable across versions.
+re-simulating.  Checkpoints are versioned (``format_version``) and carry
+each run's full :class:`~repro.util.statistics.StatGroup` snapshot, so a
+saved sweep can answer the same questions as a live one; ``load_sweep``
+refuses files written by an incompatible version with a
+:class:`~repro.errors.CheckpointError` instead of a cryptic KeyError.
 """
 
 import json
 
-from repro.sim.sweep import PolicySweep
+from repro.errors import CheckpointError
+
+#: Bump when the checkpoint shape changes incompatibly.
+#: v1: unversioned seed format (no stats, no format_version field).
+#: v2: adds format_version and per-run "stats" StatGroup snapshots.
+FORMAT_VERSION = 2
 
 
 def sweep_to_dict(sweep):
@@ -22,8 +30,10 @@ def sweep_to_dict(sweep):
             "cycles": result.cycles,
             "ipc": result.ipc,
             "miss_rates": result.miss_summary,
+            "stats": result.stats.as_dict(),
         })
     return {
+        "format_version": FORMAT_VERSION,
         "benchmarks": list(sweep.benchmarks),
         "policies": list(sweep.policies),
         "num_instructions": sweep.num_instructions,
@@ -43,18 +53,37 @@ class SweepView:
     """Read-only view over a saved sweep with the PolicySweep accessors."""
 
     def __init__(self, payload):
-        self.benchmarks = payload["benchmarks"]
-        self.policies = payload["policies"]
-        self.num_instructions = payload["num_instructions"]
-        self.warmup = payload["warmup"]
-        self.seed = payload["seed"]
-        self._ipc = {
-            (run["benchmark"], run["policy"]): run["ipc"]
-            for run in payload["runs"]
-        }
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise CheckpointError(
+                "sweep checkpoint has format_version %r; this build reads "
+                "version %d -- regenerate the checkpoint with save_sweep"
+                % (version, FORMAT_VERSION))
+        try:
+            self.benchmarks = payload["benchmarks"]
+            self.policies = payload["policies"]
+            self.num_instructions = payload["num_instructions"]
+            self.warmup = payload["warmup"]
+            self.seed = payload["seed"]
+            runs = payload["runs"]
+            self._ipc = {
+                (run["benchmark"], run["policy"]): run["ipc"]
+                for run in runs
+            }
+            self._stats = {
+                (run["benchmark"], run["policy"]): run.get("stats", {})
+                for run in runs
+            }
+        except KeyError as missing:
+            raise CheckpointError(
+                "sweep checkpoint is missing key %s" % missing) from None
 
     def ipc(self, benchmark, policy):
         return self._ipc[(benchmark, policy)]
+
+    def stats(self, benchmark, policy):
+        """The run's persisted StatGroup snapshot (name -> value/buckets)."""
+        return self._stats[(benchmark, policy)]
 
     def normalized(self, benchmark, policy, baseline="decrypt-only"):
         base = self.ipc(benchmark, baseline)
@@ -67,6 +96,10 @@ class SweepView:
 
 
 def load_sweep(path):
-    """Load a saved sweep as a :class:`SweepView`."""
+    """Load a saved sweep as a :class:`SweepView`.
+
+    Raises :class:`~repro.errors.CheckpointError` when the file was
+    written by an incompatible format version or is missing fields.
+    """
     with open(path) as handle:
         return SweepView(json.load(handle))

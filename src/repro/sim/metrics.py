@@ -31,6 +31,11 @@ class RunMetrics:
     auth_requests: int = 0
     auth_queue_full: int = 0
     mean_verify_gap: float = 0.0
+    # Figure 6's discussion is really about the tail of the window, not
+    # its mean: the p50/p95/max decrypt-to-verify gap in cycles.
+    p50_verify_gap: int = 0
+    p95_verify_gap: int = 0
+    max_verify_gap: int = 0
     reads_per_kinst: float = 0.0
 
     def as_dict(self):
@@ -63,8 +68,15 @@ def collect_metrics(result, hierarchy):
                      if "auth_requests" in hier_stats else 0)
     queue_full = (hier_stats["auth_queue_full"].value
                   if "auth_queue_full" in hier_stats else 0)
-    gap = (hier_stats["decrypt_verify_gap"].mean()
-           if "decrypt_verify_gap" in hier_stats else 0.0)
+    if "decrypt_verify_gap" in hier_stats:
+        gap_hist = hier_stats["decrypt_verify_gap"]
+        gap = gap_hist.mean()
+        gap_p50 = gap_hist.percentile(50)
+        gap_p95 = gap_hist.percentile(95)
+        gap_max = gap_hist.max_key()
+    else:
+        gap = 0.0
+        gap_p50 = gap_p95 = gap_max = 0
 
     return RunMetrics(
         cycles=result.cycles,
@@ -81,19 +93,28 @@ def collect_metrics(result, hierarchy):
         auth_requests=auth_requests,
         auth_queue_full=queue_full,
         mean_verify_gap=gap,
+        p50_verify_gap=gap_p50,
+        p95_verify_gap=gap_p95,
+        max_verify_gap=gap_max,
         reads_per_kinst=1000.0 * reads / max(result.instructions, 1),
     )
 
 
 def run_with_metrics(trace, config=None, policy="decrypt-only",
-                     warmup=0):
+                     warmup=0, tracer=None, profiler=None):
     """Convenience: run a trace and return (RunResult, RunMetrics)."""
     from repro.config import SimConfig
     from repro.sim.runner import build_simulator
 
-    core, hierarchy = build_simulator(config or SimConfig(), policy)
-    result = core.run(trace, warmup=warmup)
-    return result, collect_metrics(result, hierarchy)
+    core, hierarchy = build_simulator(config or SimConfig(), policy,
+                                      tracer=tracer)
+    result = core.run(trace, warmup=warmup, profiler=profiler)
+    if profiler is not None:
+        with profiler.phase("metrics"):
+            metrics = collect_metrics(result, hierarchy)
+    else:
+        metrics = collect_metrics(result, hierarchy)
+    return result, metrics
 
 
 def render_metrics(metrics):
@@ -111,6 +132,9 @@ def render_metrics(metrics):
         "auth: %d requests, %d queue-full, mean verify gap %.0f cyc"
         % (metrics.auth_requests, metrics.auth_queue_full,
            metrics.mean_verify_gap),
+        "verify gap percentiles: p50=%d p95=%d max=%d cyc"
+        % (metrics.p50_verify_gap, metrics.p95_verify_gap,
+           metrics.max_verify_gap),
         "miss rates: " + "  ".join(
             "%s=%.3f" % (k, v) for k, v in sorted(
                 metrics.miss_rates.items())),

@@ -2,13 +2,22 @@
 
 
 def render_table(headers, rows, float_format="%.3f"):
-    """Render a list-of-lists table with aligned columns."""
+    """Render a list-of-lists table with aligned columns.
+
+    Numeric cells (ints and floats, as conventional for figures) are
+    right-aligned; text cells are left-aligned.
+    """
     def fmt(value):
         if isinstance(value, float):
             return float_format % value
         return str(value)
 
+    def numeric(value):
+        return isinstance(value, (int, float)) and \
+            not isinstance(value, bool)
+
     text_rows = [[fmt(cell) for cell in row] for row in rows]
+    numeric_rows = [[numeric(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in text_rows:
         for i, cell in enumerate(row):
@@ -17,9 +26,10 @@ def render_table(headers, rows, float_format="%.3f"):
         "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
         "  ".join("-" * w for w in widths),
     ]
-    for row in text_rows:
-        lines.append("  ".join(cell.ljust(widths[i])
-                               for i, cell in enumerate(row)))
+    for cells, numerics in zip(text_rows, numeric_rows):
+        lines.append("  ".join(
+            cell.rjust(widths[i]) if numerics[i] else cell.ljust(widths[i])
+            for i, cell in enumerate(cells)))
     return "\n".join(lines)
 
 

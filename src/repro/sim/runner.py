@@ -10,34 +10,47 @@ from repro.workloads.spec import get_profile
 from repro.workloads.tracegen import generate_trace
 
 
-def build_simulator(config=None, policy="decrypt-only"):
+def build_simulator(config=None, policy="decrypt-only", tracer=None):
     """Build a fresh (core, hierarchy) pair for one run.
 
     ``policy`` may be a name or an :class:`~repro.policies.base.AuthPolicy`
     instance.  Every run gets private caches, DRAM state, and an
-    authentication queue -- no state leaks between runs.
+    authentication queue -- no state leaks between runs.  ``tracer`` (a
+    :class:`~repro.obs.tracer.Tracer`) is threaded through every layer;
+    None keeps the zero-overhead disabled path.
     """
     config = config or SimConfig()
     if isinstance(policy, str):
         policy = make_policy(policy)
     stats = StatGroup("sim")
     rng = DeterministicRng(config.seed).stream("remap")
-    hierarchy = MemoryHierarchy(config, policy, rng=rng, stats=stats)
-    core = TimestampCore(config, policy, hierarchy, stats=stats)
+    hierarchy = MemoryHierarchy(config, policy, rng=rng, stats=stats,
+                                tracer=tracer)
+    core = TimestampCore(config, policy, hierarchy, stats=stats,
+                         tracer=tracer)
     return core, hierarchy
 
 
-def run_trace(trace, config=None, policy="decrypt-only"):
+def run_trace(trace, config=None, policy="decrypt-only", tracer=None,
+              profiler=None, warmup=0):
     """Run ``trace`` under ``policy``; returns a RunResult."""
-    core, _ = build_simulator(config, policy)
-    return core.run(trace)
+    core, _ = build_simulator(config, policy, tracer=tracer)
+    return core.run(trace, warmup=warmup, profiler=profiler)
 
 
 def run_benchmark(benchmark, num_instructions=20_000, config=None,
-                  policy="decrypt-only", seed=None):
+                  policy="decrypt-only", seed=None, tracer=None,
+                  profiler=None, warmup=0):
     """Generate the named benchmark's trace and run it under ``policy``."""
     config = config or SimConfig()
     profile = get_profile(benchmark)
-    trace = generate_trace(profile, num_instructions,
-                           seed=seed if seed is not None else config.seed)
-    return run_trace(trace, config, policy)
+    if profiler is not None:
+        with profiler.phase("tracegen"):
+            trace = generate_trace(
+                profile, num_instructions + warmup,
+                seed=seed if seed is not None else config.seed)
+    else:
+        trace = generate_trace(profile, num_instructions + warmup,
+                               seed=seed if seed is not None else config.seed)
+    return run_trace(trace, config, policy, tracer=tracer,
+                     profiler=profiler, warmup=warmup)

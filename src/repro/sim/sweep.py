@@ -27,21 +27,46 @@ class PolicySweep:
         self.seed = seed if seed is not None else self.config.seed
         self.results = {}  # (benchmark, policy) -> RunResult
 
-    def run(self, include_baseline=True):
-        """Execute the sweep; returns self for chaining."""
+    def run(self, include_baseline=True, profiler=None, tracer=None):
+        """Execute the sweep; returns self for chaining.
+
+        ``profiler`` accumulates tracegen/warmup/measure wall clock over
+        the whole sweep; ``tracer`` records every run into the same sinks
+        (callers usually reserve it for single-run recordings instead).
+        """
         policies = list(self.policies)
         if include_baseline and BASELINE not in policies:
             policies.append(BASELINE)
         for benchmark in self.benchmarks:
             profile = get_profile(benchmark)
-            trace = generate_trace(profile,
-                                   self.num_instructions + self.warmup,
-                                   seed=self.seed)
+            if profiler is not None:
+                with profiler.phase("tracegen"):
+                    trace = generate_trace(
+                        profile, self.num_instructions + self.warmup,
+                        seed=self.seed)
+            else:
+                trace = generate_trace(profile,
+                                       self.num_instructions + self.warmup,
+                                       seed=self.seed)
             for policy in policies:
-                core, _ = build_simulator(self.config, policy)
+                core, _ = build_simulator(self.config, policy,
+                                          tracer=tracer)
                 self.results[(benchmark, policy)] = core.run(
-                    trace, warmup=self.warmup)
+                    trace, warmup=self.warmup, profiler=profiler)
         return self
+
+    def write_manifest(self, path, profiler=None):
+        """Write the sweep's JSON manifest (see repro.obs.export)."""
+        from repro.obs.export import build_sweep_manifest, write_json
+
+        return write_json(build_sweep_manifest(self, profiler=profiler),
+                          path)
+
+    def write_csv(self, path, baseline=BASELINE):
+        """Write one CSV row per (benchmark, policy) run."""
+        from repro.obs.export import write_sweep_csv
+
+        return write_sweep_csv(self, path, baseline=baseline)
 
     def ipc(self, benchmark, policy):
         return self.results[(benchmark, policy)].ipc

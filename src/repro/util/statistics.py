@@ -48,6 +48,26 @@ class Histogram:
             return 0.0
         return sum(k * v for k, v in self.buckets.items()) / total
 
+    def percentile(self, q):
+        """Smallest key whose cumulative weight covers the ``q``-th
+        percentile (``q`` in [0, 100]); 0 for an empty histogram."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100], got %r" % q)
+        total = self.total
+        if total == 0:
+            return 0
+        need = q / 100.0 * total
+        cumulative = 0
+        for key in sorted(self.buckets):
+            cumulative += self.buckets[key]
+            if cumulative >= need:
+                return key
+        return key
+
+    def max_key(self):
+        """Largest observed key; 0 for an empty histogram."""
+        return max(self.buckets) if self.buckets else 0
+
     def reset(self):
         self.buckets.clear()
 

@@ -1,0 +1,102 @@
+"""Manifest and CSV export tests."""
+
+import csv
+import json
+
+import pytest
+
+from repro.config import SimConfig
+from repro.obs.export import (
+    build_run_manifest,
+    build_run_set_manifest,
+    build_sweep_manifest,
+    config_to_dict,
+    write_json,
+    write_sweep_csv,
+)
+from repro.obs.profile import PhaseProfiler
+from repro.sim.metrics import run_with_metrics
+from repro.sim.sweep import PolicySweep
+from repro.workloads.spec import get_profile
+from repro.workloads.tracegen import generate_trace
+
+
+@pytest.fixture(scope="module")
+def run_and_metrics():
+    trace = generate_trace(get_profile("gzip"), 1200, seed=7)
+    return run_with_metrics(trace, SimConfig(), "authen-then-commit")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return PolicySweep(["gzip"], ["authen-then-commit"],
+                       num_instructions=1200, warmup=600).run()
+
+
+class TestRunManifest:
+    def test_contains_the_advertised_sections(self, run_and_metrics):
+        result, metrics = run_and_metrics
+        profiler = PhaseProfiler()
+        profiler.add("measure", 0.5)
+        manifest = build_run_manifest(result, metrics, config=SimConfig(),
+                                      seed=7, profiler=profiler)
+        assert manifest["kind"] == "run"
+        assert manifest["policy"] == "authen-then-commit"
+        assert manifest["seed"] == 7
+        assert manifest["phases"] == {"measure": 0.5}
+        assert manifest["config"]["core"]["ruu_entries"] == 128
+        assert manifest["stats"]["auth_requests"] > 0
+        assert manifest["metrics"]["ipc"] == result.ipc
+
+    def test_json_serialisable(self, run_and_metrics, tmp_path):
+        result, metrics = run_and_metrics
+        path = tmp_path / "run.json"
+        write_json(build_run_manifest(result, metrics, config=SimConfig()),
+                   path)
+        loaded = json.loads(path.read_text())
+        assert loaded["format_version"] == 1
+        assert loaded["cycles"] == result.cycles
+
+    def test_run_set_manifest(self, run_and_metrics):
+        result, metrics = run_and_metrics
+        manifest = build_run_set_manifest([(result, metrics),
+                                           (result, None)],
+                                          config=SimConfig(), seed=7)
+        assert manifest["kind"] == "run-set"
+        assert len(manifest["runs"]) == 2
+        assert manifest["runs"][1]["metrics"] is None
+
+
+class TestSweepExport:
+    def test_sweep_manifest(self, sweep):
+        manifest = build_sweep_manifest(sweep)
+        assert manifest["kind"] == "sweep"
+        # requested policy + implicit decrypt-only baseline
+        assert len(manifest["runs"]) == 2
+        for run in manifest["runs"]:
+            assert run["stats"], "stats snapshot missing"
+
+    def test_sweep_manifest_via_method(self, sweep, tmp_path):
+        path = sweep.write_manifest(tmp_path / "sweep.json")
+        assert json.loads(open(path).read())["benchmarks"] == ["gzip"]
+
+    def test_csv_rows(self, sweep, tmp_path):
+        path = sweep.write_csv(tmp_path / "sweep.csv")
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        by_policy = {row["policy"]: row for row in rows}
+        assert float(by_policy["decrypt-only"]["ipc_normalized"]) == 1.0
+        assert 0 < float(by_policy["authen-then-commit"]["ipc_normalized"]) \
+            <= 1.001
+        assert "miss_l2" in rows[0]
+
+
+class TestConfigDict:
+    def test_nested_dataclasses_flatten(self):
+        flat = config_to_dict(SimConfig())
+        assert flat["secure"]["decrypt_latency"] == 80
+        json.dumps(flat)  # must be plain data
+
+    def test_none_passthrough(self):
+        assert config_to_dict(None) is None

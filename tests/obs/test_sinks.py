@@ -1,0 +1,107 @@
+"""Sink formats: ring buffer, JSONL and Chrome trace-event round-trips."""
+
+import json
+
+from repro.obs import events
+from repro.obs.events import Event
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, MemorySink
+from repro.obs.tracer import Tracer
+from repro.sim.runner import run_benchmark
+
+
+def some_events(count=5):
+    return [Event(10 * i, events.COMMIT, events.LANE_COMMIT, 0, {"pc": i})
+            for i in range(count)]
+
+
+class TestMemorySink:
+    def test_unbounded_by_default(self):
+        sink = MemorySink()
+        for event in some_events(100):
+            sink.accept(event)
+        assert len(sink) == 100 and sink.dropped == 0
+
+    def test_ring_buffer_keeps_newest(self):
+        sink = MemorySink(capacity=3)
+        for event in some_events(10):
+            sink.accept(event)
+        assert len(sink) == 3
+        assert sink.dropped == 7
+        assert [e.cycle for e in sink.events] == [70, 80, 90]
+
+    def test_filters(self):
+        sink = MemorySink()
+        sink.accept(Event(1, events.ISSUE, events.LANE_ISSUE))
+        sink.accept(Event(2, events.COMMIT, events.LANE_COMMIT))
+        assert len(sink.by_lane(events.LANE_ISSUE)) == 1
+        assert len(sink.by_kind(events.COMMIT)) == 1
+
+    def test_clear(self):
+        sink = MemorySink(capacity=1)
+        for event in some_events(2):
+            sink.accept(event)
+        sink.clear()
+        assert len(sink) == 0 and sink.dropped == 0
+
+
+class TestJsonlSink:
+    def test_round_trips_through_json_loads(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.accept(Event(5, events.VERIFY_DONE, events.LANE_VERIFY, 0,
+                          {"addr": 64, "gap": 73}))
+        sink.accept(Event(9, events.BUS_GRANT, events.LANE_BUS, 40,
+                          {"bytes": 64}))
+        sink.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {"cycle": 5, "kind": "VERIFY_DONE",
+                            "lane": "verify", "addr": 64, "gap": 73}
+        assert lines[1]["dur"] == 40
+
+    def test_full_run_is_valid_jsonl(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer([JsonlSink(path)])
+        run_benchmark("gzip", 800, policy="authen-then-commit",
+                      tracer=tracer)
+        tracer.close()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert len(records) > 800
+        assert {"cycle", "kind", "lane"} <= set(records[0])
+
+
+class TestChromeTraceSink:
+    def test_trace_format_fields(self, tmp_path):
+        path = tmp_path / "t.json"
+        tracer = Tracer([ChromeTraceSink(path, process_name="gzip")])
+        run_benchmark("gzip", 800, policy="authen-then-commit",
+                      tracer=tracer)
+        tracer.close()
+        payload = json.loads(path.read_text())
+        trace_events = payload["traceEvents"]
+        assert trace_events
+        for record in trace_events:
+            assert "ph" in record and "pid" in record
+            if record["ph"] != "M":
+                assert "ts" in record and "tid" in record
+        # lanes are named threads, intervals are complete events
+        names = [r for r in trace_events if r["ph"] == "M"]
+        assert any(r["args"]["name"] == "verify" for r in names)
+        assert any(r["ph"] == "X" and r["dur"] > 0 for r in trace_events)
+
+    def test_begin_process_separates_runs(self, tmp_path):
+        path = tmp_path / "t.json"
+        sink = ChromeTraceSink(path)
+        assert sink.begin_process("first") == 0    # renames empty pid 0
+        sink.accept(Event(1, events.COMMIT, events.LANE_COMMIT))
+        assert sink.begin_process("second") == 1
+        sink.accept(Event(2, events.COMMIT, events.LANE_COMMIT))
+        sink.close()
+        payload = json.loads(path.read_text())
+        pids = {r["pid"] for r in payload["traceEvents"]
+                if r["ph"] != "M"}
+        assert pids == {0, 1}
+        process_names = {r["args"]["name"]
+                         for r in payload["traceEvents"]
+                         if r.get("name") == "process_name"}
+        assert {"first", "second"} <= process_names

@@ -1,0 +1,61 @@
+"""Text timeline rendering tests."""
+
+from repro.obs import events
+from repro.obs.events import Event
+from repro.obs.sinks import MemorySink
+from repro.obs.timeline import (
+    gap_histogram,
+    render_gap_timeline,
+    render_lane_census,
+)
+from repro.obs.tracer import Tracer
+from repro.sim.runner import run_benchmark
+
+
+def window(cycle, dur, addr=0x40):
+    return Event(cycle, events.VERIFY_WINDOW, events.LANE_GAP, dur,
+                 {"addr": addr})
+
+
+class TestGapTimeline:
+    def test_empty_stream_explains_itself(self):
+        assert "no decrypt-to-verify windows" in render_gap_timeline([])
+
+    def test_rows_and_summary(self):
+        text = render_gap_timeline([window(100, 73), window(200, 10)])
+        assert "first 2 of 2" in text
+        assert "0x40" in text
+        assert "p95=73" in text
+
+    def test_limit(self):
+        text = render_gap_timeline([window(i * 10, 5) for i in range(50)],
+                                   limit=4)
+        assert "first 4 of 50" in text
+
+    def test_gap_histogram(self):
+        hist = gap_histogram([window(0, 73), window(1, 73), window(2, 9)])
+        assert hist.total == 3
+        assert hist.percentile(50) == 73
+        assert hist.max_key() == 73
+
+
+class TestLaneCensus:
+    def test_empty(self):
+        assert render_lane_census([]) == "no events recorded"
+
+    def test_counts_by_lane_and_kind(self):
+        text = render_lane_census([window(0, 73),
+                                   Event(5, events.COMMIT,
+                                         events.LANE_COMMIT)])
+        assert "gap" in text and "VERIFY_WINDOW" in text
+        assert "commit" in text
+
+
+class TestEndToEnd:
+    def test_recorded_run_renders(self):
+        sink = MemorySink()
+        run_benchmark("gzip", 800, policy="authen-then-commit",
+                      tracer=Tracer([sink]))
+        text = render_gap_timeline(sink.events)
+        assert "decrypt-to-verify windows" in text
+        assert "mean=" in text

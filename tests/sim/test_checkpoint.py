@@ -1,8 +1,16 @@
 """Sweep checkpoint (JSON persistence) tests."""
 
+import json
+
 import pytest
 
-from repro.sim.checkpoint import load_sweep, save_sweep, sweep_to_dict
+from repro.errors import CheckpointError
+from repro.sim.checkpoint import (
+    FORMAT_VERSION,
+    load_sweep,
+    save_sweep,
+    sweep_to_dict,
+)
 from repro.sim.sweep import PolicySweep
 
 
@@ -16,10 +24,44 @@ class TestCheckpoint:
     def test_dict_shape(self, sweep):
         payload = sweep_to_dict(sweep)
         assert payload["benchmarks"] == ["gzip"]
+        assert payload["format_version"] == FORMAT_VERSION
         assert len(payload["runs"]) == 2  # policy + baseline
         run = payload["runs"][0]
         assert {"benchmark", "policy", "ipc", "cycles",
-                "instructions", "miss_rates"} <= set(run)
+                "instructions", "miss_rates", "stats"} <= set(run)
+
+    def test_stats_snapshot_persisted(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        view = load_sweep(path)
+        stats = view.stats("gzip", "authen-then-write")
+        assert stats["auth_requests"] > 0
+        assert "decrypt_verify_gap" in stats
+
+    def test_version_mismatch_raises_checkpoint_error(self, sweep,
+                                                      tmp_path):
+        payload = sweep_to_dict(sweep)
+        payload["format_version"] = FORMAT_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="format_version"):
+            load_sweep(path)
+
+    def test_unversioned_seed_file_raises(self, sweep, tmp_path):
+        payload = sweep_to_dict(sweep)
+        del payload["format_version"]
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError):
+            load_sweep(path)
+
+    def test_missing_key_raises_checkpoint_error(self, sweep, tmp_path):
+        payload = sweep_to_dict(sweep)
+        del payload["runs"]
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="missing key"):
+            load_sweep(path)
 
     def test_roundtrip(self, sweep, tmp_path):
         path = tmp_path / "sweep.json"

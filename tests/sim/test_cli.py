@@ -30,6 +30,50 @@ class TestCli:
         out = capsys.readouterr().out
         assert "authen-then-write" in out
 
+    def test_run_trace_out_and_emit_json(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "t.json"
+        manifest_path = tmp_path / "r.json"
+        code = main(["run", "gzip", "-n", "1200",
+                     "-p", "authen-then-commit",
+                     "--trace-out", str(trace_path),
+                     "--emit-json", str(manifest_path)])
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["kind"] == "run"
+        assert manifest["config"]["seed"] == 2006
+        assert manifest["phases"]["measure"] > 0
+        assert manifest["stats"]["auth_requests"] > 0
+        assert "phase timings" in capsys.readouterr().out
+
+    def test_run_multi_policy_manifest(self, capsys, tmp_path):
+        import json
+
+        manifest_path = tmp_path / "set.json"
+        code = main(["run", "gzip", "-n", "1200",
+                     "-p", "decrypt-only", "-p", "authen-then-commit",
+                     "--emit-json", str(manifest_path)])
+        assert code == 0
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["kind"] == "run-set"
+        assert [run["policy"] for run in manifest["runs"]] == \
+            ["decrypt-only", "authen-then-commit"]
+
+    def test_trace_command_renders_timeline(self, capsys):
+        code = main(["trace", "gzip", "-n", "1200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decrypt-to-verify windows" in out
+        assert "VERIFY_DONE" in out
+
+    def test_trace_command_decrypt_only_has_no_windows(self, capsys):
+        code = main(["trace", "gzip", "-n", "800", "-p", "decrypt-only"])
+        assert code == 0
+        assert "no decrypt-to-verify windows" in capsys.readouterr().out
+
     def test_attack_blocked_exit_zero(self, capsys):
         code = main(["attack", "pointer-conversion",
                      "-p", "commit+fetch", "--fail-on-leak"])

@@ -119,6 +119,17 @@ class TestReport:
         text = render_table(["x"], [[0.123456]], float_format="%.2f")
         assert "0.12" in text
 
+    def test_numeric_columns_right_aligned(self):
+        text = render_table(["benchmark", "cycles"],
+                            [["gzip", 12], ["a", 1234567]])
+        rows = text.splitlines()[2:]
+        assert rows[0] == "gzip            12"
+        assert rows[1] == "a          1234567"
+
+    def test_text_columns_stay_left_aligned(self):
+        text = render_table(["name", "tag"], [["a", "x"], ["bb", "yy"]])
+        assert text.splitlines()[2] == "a     x  "
+
     def test_series_rows(self):
         rows = series_rows([("b1", {"p": 0.5})], ["p"])
         assert rows == [["b1", 0.5]]

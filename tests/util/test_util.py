@@ -113,6 +113,32 @@ class TestStats:
     def test_empty_histogram_mean(self):
         assert Histogram("x").mean() == 0.0
 
+    def test_percentile(self):
+        h = Histogram("gap")
+        for key, weight in ((10, 50), (20, 45), (90, 5)):
+            h.add(key, weight)
+        assert h.percentile(50) == 10
+        assert h.percentile(95) == 20
+        assert h.percentile(96) == 90
+        assert h.percentile(100) == 90
+        assert h.percentile(0) == 10
+
+    def test_percentile_validates_range(self):
+        with pytest.raises(ValueError):
+            Histogram("x").percentile(101)
+        with pytest.raises(ValueError):
+            Histogram("x").percentile(-1)
+
+    def test_percentile_empty(self):
+        assert Histogram("x").percentile(95) == 0
+
+    def test_max_key(self):
+        h = Histogram("x")
+        assert h.max_key() == 0
+        h.add(3)
+        h.add(11)
+        assert h.max_key() == 11
+
     def test_group_accessors(self):
         g = StatGroup("g")
         g.counter("a").add()
