@@ -9,6 +9,8 @@ regeneration uses paper-scale windows:
 - ``REPRO_BENCH_WARMUP`` warmup instructions (default = N)
 - ``REPRO_BENCH_FULL=1`` use all 18 benchmarks instead of the
   representative subset
+- ``REPRO_BENCH_JOBS``   executor worker processes (default 1: serial);
+  results are bit-identical across backends, only wall clock changes
 """
 
 import os
@@ -18,6 +20,7 @@ import pytest
 BENCH_N = int(os.environ.get("REPRO_BENCH_N", "6000"))
 BENCH_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", str(BENCH_N)))
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 # Representative subset: the paper's five worst-under-issue benchmarks
 # plus one mild INT and one streaming FP.
@@ -28,6 +31,16 @@ SUBSET_FP = ["ammp", "mgrid", "swim", "art"]
 @pytest.fixture(scope="session")
 def bench_scale():
     return {"num_instructions": BENCH_N, "warmup": BENCH_WARMUP}
+
+
+@pytest.fixture(scope="session")
+def bench_executor():
+    """One executor (and worker pool) shared by the whole bench session."""
+    from repro.exec import make_executor
+
+    executor = make_executor(BENCH_JOBS)
+    yield executor
+    executor.close()
 
 
 @pytest.fixture(scope="session")

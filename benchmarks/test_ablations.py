@@ -8,35 +8,36 @@ SMALL = dict(num_instructions=4000, warmup=4000,
              benchmarks=("twolf", "swim", "mcf"))
 
 
-def test_mac_latency_sweep(benchmark):
+def test_mac_latency_sweep(benchmark, bench_executor):
     result = once(benchmark, lambda: ablations.mac_latency_sweep(
-        latencies=(20, 74, 300), **SMALL))
+        latencies=(20, 74, 300), executor=bench_executor, **SMALL))
     print("\nMAC latency sweep (authen-then-commit):", {
         k: round(v, 3) for k, v in result.items()})
     # A longer MAC latency can only hurt.
     assert result[20] >= result[300] - 0.01
 
 
-def test_queue_depth_sweep(benchmark):
+def test_queue_depth_sweep(benchmark, bench_executor):
     result = once(benchmark, lambda: ablations.queue_depth_sweep(
-        depths=(2, 16), **SMALL))
+        depths=(2, 16), executor=bench_executor, **SMALL))
     print("\nAuth-queue depth sweep:", {
         k: round(v, 3) for k, v in result.items()})
     # A deeper queue relieves backpressure.
     assert result[16] >= result[2] - 0.01
 
 
-def test_store_buffer_sweep(benchmark):
+def test_store_buffer_sweep(benchmark, bench_executor):
     result = once(benchmark, lambda: ablations.store_buffer_sweep(
-        entries=(2, 32), **SMALL))
+        entries=(2, 32), executor=bench_executor, **SMALL))
     print("\nStore buffer sweep (authen-then-write):", {
         k: round(v, 3) for k, v in result.items()})
     assert result[32] >= result[2] - 0.01
 
 
-def test_fetch_variants(benchmark):
+def test_fetch_variants(benchmark, bench_executor):
     result = once(benchmark,
-                  lambda: ablations.fetch_variant_comparison(**SMALL))
+                  lambda: ablations.fetch_variant_comparison(
+                      executor=bench_executor, **SMALL))
     print("\nauthen-then-fetch variants:", {
         k: round(v, 3) for k, v in result.items()})
     # The drain variant is at least as conservative as the tag variant.
@@ -46,12 +47,13 @@ def test_fetch_variants(benchmark):
     assert 0 < result["precise"] <= 1.01
 
 
-def test_mac_scheme_comparison(benchmark):
+def test_mac_scheme_comparison(benchmark, bench_executor):
     result = once(benchmark,
                   lambda: ablations.mac_scheme_comparison(
                       benchmarks=SMALL["benchmarks"],
                       num_instructions=SMALL["num_instructions"],
-                      warmup=SMALL["warmup"]))
+                      warmup=SMALL["warmup"],
+                      executor=bench_executor))
     print("\nHMAC vs GMAC:", {
         scheme: {k: round(v, 3) for k, v in avgs.items()}
         for scheme, avgs in result.items()})

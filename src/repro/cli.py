@@ -8,7 +8,13 @@ Commands
 ``run BENCH``
     Simulate one benchmark under one or more policies.  ``--trace-out``
     records a Chrome trace-event file (open in Perfetto); ``--emit-json``
-    writes the run manifest (config, seed, phase timings, stats).
+    writes the run manifest (config, seed, phase timings, stats);
+    ``--jobs N`` fans the policies out over N worker processes.
+``sweep BENCH [BENCH ...]``
+    Run a benchmarks x policies sweep through the job executor:
+    ``--jobs N`` parallelises over processes with bit-identical results,
+    ``--checkpoint FILE`` makes the sweep resumable (completed jobs are
+    skipped on rerun), ``--emit-json``/``--csv`` export the results.
 ``trace BENCH``
     Record one run and render the decrypt-to-verify gap timeline as text.
 ``attack NAME``
@@ -62,21 +68,22 @@ def _cmd_figure(args):
     return 0
 
 
+_DEFAULT_POLICIES = ["decrypt-only", "authen-then-issue",
+                     "authen-then-commit", "authen-then-write",
+                     "commit+fetch"]
+
+
 def _cmd_run(args):
     from repro.config import SimConfig
+    from repro.exec import ParallelExecutor, build_jobs, execute_job
     from repro.obs import (ChromeTraceSink, PhaseProfiler, Tracer,
                            build_run_manifest, build_run_set_manifest,
                            write_json)
-    from repro.sim.metrics import run_with_metrics
-    from repro.workloads.spec import get_profile
-    from repro.workloads.tracegen import generate_trace
 
     config = SimConfig().with_l2_size(args.l2 * 1024)
     if args.hash_tree:
         config = config.with_secure(hash_tree_enabled=True)
-    policies = args.policy or ["decrypt-only", "authen-then-issue",
-                               "authen-then-commit", "authen-then-write",
-                               "commit+fetch"]
+    policies = args.policy or list(_DEFAULT_POLICIES)
     scale = _scale(args)
     profiler = PhaseProfiler()
     try:
@@ -88,23 +95,36 @@ def _cmd_run(args):
         return 2
     tracer = Tracer([chrome]) if chrome is not None else None
 
-    with profiler.phase("tracegen"):
-        trace = generate_trace(get_profile(args.benchmark),
-                               scale["num_instructions"], seed=config.seed)
+    jobs = build_jobs([args.benchmark], policies, config=config,
+                      num_instructions=scale["num_instructions"],
+                      warmup=scale["warmup"])
+    num_workers = args.jobs
+    if chrome is not None and num_workers > 1:
+        print("note: --trace-out records per-run events, which only the "
+              "serial backend supports; running with --jobs 1",
+              file=sys.stderr)
+        num_workers = 1
+    if num_workers > 1:
+        with ParallelExecutor(num_workers) as executor:
+            results = executor.run(jobs, profiler=profiler)
+    else:
+        results = {}
+        for job in jobs:
+            if chrome is not None:
+                chrome.begin_process("%s/%s" % (args.benchmark, job.policy))
+            results[job] = execute_job(job, tracer=tracer,
+                                       profiler=profiler)
+
     baseline = None
     recorded = []
     print("%-26s %10s %10s" % ("policy", "IPC", "normalized"))
-    for policy in policies:
-        if chrome is not None:
-            chrome.begin_process("%s/%s" % (args.benchmark, policy))
-        result, metrics = run_with_metrics(trace, config, policy,
-                                           tracer=tracer,
-                                           profiler=profiler)
-        recorded.append((result, metrics))
+    for job in jobs:
+        result = results[job]
+        recorded.append((result, result.metrics))
         if baseline is None:
             baseline = result.ipc
         print("%-26s %10.4f %10.3f"
-              % (policy, result.ipc, result.ipc / baseline))
+              % (job.policy, result.ipc, result.ipc / baseline))
     if tracer is not None:
         tracer.close()
         print("chrome trace written to %s (open in Perfetto)"
@@ -113,7 +133,8 @@ def _cmd_run(args):
         if len(recorded) == 1:
             manifest = build_run_manifest(
                 recorded[0][0], recorded[0][1], config=config,
-                seed=config.seed, profiler=profiler)
+                seed=config.seed, profiler=profiler,
+                extra={"job_id": jobs[0].job_id})
         else:
             manifest = build_run_set_manifest(
                 recorded, config=config, seed=config.seed,
@@ -122,6 +143,71 @@ def _cmd_run(args):
         print("run manifest written to %s" % args.emit_json)
     if args.trace_out or args.emit_json:
         print(profiler.render())
+    return 0
+
+
+def _cmd_sweep(args):
+    import time
+
+    from repro.config import SimConfig
+    from repro.exec import make_executor
+    from repro.obs import PhaseProfiler, build_sweep_manifest, write_json
+    from repro.sim.checkpoint import JobJournal
+    from repro.sim.report import render_table, series_rows
+    from repro.sim.sweep import BASELINE, PolicySweep, normalized_ipc_table
+
+    config = SimConfig().with_l2_size(args.l2 * 1024)
+    if args.hash_tree:
+        config = config.with_secure(hash_tree_enabled=True)
+    policies = args.policy or list(_DEFAULT_POLICIES)
+    scale = _scale(args)
+    profiler = PhaseProfiler()
+    journal = None
+    if args.checkpoint:
+        journal = JobJournal(args.checkpoint)
+        if len(journal):
+            print("resuming from %s: %d completed job(s) will be skipped"
+                  % (args.checkpoint, len(journal)))
+
+    sweep = PolicySweep(args.benchmark, policies, config=config,
+                        num_instructions=scale["num_instructions"],
+                        warmup=scale["warmup"], seed=args.seed)
+    progress = None
+    if args.progress:
+        def progress(job, result, done, total):
+            print("[%d/%d] %s/%s: %d cycles"
+                  % (done, total, job.benchmark, job.policy,
+                     result.cycles), file=sys.stderr)
+
+    start = time.perf_counter()
+    with make_executor(args.jobs) as executor:
+        sweep.run(include_baseline=not args.no_baseline,
+                  profiler=profiler, executor=executor, journal=journal,
+                  progress=progress)
+    elapsed = time.perf_counter() - start
+
+    policies_run = sweep.executed_policies
+    headers = ["benchmark"] + policies_run
+    if BASELINE in policies_run:
+        rows = normalized_ipc_table(sweep, policies_run)
+        print("normalized IPC (baseline: %s)" % BASELINE)
+        print(render_table(headers, series_rows(rows, policies_run)))
+    else:
+        print("absolute IPC")
+        print(render_table(headers, [
+            [benchmark] + [sweep.ipc(benchmark, p) for p in policies_run]
+            for benchmark in sweep.benchmarks], "%.4f"))
+    backend = sweep.backend or {}
+    print("%d jobs in %.2fs (backend=%s, workers=%s)"
+          % (len(sweep.results), elapsed,
+             backend.get("backend"), backend.get("jobs")))
+    if args.emit_json:
+        write_json(build_sweep_manifest(sweep, profiler=profiler),
+                   args.emit_json)
+        print("sweep manifest written to %s" % args.emit_json)
+    if args.csv:
+        sweep.write_csv(args.csv)
+        print("sweep CSV written to %s" % args.csv)
     return 0
 
 
@@ -206,8 +292,39 @@ def build_parser():
     p.add_argument("--emit-json", metavar="FILE",
                    help="write the run manifest (config, seed, phase "
                         "timings, full stats snapshot)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes (default 1: serial backend)")
     _add_scale(p)
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("sweep",
+                       help="run a benchmarks x policies sweep through "
+                            "the job executor")
+    p.add_argument("benchmark", nargs="+",
+                   choices=sorted(SPEC2000_PROFILES))
+    p.add_argument("-p", "--policy", action="append",
+                   choices=available_policies())
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes (default 1: serial backend; "
+                        "results are bit-identical either way)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="trace-generation seed (default: config seed)")
+    p.add_argument("--l2", type=int, default=256, help="L2 size in KB")
+    p.add_argument("--hash-tree", action="store_true")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="do not inject the decrypt-only baseline")
+    p.add_argument("--checkpoint", metavar="FILE",
+                   help="JSONL job journal; rerunning with the same "
+                        "file skips already-completed jobs")
+    p.add_argument("--csv", metavar="FILE",
+                   help="write one CSV row per (benchmark, policy) run")
+    p.add_argument("--emit-json", metavar="FILE",
+                   help="write the sweep manifest (per-job ids, backend "
+                        "metadata, full stats snapshots)")
+    p.add_argument("--progress", action="store_true",
+                   help="print per-job completions to stderr")
+    _add_scale(p, default_n=6000)
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("trace",
                        help="record one run and render the decrypt-to-"

@@ -57,6 +57,9 @@ class RunResult:
         self.cycles = cycles
         self.stats = stats
         self.miss_summary = miss_summary
+        # Derived RunMetrics, attached by repro.exec.execute_job; None
+        # for results produced by driving the core directly.
+        self.metrics = None
 
     @property
     def ipc(self):

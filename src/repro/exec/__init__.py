@@ -1,0 +1,38 @@
+"""Job-based execution layer: config -> job -> executor -> result.
+
+Every experiment in this repository is a Cartesian product of
+benchmark x policy x config.  This package gives that product one
+pipeline: describe each point as a frozen :class:`SimJob`, execute it
+with the pure :func:`execute_job`, and drive whole sets through an
+:class:`Executor` -- serial in-process or fanned out over a process
+pool -- with optional resume via a
+:class:`~repro.sim.checkpoint.JobJournal`.  See
+``docs/architecture.md`` ("The execution layer").
+"""
+
+from repro.exec.cache import GLOBAL_CACHE, TraceCache, cached_trace
+from repro.exec.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    default_jobs,
+    execute_job,
+    executor_scope,
+    make_executor,
+)
+from repro.exec.job import SimJob, build_jobs
+
+__all__ = [
+    "SimJob",
+    "build_jobs",
+    "execute_job",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "default_jobs",
+    "executor_scope",
+    "TraceCache",
+    "GLOBAL_CACHE",
+    "cached_trace",
+]

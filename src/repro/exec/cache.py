@@ -1,0 +1,77 @@
+"""Per-process trace cache.
+
+Trace generation is deterministic given ``(profile, length, seed)``, so a
+sweep only ever needs to generate each benchmark's trace once -- but the
+old per-caller loops regenerated it per config point (every MAC latency
+in an ablation grid paid tracegen again).  This cache memoises traces by
+their generation key.  It is *process-safe by construction*: each worker
+process holds its own cache and regenerates independently, which is
+cheaper and simpler than shipping multi-megabyte traces across pipes,
+and bit-identical because generation is deterministic.
+"""
+
+import threading
+from collections import OrderedDict
+
+from repro.workloads.spec import get_profile
+from repro.workloads.tracegen import generate_trace
+
+
+class TraceCache:
+    """LRU memo of generated traces keyed by (benchmark, length, seed)."""
+
+    def __init__(self, capacity=32):
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, benchmark, num_instructions, seed, profiler=None):
+        """The trace for ``benchmark``, generated at most once per key.
+
+        ``profiler`` charges a ``tracegen`` phase only on a miss, so the
+        phase table reports real generation time, not cache lookups; a
+        hit still records the phase (at zero cost) so callers can rely
+        on the key being present.
+        """
+        key = (benchmark, num_instructions, seed)
+        with self._lock:
+            trace = self._entries.get(key)
+            if trace is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                if profiler is not None:
+                    profiler.add("tracegen", 0.0)
+                return trace
+            self.misses += 1
+        profile = get_profile(benchmark)
+        if profiler is not None:
+            with profiler.phase("tracegen"):
+                trace = generate_trace(profile, num_instructions, seed=seed)
+        else:
+            trace = generate_trace(profile, num_instructions, seed=seed)
+        with self._lock:
+            self._entries[key] = trace
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return trace
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+
+#: Shared per-process cache (workers each get their own copy after fork).
+GLOBAL_CACHE = TraceCache()
+
+
+def cached_trace(benchmark, num_instructions, seed, profiler=None,
+                 cache=None):
+    """The one tracegen-under-profiler helper every runner shares."""
+    if cache is None:  # not `or`: an empty TraceCache is falsy via __len__
+        cache = GLOBAL_CACHE
+    return cache.get(benchmark, num_instructions, seed, profiler=profiler)

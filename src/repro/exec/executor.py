@@ -1,0 +1,235 @@
+"""Job execution backends: one pipeline, serial or multiprocess.
+
+``execute_job`` is the single place a :class:`~repro.exec.job.SimJob`
+becomes a :class:`~repro.cpu.core.RunResult`: trace from the cache,
+fresh simulator, run, derived metrics.  It is a pure function of the job
+(all simulator state is private to the call), which is what makes the
+two backends interchangeable: :class:`SerialExecutor` runs jobs in-order
+in-process, :class:`ParallelExecutor` fans them out over a
+``ProcessPoolExecutor`` -- and both produce bit-identical cycle counts
+and stats for the same job set.
+
+Observability: each completed job emits a ``JOB_DONE`` event on the
+``jobs`` lane of the supplied tracer and credits the profiler, so sweep
+progress shows up through the same hooks single runs already use.  The
+parallel backend cannot thread a tracer into workers (sinks do not cross
+processes), so per-run events are only recorded by the serial backend;
+``JOB_DONE`` progress events are emitted by both.
+"""
+
+import os
+import time
+from contextlib import contextmanager
+
+from repro.exec.cache import cached_trace
+from repro.obs.events import JOB_DONE, LANE_JOBS
+
+
+def execute_job(job, tracer=None, profiler=None, cache=None):
+    """Run one job and return its RunResult (with ``.metrics`` attached).
+
+    Pure with respect to ``job``: every call builds a private simulator,
+    so results do not depend on execution order or backend.
+    """
+    from repro.sim.metrics import collect_metrics
+    from repro.sim.runner import build_simulator
+
+    trace = cached_trace(job.benchmark, job.trace_length, job.seed,
+                         profiler=profiler, cache=cache)
+    core, hierarchy = build_simulator(job.config, job.policy, tracer=tracer)
+    result = core.run(trace, warmup=job.warmup, profiler=profiler)
+    if profiler is not None:
+        with profiler.phase("metrics"):
+            result.metrics = collect_metrics(result, hierarchy)
+    else:
+        result.metrics = collect_metrics(result, hierarchy)
+    return result
+
+
+def _pool_worker(job):
+    """Top-level worker entry (must be picklable by ProcessPoolExecutor)."""
+    return job.job_id, execute_job(job)
+
+
+class Executor:
+    """Common driver: journal skip/record, progress, result assembly."""
+
+    backend = "abstract"
+    jobs = 1
+
+    def run(self, jobs, journal=None, tracer=None, profiler=None,
+            progress=None):
+        """Execute ``jobs``; returns ``{job: RunResult}``.
+
+        ``journal`` (a :class:`~repro.sim.checkpoint.JobJournal`) makes
+        the call resumable: jobs whose ``job_id`` the journal already
+        holds are skipped and their results rebuilt from disk; every
+        fresh completion is appended before the next job starts, so an
+        interrupted sweep loses at most the in-flight jobs.
+
+        ``progress(job, result, done, total)`` fires per completion in
+        the calling process, after the journal append.
+        """
+        jobs = list(jobs)
+        results = {}
+        pending = []
+        for job in jobs:
+            done = journal.result(job) if journal is not None else None
+            if done is not None:
+                results[job] = done
+            else:
+                pending.append(job)
+        state = _RunState(len(jobs), len(jobs) - len(pending), journal,
+                          tracer, profiler, progress)
+        if pending:
+            self._execute(pending, results, state)
+        return results
+
+    def _execute(self, pending, results, state):
+        raise NotImplementedError
+
+    def describe(self):
+        """Backend metadata for manifests ({"backend": ..., "jobs": ...})."""
+        return {"backend": self.backend, "jobs": self.jobs}
+
+    def close(self):
+        """Release backend resources (idempotent)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class _RunState:
+    """Per-run completion bookkeeping shared by the backends."""
+
+    def __init__(self, total, done, journal, tracer, profiler, progress):
+        self.total = total
+        self.done = done
+        self.journal = journal
+        self.tracer = tracer
+        self.profiler = profiler
+        self.progress = progress
+
+    def complete(self, job, result):
+        self.done += 1
+        if self.journal is not None:
+            self.journal.record(job, result)
+        if self.tracer is not None:
+            self.tracer.emit(JOB_DONE, LANE_JOBS, self.done,
+                             job_id=job.job_id, benchmark=job.benchmark,
+                             policy=job.policy, cycles=result.cycles,
+                             completed=self.done, total=self.total)
+        if self.progress is not None:
+            self.progress(job, result, self.done, self.total)
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order execution (the reference backend).
+
+    The only backend that can thread a tracer into the runs themselves,
+    so single-run recordings and gap timelines go through it.
+    """
+
+    backend = "serial"
+    jobs = 1
+
+    def __init__(self, cache=None):
+        self._cache = cache
+
+    def _execute(self, pending, results, state):
+        for job in pending:
+            result = execute_job(job, tracer=state.tracer,
+                                 profiler=state.profiler,
+                                 cache=self._cache)
+            results[job] = result
+            state.complete(job, result)
+
+
+class ParallelExecutor(Executor):
+    """``ProcessPoolExecutor`` fan-out over ``jobs`` worker processes.
+
+    Workers regenerate traces through their own per-process cache (see
+    :mod:`repro.exec.cache`) and return pickled ``RunResult``s; results
+    are keyed by job, so output is deterministic no matter which worker
+    finishes first.  The pool is created lazily and reused across
+    ``run`` calls until :meth:`close`, so ablation grids amortise the
+    fork cost over the whole parameter grid.
+    """
+
+    backend = "process"
+
+    def __init__(self, jobs=None):
+        self.jobs = jobs if jobs else (os.cpu_count() or 1)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _execute(self, pending, results, state):
+        from concurrent.futures import as_completed
+
+        start = time.perf_counter()
+        pool = self._ensure_pool()
+        futures = {pool.submit(_pool_worker, job): job for job in pending}
+        try:
+            for future in as_completed(futures):
+                job = futures[future]
+                _, result = future.result()
+                results[job] = result
+                state.complete(job, result)
+        finally:
+            if state.profiler is not None:
+                state.profiler.add("execute",
+                                   time.perf_counter() - start)
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def default_jobs():
+    """Worker count when none is given: ``REPRO_JOBS`` env var, else 1.
+
+    Serial is the default on purpose -- tests and small runs should not
+    pay pool startup -- while ``REPRO_JOBS=8`` turns every sweep in a
+    process parallel without touching call sites.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def make_executor(jobs=None):
+    """Backend for ``jobs`` workers (None: :func:`default_jobs`)."""
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs)
+
+
+@contextmanager
+def executor_scope(executor=None, jobs=None):
+    """Yield ``executor``, or a fresh one that is closed on exit.
+
+    Callers that accept an optional executor use this so a borrowed
+    executor (and its warm worker pool) survives the call while a
+    default-constructed one is cleaned up.
+    """
+    if executor is not None:
+        yield executor
+        return
+    executor = make_executor(jobs)
+    try:
+        yield executor
+    finally:
+        executor.close()

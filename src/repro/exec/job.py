@@ -1,0 +1,99 @@
+"""Picklable simulation job specs.
+
+A :class:`SimJob` names one point of the benchmark x policy x config
+Cartesian product the paper's figures are built from: which trace to
+generate, which policy to gate with, and at what scale.  Jobs are frozen
+(hashable, picklable) so they can cross process boundaries and key
+result dictionaries, and each job carries a stable content-derived
+``job_id`` so checkpoints written by one process can be resumed by
+another.
+"""
+
+import dataclasses
+import hashlib
+import json
+from functools import cached_property
+
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.policies.registry import available_policies
+from repro.workloads.spec import get_profile
+
+
+@dataclasses.dataclass(frozen=True)
+class SimJob:
+    """One (benchmark, policy, config) simulation at a fixed scale.
+
+    ``num_instructions`` counts *measured* instructions; the generated
+    trace is ``num_instructions + warmup`` long and the first ``warmup``
+    instructions warm caches without being reported (matching
+    :meth:`~repro.cpu.core.TimestampCore.run`).  ``seed`` defaults to the
+    config's seed.
+    """
+
+    benchmark: str
+    policy: str
+    config: SimConfig = dataclasses.field(default_factory=SimConfig)
+    num_instructions: int = 20_000
+    warmup: int = 0
+    seed: int = None
+
+    def __post_init__(self):
+        if self.seed is None:
+            object.__setattr__(self, "seed", self.config.seed)
+        if not isinstance(self.policy, str):
+            raise ConfigError(
+                "SimJob.policy must be a registry name (got %r); policy "
+                "objects are per-run state and cannot cross processes"
+                % (self.policy,))
+        if self.policy not in available_policies():
+            raise ConfigError("unknown policy %r" % self.policy)
+        get_profile(self.benchmark)  # raises for unknown benchmarks
+        if self.num_instructions < 0 or self.warmup < 0:
+            raise ConfigError("instruction counts must be non-negative")
+
+    @property
+    def trace_length(self):
+        return self.num_instructions + self.warmup
+
+    @property
+    def trace_key(self):
+        """The trace-cache key: everything trace generation depends on."""
+        return (self.benchmark, self.trace_length, self.seed)
+
+    @cached_property
+    def job_id(self):
+        """Stable 16-hex-digit content hash of the full job spec.
+
+        Derived from a canonical JSON encoding of every field (the config
+        flattened to plain data), so the id survives pickling, process
+        boundaries and interpreter restarts -- which is what lets a
+        checkpoint journal from a killed sweep be trusted by the rerun.
+        """
+        payload = {
+            "benchmark": self.benchmark,
+            "policy": self.policy,
+            "config": dataclasses.asdict(self.config),
+            "num_instructions": self.num_instructions,
+            "warmup": self.warmup,
+            "seed": self.seed,
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def __repr__(self):
+        return "SimJob(%s/%s, n=%d+%d, seed=%s, id=%s)" % (
+            self.benchmark, self.policy, self.num_instructions,
+            self.warmup, self.seed, self.job_id)
+
+
+def build_jobs(benchmarks, policies, config=None, num_instructions=20_000,
+               warmup=0, seed=None):
+    """The benchmark-major job list for a sweep (deterministic order)."""
+    config = config or SimConfig()
+    return [
+        SimJob(benchmark=benchmark, policy=policy, config=config,
+               num_instructions=num_instructions, warmup=warmup, seed=seed)
+        for benchmark in benchmarks
+        for policy in policies
+    ]

@@ -14,58 +14,78 @@ Not figures from the paper -- these probe the knobs the paper fixes:
 """
 
 from repro.config import SimConfig
+from repro.exec import executor_scope
 from repro.sim.sweep import PolicySweep
 
 DEFAULT_BENCHMARKS = ("mcf", "twolf", "swim", "mgrid", "ammp", "gcc")
 
 
-def _average(config, policy, benchmarks, num_instructions, warmup):
-    sweep = PolicySweep(list(benchmarks), [policy], config=config,
-                        num_instructions=num_instructions,
-                        warmup=warmup).run()
+def _sweep(benchmarks, policies, config, num_instructions, warmup,
+           executor, include_baseline=True):
+    """One grid point through the shared executor."""
+    return PolicySweep(list(benchmarks), list(policies), config=config,
+                       num_instructions=num_instructions,
+                       warmup=warmup).run(include_baseline=include_baseline,
+                                          executor=executor)
+
+
+def _average(config, policy, benchmarks, num_instructions, warmup,
+             executor=None):
+    sweep = _sweep(benchmarks, [policy], config, num_instructions,
+                   warmup, executor)
     return sweep.average_normalized(policy)
 
 
 def mac_latency_sweep(latencies=(20, 74, 150, 300),
                       policy="authen-then-commit",
                       benchmarks=DEFAULT_BENCHMARKS,
-                      num_instructions=8000, warmup=8000):
-    """Normalized IPC of ``policy`` as the MAC latency grows."""
+                      num_instructions=8000, warmup=8000, executor=None):
+    """Normalized IPC of ``policy`` as the MAC latency grows.
+
+    Every grid function here shares one executor (and therefore one
+    warm worker pool) across its configurations, and the trace cache
+    means each benchmark's trace is generated once for the whole grid,
+    not once per latency.
+    """
     out = {}
-    for latency in latencies:
-        config = SimConfig().with_secure(hmac_latency=latency)
-        out[latency] = _average(config, policy, benchmarks,
-                                num_instructions, warmup)
+    with executor_scope(executor) as ex:
+        for latency in latencies:
+            config = SimConfig().with_secure(hmac_latency=latency)
+            out[latency] = _average(config, policy, benchmarks,
+                                    num_instructions, warmup, executor=ex)
     return out
 
 
 def queue_depth_sweep(depths=(2, 4, 16, 64),
                       policy="authen-then-commit",
                       benchmarks=DEFAULT_BENCHMARKS,
-                      num_instructions=8000, warmup=8000):
+                      num_instructions=8000, warmup=8000, executor=None):
     """Normalized IPC vs authentication-queue depth (backpressure)."""
     out = {}
-    for depth in depths:
-        config = SimConfig().with_secure(auth_queue_depth=depth)
-        out[depth] = _average(config, policy, benchmarks,
-                              num_instructions, warmup)
+    with executor_scope(executor) as ex:
+        for depth in depths:
+            config = SimConfig().with_secure(auth_queue_depth=depth)
+            out[depth] = _average(config, policy, benchmarks,
+                                  num_instructions, warmup, executor=ex)
     return out
 
 
 def store_buffer_sweep(entries=(2, 8, 32),
                        benchmarks=DEFAULT_BENCHMARKS,
-                       num_instructions=8000, warmup=8000):
+                       num_instructions=8000, warmup=8000, executor=None):
     """authen-then-write vs the unverified-store buffer size."""
     out = {}
-    for count in entries:
-        config = SimConfig().with_secure(store_buffer_entries=count)
-        out[count] = _average(config, "authen-then-write", benchmarks,
-                              num_instructions, warmup)
+    with executor_scope(executor) as ex:
+        for count in entries:
+            config = SimConfig().with_secure(store_buffer_entries=count)
+            out[count] = _average(config, "authen-then-write", benchmarks,
+                                  num_instructions, warmup, executor=ex)
     return out
 
 
 def fetch_variant_comparison(benchmarks=DEFAULT_BENCHMARKS,
-                             num_instructions=8000, warmup=8000):
+                             num_instructions=8000, warmup=8000,
+                             executor=None):
     """Tag vs drain vs precise variants of authen-then-fetch.
 
     A noteworthy (and initially counter-intuitive) finding: the
@@ -79,11 +99,10 @@ def fetch_variant_comparison(benchmarks=DEFAULT_BENCHMARKS,
     (e.g. swim).  The paper's claim that the simple variants "sufficiently
     satisfy all the requirements" thus comes with no performance penalty.
     """
-    sweep = PolicySweep(list(benchmarks),
-                        ["authen-then-fetch", "authen-then-fetch-drain",
-                         "authen-then-fetch-precise"],
-                        num_instructions=num_instructions,
-                        warmup=warmup).run()
+    sweep = _sweep(benchmarks,
+                   ["authen-then-fetch", "authen-then-fetch-drain",
+                    "authen-then-fetch-precise"],
+                   None, num_instructions, warmup, executor)
     return {
         "tag": sweep.average_normalized("authen-then-fetch"),
         "drain": sweep.average_normalized("authen-then-fetch-drain"),
@@ -95,7 +114,8 @@ def encryption_mode_comparison(benchmarks=DEFAULT_BENCHMARKS,
                                policies=("decrypt-only",
                                          "authen-then-issue",
                                          "authen-then-commit"),
-                               num_instructions=8000, warmup=8000):
+                               num_instructions=8000, warmup=8000,
+                               executor=None):
     """Counter mode + HMAC vs CBC + CBC-MAC (Table 1, as performance).
 
     Returns ``{mode: {policy: avg IPC}}`` (absolute IPC, shared traces).
@@ -106,17 +126,17 @@ def encryption_mode_comparison(benchmarks=DEFAULT_BENCHMARKS,
     line's CBC-MAC, so gated policies pay under CBC too.
     """
     out = {}
-    for mode in ("ctr", "cbc"):
-        config = SimConfig().with_secure(encryption_mode=mode)
-        sweep = PolicySweep(list(benchmarks), list(policies),
-                            config=config,
-                            num_instructions=num_instructions,
-                            warmup=warmup).run(include_baseline=False)
-        out[mode] = {
-            policy: sum(sweep.ipc(b, policy) for b in benchmarks)
-            / len(benchmarks)
-            for policy in policies
-        }
+    with executor_scope(executor) as ex:
+        for mode in ("ctr", "cbc"):
+            config = SimConfig().with_secure(encryption_mode=mode)
+            sweep = _sweep(benchmarks, policies, config,
+                           num_instructions, warmup, ex,
+                           include_baseline=False)
+            out[mode] = {
+                policy: sum(sweep.ipc(b, policy) for b in benchmarks)
+                / len(benchmarks)
+                for policy in policies
+            }
     return out
 
 
@@ -124,7 +144,8 @@ def mac_scheme_comparison(benchmarks=DEFAULT_BENCHMARKS,
                           policies=("authen-then-issue",
                                     "authen-then-commit",
                                     "commit+fetch"),
-                          num_instructions=8000, warmup=8000):
+                          num_instructions=8000, warmup=8000,
+                          executor=None):
     """HMAC vs GMAC verification (the direction later work took).
 
     A Galois MAC closes the decrypt-to-verify gap to a few cycles, which
@@ -132,13 +153,13 @@ def mac_scheme_comparison(benchmarks=DEFAULT_BENCHMARKS,
     becomes nearly free.  Returns ``{scheme: {policy: normalized IPC}}``.
     """
     out = {}
-    for scheme in ("hmac", "gmac"):
-        config = SimConfig().with_secure(mac_scheme=scheme)
-        sweep = PolicySweep(list(benchmarks), list(policies),
-                            config=config,
-                            num_instructions=num_instructions,
-                            warmup=warmup).run()
-        out[scheme] = {p: sweep.average_normalized(p) for p in policies}
+    with executor_scope(executor) as ex:
+        for scheme in ("hmac", "gmac"):
+            config = SimConfig().with_secure(mac_scheme=scheme)
+            sweep = _sweep(benchmarks, policies, config,
+                           num_instructions, warmup, ex)
+            out[scheme] = {p: sweep.average_normalized(p)
+                           for p in policies}
     return out
 
 
@@ -146,7 +167,7 @@ def prefetch_sweep(degrees=(0, 2, 4),
                    policies=("decrypt-only", "authen-then-issue",
                              "authen-then-commit"),
                    benchmarks=("swim", "mgrid", "applu"),
-                   num_instructions=8000, warmup=8000):
+                   num_instructions=8000, warmup=8000, executor=None):
     """Stream prefetching vs the authentication gap.
 
     Prefetched lines start verification the moment they arrive, usually
@@ -157,23 +178,25 @@ def prefetch_sweep(degrees=(0, 2, 4),
     import dataclasses
 
     out = {}
-    for degree in degrees:
-        config = dataclasses.replace(SimConfig(), prefetch_degree=degree)
-        sweep = PolicySweep(list(benchmarks), list(policies),
-                            config=config,
-                            num_instructions=num_instructions,
-                            warmup=warmup).run(include_baseline=False)
-        out[degree] = {
-            policy: sum(sweep.ipc(b, policy) for b in benchmarks)
-            / len(benchmarks)
-            for policy in policies
-        }
+    with executor_scope(executor) as ex:
+        for degree in degrees:
+            config = dataclasses.replace(SimConfig(),
+                                         prefetch_degree=degree)
+            sweep = _sweep(benchmarks, policies, config,
+                           num_instructions, warmup, ex,
+                           include_baseline=False)
+            out[degree] = {
+                policy: sum(sweep.ipc(b, policy) for b in benchmarks)
+                / len(benchmarks)
+                for policy in policies
+            }
     return out
 
 
 def split_counter_comparison(benchmarks=DEFAULT_BENCHMARKS,
                              policy="authen-then-commit",
-                             num_instructions=8000, warmup=8000):
+                             num_instructions=8000, warmup=8000,
+                             executor=None):
     """Monolithic vs split (major/minor) counters, with prediction off so
     the counter-cache coverage difference is visible.
 
@@ -182,24 +205,24 @@ def split_counter_comparison(benchmarks=DEFAULT_BENCHMARKS,
     baseline and every policy alike, so normalized IPC would hide it.
     """
     out = {}
-    for split in (False, True):
-        config = SimConfig().with_secure(split_counters=split,
-                                         counter_prediction_rate=0.0)
-        sweep = PolicySweep(list(benchmarks), [policy], config=config,
-                            num_instructions=num_instructions,
-                            warmup=warmup).run(include_baseline=False)
-        out["split" if split else "monolithic"] = sum(
-            sweep.ipc(b, policy) for b in benchmarks) / len(benchmarks)
+    with executor_scope(executor) as ex:
+        for split in (False, True):
+            config = SimConfig().with_secure(split_counters=split,
+                                             counter_prediction_rate=0.0)
+            sweep = _sweep(benchmarks, [policy], config,
+                           num_instructions, warmup, ex,
+                           include_baseline=False)
+            out["split" if split else "monolithic"] = sum(
+                sweep.ipc(b, policy) for b in benchmarks) \
+                / len(benchmarks)
     return out
 
 
 def lazy_comparison(benchmarks=DEFAULT_BENCHMARKS,
-                    num_instructions=8000, warmup=8000):
+                    num_instructions=8000, warmup=8000, executor=None):
     """Lazy authentication vs commit gating (performance side of [25])."""
-    sweep = PolicySweep(list(benchmarks),
-                        ["lazy", "authen-then-commit"],
-                        num_instructions=num_instructions,
-                        warmup=warmup).run()
+    sweep = _sweep(benchmarks, ["lazy", "authen-then-commit"], None,
+                   num_instructions, warmup, executor)
     return {
         "lazy": sweep.average_normalized("lazy"),
         "authen-then-commit": sweep.average_normalized(

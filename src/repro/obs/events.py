@@ -27,11 +27,12 @@ VERIFY_WINDOW = "VERIFY_WINDOW"    # decrypt-to-verify interval (dur > 0)
 AUTH_QUEUE_FULL = "AUTH_QUEUE_FULL"  # verification queue backpressure
 BUS_GRANT = "BUS_GRANT"            # memory data bus granted (dur = hold)
 ROW_CONFLICT = "ROW_CONFLICT"      # DRAM bank row-buffer conflict
+JOB_DONE = "JOB_DONE"              # executor finished one SimJob
 
 KINDS = (
     FETCH_ISSUED, ISSUE, COMMIT, SQUASH, STORE_RELEASED,
     L2_MISS, MSHR_STALL, DECRYPT_DONE, VERIFY_DONE, VERIFY_WINDOW,
-    AUTH_QUEUE_FULL, BUS_GRANT, ROW_CONFLICT,
+    AUTH_QUEUE_FULL, BUS_GRANT, ROW_CONFLICT, JOB_DONE,
 )
 
 # ---- lanes ------------------------------------------------------------
@@ -46,12 +47,16 @@ LANE_VERIFY = "verify"
 LANE_GAP = "gap"
 LANE_BUS = "bus"
 LANE_DRAM = "dram"
+# Executor progress: one JOB_DONE per completed SimJob.  "cycle" on this
+# lane is the completion ordinal, not a simulated cycle.
+LANE_JOBS = "jobs"
 
 #: Render order of lanes in trace viewers (top to bottom follows the
 #: life of a fetched line through the machine).
 LANES = (
     LANE_FETCH, LANE_ISSUE, LANE_COMMIT, LANE_STORE, LANE_MEM,
     LANE_DECRYPT, LANE_VERIFY, LANE_GAP, LANE_BUS, LANE_DRAM,
+    LANE_JOBS,
 )
 
 #: Lanes whose producers emit in non-decreasing cycle order (in-order

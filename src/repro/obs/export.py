@@ -95,12 +95,21 @@ def build_run_set_manifest(runs, config=None, seed=None, profiler=None,
 
 
 def build_sweep_manifest(sweep, profiler=None):
-    """Manifest for a finished :class:`~repro.sim.sweep.PolicySweep`."""
+    """Manifest for a finished :class:`~repro.sim.sweep.PolicySweep`.
+
+    ``policies`` lists what actually ran, in the sweep's deterministic
+    execution order (so an injected baseline always shows up, last).
+    Each run carries its :class:`~repro.exec.job.SimJob` ``job_id`` and
+    the top level records the executor ``backend``, which is how two
+    manifests produced by different backends stay comparable.
+    """
+    job_ids = getattr(sweep, "job_ids", {})
     runs = []
     for (benchmark, policy), result in sorted(sweep.results.items()):
         runs.append({
             "benchmark": benchmark,
             "policy": policy,
+            "job_id": job_ids.get((benchmark, policy)),
             "instructions": result.instructions,
             "cycles": result.cycles,
             "ipc": result.ipc,
@@ -111,10 +120,12 @@ def build_sweep_manifest(sweep, profiler=None):
         "format_version": MANIFEST_VERSION,
         "kind": "sweep",
         "benchmarks": list(sweep.benchmarks),
-        "policies": list(sweep.policies),
+        "policies": list(getattr(sweep, "executed_policies",
+                                 sweep.policies)),
         "num_instructions": sweep.num_instructions,
         "warmup": sweep.warmup,
         "seed": sweep.seed,
+        "backend": getattr(sweep, "backend", None),
         "git": git_describe(),
         "config": config_to_dict(sweep.config),
         "phases": profiler.as_dict() if profiler is not None else {},

@@ -1,4 +1,4 @@
-"""Persist sweep results as JSON.
+"""Persist sweep results: whole-sweep JSON plus a per-job resume journal.
 
 Experiment runs are minutes-long; checkpointing lets EXPERIMENTS.md
 regeneration, notebooks and regression comparisons reuse results without
@@ -7,11 +7,22 @@ each run's full :class:`~repro.util.statistics.StatGroup` snapshot, so a
 saved sweep can answer the same questions as a live one; ``load_sweep``
 refuses files written by an incompatible version with a
 :class:`~repro.errors.CheckpointError` instead of a cryptic KeyError.
+
+Two granularities:
+
+- :func:`save_sweep` / :func:`load_sweep` persist a *finished* sweep.
+- :class:`JobJournal` is an append-only JSONL journal the executors
+  write one line to per completed :class:`~repro.exec.job.SimJob`; an
+  interrupted sweep re-run against the same journal skips every
+  ``job_id`` already on disk and rebuilds those results without
+  simulating.
 """
 
 import json
+import os
 
 from repro.errors import CheckpointError
+from repro.util.statistics import StatGroup
 
 #: Bump when the checkpoint shape changes incompatibly.
 #: v1: unversioned seed format (no stats, no format_version field).
@@ -20,12 +31,20 @@ FORMAT_VERSION = 2
 
 
 def sweep_to_dict(sweep):
-    """Flatten a finished PolicySweep into a JSON-able dict."""
+    """Flatten a finished PolicySweep into a JSON-able dict.
+
+    ``policies`` records the policies that actually ran (baseline
+    included when it was injected), in deterministic execution order.
+    Runs carry their ``job_id`` and the top level the executor backend,
+    when the sweep went through the job pipeline.
+    """
+    job_ids = getattr(sweep, "job_ids", {})
     runs = []
     for (benchmark, policy), result in sorted(sweep.results.items()):
         runs.append({
             "benchmark": benchmark,
             "policy": policy,
+            "job_id": job_ids.get((benchmark, policy)),
             "instructions": result.instructions,
             "cycles": result.cycles,
             "ipc": result.ipc,
@@ -35,10 +54,12 @@ def sweep_to_dict(sweep):
     return {
         "format_version": FORMAT_VERSION,
         "benchmarks": list(sweep.benchmarks),
-        "policies": list(sweep.policies),
+        "policies": list(getattr(sweep, "executed_policies",
+                                 sweep.policies)),
         "num_instructions": sweep.num_instructions,
         "warmup": sweep.warmup,
         "seed": sweep.seed,
+        "backend": getattr(sweep, "backend", None),
         "runs": runs,
     }
 
@@ -103,3 +124,97 @@ def load_sweep(path):
     """
     with open(path) as handle:
         return SweepView(json.load(handle))
+
+
+#: Bump when a journal line's shape changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+class JobJournal:
+    """Append-only JSONL journal of completed jobs (resumable sweeps).
+
+    One line per completed :class:`~repro.exec.job.SimJob`, written and
+    flushed *before* the next job starts, so a killed sweep loses at
+    most its in-flight jobs.  On open, existing lines are indexed by
+    ``job_id``; a truncated trailing line (the likely artifact of a
+    mid-write kill) is ignored rather than fatal.  Lines written by an
+    incompatible ``journal_version`` are also ignored, which makes the
+    rerun regenerate those jobs instead of trusting stale shapes.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._records = {}  # job_id -> journal line dict
+        self.skipped_lines = 0
+        if os.path.exists(self.path):
+            with open(self.path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        self.skipped_lines += 1
+                        continue
+                    if record.get("journal_version") != JOURNAL_VERSION \
+                            or "job_id" not in record:
+                        self.skipped_lines += 1
+                        continue
+                    self._records[record["job_id"]] = record
+
+    @property
+    def completed_ids(self):
+        """job_ids with a fully recorded result."""
+        return set(self._records)
+
+    def __len__(self):
+        return len(self._records)
+
+    def __contains__(self, job_id):
+        return job_id in self._records
+
+    def record(self, job, result):
+        """Append one completed job (flushed immediately)."""
+        record = {
+            "journal_version": JOURNAL_VERSION,
+            "job_id": job.job_id,
+            "benchmark": job.benchmark,
+            "policy": job.policy,
+            "seed": job.seed,
+            "warmup": job.warmup,
+            "name": result.name,
+            "policy_name": result.policy_name,
+            "instructions": result.instructions,
+            "cycles": result.cycles,
+            "ipc": result.ipc,
+            "miss_rates": dict(result.miss_summary),
+            "stats": result.stats.as_dict(),
+        }
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records[job.job_id] = record
+
+    def result(self, job):
+        """Rebuild the RunResult for ``job``, or None if not journaled.
+
+        The rebuilt result carries a live :class:`StatGroup`, so sweep
+        accessors, manifests and whole-sweep checkpoints work the same
+        whether a run was simulated or resumed.  (Derived ``metrics``
+        are not persisted and come back as None.)
+        """
+        record = self._records.get(job.job_id)
+        if record is None:
+            return None
+        from repro.cpu.core import RunResult
+
+        return RunResult(
+            record["name"],
+            record["policy_name"],
+            record["instructions"],
+            record["cycles"],
+            StatGroup.from_dict(record["stats"], name="sim"),
+            dict(record["miss_rates"]),
+        )

@@ -3,11 +3,10 @@
 from repro.config import SimConfig
 from repro.cpu.core import TimestampCore
 from repro.cpu.hierarchy import MemoryHierarchy
+from repro.exec.cache import cached_trace
 from repro.policies.registry import make_policy
 from repro.util.rng import DeterministicRng
 from repro.util.statistics import StatGroup
-from repro.workloads.spec import get_profile
-from repro.workloads.tracegen import generate_trace
 
 
 def build_simulator(config=None, policy="decrypt-only", tracer=None):
@@ -41,16 +40,15 @@ def run_trace(trace, config=None, policy="decrypt-only", tracer=None,
 def run_benchmark(benchmark, num_instructions=20_000, config=None,
                   policy="decrypt-only", seed=None, tracer=None,
                   profiler=None, warmup=0):
-    """Generate the named benchmark's trace and run it under ``policy``."""
+    """Generate the named benchmark's trace and run it under ``policy``.
+
+    The trace comes from the process-wide cache
+    (:mod:`repro.exec.cache`), so repeated runs of the same
+    ``(benchmark, scale, seed)`` generate it once.
+    """
     config = config or SimConfig()
-    profile = get_profile(benchmark)
-    if profiler is not None:
-        with profiler.phase("tracegen"):
-            trace = generate_trace(
-                profile, num_instructions + warmup,
-                seed=seed if seed is not None else config.seed)
-    else:
-        trace = generate_trace(profile, num_instructions + warmup,
-                               seed=seed if seed is not None else config.seed)
+    trace = cached_trace(benchmark, num_instructions + warmup,
+                         seed if seed is not None else config.seed,
+                         profiler=profiler)
     return run_trace(trace, config, policy, tracer=tracer,
                      profiler=profiler, warmup=warmup)

@@ -1,15 +1,17 @@
-"""Experiment sweeps: benchmarks x policies with shared traces.
+"""Experiment sweeps: benchmarks x policies through the job pipeline.
 
-A :class:`PolicySweep` generates each benchmark's trace once and replays
-it under every requested policy, then normalises against the decrypt-only
-baseline (the paper's Figure 7 presentation) or against authen-then-issue
+A :class:`PolicySweep` describes one benchmark x policy grid, expands it
+into :class:`~repro.exec.job.SimJob` specs and hands them to an
+:class:`~repro.exec.executor.Executor` -- serial by default, or a
+process pool via ``run(executor=...)`` / the ``REPRO_JOBS`` env var.
+Each benchmark's trace is generated once per process by the shared
+trace cache, and results normalise against the decrypt-only baseline
+(the paper's Figure 7 presentation) or against authen-then-issue
 (Figures 8/11/13).
 """
 
 from repro.config import SimConfig
-from repro.sim.runner import build_simulator
-from repro.workloads.spec import get_profile
-from repro.workloads.tracegen import generate_trace
+from repro.exec import build_jobs, executor_scope
 
 BASELINE = "decrypt-only"
 
@@ -25,34 +27,55 @@ class PolicySweep:
         self.num_instructions = num_instructions
         self.warmup = warmup if warmup is not None else num_instructions // 3
         self.seed = seed if seed is not None else self.config.seed
-        self.results = {}  # (benchmark, policy) -> RunResult
+        self.results = {}       # (benchmark, policy) -> RunResult
+        self.job_ids = {}       # (benchmark, policy) -> job_id
+        self.executed_policies = list(self.policies)
+        self.backend = None     # executor.describe() of the last run
 
-    def run(self, include_baseline=True, profiler=None, tracer=None):
-        """Execute the sweep; returns self for chaining.
+    def policy_order(self, include_baseline=True):
+        """Deterministic execution order for the sweep's policies.
 
-        ``profiler`` accumulates tracegen/warmup/measure wall clock over
-        the whole sweep; ``tracer`` records every run into the same sinks
-        (callers usually reserve it for single-run recordings instead).
+        Duplicates are dropped (first occurrence wins) and the baseline,
+        when requested and absent, is appended *last* -- always, so the
+        order recorded in manifests does not depend on how or when
+        ``run`` was called.
         """
-        policies = list(self.policies)
+        policies = list(dict.fromkeys(self.policies))
         if include_baseline and BASELINE not in policies:
             policies.append(BASELINE)
-        for benchmark in self.benchmarks:
-            profile = get_profile(benchmark)
-            if profiler is not None:
-                with profiler.phase("tracegen"):
-                    trace = generate_trace(
-                        profile, self.num_instructions + self.warmup,
-                        seed=self.seed)
-            else:
-                trace = generate_trace(profile,
-                                       self.num_instructions + self.warmup,
-                                       seed=self.seed)
-            for policy in policies:
-                core, _ = build_simulator(self.config, policy,
-                                          tracer=tracer)
-                self.results[(benchmark, policy)] = core.run(
-                    trace, warmup=self.warmup, profiler=profiler)
+        return policies
+
+    def jobs(self, include_baseline=True):
+        """The sweep's job list (benchmark-major, deterministic)."""
+        return build_jobs(self.benchmarks,
+                          self.policy_order(include_baseline),
+                          config=self.config,
+                          num_instructions=self.num_instructions,
+                          warmup=self.warmup, seed=self.seed)
+
+    def run(self, include_baseline=True, profiler=None, tracer=None,
+            executor=None, journal=None, progress=None):
+        """Execute the sweep; returns self for chaining.
+
+        ``executor`` picks the backend (default: serial, or whatever
+        ``REPRO_JOBS`` selects); a borrowed executor is left open for
+        the caller, a default one is closed.  ``journal`` (a
+        :class:`~repro.sim.checkpoint.JobJournal`) makes the sweep
+        resumable: completed job_ids are skipped.  ``profiler``
+        accumulates phase wall clock over the whole sweep; ``tracer``
+        receives per-run events (serial backend only) plus one
+        ``JOB_DONE`` progress event per completed job; ``progress`` is
+        called as ``progress(job, result, done, total)``.
+        """
+        jobs = self.jobs(include_baseline)
+        with executor_scope(executor) as active:
+            results = active.run(jobs, journal=journal, tracer=tracer,
+                                 profiler=profiler, progress=progress)
+            self.backend = active.describe()
+        self.executed_policies = self.policy_order(include_baseline)
+        for job in jobs:
+            self.results[(job.benchmark, job.policy)] = results[job]
+            self.job_ids[(job.benchmark, job.policy)] = job.job_id
         return self
 
     def write_manifest(self, path, profiler=None):

@@ -128,3 +128,27 @@ class StatGroup:
             else:
                 out[name] = dict(stat.buckets)
         return out
+
+    @classmethod
+    def from_dict(cls, payload, name=""):
+        """Rebuild a group from an :meth:`as_dict` snapshot.
+
+        Inverse of :meth:`as_dict` up to JSON round-tripping: histogram
+        bucket keys that JSON turned into digit strings come back as
+        ints.  This is what lets checkpoint journals hand back live
+        ``StatGroup``s instead of bare dicts.
+        """
+        group = cls(name)
+        for stat_name, value in payload.items():
+            if isinstance(value, dict):
+                histogram = group.histogram(stat_name)
+                for key, count in value.items():
+                    if isinstance(key, str):
+                        try:
+                            key = int(key)
+                        except ValueError:
+                            pass
+                    histogram.buckets[key] = count
+            else:
+                group.counter(stat_name).value = value
+        return group

@@ -1,0 +1,115 @@
+"""Checkpoint-journal resume tests: skip completed jobs, rebuild results."""
+
+import json
+
+import pytest
+
+from repro.exec import SerialExecutor, build_jobs
+from repro.sim.checkpoint import JOURNAL_VERSION, JobJournal
+from repro.util.statistics import StatGroup
+
+JOBS = build_jobs(["gzip"], ["decrypt-only", "authen-then-commit"],
+                  num_instructions=600, warmup=300)
+
+
+class CountingExecutor(SerialExecutor):
+    """Serial backend that counts how many jobs actually simulate."""
+
+    def __init__(self):
+        super().__init__()
+        self.executed = 0
+
+    def _execute(self, pending, results, state):
+        self.executed += len(pending)
+        super()._execute(pending, results, state)
+
+
+class TestJournalResume:
+    def test_completed_jobs_are_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        first = CountingExecutor()
+        before = first.run(JOBS, journal=JobJournal(path))
+        assert first.executed == len(JOBS)
+
+        second = CountingExecutor()
+        after = second.run(JOBS, journal=JobJournal(path))
+        assert second.executed == 0
+        for job in JOBS:
+            assert after[job].cycles == before[job].cycles
+            assert after[job].ipc == before[job].ipc
+            assert after[job].stats.as_dict() == \
+                before[job].stats.as_dict()
+            assert after[job].miss_summary == before[job].miss_summary
+
+    def test_partial_journal_runs_only_the_rest(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        CountingExecutor().run(JOBS[:1], journal=JobJournal(path))
+
+        resumed = CountingExecutor()
+        results = resumed.run(JOBS, journal=JobJournal(path))
+        assert resumed.executed == len(JOBS) - 1
+        assert set(results) == set(JOBS)
+
+    def test_changed_spec_changes_id_and_reruns(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        CountingExecutor().run(JOBS, journal=JobJournal(path))
+        bigger = build_jobs(["gzip"], ["decrypt-only"],
+                            num_instructions=700, warmup=300)
+        rerun = CountingExecutor()
+        rerun.run(bigger, journal=JobJournal(path))
+        assert rerun.executed == 1  # different job_id -> not skipped
+
+    def test_rebuilt_stats_are_live_statgroups(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        SerialExecutor().run(JOBS, journal=JobJournal(path))
+        result = JobJournal(path).result(JOBS[1])
+        assert isinstance(result.stats, StatGroup)
+        assert result.stats["auth_requests"].value > 0
+        # Histogram bucket keys survive the JSON round trip as ints.
+        gap = result.stats["decrypt_verify_gap"]
+        assert gap.total > 0
+        assert all(isinstance(k, int) for k in gap.buckets)
+        assert gap.mean() > 0
+
+    def test_truncated_trailing_line_is_ignored(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        SerialExecutor().run(JOBS, journal=JobJournal(path))
+        with open(path, "a") as handle:
+            handle.write('{"journal_version": %d, "job_id": "dead'
+                         % JOURNAL_VERSION)  # killed mid-write
+        journal = JobJournal(path)
+        assert len(journal) == len(JOBS)
+        assert journal.skipped_lines == 1
+
+    def test_incompatible_version_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        record = {"journal_version": JOURNAL_VERSION + 1,
+                  "job_id": JOBS[0].job_id}
+        path.write_text(json.dumps(record) + "\n")
+        journal = JobJournal(path)
+        assert len(journal) == 0
+        assert journal.skipped_lines == 1
+        assert journal.result(JOBS[0]) is None
+
+    def test_result_none_for_unknown_job(self, tmp_path):
+        journal = JobJournal(tmp_path / "missing.jsonl")
+        assert journal.result(JOBS[0]) is None
+        assert len(journal) == 0
+
+
+class TestStatGroupFromDict:
+    def test_round_trip(self):
+        group = StatGroup("g")
+        group.counter("hits").add(5)
+        group.histogram("gap").add(3, 2)
+        group.histogram("gap").add(7)
+        snapshot = group.as_dict()
+        # Simulate the JSON round trip (keys become strings).
+        snapshot = json.loads(json.dumps(snapshot))
+        rebuilt = StatGroup.from_dict(snapshot, name="g")
+        assert rebuilt.as_dict() == group.as_dict()
+        assert rebuilt["gap"].percentile(50) == group["gap"].percentile(50)
+
+    def test_non_numeric_histogram_keys_kept(self):
+        rebuilt = StatGroup.from_dict({"h": {"label": 4}})
+        assert rebuilt["h"].buckets == {"label": 4}

@@ -1,0 +1,138 @@
+"""PolicySweep-on-executor tests: ordering, manifests, backends, CLI."""
+
+import json
+
+import pytest
+
+from repro.exec import ParallelExecutor, SerialExecutor
+from repro.obs.export import build_sweep_manifest
+from repro.sim.checkpoint import JobJournal, sweep_to_dict
+from repro.sim.sweep import BASELINE, PolicySweep
+
+
+def small_sweep():
+    return PolicySweep(["gzip"], ["authen-then-commit"],
+                       num_instructions=600, warmup=300)
+
+
+class TestBaselineOrdering:
+    def test_baseline_appended_deterministically(self):
+        sweep = small_sweep()
+        assert sweep.policy_order() == ["authen-then-commit", BASELINE]
+        assert sweep.policy_order(include_baseline=False) == \
+            ["authen-then-commit"]
+
+    def test_duplicates_dropped_first_wins(self):
+        sweep = PolicySweep(["gzip"],
+                            ["authen-then-commit", BASELINE,
+                             "authen-then-commit"],
+                            num_instructions=600, warmup=300)
+        assert sweep.policy_order() == ["authen-then-commit", BASELINE]
+
+    def test_order_is_call_independent(self):
+        # Whatever include_baseline was used, the recorded order for a
+        # given policy list is the same.
+        a = small_sweep().run()
+        b = small_sweep().run(include_baseline=True)
+        assert a.executed_policies == b.executed_policies
+
+    def test_manifest_reflects_injected_baseline(self):
+        sweep = small_sweep().run()
+        manifest = build_sweep_manifest(sweep)
+        assert manifest["policies"] == ["authen-then-commit", BASELINE]
+        assert {run["policy"] for run in manifest["runs"]} == \
+            {"authen-then-commit", BASELINE}
+
+    def test_checkpoint_reflects_injected_baseline(self):
+        payload = sweep_to_dict(small_sweep().run())
+        assert payload["policies"] == ["authen-then-commit", BASELINE]
+
+
+class TestManifestJobMetadata:
+    def test_job_ids_and_backend_recorded(self):
+        sweep = small_sweep().run()
+        manifest = build_sweep_manifest(sweep)
+        assert manifest["backend"] == {"backend": "serial", "jobs": 1}
+        ids = [run["job_id"] for run in manifest["runs"]]
+        assert all(ids) and len(set(ids)) == len(ids)
+
+    def test_checkpoint_carries_job_ids(self):
+        payload = sweep_to_dict(small_sweep().run())
+        assert all(run["job_id"] for run in payload["runs"])
+
+
+class TestBackendEquivalence:
+    def test_parallel_sweep_matches_serial(self):
+        serial = small_sweep().run(executor=SerialExecutor())
+        with ParallelExecutor(2) as executor:
+            parallel = small_sweep().run(executor=executor)
+        assert parallel.backend == {"backend": "process", "jobs": 2}
+        for key, result in serial.results.items():
+            assert parallel.results[key].cycles == result.cycles
+            assert parallel.results[key].stats.as_dict() == \
+                result.stats.as_dict()
+
+    def test_sweep_journal_resume(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        first = small_sweep().run(journal=JobJournal(path))
+        resumed = small_sweep().run(journal=JobJournal(path))
+        for key in first.results:
+            assert resumed.results[key].cycles == first.results[key].cycles
+
+
+class TestSweepCli:
+    def test_sweep_command_table_and_exports(self, capsys, tmp_path):
+        from repro.cli import main
+
+        manifest_path = tmp_path / "sweep.json"
+        csv_path = tmp_path / "sweep.csv"
+        code = main(["sweep", "gzip", "-p", "authen-then-commit",
+                     "-n", "600", "--warmup", "300",
+                     "--emit-json", str(manifest_path),
+                     "--csv", str(csv_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalized IPC" in out
+        assert "backend=serial" in out
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["kind"] == "sweep"
+        assert manifest["backend"]["backend"] == "serial"
+        assert all(run["job_id"] for run in manifest["runs"])
+        assert csv_path.read_text().startswith("benchmark,policy")
+
+    def test_sweep_command_checkpoint_resume(self, capsys, tmp_path):
+        from repro.cli import main
+
+        journal = tmp_path / "journal.jsonl"
+        args = ["sweep", "gzip", "-p", "authen-then-commit",
+                "-n", "600", "--warmup", "300",
+                "--checkpoint", str(journal)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 completed job(s) will be skipped" in out
+
+    def test_sweep_command_parallel_matches_serial(self, capsys):
+        from repro.cli import main
+
+        args = ["sweep", "gzip", "mcf", "-p", "authen-then-commit",
+                "-n", "600", "--warmup", "300"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        table = lambda text: [line for line in text.splitlines()
+                              if line and "jobs in" not in line
+                              and "backend" not in line]
+        assert table(serial_out) == table(parallel_out)
+
+    def test_sweep_command_no_baseline(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "gzip", "-p", "authen-then-commit",
+                     "-n", "600", "--warmup", "300",
+                     "--no-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "absolute IPC" in out
+        assert "decrypt-only" not in out
