@@ -10,6 +10,13 @@ secure processor needs for authentication-control-point gating:
 
 A hit to a still-unverified line must observe its pending ``verify_time``:
 that is exactly the window the paper's exploits live in.
+
+Recency is tracked by dict insertion order (Python dicts preserve it):
+a hit re-inserts the tag at the back, so the LRU victim is always the
+*first* key of the set -- an O(1) pop instead of an O(assoc) scan.  The
+``hit_line``/``fill`` pair is the allocation-free hot path the memory
+hierarchy uses; ``access`` wraps it in a :class:`CacheAccess` for
+callers off the critical path.
 """
 
 from repro.config import CacheConfig
@@ -19,14 +26,13 @@ from repro.util.statistics import StatGroup
 class LineState:
     """Metadata of one resident cache line."""
 
-    __slots__ = ("tag", "dirty", "data_time", "verify_time", "last_use")
+    __slots__ = ("tag", "dirty", "data_time", "verify_time")
 
     def __init__(self, tag, data_time=0, verify_time=0):
         self.tag = tag
         self.dirty = False
         self.data_time = data_time
         self.verify_time = verify_time
-        self.last_use = 0
 
 
 class CacheAccess:
@@ -44,9 +50,12 @@ class CacheAccess:
 class Cache:
     """Set-associative cache over line addresses.
 
-    ``lookup`` probes without allocating; ``access`` probes and, on a miss,
-    allocates (evicting the LRU way) and reports the victim so the caller
-    can schedule a writeback.
+    ``lookup`` probes without allocating or touching recency;
+    ``hit_line`` probes the hit fast path (stats and recency updated, no
+    allocation); ``fill`` allocates after a miss, evicting the LRU way
+    in O(1) and reporting the victim so the caller can schedule a
+    writeback; ``access`` combines the two and wraps the outcome in a
+    :class:`CacheAccess` for convenience.
     """
 
     def __init__(self, config, stats=None):
@@ -56,13 +65,14 @@ class Cache:
         self.num_sets = config.num_sets
         self.line_bytes = config.line_bytes
         self.assoc = config.associativity
-        self._sets = [dict() for _ in range(self.num_sets)]  # tag -> LineState
+        self.latency = config.latency
+        # tag -> LineState; insertion order IS recency order (LRU first).
+        self._sets = [dict() for _ in range(self.num_sets)]
         self.stats = stats if stats is not None else StatGroup(config.name)
         self._hits = self.stats.counter("hits")
         self._misses = self.stats.counter("misses")
         self._evictions = self.stats.counter("evictions")
         self._writebacks = self.stats.counter("writebacks")
-        self._tick = 0
 
     def _index_tag(self, addr):
         line_addr = addr // self.line_bytes
@@ -77,35 +87,66 @@ class Cache:
         index, tag = self._index_tag(addr)
         return self._sets[index].get(tag)
 
-    def access(self, addr, is_write=False):
-        """Probe and allocate-on-miss; returns a :class:`CacheAccess`."""
-        self._tick += 1
-        index, tag = self._index_tag(addr)
-        cache_set = self._sets[index]
-        line = cache_set.get(tag)
-        if line is not None:
-            self._hits.add()
-            line.last_use = self._tick
-            if is_write:
-                line.dirty = True
-            return CacheAccess(True, line)
+    def hit_line(self, addr, is_write=False):
+        """Hit fast path: the LineState on a hit, None on a miss.
 
-        self._misses.add()
-        victim_addr = None
-        victim_dirty = False
+        A hit counts and refreshes recency; a miss changes *nothing* --
+        the caller decides whether to ``fill``.  Nothing is allocated
+        either way.
+        """
+        line_addr = addr // self.line_bytes
+        cache_set = self._sets[line_addr % self.num_sets]
+        tag = line_addr // self.num_sets
+        line = cache_set.get(tag)
+        if line is None:
+            return None
+        self._hits.value += 1
+        # Move-to-back keeps dict order == recency order.
+        del cache_set[tag]
+        cache_set[tag] = line
+        if is_write:
+            line.dirty = True
+        return line
+
+    def fill(self, addr, is_write=False):
+        """Allocate ``addr`` after a ``hit_line`` miss.
+
+        Returns ``(line, victim_addr, victim_dirty)``; the victim fields
+        are ``(None, False)`` when no eviction was needed.
+        """
+        line_addr = addr // self.line_bytes
+        index = line_addr % self.num_sets
+        cache_set = self._sets[index]
+        tag = line_addr // self.num_sets
+        self._misses.value += 1
         if len(cache_set) >= self.assoc:
-            lru_tag = min(cache_set, key=lambda t: cache_set[t].last_use)
+            lru_tag = next(iter(cache_set))
             victim = cache_set.pop(lru_tag)
-            self._evictions.add()
+            self._evictions.value += 1
             victim_dirty = victim.dirty
             if victim_dirty:
-                self._writebacks.add()
+                self._writebacks.value += 1
             victim_addr = (victim.tag * self.num_sets + index) * self.line_bytes
+            # Recycle the evicted LineState: every field is reset, so this
+            # is indistinguishable from a fresh allocation.
+            victim.tag = tag
+            victim.dirty = is_write
+            victim.data_time = 0
+            victim.verify_time = 0
+            cache_set[tag] = victim
+            return victim, victim_addr, victim_dirty
         line = LineState(tag)
-        line.last_use = self._tick
         if is_write:
             line.dirty = True
         cache_set[tag] = line
+        return line, None, False
+
+    def access(self, addr, is_write=False):
+        """Probe and allocate-on-miss; returns a :class:`CacheAccess`."""
+        line = self.hit_line(addr, is_write=is_write)
+        if line is not None:
+            return CacheAccess(True, line)
+        line, victim_addr, victim_dirty = self.fill(addr, is_write=is_write)
         return CacheAccess(False, line, victim_addr, victim_dirty)
 
     def invalidate(self, addr):
@@ -133,4 +174,3 @@ class Cache:
         for cache_set in self._sets:
             cache_set.clear()
         self.stats.reset()
-        self._tick = 0

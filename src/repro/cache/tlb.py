@@ -27,11 +27,17 @@ class Tlb:
         self._cache = Cache(config, stats=stats)
         self.miss_latency = miss_latency
         self.page_bytes = page_bytes
+        # Bound methods hoisted once: translate_latency runs once per
+        # memory access, so even the attribute lookups matter.
+        self._hit_line = self._cache.hit_line
+        self._fill = self._cache.fill
 
     def translate_latency(self, vaddr):
         """Latency contribution of translating ``vaddr`` (0 on a hit)."""
-        access = self._cache.access(vaddr)
-        return 0 if access.hit else self.miss_latency
+        if self._hit_line(vaddr) is not None:
+            return 0
+        self._fill(vaddr)
+        return self.miss_latency
 
     @property
     def stats(self):

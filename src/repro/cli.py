@@ -250,6 +250,32 @@ def _cmd_attack(args):
     return 1 if failures and args.fail_on_leak else 0
 
 
+def _cmd_perf(args):
+    from repro.perf.bench import (check_goldens, render_table, run_matrix,
+                                  write_report)
+    from repro.perf.golden import GOLDEN_CYCLES
+
+    if args.check:
+        mismatches = check_goldens()
+        if mismatches:
+            print("golden parity FAILED (%d cell(s)):" % len(mismatches),
+                  file=sys.stderr)
+            for line in mismatches:
+                print("  " + line, file=sys.stderr)
+            return 1
+        print("golden parity OK: %d cells bit-identical"
+              % len(GOLDEN_CYCLES))
+        return 0
+
+    report = run_matrix(num_instructions=args.instructions,
+                        warmup=args.warmup, repeats=args.repeats)
+    print(render_table(report))
+    if not args.no_json:
+        path = write_report(report, path=args.out)
+        print("benchmark report written to %s" % path)
+    return 0
+
+
 def _cmd_list(args):
     from repro.attacks.harness import ALL_ATTACKS
 
@@ -345,6 +371,25 @@ def build_parser():
                    choices=available_policies())
     p.add_argument("--fail-on-leak", action="store_true")
     p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("perf",
+                       help="measure replay instructions/sec, or verify "
+                            "timing parity against the pinned goldens")
+    p.add_argument("--check", action="store_true",
+                   help="re-run the golden matrix and fail on any cycle "
+                        "or stats drift (no timing measurement)")
+    p.add_argument("-n", "--instructions", type=int, default=20_000,
+                   help="measured instructions per cell")
+    p.add_argument("--warmup", type=int, default=5_000,
+                   help="warmup instructions per cell")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats per cell (best-of is reported)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="report path (default: BENCH_<stamp>.json in the "
+                        "current directory)")
+    p.add_argument("--no-json", action="store_true",
+                   help="print the table only, do not write a report")
+    p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser("list", help="list benchmarks/policies/attacks")
     p.set_defaults(func=_cmd_list)

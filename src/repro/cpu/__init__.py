@@ -15,12 +15,11 @@ enough to sweep 18 benchmarks x 9 policies in pure Python.
 
 from repro.cpu.branch import BimodalPredictor
 from repro.cpu.core import RunResult, TimestampCore
-from repro.cpu.hierarchy import LineTiming, MemoryHierarchy
+from repro.cpu.hierarchy import MemoryHierarchy
 
 __all__ = [
     "BimodalPredictor",
     "TimestampCore",
     "RunResult",
     "MemoryHierarchy",
-    "LineTiming",
 ]

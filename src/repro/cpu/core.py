@@ -33,7 +33,7 @@ from repro.obs.events import (
     STORE_RELEASED,
 )
 from repro.util.statistics import StatGroup
-from repro.workloads.trace import Op
+from repro.workloads.trace import Op, pack_instructions
 
 _UNIT_LATENCY = {
     Op.IALU: 1,
@@ -44,6 +44,15 @@ _UNIT_LATENCY = {
     Op.SYSTEM: 1,
     Op.STORE: 1,  # address generation; data is written at commit
 }
+
+# The issue calendar (issue cycle -> instructions issued that cycle) is
+# pruned every this-many instructions: entries behind the fetch frontier
+# plus pipeline depth can never be probed again (every future probe is at
+# ``>= fetch_frontier + depth`` and the frontier is monotonic), so
+# dropping them is timing-neutral while keeping the dict's size bounded
+# by the prune interval plus the in-flight issue spread instead of
+# growing with the run length.
+_CALENDAR_PRUNE_INTERVAL = 4096
 
 
 class RunResult:
@@ -79,9 +88,20 @@ class TimestampCore:
         self.hierarchy = hierarchy
         self.stats = stats if stats is not None else StatGroup("core")
         self.tracer = tracer
+        # Peak issue-calendar population observed by the last run()
+        # (sampled at every prune point and at the end of the run):
+        # observability for the sliding-window bound, and what the
+        # bounded-memory regression test asserts on.
+        self.issue_calendar_peak = 0
 
     def run(self, trace, warmup=0, profiler=None):
         """Replay ``trace`` and return a :class:`RunResult`.
+
+        ``trace`` is replayed via its packed columnar form
+        (:meth:`~repro.workloads.trace.Trace.packed`); a bare iterable of
+        :class:`~repro.workloads.trace.TraceInst` is packed on the fly.
+        The hot loop iterates parallel columns, so per-instruction cost
+        is one tuple unpack instead of six attribute lookups.
 
         The first ``warmup`` instructions warm the caches, TLBs, counter
         cache and branch state but are excluded from the reported cycle
@@ -95,6 +115,10 @@ class TimestampCore:
         policy = self.policy
         hier = self.hierarchy
         engine = hier.engine
+
+        packed = trace.packed() if hasattr(trace, "packed") \
+            else pack_instructions(trace)
+        num_insts = len(packed)
 
         fetch_width = cfg.fetch_width
         issue_width = cfg.issue_width
@@ -130,17 +154,18 @@ class TimestampCore:
         last_commit = 0
         commit_cycle = -1
         committed_in_cycle = 0
-        mem_op_count = 0
-        store_count = 0
+        # Rolling ring cursors (cheaper than a modulo per instruction).
+        ruu_index = 0
+        lsq_index = 0
+        sb_index = 0
         cur_iline = -1
-        iline_timing = None
 
         auth_commit_stall = self.stats.counter("auth_commit_stall_cycles")
         auth_issue_stall = self.stats.counter("auth_issue_stall_cycles")
         sb_full_stall = self.stats.counter("store_buffer_full_stalls")
         mispredicts = self.stats.counter("branch_mispredicts")
 
-        warmup = min(warmup, len(trace))
+        warmup = min(warmup, num_insts)
         warmup_commit = 0
 
         # Tracing fast path: one hoisted boolean; a disabled tracer costs
@@ -151,7 +176,33 @@ class TimestampCore:
         run_start = perf_counter() if profiler is not None else 0.0
         warmup_wall = 0.0
 
-        for index, inst in enumerate(trace):
+        # Everything the loop touches per instruction lives in a local:
+        # globals, class attributes and bound methods all cost a dict
+        # probe per use in CPython.
+        op_load = Op.LOAD
+        op_store = Op.STORE
+        op_branch = Op.BRANCH
+        op_jump = Op.JUMP
+        # Ops are small ints: list indexing beats a dict probe.
+        unit_latency = [_UNIT_LATENCY.get(code, 0) for code in range(8)]
+        ifetch = hier.ifetch
+        do_load = hier.load
+        do_store = hier.store
+        fetch_gate_time = policy.fetch_gate_time
+        value_ready = policy.value_ready
+        store_release = policy.store_release
+        auth_frontier = engine.auth_frontier
+        calendar_get = issue_calendar.get
+        auth_issue_add = auth_issue_stall.add
+        auth_commit_add = auth_commit_stall.add
+
+        prune_mask = _CALENDAR_PRUNE_INTERVAL - 1
+        calendar_peak = 0
+        iline_data = 0
+        iline_verify = 0
+
+        for index, (pc, op, dest, srcs, addr, mispredict) in enumerate(
+                packed.rows()):
             if index == warmup and warmup:
                 warmup_commit = last_commit
                 self.hierarchy.reset_stats()
@@ -171,116 +222,113 @@ class TimestampCore:
                 base = fetch_cycle
             fetched_in_cycle += 1
 
-            iline = inst.pc // iline_bytes
-            if iline != cur_iline or iline_timing is None:
+            iline = pc // iline_bytes
+            if iline != cur_iline:
                 if precise_fetch:
                     # Instruction fetch depends on the control slice only.
                     gate = ctrl_frontier
                 elif gate_fetch:
-                    gate = policy.fetch_gate_time(engine, base, base)
+                    gate = fetch_gate_time(engine, base, base)
                 else:
                     gate = 0
                 if tracing:
-                    tracer.emit(FETCH_ISSUED, LANE_FETCH, base, pc=inst.pc,
+                    tracer.emit(FETCH_ISSUED, LANE_FETCH, base, pc=pc,
                                 iline=iline)
-                iline_timing = hier.ifetch(inst.pc, base, gate_time=gate)
+                iline_data, iline_verify = ifetch(pc, base, gate_time=gate)
                 cur_iline = iline
-            inst_avail = iline_timing.data_time
-            if inst_avail > base:
-                base = inst_avail
+            if iline_data > base:
+                base = iline_data
                 fetch_cycle = base
                 fetched_in_cycle = 1
             fetch_frontier = base
 
             # ---------------- dispatch -------------------------------
             dispatch = base + depth
-            slot_free = ruu_ring[index % ruu_size]
+            slot_free = ruu_ring[ruu_index]
             if slot_free > dispatch:
                 dispatch = slot_free
-            if inst.is_mem:
-                lsq_free = lsq_ring[mem_op_count % lsq_size]
+            is_mem = op == op_load or op == op_store
+            if is_mem:
+                lsq_free = lsq_ring[lsq_index]
                 if lsq_free > dispatch:
                     dispatch = lsq_free
 
             # ---------------- issue ----------------------------------
             ready = dispatch
-            for src in inst.srcs:
+            for src in srcs:
                 t = reg_ready[src]
                 if t > ready:
                     ready = t
             if gate_issue:
-                v = iline_timing.verify_time
-                if v > ready:
-                    auth_issue_stall.add(v - ready)
-                    ready = v
+                if iline_verify > ready:
+                    auth_issue_add(iline_verify - ready)
+                    ready = iline_verify
             # issue bandwidth
-            count = issue_calendar.get(ready, 0)
+            count = calendar_get(ready, 0)
             while count >= issue_width:
                 ready += 1
-                count = issue_calendar.get(ready, 0)
+                count = calendar_get(ready, 0)
             issue_calendar[ready] = count + 1
             issue = ready
             if tracing:
-                tracer.emit(ISSUE, LANE_ISSUE, issue, pc=inst.pc,
-                            op=op_names.get(inst.op, inst.op))
+                tracer.emit(ISSUE, LANE_ISSUE, issue, pc=pc,
+                            op=op_names.get(op, op))
 
             # ---------------- execute --------------------------------
-            op = inst.op
-            verify_needed = iline_timing.verify_time if gate_commit else 0
+            verify_needed = iline_verify if gate_commit else 0
             store_frontier = 0
             if precise_fetch:
                 # Verification frontier of this instruction's slice: its
                 # own I-line, its operands' ancestry, the control slice.
                 slice_frontier = ctrl_frontier
-                v = iline_timing.verify_time
-                if v > slice_frontier:
-                    slice_frontier = v
-                for src in inst.srcs:
+                if iline_verify > slice_frontier:
+                    slice_frontier = iline_verify
+                for src in srcs:
                     f = reg_frontier[src]
                     if f > slice_frontier:
                         slice_frontier = f
-            if op == Op.LOAD:
+            if op == op_load:
                 if precise_fetch:
                     gate = slice_frontier
                 elif gate_fetch:
-                    gate = policy.fetch_gate_time(engine, issue, issue + 1)
+                    gate = fetch_gate_time(engine, issue, issue + 1)
                 else:
                     gate = 0
-                timing = hier.load(inst.addr, issue + 1, gate_time=gate)
-                value_time = policy.value_ready(timing.data_time,
-                                                timing.verify_time)
-                if gate_issue and value_time > timing.data_time:
-                    auth_issue_stall.add(value_time - timing.data_time)
+                data_time, verify_time = do_load(addr, issue + 1,
+                                                 gate_time=gate)
+                value_time = value_ready(data_time, verify_time)
+                if gate_issue and value_time > data_time:
+                    auth_issue_add(value_time - data_time)
                 complete = value_time
-                if inst.dest >= 0:
-                    reg_ready[inst.dest] = value_time
+                if dest >= 0:
+                    reg_ready[dest] = value_time
                     if precise_fetch:
                         f = slice_frontier
-                        if timing.verify_time > f:
-                            f = timing.verify_time
-                        reg_frontier[inst.dest] = f
-                if gate_commit and timing.verify_time > verify_needed:
-                    verify_needed = timing.verify_time
-            elif op == Op.STORE:
+                        if verify_time > f:
+                            f = verify_time
+                        reg_frontier[dest] = f
+                if gate_commit and verify_time > verify_needed:
+                    verify_needed = verify_time
+            elif op == op_store:
                 complete = issue + 1
                 if gate_store:
-                    store_frontier = engine.auth_frontier(issue)
+                    store_frontier = auth_frontier(issue)
             else:
-                complete = issue + _UNIT_LATENCY[op]
-                if inst.dest >= 0:
-                    reg_ready[inst.dest] = complete
+                complete = issue + unit_latency[op]
+                if dest >= 0:
+                    reg_ready[dest] = complete
                     if precise_fetch:
-                        reg_frontier[inst.dest] = slice_frontier
+                        reg_frontier[dest] = slice_frontier
 
-            if precise_fetch and (op == Op.BRANCH or op == Op.JUMP):
+            if precise_fetch and (op == op_branch or op == op_jump):
                 if slice_frontier > ctrl_frontier:
                     ctrl_frontier = slice_frontier
 
-            if inst.mispredict:
-                mispredicts.add()
+            if mispredict:
+                mispredicts.value += 1
                 resolve = complete + penalty
                 if tracing:
-                    tracer.emit(SQUASH, LANE_FETCH, resolve, pc=inst.pc)
+                    tracer.emit(SQUASH, LANE_FETCH, resolve, pc=pc)
                 if resolve > redirect_time:
                     redirect_time = resolve
 
@@ -289,12 +337,12 @@ class TimestampCore:
             if last_commit > commit:
                 commit = last_commit
             if verify_needed > commit:
-                auth_commit_stall.add(verify_needed - commit)
+                auth_commit_add(verify_needed - commit)
                 commit = verify_needed
-            if op == Op.STORE:
-                sb_free = sb_ring[store_count % sb_size]
+            if op == op_store:
+                sb_free = sb_ring[sb_index]
                 if sb_free > commit:
-                    sb_full_stall.add()
+                    sb_full_stall.value += 1
                     commit = sb_free
             # commit bandwidth (in order -> monotonic counter)
             if commit != commit_cycle:
@@ -307,28 +355,52 @@ class TimestampCore:
             committed_in_cycle += 1
             last_commit = commit
             if tracing:
-                tracer.emit(COMMIT, LANE_COMMIT, commit, pc=inst.pc,
-                            op=op_names.get(inst.op, inst.op))
+                tracer.emit(COMMIT, LANE_COMMIT, commit, pc=pc,
+                            op=op_names.get(op, op))
 
-            if op == Op.STORE:
-                release = policy.store_release(commit, store_frontier)
+            if op == op_store:
+                release = store_release(commit, store_frontier)
                 if precise_fetch:
                     gate = slice_frontier
                 elif gate_fetch:
-                    gate = policy.fetch_gate_time(engine, issue, release)
+                    gate = fetch_gate_time(engine, issue, release)
                 else:
                     gate = 0
                 if tracing:
                     tracer.emit(STORE_RELEASED, LANE_STORE, release,
-                                addr=inst.addr)
-                hier.store(inst.addr, release, gate_time=gate)
-                sb_ring[store_count % sb_size] = release
-                store_count += 1
+                                addr=addr)
+                do_store(addr, release, gate_time=gate)
+                sb_ring[sb_index] = release
+                sb_index += 1
+                if sb_index == sb_size:
+                    sb_index = 0
 
-            ruu_ring[index % ruu_size] = commit
-            if inst.is_mem:
-                lsq_ring[mem_op_count % lsq_size] = commit
-                mem_op_count += 1
+            ruu_ring[ruu_index] = commit
+            ruu_index += 1
+            if ruu_index == ruu_size:
+                ruu_index = 0
+            if is_mem:
+                lsq_ring[lsq_index] = commit
+                lsq_index += 1
+                if lsq_index == lsq_size:
+                    lsq_index = 0
+
+            # ------------- issue-calendar sliding window --------------
+            if index & prune_mask == prune_mask:
+                size = len(issue_calendar)
+                if size > calendar_peak:
+                    calendar_peak = size
+                # Probes are always at >= fetch_frontier + depth and the
+                # frontier never moves backwards, so everything behind
+                # that floor is dead weight.
+                floor = fetch_frontier + depth
+                for key in [k for k in issue_calendar if k < floor]:
+                    del issue_calendar[key]
+
+        size = len(issue_calendar)
+        if size > calendar_peak:
+            calendar_peak = size
+        self.issue_calendar_peak = calendar_peak
 
         if profiler is not None:
             profiler.add("measure", perf_counter() - run_start - warmup_wall)
@@ -336,7 +408,7 @@ class TimestampCore:
         return RunResult(
             getattr(trace, "name", "trace"),
             policy.name,
-            len(trace) - warmup,
+            num_insts - warmup,
             cycles,
             self.stats,
             hier.miss_summary(),

@@ -4,9 +4,24 @@ Every resident line carries ``(data_time, verify_time)`` so that hits to
 in-flight or still-unverified lines observe the correct timestamps -- the
 decrypt-to-verify window survives into the caches, which is exactly what
 the authentication control points gate on.
+
+``ifetch``/``load``/``store`` return a plain ``(data_time, verify_time)``
+tuple.  The overwhelmingly common L1/L2 hit case allocates nothing but
+that tuple: the caches' ``hit_line`` fast path replaces the
+``CacheAccess``/``LineTiming`` objects the hierarchy used to build per
+access (the verify component is always ``>= data_time`` on the returned
+tuple, as before).
+
+The three entry points are built by :func:`_make_l1_path` as closures
+that inline the TLB and L1 probes over the caches' internal tag dicts:
+the common all-hits case is one function call with no attribute chasing,
+instead of the five-deep ``load -> _l1_access -> translate_latency ->
+hit_line -> hit_line`` chain.  The closures must mirror
+:meth:`repro.cache.cache.Cache.hit_line` exactly; the golden parity
+suite (``tests/perf``) pins that equivalence.
 """
 
-from repro.cache.cache import Cache
+from repro.cache.cache import Cache, LineState
 from repro.cache.tlb import Tlb
 from repro.mem.controller import MemoryController
 from repro.obs.events import L2_MISS, LANE_MEM, MSHR_STALL
@@ -15,14 +30,121 @@ from repro.secure.metadata import MetadataLayout
 from repro.util.statistics import StatGroup
 
 
-class LineTiming:
-    """Timing view of one accessed line."""
+def _make_l1_path(hierarchy, l1, tlb, is_write):
+    """Build the flattened TLB+L1 fast path for one access kind.
 
-    __slots__ = ("data_time", "verify_time")
+    Everything the per-access code touches is captured in closure cells:
+    no ``self`` lookups, no sub-calls on the TLB-hit/L1-hit path.  The
+    probe/recency/stat behaviour is a manual inline of
+    ``Tlb.translate_latency`` and ``Cache.hit_line``; misses fall back to
+    :meth:`MemoryHierarchy._l1_miss`.
+    """
+    l1_sets = l1._sets
+    l1_num_sets = l1.num_sets
+    l1_line_bytes = l1.line_bytes
+    l1_latency = l1.latency
+    l1_hits = l1.stats.counter("hits")
+    l1_misses = l1.stats.counter("misses")
+    l1_evictions = l1.stats.counter("evictions")
+    l1_wb_count = l1.stats.counter("writebacks")
+    l1_assoc = l1.assoc
+    tlb_cache = tlb._cache
+    tlb_sets = tlb_cache._sets
+    tlb_num_sets = tlb_cache.num_sets
+    tlb_page_bytes = tlb_cache.line_bytes
+    tlb_hits = tlb_cache.stats.counter("hits")
+    tlb_fill = tlb_cache.fill
+    tlb_miss_latency = tlb.miss_latency
+    l2 = hierarchy.l2
+    l2_sets = l2._sets
+    l2_num_sets = l2.num_sets
+    l2_line_bytes = l2.line_bytes
+    l2_latency = l2.latency
+    l2_hits = l2.stats.counter("hits")
+    l2_miss = hierarchy._l2_miss
+    l1_writeback = hierarchy._l1_writeback
 
-    def __init__(self, data_time, verify_time):
-        self.data_time = data_time
-        self.verify_time = verify_time
+    def access(addr, cycle, gate_time=0):
+        # ---- TLB probe (inline Tlb.translate_latency) ----------------
+        page = addr // tlb_page_bytes
+        tlb_set = tlb_sets[page % tlb_num_sets]
+        tlb_tag = page // tlb_num_sets
+        tlb_line = tlb_set.get(tlb_tag)
+        if tlb_line is not None:
+            tlb_hits.value += 1
+            del tlb_set[tlb_tag]
+            tlb_set[tlb_tag] = tlb_line
+        else:
+            tlb_fill(addr)
+            cycle += tlb_miss_latency
+        # ---- L1 probe (inline Cache.hit_line) ------------------------
+        line_addr = addr // l1_line_bytes
+        set_index = line_addr % l1_num_sets
+        cache_set = l1_sets[set_index]
+        tag = line_addr // l1_num_sets
+        line = cache_set.get(tag)
+        if line is not None:
+            l1_hits.value += 1
+            del cache_set[tag]
+            cache_set[tag] = line
+            if is_write:
+                line.dirty = True
+            data_time = line.data_time
+            l1_done = cycle + l1_latency
+            if l1_done > data_time:
+                data_time = l1_done
+            verify_time = line.verify_time
+            return (data_time,
+                    verify_time if verify_time > data_time else data_time)
+        # ---- L1 miss: allocate, write back, probe L2 (inline) --------
+        # (inline Cache.fill, reusing the index/tag computed above; the
+        # evicted LineState is recycled exactly as fill does)
+        l1_misses.value += 1
+        if len(cache_set) >= l1_assoc:
+            victim = cache_set.pop(next(iter(cache_set)))
+            l1_evictions.value += 1
+            if victim.dirty:
+                l1_wb_count.value += 1
+                l1_writeback(
+                    (victim.tag * l1_num_sets + set_index) * l1_line_bytes,
+                    cycle)
+            victim.tag = tag
+            victim.dirty = is_write
+            victim.data_time = 0
+            victim.verify_time = 0
+            line = victim
+        else:
+            line = LineState(tag)
+            if is_write:
+                line.dirty = True
+        cache_set[tag] = line
+        l1_done = cycle + l1_latency
+        l2_cycle = l1_done + l2_latency
+        l2_line_addr = addr // l2_line_bytes
+        l2_set = l2_sets[l2_line_addr % l2_num_sets]
+        l2_tag = l2_line_addr // l2_num_sets
+        l2_line = l2_set.get(l2_tag)
+        if l2_line is not None:
+            l2_hits.value += 1
+            del l2_set[l2_tag]
+            l2_set[l2_tag] = l2_line
+            data_time = l2_line.data_time
+            if l2_cycle > data_time:
+                data_time = l2_cycle
+            verify_time = l2_line.verify_time
+            if verify_time < data_time:
+                verify_time = data_time
+        else:
+            data_time, verify_time = l2_miss(addr, l2_cycle, gate_time)
+        if l1_done > data_time:
+            data_time = l1_done
+        if data_time > verify_time:
+            verify_time = data_time
+        line.data_time = data_time
+        line.verify_time = verify_time
+        return (data_time, verify_time)
+
+    return access
 
 
 class MemoryHierarchy:
@@ -76,6 +198,13 @@ class MemoryHierarchy:
         self._mshr_index = 0
         self._mshr_stalls = self.stats.counter("mshr_stall_events")
         self._prefetches = self.stats.counter("prefetch_issued")
+        #: Flattened access paths (see :func:`_make_l1_path`).
+        #: ``ifetch(pc, cycle, gate_time=0)`` fetches the I-line holding
+        #: ``pc``; ``load``/``store`` access the D-side; all three return
+        #: ``(data_time, verify_time)``.
+        self.ifetch = _make_l1_path(self, self.l1i, self.itlb, False)
+        self.load = _make_l1_path(self, self.l1d, self.dtlb, False)
+        self.store = _make_l1_path(self, self.l1d, self.dtlb, True)
 
     # ------------------------------------------------------------------
 
@@ -84,34 +213,51 @@ class MemoryHierarchy:
         return addr % self._wrap
 
     def _l2_fill(self, addr, cycle, gate_time):
-        """Access L2; fill from memory on a miss.  Returns a LineTiming."""
-        access = self.l2.access(addr)
-        line = access.line
-        if access.hit:
-            data_time = max(cycle, line.data_time)
-            return LineTiming(data_time, max(data_time, line.verify_time))
-        if access.victim_dirty:
-            self.engine.write_line(self._clamp(access.victim_addr), cycle)
+        """Access L2; fill from memory on a miss.
+
+        Returns a ``(data_time, verify_time)`` tuple.
+        """
+        l2 = self.l2
+        line = l2.hit_line(addr)
+        if line is not None:
+            data_time = line.data_time
+            if cycle > data_time:
+                data_time = cycle
+            verify_time = line.verify_time
+            return (data_time,
+                    verify_time if verify_time > data_time else data_time)
+        return self._l2_miss(addr, cycle, gate_time)
+
+    def _l2_miss(self, addr, cycle, gate_time):
+        """L2 miss slow path: allocate, write back, fetch through the
+        secure engine (with MSHR backpressure), prefetch.
+
+        Returns a ``(data_time, verify_time)`` tuple.
+        """
+        l2 = self.l2
+        line, victim_addr, victim_dirty = l2.fill(addr)
+        if victim_dirty:
+            self.engine.write_line(self._clamp(victim_addr), cycle)
         tracer = self.tracer
         tracing = tracer is not None and tracer.enabled
         slot_free = self._mshr_ring[self._mshr_index]
         if slot_free > cycle:
-            self._mshr_stalls.add()
+            self._mshr_stalls.value += 1
             if tracing:
                 tracer.emit(MSHR_STALL, LANE_MEM, cycle,
                             dur=slot_free - cycle, addr=addr)
             cycle = slot_free
+        target = (addr // l2.line_bytes) * l2.line_bytes % self._wrap
         if tracing:
-            tracer.emit(L2_MISS, LANE_MEM, cycle,
-                        addr=self._clamp(self.l2.line_addr(addr)))
-        fetch = self.engine.fetch_line(self._clamp(self.l2.line_addr(addr)),
-                                       cycle, gate_time=gate_time)
+            tracer.emit(L2_MISS, LANE_MEM, cycle, addr=target)
+        fetch = self.engine.fetch_line(target, cycle, gate_time=gate_time)
         self._mshr_ring[self._mshr_index] = fetch.mem_done
         self._mshr_index = (self._mshr_index + 1) % len(self._mshr_ring)
         line.data_time = fetch.data_time
         line.verify_time = fetch.verify_time
-        self._prefetch_after(addr, fetch)
-        return LineTiming(fetch.data_time, fetch.verify_time)
+        if self.config.prefetch_degree:
+            self._prefetch_after(addr, fetch)
+        return (fetch.data_time, fetch.verify_time)
 
     def _prefetch_after(self, addr, trigger_fetch):
         """Next-N-lines prefetch on a demand miss.
@@ -133,54 +279,47 @@ class MemoryHierarchy:
             return
         for step in range(1, degree + 1):
             next_addr = base + step * line_bytes
-            access = self.l2.access(next_addr)
-            if access.hit:
+            if self.l2.hit_line(next_addr) is not None:
                 continue
-            if access.victim_dirty:
-                self.engine.write_line(self._clamp(access.victim_addr),
+            line, victim_addr, victim_dirty = self.l2.fill(next_addr)
+            if victim_dirty:
+                self.engine.write_line(self._clamp(victim_addr),
                                        trigger_fetch.mem_done)
             fetch = self.engine.fetch_line(self._clamp(next_addr),
                                            trigger_fetch.mem_done)
-            access.line.data_time = fetch.data_time
-            access.line.verify_time = fetch.verify_time
-            self._prefetches.add()
+            line.data_time = fetch.data_time
+            line.verify_time = fetch.verify_time
+            self._prefetches.value += 1
 
-    def _l1_access(self, l1, tlb, addr, cycle, gate_time, is_write=False):
-        cycle = cycle + tlb.translate_latency(addr)
-        access = l1.access(addr, is_write=is_write)
-        line = access.line
-        l1_done = cycle + l1.config.latency
-        if access.hit:
-            data_time = max(l1_done, line.data_time)
-            return LineTiming(data_time, max(data_time, line.verify_time))
-        if access.victim_dirty:
-            self._l1_writeback(access.victim_addr, cycle)
-        timing = self._l2_fill(addr, cycle + l1.config.latency +
-                               self.l2.config.latency, gate_time)
-        line.data_time = max(l1_done, timing.data_time)
-        line.verify_time = max(line.data_time, timing.verify_time)
-        return LineTiming(line.data_time, line.verify_time)
+    def _l1_miss(self, l1, addr, cycle, gate_time, is_write):
+        """L1 miss slow path: allocate, write back, fill from L2.
+
+        ``cycle`` already includes the TLB translation latency (the fast
+        path charged it before probing L1).
+        """
+        line, victim_addr, victim_dirty = l1.fill(addr, is_write)
+        if victim_dirty:
+            self._l1_writeback(victim_addr, cycle)
+        l1_lat = l1.latency
+        data_time, verify_time = self._l2_fill(
+            addr, cycle + l1_lat + self.l2.latency, gate_time)
+        l1_done = cycle + l1_lat
+        if l1_done > data_time:
+            data_time = l1_done
+        if data_time > verify_time:
+            verify_time = data_time
+        line.data_time = data_time
+        line.verify_time = verify_time
+        return (data_time, verify_time)
 
     def _l1_writeback(self, victim_addr, cycle):
         """Write a dirty L1 victim into L2 (write-validate allocate)."""
-        access = self.l2.access(victim_addr, is_write=True)
-        if not access.hit and access.victim_dirty:
-            self.engine.write_line(self._clamp(access.victim_addr), cycle)
-
-    # ------------------------------------------------------------------
-
-    def ifetch(self, pc, cycle, gate_time=0):
-        """Fetch the instruction line containing ``pc``."""
-        return self._l1_access(self.l1i, self.itlb, pc, cycle, gate_time)
-
-    def load(self, addr, cycle, gate_time=0):
-        """Load access at ``addr`` issued at ``cycle``."""
-        return self._l1_access(self.l1d, self.dtlb, addr, cycle, gate_time)
-
-    def store(self, addr, cycle, gate_time=0):
-        """Commit-time store (write-allocate, write-back)."""
-        return self._l1_access(self.l1d, self.dtlb, addr, cycle, gate_time,
-                               is_write=True)
+        if self.l2.hit_line(victim_addr, is_write=True) is not None:
+            return
+        _, l2_victim, l2_victim_dirty = self.l2.fill(victim_addr,
+                                                     is_write=True)
+        if l2_victim_dirty:
+            self.engine.write_line(self._clamp(l2_victim), cycle)
 
     # ------------------------------------------------------------------
 

@@ -4,6 +4,10 @@ capture different variations and design scenarios").
 Each sweep varies one reference-implementation parameter and reports the
 average normalized IPC of a representative policy set, so the robustness
 of the Figure 7 conclusions can be checked directly.
+
+Every sweep accepts ``executor=`` (a :func:`repro.exec.make_executor`
+backend) to fan the underlying policy sweeps out over worker processes;
+results are bit-identical to the serial default.
 """
 
 from repro.config import SimConfig
@@ -15,29 +19,31 @@ BENCHMARKS = ("mcf", "twolf", "swim", "mgrid")
 
 
 def _averages(config, benchmarks, num_instructions, warmup,
-              policies=POLICIES):
+              policies=POLICIES, executor=None):
     sweep = PolicySweep(list(benchmarks), list(policies), config=config,
                         num_instructions=num_instructions,
-                        warmup=warmup).run()
+                        warmup=warmup).run(executor=executor)
     return {p: sweep.average_normalized(p) for p in policies}
 
 
 def decrypt_latency_sweep(latencies=(40, 80, 160),
                           benchmarks=BENCHMARKS,
-                          num_instructions=8000, warmup=8000):
+                          num_instructions=8000, warmup=8000,
+                          executor=None):
     """AES pipeline latency: mostly hidden behind the fetch, so the
     policy ranking should barely move."""
     return {
         latency: _averages(
             SimConfig().with_secure(decrypt_latency=latency),
-            benchmarks, num_instructions, warmup)
+            benchmarks, num_instructions, warmup, executor=executor)
         for latency in latencies
     }
 
 
 def memory_speed_sweep(cas_values=(10, 20, 40),
                        benchmarks=BENCHMARKS,
-                       num_instructions=8000, warmup=8000):
+                       num_instructions=8000, warmup=8000,
+                       executor=None):
     """Memory CAS latency (bus clocks): slower memory widens every
     miss but shrinks verification's *relative* share."""
     import dataclasses
@@ -48,13 +54,14 @@ def memory_speed_sweep(cas_values=(10, 20, 40),
         config = dataclasses.replace(
             config, dram=dataclasses.replace(config.dram,
                                              cas_bus_clocks=cas))
-        out[cas] = _averages(config, benchmarks, num_instructions, warmup)
+        out[cas] = _averages(config, benchmarks, num_instructions, warmup,
+                             executor=executor)
     return out
 
 
 def mshr_sweep(entries=(2, 8, 16),
                benchmarks=BENCHMARKS,
-               num_instructions=8000, warmup=8000):
+               num_instructions=8000, warmup=8000, executor=None):
     """Outstanding-miss slots: fewer MSHRs serialise misses, which makes
     fetch gating relatively cheaper (the misses were serial anyway)."""
     import dataclasses
@@ -63,16 +70,16 @@ def mshr_sweep(entries=(2, 8, 16),
     for count in entries:
         config = dataclasses.replace(SimConfig(), mshr_entries=count)
         out[count] = _averages(config, benchmarks, num_instructions,
-                               warmup)
+                               warmup, executor=executor)
     return out
 
 
 def ruu_sweep(sizes=(32, 64, 128, 256),
               benchmarks=BENCHMARKS,
-              num_instructions=8000, warmup=8000):
+              num_instructions=8000, warmup=8000, executor=None):
     """Window size beyond the paper's 128/64 pair."""
     return {
         size: _averages(SimConfig().with_ruu(size), benchmarks,
-                        num_instructions, warmup)
+                        num_instructions, warmup, executor=executor)
         for size in sizes
     }

@@ -18,8 +18,12 @@ DEFAULT_BENCHMARKS = ("mcf", "twolf", "swim", "mgrid")
 
 def run(seeds=(2006, 7, 42), policies=DEFAULT_POLICIES,
         benchmarks=DEFAULT_BENCHMARKS, num_instructions=8000,
-        warmup=8000, l2_bytes=256 * 1024):
+        warmup=8000, l2_bytes=256 * 1024, executor=None):
     """Per-policy normalized-IPC samples across seeds.
+
+    ``executor`` (a :func:`repro.exec.make_executor` backend) fans each
+    seed's sweep out over worker processes; results are bit-identical to
+    the serial default.
 
     Returns ``{policy: {"samples": [...], "mean": m, "std": s}}``.
     """
@@ -28,7 +32,7 @@ def run(seeds=(2006, 7, 42), policies=DEFAULT_POLICIES,
         sweep = PolicySweep(list(benchmarks), list(policies),
                             config=SimConfig().with_l2_size(l2_bytes),
                             num_instructions=num_instructions,
-                            warmup=warmup, seed=seed).run()
+                            warmup=warmup, seed=seed).run(executor=executor)
         for policy in policies:
             samples[policy].append(sweep.average_normalized(policy))
     out = {}

@@ -39,13 +39,14 @@ class BandwidthBus:
         transfer starts at ``max(earliest, free_at)`` and holds the bus for
         ``transfer_cycles(num_bytes)``.
         """
-        duration = self.transfer_cycles(num_bytes)
-        start = max(earliest, self.free_at)
+        duration = -(-num_bytes // self.width_bytes) * self.cycles_per_beat
+        free_at = self.free_at
+        start = earliest if earliest > free_at else free_at
         end = start + duration
         self.free_at = end
-        self._busy.add(duration)
-        self._transfers.add()
-        self._wait.add(start - earliest)
+        self._busy.value += duration
+        self._transfers.value += 1
+        self._wait.value += start - earliest
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.emit(BUS_GRANT, LANE_BUS, start, dur=duration,

@@ -56,11 +56,11 @@ class MemoryController:
         result = self.dram.access(
             addr, cycle, num_bytes=self.line_bytes + self.mac_rider_bytes
         )
-        self._reads.add()
-        access = MemAccess(addr, cycle, result.start_cycle,
-                           result.critical_cycle, result.done_cycle, kind)
-        self._read_latency.add(access.latency)
-        return access
+        self._reads.value += 1
+        done = result.done_cycle
+        self._read_latency.add(done - cycle)
+        return MemAccess(addr, cycle, result.start_cycle,
+                         result.critical_cycle, done, kind)
 
     def write_line(self, addr, cycle, kind="writeback"):
         """Retire one line writeback (posted; caller rarely waits on it)."""
@@ -69,15 +69,25 @@ class MemoryController:
             num_bytes=self.line_bytes + self.mac_rider_bytes,
             is_write=True,
         )
-        self._writes.add()
+        self._writes.value += 1
         return MemAccess(addr, cycle, result.start_cycle,
                          result.critical_cycle, result.done_cycle, kind)
+
+    def post_write(self, addr, cycle):
+        """:meth:`write_line` minus the result object, for callers that
+        retire posted writebacks without waiting on them."""
+        self.dram.access(
+            addr, cycle,
+            num_bytes=self.line_bytes + self.mac_rider_bytes,
+            is_write=True,
+        )
+        self._writes.value += 1
 
     def fetch_metadata(self, addr, cycle, num_bytes, kind="metadata"):
         """Fetch secure-layer metadata (counter block, re-map entry, tree
         node) as a standalone access."""
         result = self.dram.access(addr, cycle, num_bytes=num_bytes)
-        self._meta.add()
+        self._meta.value += 1
         return MemAccess(addr, cycle, result.start_cycle,
                          result.critical_cycle, result.done_cycle, kind)
 

@@ -96,18 +96,25 @@ class DramModel:
         the controller retires writes from a posted queue.
         """
         cfg = self.config
-        bank, row = self._locate(addr)
-        status = self.classify(addr)
-        self._accesses.add()
-        start = max(cycle, bank.ready_at)
-        if status is PageStatus.HIT:
-            self._hits.add()
+        # Inline _locate/classify: one bank lookup instead of two, and no
+        # intermediate enum dispatch on the row-hit fast path.
+        bank = self._banks[(addr // cfg.interleave_bytes) % cfg.num_banks]
+        row = addr // (cfg.num_banks * cfg.row_bytes)
+        open_row = bank.open_row
+        self._accesses.value += 1
+        ready_at = bank.ready_at
+        start = cycle if cycle > ready_at else ready_at
+        if open_row == row:
+            status = PageStatus.HIT
+            self._hits.value += 1
             ras_to_data = cfg.cas_cycles
-        elif status is PageStatus.EMPTY:
-            self._empties.add()
+        elif open_row is None:
+            status = PageStatus.EMPTY
+            self._empties.value += 1
             ras_to_data = cfg.rcd_cycles + cfg.cas_cycles
         else:
-            self._conflicts.add()
+            status = PageStatus.CONFLICT
+            self._conflicts.value += 1
             ras_to_data = cfg.rp_cycles + cfg.rcd_cycles + cfg.cas_cycles
             tracer = self.tracer
             if tracer is not None and tracer.enabled:

@@ -1,0 +1,180 @@
+"""Perf-benchmark harness: measure replay throughput, verify parity.
+
+Two entry points, both reachable through ``repro perf``:
+
+- :func:`run_matrix` times the simulator over a pinned
+  (benchmark x policy) matrix and reports instructions/sec and wall time
+  per cell plus an aggregate.  The timed region is ``TimestampCore.run``
+  only: trace generation and simulator construction happen outside the
+  clock, so the number tracks the replay loop the optimisations target
+  (and matches how :data:`repro.perf.golden.PRE_PR_BASELINE` was
+  measured).
+- :func:`check_goldens` re-runs the golden matrix and compares cycle
+  counts and full stats digests against the pinned values -- the
+  bit-identical timing-neutrality contract every hot-path change must
+  keep.
+
+:func:`write_report` serialises a matrix run as ``BENCH_<stamp>.json``
+(at the repository root by convention) with the pre-PR baseline and the
+measured speedup alongside the raw cells.
+"""
+
+import json
+import os
+import time
+
+from repro.config import SimConfig
+from repro.exec.cache import cached_trace
+from repro.perf.golden import (
+    GOLDEN_BENCHMARKS,
+    GOLDEN_CYCLES,
+    GOLDEN_DIGESTS,
+    GOLDEN_INSTRUCTIONS,
+    GOLDEN_POLICIES,
+    GOLDEN_WARMUP,
+    PRE_PR_BASELINE,
+    golden_cells,
+    stats_digest,
+)
+from repro.sim.runner import build_simulator
+
+#: Default measurement matrix (kept deliberately identical to the one
+#: PRE_PR_BASELINE was measured over, so speedups are like-for-like).
+BENCH_BENCHMARKS = GOLDEN_BENCHMARKS
+BENCH_POLICIES = GOLDEN_POLICIES
+BENCH_INSTRUCTIONS = 20_000
+BENCH_WARMUP = 5_000
+
+
+def time_cell(benchmark, policy, num_instructions=BENCH_INSTRUCTIONS,
+              warmup=BENCH_WARMUP, config=None, repeats=1):
+    """Time one (benchmark, policy) cell; returns a result dict.
+
+    The trace is generated (and packed) before the clock starts; each
+    repeat rebuilds a fresh simulator outside the timed region and times
+    ``core.run`` alone.  The best (shortest) wall time of ``repeats``
+    runs is reported, which is the standard defence against scheduler
+    noise for sub-second regions.
+    """
+    config = config or SimConfig()
+    total = num_instructions + warmup
+    trace = cached_trace(benchmark, total, config.seed)
+    trace.packed()
+    best_wall = None
+    result = None
+    for _ in range(max(1, repeats)):
+        core, _hier = build_simulator(config, policy)
+        start = time.perf_counter()
+        result = core.run(trace, warmup=warmup)
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    return {
+        "benchmark": benchmark,
+        "policy": policy,
+        "instructions_simulated": total,
+        "instructions_measured": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "wall_seconds": best_wall,
+        "instructions_per_second": total / best_wall if best_wall else 0.0,
+    }
+
+
+def run_matrix(benchmarks=BENCH_BENCHMARKS, policies=BENCH_POLICIES,
+               num_instructions=BENCH_INSTRUCTIONS, warmup=BENCH_WARMUP,
+               config=None, repeats=1):
+    """Time the full matrix; returns ``{"cells": [...], "aggregate": {}}``.
+
+    The aggregate instructions/sec is total simulated instructions over
+    total (best-of-repeats) wall time -- slow, miss-heavy benchmarks
+    weigh in proportionally rather than being averaged away.
+    """
+    cells = []
+    for bench in benchmarks:
+        for policy in policies:
+            cells.append(time_cell(bench, policy, num_instructions,
+                                   warmup, config=config, repeats=repeats))
+    total_inst = sum(c["instructions_simulated"] for c in cells)
+    total_wall = sum(c["wall_seconds"] for c in cells)
+    aggregate = {
+        "instructions": total_inst,
+        "wall_seconds": total_wall,
+        "instructions_per_second":
+            total_inst / total_wall if total_wall else 0.0,
+    }
+    baseline = PRE_PR_BASELINE["instructions_per_second"]
+    return {
+        "matrix": {
+            "benchmarks": list(benchmarks),
+            "policies": list(policies),
+            "num_instructions": num_instructions,
+            "warmup": warmup,
+            "repeats": repeats,
+        },
+        "cells": cells,
+        "aggregate": aggregate,
+        "baseline": dict(PRE_PR_BASELINE),
+        "speedup_vs_baseline":
+            aggregate["instructions_per_second"] / baseline,
+    }
+
+
+def render_table(report):
+    """Human-readable table for one :func:`run_matrix` report."""
+    lines = ["%-8s %-20s %10s %9s %8s"
+             % ("bench", "policy", "inst/s", "wall(s)", "IPC")]
+    for cell in report["cells"]:
+        lines.append("%-8s %-20s %10.0f %9.3f %8.4f"
+                     % (cell["benchmark"], cell["policy"],
+                        cell["instructions_per_second"],
+                        cell["wall_seconds"], cell["ipc"]))
+    agg = report["aggregate"]
+    lines.append("%-8s %-20s %10.0f %9.3f"
+                 % ("total", "(aggregate)",
+                    agg["instructions_per_second"], agg["wall_seconds"]))
+    lines.append("baseline (pre-optimisation): %.0f inst/s -> "
+                 "speedup %.2fx"
+                 % (report["baseline"]["instructions_per_second"],
+                    report["speedup_vs_baseline"]))
+    return "\n".join(lines)
+
+
+def write_report(report, path=None):
+    """Write a matrix report as ``BENCH_<stamp>.json``; returns the path."""
+    if path is None:
+        stamp = time.strftime("%Y%m%d_%H%M%S")
+        path = "BENCH_%s.json" % stamp
+    payload = dict(report)
+    payload["generated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    return os.path.abspath(path)
+
+
+def check_goldens(config=None):
+    """Re-run the pinned golden matrix; returns a list of mismatches.
+
+    An empty list means every cell reproduced its pinned cycle count
+    *and* full stats digest bit-identically.  Each mismatch is a
+    human-readable string naming the cell and what drifted.
+    """
+    config = config or SimConfig()
+    mismatches = []
+    total = GOLDEN_INSTRUCTIONS + GOLDEN_WARMUP
+    for bench, policy in golden_cells():
+        key = "%s/%s" % (bench, policy)
+        trace = cached_trace(bench, total, config.seed)
+        core, hier = build_simulator(config, policy)
+        result = core.run(trace, warmup=GOLDEN_WARMUP)
+        if result.cycles != GOLDEN_CYCLES[key]:
+            mismatches.append(
+                "%s: cycles %d != golden %d"
+                % (key, result.cycles, GOLDEN_CYCLES[key]))
+            continue
+        digest = stats_digest(result.stats.as_dict(), hier.miss_summary())
+        if digest != GOLDEN_DIGESTS[key]:
+            mismatches.append(
+                "%s: cycles match but stats digest drifted (%s != %s)"
+                % (key, digest[:16], GOLDEN_DIGESTS[key][:16]))
+    return mismatches

@@ -65,33 +65,38 @@ class AuthQueue:
         the moment the LastRequest register was bumped for this request
         (defaults to ``ready_time``).
         """
-        tag = len(self._completions)
+        completions = self._completions
+        fetch_times = self._fetch_times
+        tag = len(completions)
         if fetch_time is None:
             fetch_time = ready_time
-        if self._fetch_times and fetch_time < self._fetch_times[-1]:
-            fetch_time = self._fetch_times[-1]
-        self._fetch_times.append(fetch_time)
+        if fetch_times and fetch_time < fetch_times[-1]:
+            fetch_time = fetch_times[-1]
+        fetch_times.append(fetch_time)
         if tag >= self.depth:
-            slot_free = self._completions[tag - self.depth]
+            slot_free = completions[tag - self.depth]
             if slot_free > ready_time:
                 if self._queue_full is not None:
-                    self._queue_full.add()
+                    self._queue_full.value += 1
                 tracer = self.tracer
                 if tracer is not None and tracer.enabled:
                     tracer.emit(AUTH_QUEUE_FULL, LANE_VERIFY, ready_time,
                                 dur=slot_free - ready_time, tag=tag)
-            ready_time = max(ready_time, slot_free)
-        if self._last_start is None:
+                ready_time = slot_free
+        last_start = self._last_start
+        if last_start is None:
             start = ready_time
         else:
-            start = max(ready_time, self._last_start + self.throughput)
+            start = last_start + self.throughput
+            if ready_time > start:
+                start = ready_time
         done = start + self.mac_latency + extra_latency
-        if self._completions and done < self._completions[-1]:
-            done = self._completions[-1]  # in-order completion broadcast
+        if tag and done < completions[-1]:
+            done = completions[-1]  # in-order completion broadcast
         self._last_start = start
-        self._completions.append(done)
+        completions.append(done)
         if self._requests is not None:
-            self._requests.add()
+            self._requests.value += 1
         return tag, done
 
     def completion_time(self, tag):

@@ -32,15 +32,20 @@ class CounterCache:
         :meth:`install`; callers that miss must schedule the metadata
         fetch themselves.
         """
-        return self._cache.access(counter_addr).hit
+        if self._cache.hit_line(counter_addr) is not None:
+            return True
+        self._cache.fill(counter_addr)
+        return False
 
     def install(self, counter_addr):
         """Ensure the counter block is resident (after a metadata fetch)."""
-        self._cache.access(counter_addr)
+        if self._cache.hit_line(counter_addr) is None:
+            self._cache.fill(counter_addr)
 
     def bump(self, counter_addr):
         """Mark the counter block dirty (a writeback incremented a counter)."""
-        self._cache.access(counter_addr, is_write=True)
+        if self._cache.hit_line(counter_addr, is_write=True) is None:
+            self._cache.fill(counter_addr, is_write=True)
 
     @property
     def stats(self):

@@ -15,13 +15,21 @@ from repro.workloads.spec import (
     get_profile,
     int_benchmarks,
 )
-from repro.workloads.trace import Op, Trace, TraceInst
+from repro.workloads.trace import (
+    Op,
+    PackedTrace,
+    Trace,
+    TraceInst,
+    pack_instructions,
+)
 from repro.workloads.tracegen import generate_trace
 
 __all__ = [
     "Op",
     "TraceInst",
     "Trace",
+    "PackedTrace",
+    "pack_instructions",
     "BenchmarkProfile",
     "SPEC2000_PROFILES",
     "get_profile",

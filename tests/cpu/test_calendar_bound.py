@@ -1,0 +1,62 @@
+"""Issue-calendar sliding-window bound.
+
+The issue calendar (issue cycle -> instructions issued that cycle) used
+to grow with run length: every instruction can add a key and nothing
+removed them.  The core now prunes entries behind the fetch frontier
+every ``_CALENDAR_PRUNE_INTERVAL`` instructions -- timing-neutrally,
+since every future probe is at or above ``fetch_frontier + depth`` and
+the frontier is monotonic.  These tests pin the memory bound.
+"""
+
+from repro.config import SimConfig
+from repro.cpu.core import _CALENDAR_PRUNE_INTERVAL
+from repro.sim.runner import build_simulator
+from repro.workloads.spec import get_profile
+from repro.workloads.tracegen import generate_trace
+
+
+def run_core(bench="mcf", n=30_000, policy="authen-then-commit"):
+    trace = generate_trace(get_profile(bench), n,
+                           seed=SimConfig().seed)
+    core, _ = build_simulator(SimConfig(), policy)
+    result = core.run(trace, warmup=1000)
+    return core, result
+
+
+class TestCalendarBound:
+    def test_peak_is_bounded_on_long_runs(self):
+        """Peak live calendar population stays within one prune interval
+        (plus the in-flight issue spread), independent of run length."""
+        core, result = run_core()
+        assert result.instructions == 29_000
+        assert core.issue_calendar_peak > 0
+        assert core.issue_calendar_peak <= 2 * _CALENDAR_PRUNE_INTERVAL
+
+    def test_peak_does_not_scale_with_run_length(self):
+        short_core, _ = run_core(n=12_000)
+        long_core, _ = run_core(n=36_000)
+        # 3x the instructions must not mean 3x the calendar: both peaks
+        # sit under the same prune-interval bound.
+        assert long_core.issue_calendar_peak <= \
+            2 * _CALENDAR_PRUNE_INTERVAL
+        assert short_core.issue_calendar_peak <= \
+            2 * _CALENDAR_PRUNE_INTERVAL
+
+    def test_pruning_is_timing_neutral_vs_interval(self):
+        """Shrinking the prune interval (more aggressive pruning) must
+        not change a single cycle -- dead keys are dead at any cadence."""
+        import repro.cpu.core as core_mod
+
+        trace = generate_trace(get_profile("twolf"), 8_000,
+                               seed=SimConfig().seed)
+        core, _ = build_simulator(SimConfig(), "authen-then-issue")
+        reference = core.run(trace, warmup=2_000)
+        original = core_mod._CALENDAR_PRUNE_INTERVAL
+        core_mod._CALENDAR_PRUNE_INTERVAL = 512
+        try:
+            core2, _ = build_simulator(SimConfig(), "authen-then-issue")
+            aggressive = core2.run(trace, warmup=2_000)
+        finally:
+            core_mod._CALENDAR_PRUNE_INTERVAL = original
+        assert aggressive.cycles == reference.cycles
+        assert aggressive.stats.as_dict() == reference.stats.as_dict()

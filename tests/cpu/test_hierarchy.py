@@ -1,4 +1,8 @@
-"""Memory hierarchy tests: line timing propagation and policy gating."""
+"""Memory hierarchy tests: line timing propagation and policy gating.
+
+``ifetch``/``load``/``store`` return ``(data_time, verify_time)``
+tuples (the allocation-free fast path).
+"""
 
 import pytest
 
@@ -20,34 +24,34 @@ class TestBasicAccess:
     def test_l1_hit_is_fast(self):
         hier = make_hier()
         hier.load(0x1000, 0)
-        timing = hier.load(0x1000, 10_000)
-        assert timing.data_time <= 10_002
+        data_time, _ = hier.load(0x1000, 10_000)
+        assert data_time <= 10_002
 
     def test_miss_goes_to_memory(self):
         hier = make_hier()
-        timing = hier.load(0x1000, 0)
-        assert timing.data_time > 100  # DRAM-class latency
+        data_time, _ = hier.load(0x1000, 0)
+        assert data_time > 100  # DRAM-class latency
 
     def test_verify_never_before_data(self):
         hier = make_hier()
         for addr in (0x1000, 0x2000, 0x1000, 0x80000):
-            timing = hier.load(addr, 0)
-            assert timing.verify_time >= timing.data_time
+            data_time, verify_time = hier.load(addr, 0)
+            assert verify_time >= data_time
 
     def test_unverified_line_hit_sees_pending_verify(self):
         """The security-critical propagation: an L1 hit shortly after the
         fill still observes the line's future verify_time."""
         hier = make_hier()
-        miss = hier.load(0x1000, 0)
-        hit = hier.load(0x1004, miss.data_time + 1)
-        assert hit.verify_time == miss.verify_time
-        assert hit.data_time < hit.verify_time
+        miss_data, miss_verify = hier.load(0x1000, 0)
+        hit_data, hit_verify = hier.load(0x1004, miss_data + 1)
+        assert hit_verify == miss_verify
+        assert hit_data < hit_verify
 
     def test_old_line_hit_is_fully_verified(self):
         hier = make_hier()
-        miss = hier.load(0x1000, 0)
-        late = hier.load(0x1004, miss.verify_time + 10_000)
-        assert late.verify_time == late.data_time
+        _, miss_verify = hier.load(0x1000, 0)
+        late_data, late_verify = hier.load(0x1004, miss_verify + 10_000)
+        assert late_verify == late_data
 
     def test_ifetch_uses_l1i(self):
         hier = make_hier()
@@ -58,9 +62,9 @@ class TestBasicAccess:
     def test_l2_shared_between_sides(self):
         hier = make_hier()
         hier.ifetch(0x40, 0)     # fills L2 line 0x40
-        timing = hier.load(0x40, 10_000)
+        data_time, _ = hier.load(0x40, 10_000)
         # The load misses L1D but hits the unified L2.
-        assert timing.data_time < 10_000 + 100
+        assert data_time < 10_000 + 100
 
 
 class TestWriteback:
@@ -85,14 +89,14 @@ class TestWriteback:
 class TestFetchGating:
     def test_gate_time_delays_memory_fetch(self):
         hier = make_hier("commit+fetch")
-        gated = hier.load(0x9000, 0, gate_time=50_000)
-        assert gated.data_time > 50_000
+        data_time, _ = hier.load(0x9000, 0, gate_time=50_000)
+        assert data_time > 50_000
 
     def test_gate_ignored_on_hits(self):
         hier = make_hier("commit+fetch")
         hier.load(0x9000, 0)
-        hit = hier.load(0x9000, 10_000, gate_time=99_999)
-        assert hit.data_time < 11_000
+        hit_data, _ = hier.load(0x9000, 10_000, gate_time=99_999)
+        assert hit_data < 11_000
 
 
 class TestObfuscationWiring:

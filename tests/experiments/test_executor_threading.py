@@ -1,0 +1,51 @@
+"""Executor threading through the experiment drivers.
+
+``variance.run`` and every ``sensitivity`` sweep accept ``executor=``
+and hand it to the underlying :class:`PolicySweep`; fanning out over
+worker processes must be bit-identical to the serial default.
+"""
+
+from repro.exec import make_executor
+from repro.experiments import sensitivity, variance
+
+BENCHMARKS = ("mcf", "swim")
+SCALE = dict(num_instructions=1200, warmup=800)
+
+
+class TestVarianceExecutor:
+    def test_parallel_matches_serial(self):
+        serial = variance.run(seeds=(7,), benchmarks=BENCHMARKS, **SCALE)
+        with make_executor(2) as executor:
+            parallel = variance.run(seeds=(7,), benchmarks=BENCHMARKS,
+                                    executor=executor, **SCALE)
+        assert serial == parallel
+
+    def test_serial_executor_object_accepted(self):
+        with make_executor(1) as executor:
+            result = variance.run(seeds=(7,), benchmarks=BENCHMARKS,
+                                  executor=executor, **SCALE)
+        assert set(result) == set(variance.DEFAULT_POLICIES)
+
+
+class TestSensitivityExecutor:
+    def test_ruu_sweep_parallel_matches_serial(self):
+        serial = sensitivity.ruu_sweep(sizes=(64,), benchmarks=BENCHMARKS,
+                                       **SCALE)
+        with make_executor(2) as executor:
+            parallel = sensitivity.ruu_sweep(
+                sizes=(64,), benchmarks=BENCHMARKS, executor=executor,
+                **SCALE)
+        assert serial == parallel
+
+    def test_all_sweeps_accept_executor(self):
+        with make_executor(1) as executor:
+            for sweep, kwargs in (
+                    (sensitivity.decrypt_latency_sweep,
+                     dict(latencies=(80,))),
+                    (sensitivity.memory_speed_sweep,
+                     dict(cas_values=(20,))),
+                    (sensitivity.mshr_sweep, dict(entries=(8,))),
+                    (sensitivity.ruu_sweep, dict(sizes=(64,)))):
+                out = sweep(benchmarks=("swim",), executor=executor,
+                            num_instructions=600, warmup=400, **kwargs)
+                assert len(out) == 1

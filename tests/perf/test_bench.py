@@ -1,0 +1,87 @@
+"""Perf-harness tests: matrix runner, report writer, CLI wiring."""
+
+import json
+
+from repro.perf.bench import (render_table, run_matrix, time_cell,
+                              write_report)
+from repro.perf.golden import PRE_PR_BASELINE
+
+
+def small_matrix():
+    return run_matrix(benchmarks=("swim",),
+                      policies=("decrypt-only", "authen-then-commit"),
+                      num_instructions=1200, warmup=400, repeats=1)
+
+
+class TestTimeCell:
+    def test_reports_throughput_and_timing(self):
+        cell = time_cell("swim", "decrypt-only", num_instructions=1200,
+                         warmup=400, repeats=2)
+        assert cell["instructions_simulated"] == 1600
+        assert cell["instructions_measured"] == 1200
+        assert cell["wall_seconds"] > 0
+        assert cell["instructions_per_second"] > 0
+        assert cell["cycles"] > 0
+        assert cell["ipc"] > 0
+
+    def test_timing_is_deterministic_in_cycles(self):
+        a = time_cell("swim", "decrypt-only", num_instructions=1200,
+                      warmup=400)
+        b = time_cell("swim", "decrypt-only", num_instructions=1200,
+                      warmup=400)
+        assert a["cycles"] == b["cycles"]
+        assert a["ipc"] == b["ipc"]
+
+
+class TestRunMatrix:
+    def test_cells_and_aggregate(self):
+        report = small_matrix()
+        assert len(report["cells"]) == 2
+        agg = report["aggregate"]
+        assert agg["instructions"] == 2 * 1600
+        assert agg["instructions_per_second"] > 0
+        assert report["speedup_vs_baseline"] == (
+            agg["instructions_per_second"]
+            / PRE_PR_BASELINE["instructions_per_second"])
+
+    def test_render_table_mentions_every_cell(self):
+        report = small_matrix()
+        table = render_table(report)
+        assert "decrypt-only" in table
+        assert "authen-then-commit" in table
+        assert "speedup" in table
+
+
+class TestWriteReport:
+    def test_report_round_trips(self, tmp_path):
+        report = small_matrix()
+        path = write_report(report, path=str(tmp_path / "BENCH_test.json"))
+        payload = json.loads(open(path).read())
+        assert payload["baseline"]["instructions_per_second"] == \
+            PRE_PR_BASELINE["instructions_per_second"]
+        assert len(payload["cells"]) == 2
+        assert "generated_at" in payload
+
+    def test_default_path_is_stamped(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = write_report(small_matrix())
+        assert "BENCH_" in path and path.endswith(".json")
+
+
+class TestCli:
+    def test_perf_check_exits_clean(self, capsys):
+        from repro.cli import main
+
+        assert main(["perf", "--check"]) == 0
+        assert "parity OK" in capsys.readouterr().out
+
+    def test_perf_writes_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "bench.json")
+        code = main(["perf", "-n", "1200", "--warmup", "400",
+                     "--repeats", "1", "--out", out])
+        assert code == 0
+        payload = json.loads(open(out).read())
+        assert payload["speedup_vs_baseline"] > 0
+        assert "inst/s" in capsys.readouterr().out

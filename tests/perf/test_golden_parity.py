@@ -1,0 +1,68 @@
+"""Golden timing-parity suite.
+
+The hot-path optimisations (packed traces, O(1) LRU, flattened hierarchy
+and engine fast paths, issue-calendar pruning) must be *timing-neutral*:
+cycle counts, IPC and every StatGroup counter bit-identical to the
+pinned reference.  These tests re-run the golden matrix cell by cell.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.exec.cache import cached_trace
+from repro.perf.golden import (
+    GOLDEN_CYCLES,
+    GOLDEN_DIGESTS,
+    GOLDEN_INSTRUCTIONS,
+    GOLDEN_WARMUP,
+    golden_cells,
+    stats_digest,
+)
+from repro.sim.runner import build_simulator
+
+CELLS = list(golden_cells())
+
+
+def run_cell(bench, policy):
+    config = SimConfig()
+    trace = cached_trace(bench, GOLDEN_INSTRUCTIONS + GOLDEN_WARMUP,
+                         config.seed)
+    core, hier = build_simulator(config, policy)
+    result = core.run(trace, warmup=GOLDEN_WARMUP)
+    return result, hier
+
+
+class TestGoldenParity:
+    @pytest.mark.parametrize("bench,policy", CELLS,
+                             ids=["%s/%s" % cell for cell in CELLS])
+    def test_cycles_bit_identical(self, bench, policy):
+        result, _ = run_cell(bench, policy)
+        key = "%s/%s" % (bench, policy)
+        assert result.cycles == GOLDEN_CYCLES[key]
+        assert result.instructions == GOLDEN_INSTRUCTIONS
+
+    @pytest.mark.parametrize("bench,policy",
+                             [("mcf", "authen-then-commit"),
+                              ("swim", "decrypt-only"),
+                              ("twolf", "authen-then-write")])
+    def test_full_stats_digest(self, bench, policy):
+        """Beyond cycles: every counter and histogram bucket must match."""
+        result, hier = run_cell(bench, policy)
+        key = "%s/%s" % (bench, policy)
+        digest = stats_digest(result.stats.as_dict(), hier.miss_summary())
+        assert digest == GOLDEN_DIGESTS[key]
+
+    def test_check_goldens_is_clean(self):
+        from repro.perf.bench import check_goldens
+
+        assert check_goldens() == []
+
+    def test_digest_is_sensitive_to_counter_drift(self):
+        """A single off-by-one in any counter must change the digest."""
+        result, hier = run_cell("swim", "decrypt-only")
+        stats = result.stats.as_dict()
+        reference = stats_digest(stats, hier.miss_summary())
+        name = sorted(k for k, v in stats.items()
+                      if isinstance(v, int))[0]
+        stats[name] += 1
+        assert stats_digest(stats, hier.miss_summary()) != reference

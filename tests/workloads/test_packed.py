@@ -1,0 +1,75 @@
+"""Packed (columnar) trace representation tests.
+
+``Trace.packed()`` is the hot-loop input format; it must be an exact,
+cached, columnar mirror of the ``TraceInst`` object stream.
+"""
+
+from repro.config import SimConfig
+from repro.sim.runner import run_trace
+from repro.workloads.trace import (Op, PackedTrace, Trace, TraceInst,
+                                   pack_instructions)
+from repro.workloads.spec import get_profile
+from repro.workloads.tracegen import generate_trace
+
+
+def sample_trace(n=600, seed=11):
+    return generate_trace(get_profile("mcf"), n, seed=seed)
+
+
+class TestPackEquivalence:
+    def test_rows_mirror_instructions(self):
+        trace = sample_trace()
+        packed = trace.packed()
+        assert len(packed) == len(trace)
+        for inst, row in zip(trace, packed.rows()):
+            pc, op, dest, srcs, addr, mispredict = row
+            assert pc == inst.pc
+            assert op == inst.op
+            assert dest == inst.dest
+            assert tuple(srcs) == tuple(inst.srcs)
+            assert addr == inst.addr
+            assert mispredict == inst.mispredict
+
+    def test_columns_are_parallel(self):
+        packed = sample_trace().packed()
+        columns = packed.columns()
+        lengths = {len(column) for column in columns}
+        assert lengths == {len(packed)}
+
+    def test_pack_instructions_matches_trace_packed(self):
+        trace = sample_trace()
+        by_list = pack_instructions(list(trace))
+        by_trace = trace.packed()
+        assert list(by_list.rows()) == list(by_trace.rows())
+
+    def test_packed_is_cached(self):
+        trace = sample_trace()
+        assert trace.packed() is trace.packed()
+
+    def test_packed_type(self):
+        assert isinstance(sample_trace().packed(), PackedTrace)
+
+
+class TestReplayEquivalence:
+    def test_packed_and_object_iteration_same_cycles(self):
+        """Feeding the core a bare instruction list (packed on the fly)
+        must reproduce the Trace-driven run exactly."""
+        trace = sample_trace(n=800)
+        config = SimConfig()
+        via_trace = run_trace(trace, config, "authen-then-commit",
+                              warmup=200)
+        via_list = run_trace(list(trace), config, "authen-then-commit",
+                             warmup=200)
+        assert via_trace.cycles == via_list.cycles
+        assert via_trace.instructions == via_list.instructions
+        assert via_trace.stats.as_dict() == via_list.stats.as_dict()
+
+    def test_handwritten_instructions_pack(self):
+        insts = [TraceInst(0, Op.IALU, 1),
+                 TraceInst(4, Op.LOAD, 2, (1,), 0x1000),
+                 TraceInst(8, Op.STORE, -1, (2,), 0x2000),
+                 TraceInst(12, Op.BRANCH, -1, (2,), -1, True)]
+        packed = pack_instructions(insts)
+        rows = list(packed.rows())
+        assert rows[1][1] == Op.LOAD and rows[1][4] == 0x1000
+        assert rows[3][5] is True
