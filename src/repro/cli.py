@@ -146,6 +146,19 @@ def _cmd_run(args):
     return 0
 
 
+def _failure_policy(args):
+    """Build the FailurePolicy the sweep/chaos flags describe."""
+    from repro.exec import (FAIL_FAST, RETRY_THEN_SKIP, SKIP_AND_REPORT,
+                            FailurePolicy)
+
+    mode = {"fail": FAIL_FAST, "skip": SKIP_AND_REPORT,
+            "retry": RETRY_THEN_SKIP}[args.on_error]
+    if args.retries and args.on_error == "fail":
+        mode = RETRY_THEN_SKIP  # --retries implies retrying
+    return FailurePolicy(mode=mode, max_attempts=max(1, args.retries + 1),
+                         timeout=args.timeout)
+
+
 def _cmd_sweep(args):
     import time
 
@@ -162,16 +175,34 @@ def _cmd_sweep(args):
     policies = args.policy or list(_DEFAULT_POLICIES)
     scale = _scale(args)
     profiler = PhaseProfiler()
-    journal = None
-    if args.checkpoint:
-        journal = JobJournal(args.checkpoint)
-        if len(journal):
-            print("resuming from %s: %d completed job(s) will be skipped"
-                  % (args.checkpoint, len(journal)))
+    if args.compact and not args.checkpoint:
+        print("error: --compact requires --checkpoint", file=sys.stderr)
+        return 2
 
     sweep = PolicySweep(args.benchmark, policies, config=config,
                         num_instructions=scale["num_instructions"],
                         warmup=scale["warmup"], seed=args.seed)
+
+    journal = None
+    if args.checkpoint:
+        journal = JobJournal(args.checkpoint)
+        if journal.quarantined_lines:
+            print("journal: quarantined %d corrupt line(s) to %s"
+                  % (journal.quarantined_lines, journal.rej_path))
+        if journal.incompatible_lines:
+            print("journal: ignored %d line(s) from an incompatible "
+                  "journal version" % journal.incompatible_lines)
+        if args.compact:
+            keep = {job.job_id
+                    for job in sweep.jobs(not args.no_baseline)}
+            dropped = journal.compact(keep_ids=keep)
+            print("journal: compacted %s (%d stale line(s) dropped, %d "
+                  "record(s) kept)"
+                  % (args.checkpoint, dropped, len(journal)))
+        if len(journal):
+            print("resuming from %s: %d completed job(s) will be skipped"
+                  % (args.checkpoint, len(journal)))
+
     progress = None
     if args.progress:
         def progress(job, result, done, total):
@@ -183,12 +214,24 @@ def _cmd_sweep(args):
     with make_executor(args.jobs) as executor:
         sweep.run(include_baseline=not args.no_baseline,
                   profiler=profiler, executor=executor, journal=journal,
-                  progress=progress)
+                  progress=progress, failure_policy=_failure_policy(args))
     elapsed = time.perf_counter() - start
 
+    failed = sweep.failed_jobs()
     policies_run = sweep.executed_policies
     headers = ["benchmark"] + policies_run
-    if BASELINE in policies_run:
+    if failed:
+        print("WARNING: %d job(s) failed terminally and were skipped:"
+              % len(failed), file=sys.stderr)
+        for (benchmark, policy), outcome in sorted(failed.items()):
+            print("  %s/%s: %s after %d attempt(s)"
+                  % (benchmark, policy, outcome.error, outcome.attempts),
+                  file=sys.stderr)
+        print("absolute IPC (completed runs only)")
+        for (benchmark, policy), result in sorted(sweep.results.items()):
+            print("  %-10s %-26s %10.4f"
+                  % (benchmark, policy, result.ipc))
+    elif BASELINE in policies_run:
         rows = normalized_ipc_table(sweep, policies_run)
         print("normalized IPC (baseline: %s)" % BASELINE)
         print(render_table(headers, series_rows(rows, policies_run)))
@@ -198,9 +241,12 @@ def _cmd_sweep(args):
             [benchmark] + [sweep.ipc(benchmark, p) for p in policies_run]
             for benchmark in sweep.benchmarks], "%.4f"))
     backend = sweep.backend or {}
-    print("%d jobs in %.2fs (backend=%s, workers=%s)"
+    retried = sum(1 for outcome in sweep.job_outcomes.values()
+                  if outcome.attempts > 1)
+    suffix = ", %d retried" % retried if retried else ""
+    print("%d jobs in %.2fs (backend=%s, workers=%s%s)"
           % (len(sweep.results), elapsed,
-             backend.get("backend"), backend.get("jobs")))
+             backend.get("backend"), backend.get("jobs"), suffix))
     if args.emit_json:
         write_json(build_sweep_manifest(sweep, profiler=profiler),
                    args.emit_json)
@@ -208,7 +254,39 @@ def _cmd_sweep(args):
     if args.csv:
         sweep.write_csv(args.csv)
         print("sweep CSV written to %s" % args.csv)
-    return 0
+    return 1 if failed else 0
+
+
+def _cmd_chaos(args):
+    from repro.exec.chaos import ALL_FAULTS, run_chaos
+    from repro.obs import write_json
+
+    if args.faults:
+        faults = tuple(f.strip() for f in args.faults.split(",")
+                       if f.strip())
+        unknown = set(faults) - set(ALL_FAULTS)
+        if unknown:
+            print("error: unknown fault(s) %s (choose from %s)"
+                  % (", ".join(sorted(unknown)), ", ".join(ALL_FAULTS)),
+                  file=sys.stderr)
+            return 2
+    else:
+        faults = ALL_FAULTS
+    policies = args.policy or ["decrypt-only", "authen-then-commit",
+                               "authen-then-issue"]
+    scale = _scale(args)
+    report = run_chaos(benchmarks=args.benchmark or ["gzip"],
+                       policies=policies,
+                       num_instructions=scale["num_instructions"],
+                       warmup=scale["warmup"], seed=args.seed,
+                       faults=faults, workers=args.jobs,
+                       hang_seconds=args.hang_seconds,
+                       timeout=args.timeout, workdir=args.workdir)
+    print(report.render())
+    if args.emit_json:
+        write_json(report.as_dict(), args.emit_json)
+        print("chaos report written to %s" % args.emit_json)
+    return 0 if report.identical else 1
 
 
 def _cmd_trace(args):
@@ -349,8 +427,51 @@ def build_parser():
                         "metadata, full stats snapshots)")
     p.add_argument("--progress", action="store_true",
                    help="print per-job completions to stderr")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                   help="per-attempt wall-clock budget for one job")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="re-run a failed/timed-out job up to N more "
+                        "times (with backoff) before giving up")
+    p.add_argument("--on-error", choices=("fail", "skip", "retry"),
+                   default="fail",
+                   help="terminal-failure policy: abort the sweep "
+                        "(fail, default), skip the job and report it "
+                        "(skip), or retry then skip (retry)")
+    p.add_argument("--compact", action="store_true",
+                   help="before running, rewrite --checkpoint keeping "
+                        "only records for this sweep's job grid")
     _add_scale(p, default_n=6000)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("chaos",
+                       help="fault-injection harness: run a sweep under "
+                            "injected worker kills, hangs and journal "
+                            "corruption; verify bit-identical recovery")
+    p.add_argument("--benchmark", action="append", default=None,
+                   choices=sorted(SPEC2000_PROFILES),
+                   help="benchmark(s) to sweep (default: gzip)")
+    p.add_argument("-p", "--policy", action="append",
+                   choices=available_policies())
+    p.add_argument("--seed", type=int, default=0,
+                   help="chaos schedule seed (default 0)")
+    p.add_argument("--faults", metavar="CSV", default=None,
+                   help="comma-separated fault kinds (default: all): "
+                        "worker-kill, job-exception, hang, "
+                        "journal-truncate, journal-bitflip")
+    p.add_argument("-j", "--jobs", type=int, default=2,
+                   help="worker processes for the faulty phase "
+                        "(default 2)")
+    p.add_argument("--hang-seconds", type=float, default=2.0,
+                   help="how long the injected hang sleeps")
+    p.add_argument("--timeout", type=float, default=0.75,
+                   help="per-attempt timeout used to break the hang")
+    p.add_argument("--workdir", metavar="DIR", default=None,
+                   help="keep journal/sidecar artifacts here instead "
+                        "of a temp dir")
+    p.add_argument("--emit-json", metavar="FILE",
+                   help="write the chaos report as JSON")
+    _add_scale(p, default_n=1500)
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("trace",
                        help="record one run and render the decrypt-to-"

@@ -41,3 +41,20 @@ class SimulationError(ReproError):
 class CheckpointError(ReproError):
     """Raised when a persisted artifact (sweep checkpoint, run manifest)
     is malformed or has an incompatible format version."""
+
+
+class JobError(ReproError):
+    """Raised when a job fails terminally under a fail-fast policy.
+
+    Carries the ``job_id`` and how many attempts were spent, so sweep
+    drivers can report *which* grid point aborted the run.
+    """
+
+    def __init__(self, message, job_id=None, attempts=0):
+        super().__init__(message)
+        self.job_id = job_id
+        self.attempts = attempts
+
+
+class JobTimeoutError(JobError):
+    """Raised when one job attempt exceeds its FailurePolicy timeout."""

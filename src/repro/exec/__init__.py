@@ -19,12 +19,24 @@ from repro.exec.executor import (
     execute_job,
     executor_scope,
     make_executor,
+    set_attempt_hook,
 )
-from repro.exec.job import SimJob, build_jobs
+from repro.exec.job import SimJob, build_jobs, stable_hash
+from repro.exec.retry import (
+    FAIL_FAST,
+    RETRY_THEN_SKIP,
+    SKIP_AND_REPORT,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RESUMED,
+    FailurePolicy,
+    JobResult,
+)
 
 __all__ = [
     "SimJob",
     "build_jobs",
+    "stable_hash",
     "execute_job",
     "Executor",
     "SerialExecutor",
@@ -32,7 +44,16 @@ __all__ = [
     "make_executor",
     "default_jobs",
     "executor_scope",
+    "set_attempt_hook",
     "TraceCache",
     "GLOBAL_CACHE",
     "cached_trace",
+    "FailurePolicy",
+    "JobResult",
+    "FAIL_FAST",
+    "SKIP_AND_REPORT",
+    "RETRY_THEN_SKIP",
+    "STATUS_OK",
+    "STATUS_RESUMED",
+    "STATUS_FAILED",
 ]

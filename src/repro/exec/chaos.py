@@ -1,0 +1,377 @@
+"""Chaos harness: deterministically inject faults, prove recovery.
+
+The paper argues a secure processor must keep producing correct results
+while memory misbehaves; this module holds the sweep infrastructure to
+the same standard.  Instead of hoping the retry/journal machinery works,
+:func:`run_chaos` *injects* the failure modes -- killed workers, raised
+exceptions, artificial hangs, journal truncation and bit flips -- from a
+seeded schedule, then asserts the sweep still converges to results
+bit-identical to a fault-free serial run (cycles, IPC and the sha256
+stats digest of every job).
+
+Determinism is the point: a :class:`ChaosPlan` is a pure function of
+``(job list, seed, fault kinds)``, so a failing chaos run is exactly
+reproducible with the same seed.  Fault injection rides the executors'
+attempt hook (installed in pool workers via the pool initializer, and in
+the driver for serial/degraded execution); job faults fire on a job's
+*first* attempt only, so the retry path -- not luck -- is what heals the
+sweep.
+"""
+
+import dataclasses
+import hashlib
+import json
+import os
+import signal
+import time
+
+from repro.errors import ReproError
+from repro.exec.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    set_attempt_hook,
+)
+from repro.exec.job import build_jobs
+from repro.exec.retry import (
+    RETRY_THEN_SKIP,
+    STATUS_RESUMED,
+    FailurePolicy,
+)
+from repro.obs.events import BACKEND_DEGRADED, JOB_FAILED, JOB_RETRY
+from repro.util.rng import DeterministicRng
+
+
+class InjectedFault(ReproError):
+    """The exception a chaos schedule raises inside a job attempt."""
+
+
+# ---- fault kinds ------------------------------------------------------
+
+FAULT_WORKER_KILL = "worker-kill"          # SIGKILL the worker process
+FAULT_JOB_EXCEPTION = "job-exception"      # raise InjectedFault
+FAULT_HANG = "hang"                        # sleep past the timeout
+FAULT_JOURNAL_TRUNCATE = "journal-truncate"  # tear the journal tail
+FAULT_JOURNAL_BITFLIP = "journal-bitflip"    # flip one stored digit
+
+JOB_FAULTS = (FAULT_WORKER_KILL, FAULT_JOB_EXCEPTION, FAULT_HANG)
+JOURNAL_FAULTS = (FAULT_JOURNAL_TRUNCATE, FAULT_JOURNAL_BITFLIP)
+ALL_FAULTS = JOB_FAULTS + JOURNAL_FAULTS
+
+
+class ChaosPlan:
+    """A seeded, picklable fault schedule (the executors' attempt hook).
+
+    ``job_faults`` maps job_id -> fault kind, fired on that job's first
+    attempt only.  The plan records the driver's pid so a worker-kill
+    fault never kills the driver itself: executed in-process (serial
+    backend or degraded pool) it downgrades to an :class:`InjectedFault`.
+    """
+
+    def __init__(self, seed, job_faults, hang_seconds=2.0,
+                 journal_faults=()):
+        self.seed = seed
+        self.job_faults = dict(job_faults)
+        self.hang_seconds = hang_seconds
+        self.journal_faults = tuple(journal_faults)
+        self.driver_pid = os.getpid()
+
+    def fault_for(self, job, attempt):
+        """The fault to fire for this attempt (None for no fault)."""
+        if attempt != 1:
+            return None
+        return self.job_faults.get(job.job_id)
+
+    def __call__(self, job, attempt):
+        kind = self.fault_for(job, attempt)
+        if kind is None:
+            return
+        if kind == FAULT_WORKER_KILL:
+            if os.getpid() == self.driver_pid:
+                raise InjectedFault(
+                    "worker-kill downgraded to exception in-process "
+                    "(job %s)" % job.job_id)
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == FAULT_HANG:
+            time.sleep(self.hang_seconds)
+            raise InjectedFault(
+                "hang outlived its %.2fs sleep without being timed out "
+                "(job %s)" % (self.hang_seconds, job.job_id))
+        elif kind == FAULT_JOB_EXCEPTION:
+            raise InjectedFault("injected exception (job %s, attempt %d)"
+                                % (job.job_id, attempt))
+
+
+def _install_in_worker(plan):
+    """Pool initializer: arm the plan in a freshly forked worker."""
+    set_attempt_hook(plan)
+
+
+def build_plan(jobs, seed, faults=ALL_FAULTS, hang_seconds=2.0):
+    """Derive the deterministic fault schedule for ``jobs``.
+
+    Each requested job-fault kind is assigned to one distinct job,
+    chosen by a named RNG stream off ``seed`` -- same inputs, same
+    schedule, on every machine.
+    """
+    unknown = set(faults) - set(ALL_FAULTS)
+    if unknown:
+        raise ReproError("unknown fault kind(s): %s (expected %s)"
+                         % (", ".join(sorted(unknown)),
+                            ", ".join(ALL_FAULTS)))
+    rng = DeterministicRng(seed).stream("chaos.targets")
+    available = [job.job_id for job in jobs]
+    job_faults = {}
+    for kind in JOB_FAULTS:
+        if kind not in faults or not available:
+            continue
+        job_faults[available.pop(rng.randrange(len(available)))] = kind
+    journal_faults = tuple(k for k in JOURNAL_FAULTS if k in faults)
+    return ChaosPlan(seed, job_faults, hang_seconds=hang_seconds,
+                     journal_faults=journal_faults)
+
+
+def corrupt_journal(path, faults, seed):
+    """Apply the journal faults to ``path``; returns what was done.
+
+    ``journal-truncate`` replays a mid-write kill: the final record is
+    cut in half.  ``journal-bitflip`` replays silent media corruption:
+    one digit somewhere in a seed-chosen record gets its low bit
+    flipped -- the payload may stay syntactically valid JSON, which is
+    exactly the case only the CRC32 field can catch.
+    """
+    applied = []
+    if not os.path.exists(path):
+        return applied
+    rng = DeterministicRng(seed).stream("chaos.journal")
+    if FAULT_JOURNAL_TRUNCATE in faults:
+        with open(path, "rb") as handle:
+            data = handle.read()
+        stripped = data.rstrip(b"\n")
+        line_start = stripped.rfind(b"\n") + 1
+        line_len = len(stripped) - line_start
+        if line_len > 2:
+            cut = line_start + line_len // 2
+            with open(path, "wb") as handle:
+                handle.write(data[:cut])
+            applied.append("truncated final record to %d of %d bytes"
+                           % (line_len // 2, line_len))
+    if FAULT_JOURNAL_BITFLIP in faults:
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        if lines:
+            target = rng.randrange(len(lines))
+            line = lines[target]
+            digits = [i for i, ch in enumerate(line) if ch.isdigit()]
+            if digits:
+                at = digits[rng.randrange(len(digits))]
+                lines[target] = (line[:at] + chr(ord(line[at]) ^ 1)
+                                 + line[at + 1:])
+                with open(path, "w") as handle:
+                    handle.write("\n".join(lines) + "\n")
+                applied.append("flipped low bit of byte %d in record %d"
+                               % (at, target))
+    return applied
+
+
+def result_digest(result):
+    """sha256 over everything a run asserts: cycles, IPC inputs, stats."""
+    payload = {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "stats": result.stats.as_dict(),
+        "miss_rates": dict(result.miss_summary),
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """Outcome of one chaos campaign (see :func:`run_chaos`)."""
+
+    identical: bool
+    seed: int
+    faults: tuple
+    total_jobs: int
+    injected: dict          # job_id -> fault kind
+    journal_corruption: list
+    attempts: dict          # job_id -> attempts across both phases
+    failures: list          # JobResult dicts for terminal failures
+    mismatches: list        # job_ids whose digest diverged
+    quarantined_lines: int
+    resumed_jobs: int
+    reexecuted_jobs: int
+    pool_rebuilds: int
+    degraded: bool
+    retry_events: int
+    failed_events: int
+    degraded_events: int
+    stats_digest: str       # sha256 over the per-job digests, in order
+    journal_path: str
+    rej_path: str
+
+    def as_dict(self):
+        return dataclasses.asdict(self)
+
+    def render(self):
+        lines = ["chaos campaign: seed=%d faults=%s"
+                 % (self.seed, ",".join(self.faults))]
+        lines.append("  injected: %s" % (
+            ", ".join("%s->%s" % (kind, job_id)
+                      for job_id, kind in sorted(self.injected.items(),
+                                                 key=lambda kv: kv[1]))
+            or "none"))
+        for note in self.journal_corruption:
+            lines.append("  journal: %s" % note)
+        retried = sum(1 for n in self.attempts.values() if n > 1)
+        lines.append("  %d job(s): %d retried, %d resumed from journal, "
+                     "%d re-executed after quarantine"
+                     % (self.total_jobs, retried, self.resumed_jobs,
+                        self.reexecuted_jobs))
+        lines.append("  pool rebuilds: %d%s; events: %d retry, %d "
+                     "failed, %d degraded"
+                     % (self.pool_rebuilds,
+                        " (degraded to serial)" if self.degraded else "",
+                        self.retry_events, self.failed_events,
+                        self.degraded_events))
+        if self.quarantined_lines:
+            lines.append("  quarantined %d journal line(s) -> %s"
+                         % (self.quarantined_lines, self.rej_path))
+        if self.failures:
+            lines.append("  TERMINAL FAILURES: %s" % self.failures)
+        lines.append("  stats digest: %s" % self.stats_digest)
+        lines.append("verdict: %s" % (
+            "bit-identical to the fault-free serial run"
+            if self.identical else
+            "DIVERGED from the fault-free serial run: %s"
+            % (self.mismatches or "(missing results)")))
+        return "\n".join(lines)
+
+
+def run_chaos(benchmarks=("gzip",),
+              policies=("decrypt-only", "authen-then-commit",
+                        "authen-then-issue"),
+              num_instructions=1500, warmup=750, seed=0,
+              faults=ALL_FAULTS, workers=2, hang_seconds=2.0,
+              timeout=0.75, max_attempts=4, workdir=None, tracer=None):
+    """Run one chaos campaign; returns a :class:`ChaosReport`.
+
+    Three phases:
+
+    1. *Reference*: the job grid runs clean and serial; per-job digests
+       are the ground truth.
+    2. *Fault phase*: the same grid runs against a journal with the
+       seeded job faults armed (pool workers get the plan via the pool
+       initializer; the driver gets it for serial/degraded execution)
+       under a retry-then-skip policy with a per-attempt timeout.
+    3. *Recovery phase*: the journal is corrupted per the schedule,
+       then the grid is re-run against it -- quarantined and lost
+       records must be re-simulated, everything else resumed.
+
+    The campaign passes when phase 3's results are bit-identical to
+    phase 1's for every job and nothing failed terminally.
+    """
+    from repro.obs import MemorySink, Tracer
+    from repro.sim.checkpoint import JobJournal
+
+    jobs = build_jobs(list(benchmarks), list(policies),
+                      num_instructions=num_instructions, warmup=warmup)
+    reference = SerialExecutor().run(jobs)
+    ref_digests = {job.job_id: result_digest(reference[job])
+                   for job in jobs}
+
+    if workdir is None:
+        import tempfile
+
+        workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    os.makedirs(workdir, exist_ok=True)
+    journal_path = os.path.join(workdir, "chaos.journal")
+    for stale in (journal_path, journal_path + ".rej"):
+        if os.path.exists(stale):
+            os.remove(stale)
+
+    plan = build_plan(jobs, seed, faults, hang_seconds=hang_seconds)
+    policy = FailurePolicy(mode=RETRY_THEN_SKIP,
+                           max_attempts=max_attempts, timeout=timeout,
+                           backoff_base=0.01, backoff_max=0.05,
+                           jitter_seed=seed)
+    sink = MemorySink()
+    own_tracer = tracer if tracer is not None else Tracer([sink])
+
+    # Phase 2: run with faults armed.
+    attempts = {}
+    failures = []
+    previous = set_attempt_hook(plan)
+    try:
+        if workers and workers > 1:
+            executor = ParallelExecutor(
+                workers, initializer=_install_in_worker,
+                initargs=(plan,))
+        else:
+            executor = SerialExecutor()
+        with executor:
+            executor.run(jobs, journal=JobJournal(journal_path),
+                         tracer=own_tracer, failure_policy=policy)
+            for job_id, outcome in executor.last_outcomes.items():
+                attempts[job_id] = outcome.attempts
+                if outcome.status == "failed":
+                    failures.append(outcome.as_dict())
+            pool_rebuilds = getattr(executor, "rebuilds", 0)
+            degraded = getattr(executor, "degraded", False)
+    finally:
+        set_attempt_hook(previous)
+
+    # Phase 3: corrupt the journal, then heal by resuming (no faults
+    # armed: the hook is restored, workers are fresh).
+    corruption = corrupt_journal(journal_path, plan.journal_faults, seed)
+    journal = JobJournal(journal_path)
+    healer = SerialExecutor()
+    final = healer.run(jobs, journal=journal, tracer=own_tracer,
+                       failure_policy=policy)
+    resumed = reexecuted = 0
+    for job_id, outcome in healer.last_outcomes.items():
+        if outcome.status == STATUS_RESUMED:
+            resumed += 1
+        else:
+            reexecuted += 1
+            attempts[job_id] = attempts.get(job_id, 0) + outcome.attempts
+            if outcome.status == "failed":
+                failures.append(outcome.as_dict())
+
+    mismatches = []
+    digests = []
+    for job in jobs:
+        if job not in final:
+            mismatches.append(job.job_id)
+            continue
+        digest = result_digest(final[job])
+        digests.append(digest)
+        if digest != ref_digests[job.job_id]:
+            mismatches.append(job.job_id)
+    stats_digest = hashlib.sha256(
+        "".join(digests).encode()).hexdigest()
+
+    events = sink.events if tracer is None else ()
+    return ChaosReport(
+        identical=not mismatches and not failures,
+        seed=seed,
+        faults=tuple(faults),
+        total_jobs=len(jobs),
+        injected=dict(plan.job_faults),
+        journal_corruption=corruption,
+        attempts=attempts,
+        failures=failures,
+        mismatches=mismatches,
+        quarantined_lines=journal.quarantined_lines,
+        resumed_jobs=resumed,
+        reexecuted_jobs=reexecuted,
+        pool_rebuilds=pool_rebuilds,
+        degraded=degraded,
+        retry_events=sum(1 for e in events if e.kind == JOB_RETRY),
+        failed_events=sum(1 for e in events if e.kind == JOB_FAILED),
+        degraded_events=sum(1 for e in events
+                            if e.kind == BACKEND_DEGRADED),
+        stats_digest=stats_digest,
+        journal_path=journal_path,
+        rej_path=journal.rej_path,
+    )

@@ -9,20 +9,61 @@ in-process, :class:`ParallelExecutor` fans them out over a
 ``ProcessPoolExecutor`` -- and both produce bit-identical cycle counts
 and stats for the same job set.
 
+Fault tolerance: both backends drive every job through the
+:class:`~repro.exec.retry.FailurePolicy` handed to :meth:`Executor.run`
+-- per-attempt timeouts, bounded retries with deterministic backoff, and
+skip-and-report semantics -- and record a per-job
+:class:`~repro.exec.retry.JobResult` in ``executor.last_outcomes``.
+The parallel backend additionally survives killed workers: a broken
+pool is torn down and rebuilt with every incomplete job resubmitted,
+and after ``max_rebuilds`` consecutive pool losses the remaining jobs
+degrade to in-process serial execution instead of aborting the sweep.
+Because ``execute_job`` is pure, none of this perturbs results.
+
 Observability: each completed job emits a ``JOB_DONE`` event on the
-``jobs`` lane of the supplied tracer and credits the profiler, so sweep
-progress shows up through the same hooks single runs already use.  The
-parallel backend cannot thread a tracer into workers (sinks do not cross
-processes), so per-run events are only recorded by the serial backend;
-``JOB_DONE`` progress events are emitted by both.
+``jobs`` lane of the supplied tracer and credits the profiler; retries,
+terminal failures and backend degradation emit ``JOB_RETRY``,
+``JOB_FAILED`` and ``BACKEND_DEGRADED`` on the same lane.  The parallel
+backend cannot thread a tracer into workers (sinks do not cross
+processes), so per-run events are only recorded by the serial backend.
 """
 
 import os
 import time
 from contextlib import contextmanager
 
+from repro.errors import JobTimeoutError
 from repro.exec.cache import cached_trace
-from repro.obs.events import JOB_DONE, LANE_JOBS
+from repro.exec.retry import (
+    FAIL_FAST,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RESUMED,
+    FailurePolicy,
+    JobResult,
+    attempt_deadline,
+)
+from repro.obs.events import (
+    BACKEND_DEGRADED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_RETRY,
+    LANE_JOBS,
+)
+
+#: Optional fault-injection hook called as ``hook(job, attempt)`` at the
+#: start of every attempt (in the worker process for the pool backend).
+#: Installed by the chaos harness; None in production runs.
+_ATTEMPT_HOOK = None
+
+
+def set_attempt_hook(hook):
+    """Install ``hook(job, attempt)`` for this process; returns the old
+    hook so callers can restore it.  Pass None to clear."""
+    global _ATTEMPT_HOOK
+    previous = _ATTEMPT_HOOK
+    _ATTEMPT_HOOK = hook
+    return previous
 
 
 def execute_job(job, tracer=None, profiler=None, cache=None):
@@ -34,8 +75,9 @@ def execute_job(job, tracer=None, profiler=None, cache=None):
     from repro.sim.metrics import collect_metrics
     from repro.sim.runner import build_simulator
 
-    trace = cached_trace(job.benchmark, job.trace_length, job.seed,
-                         profiler=profiler, cache=cache)
+    trace = cached_trace(job.benchmark, job.trace_length,
+                         job.effective_seed, profiler=profiler,
+                         cache=cache)
     core, hierarchy = build_simulator(job.config, job.policy, tracer=tracer)
     result = core.run(trace, warmup=job.warmup, profiler=profiler)
     if profiler is not None:
@@ -46,19 +88,24 @@ def execute_job(job, tracer=None, profiler=None, cache=None):
     return result
 
 
-def _pool_worker(job):
+def _pool_worker(job, attempt=1):
     """Top-level worker entry (must be picklable by ProcessPoolExecutor)."""
+    if _ATTEMPT_HOOK is not None:
+        _ATTEMPT_HOOK(job, attempt)
     return job.job_id, execute_job(job)
 
 
 class Executor:
-    """Common driver: journal skip/record, progress, result assembly."""
+    """Common driver: journal skip/record, retries, progress, results."""
 
     backend = "abstract"
     jobs = 1
 
+    def __init__(self):
+        self.last_outcomes = {}
+
     def run(self, jobs, journal=None, tracer=None, profiler=None,
-            progress=None):
+            progress=None, failure_policy=None):
         """Execute ``jobs``; returns ``{job: RunResult}``.
 
         ``journal`` (a :class:`~repro.sim.checkpoint.JobJournal`) makes
@@ -67,26 +114,78 @@ class Executor:
         fresh completion is appended before the next job starts, so an
         interrupted sweep loses at most the in-flight jobs.
 
+        ``failure_policy`` (default: fail-fast, no timeout -- exactly
+        the historical behaviour) governs retries, per-attempt timeouts
+        and whether a terminal failure aborts or skips.  Jobs skipped
+        this way are *absent* from the returned mapping; inspect
+        ``self.last_outcomes`` / ``self.failures`` for the report.
+
         ``progress(job, result, done, total)`` fires per completion in
         the calling process, after the journal append.
         """
         jobs = list(jobs)
         results = {}
         pending = []
+        outcomes = {}
         for job in jobs:
             done = journal.result(job) if journal is not None else None
             if done is not None:
                 results[job] = done
+                outcomes[job.job_id] = JobResult(
+                    job_id=job.job_id, status=STATUS_RESUMED, attempts=0)
             else:
                 pending.append(job)
         state = _RunState(len(jobs), len(jobs) - len(pending), journal,
-                          tracer, profiler, progress)
+                          tracer, profiler, progress,
+                          failure_policy or FailurePolicy(), outcomes)
+        self.last_outcomes = outcomes
         if pending:
             self._execute(pending, results, state)
         return results
 
+    @property
+    def failures(self):
+        """Failed JobResults from the last run, keyed by job_id."""
+        return {job_id: outcome
+                for job_id, outcome in self.last_outcomes.items()
+                if outcome.status == STATUS_FAILED}
+
     def _execute(self, pending, results, state):
         raise NotImplementedError
+
+    def _run_one(self, job, results, state, run_tracer=None, cache=None,
+                 prior_attempts=0, started=None):
+        """In-process attempt loop for one job under the failure policy.
+
+        Shared by the serial backend and the pool backend's degraded
+        path.  ``prior_attempts``/``started`` carry bookkeeping from
+        attempts the pool already spent on the job.
+        """
+        policy = state.policy
+        attempt = prior_attempts
+        start = started if started is not None else time.perf_counter()
+        while True:
+            attempt += 1
+            try:
+                with attempt_deadline(policy.timeout):
+                    if _ATTEMPT_HOOK is not None:
+                        _ATTEMPT_HOOK(job, attempt)
+                    result = execute_job(job, tracer=run_tracer,
+                                         profiler=state.profiler,
+                                         cache=cache)
+            except Exception as exc:
+                if policy.should_retry(attempt):
+                    delay = policy.backoff(job.job_id, attempt)
+                    state.retry(job, attempt, exc, delay)
+                    if delay:
+                        time.sleep(delay)
+                    continue
+                state.fail(job, attempt, time.perf_counter() - start, exc)
+                return
+            results[job] = result
+            state.complete(job, result, attempts=attempt,
+                           wall=time.perf_counter() - start)
+            return
 
     def describe(self):
         """Backend metadata for manifests ({"backend": ..., "jobs": ...})."""
@@ -106,47 +205,79 @@ class Executor:
 class _RunState:
     """Per-run completion bookkeeping shared by the backends."""
 
-    def __init__(self, total, done, journal, tracer, profiler, progress):
+    def __init__(self, total, done, journal, tracer, profiler, progress,
+                 policy, outcomes):
         self.total = total
         self.done = done
         self.journal = journal
         self.tracer = tracer
         self.profiler = profiler
         self.progress = progress
+        self.policy = policy
+        self.outcomes = outcomes
 
-    def complete(self, job, result):
+    def complete(self, job, result, attempts=1, wall=0.0):
         self.done += 1
+        self.outcomes[job.job_id] = JobResult(
+            job_id=job.job_id, status=STATUS_OK, attempts=attempts,
+            wall_time=wall)
         if self.journal is not None:
             self.journal.record(job, result)
         if self.tracer is not None:
             self.tracer.emit(JOB_DONE, LANE_JOBS, self.done,
                              job_id=job.job_id, benchmark=job.benchmark,
                              policy=job.policy, cycles=result.cycles,
-                             completed=self.done, total=self.total)
+                             attempts=attempts, completed=self.done,
+                             total=self.total)
         if self.progress is not None:
             self.progress(job, result, self.done, self.total)
+
+    def retry(self, job, attempt, exc, delay):
+        if self.tracer is not None:
+            self.tracer.emit(JOB_RETRY, LANE_JOBS, self.done,
+                             job_id=job.job_id, attempt=attempt,
+                             error=repr(exc), delay=round(delay, 6))
+
+    def fail(self, job, attempts, wall, exc):
+        """Record a terminal failure; re-raises under fail-fast."""
+        self.done += 1
+        self.outcomes[job.job_id] = JobResult(
+            job_id=job.job_id, status=STATUS_FAILED, attempts=attempts,
+            wall_time=wall, error=repr(exc))
+        if self.tracer is not None:
+            self.tracer.emit(JOB_FAILED, LANE_JOBS, self.done,
+                             job_id=job.job_id, benchmark=job.benchmark,
+                             policy=job.policy, attempts=attempts,
+                             error=repr(exc))
+        if self.policy.mode == FAIL_FAST:
+            raise exc
+
+    def degraded(self, reason, remaining):
+        if self.tracer is not None:
+            self.tracer.emit(BACKEND_DEGRADED, LANE_JOBS, self.done,
+                             reason=reason, remaining=remaining)
 
 
 class SerialExecutor(Executor):
     """In-process, in-order execution (the reference backend).
 
     The only backend that can thread a tracer into the runs themselves,
-    so single-run recordings and gap timelines go through it.
+    so single-run recordings and gap timelines go through it.  Timeouts
+    are enforced with ``SIGALRM`` (POSIX main thread only; see
+    :func:`~repro.exec.retry.attempt_deadline`).
     """
 
     backend = "serial"
     jobs = 1
 
     def __init__(self, cache=None):
+        super().__init__()
         self._cache = cache
 
     def _execute(self, pending, results, state):
         for job in pending:
-            result = execute_job(job, tracer=state.tracer,
-                                 profiler=state.profiler,
-                                 cache=self._cache)
-            results[job] = result
-            state.complete(job, result)
+            self._run_one(job, results, state, run_tracer=state.tracer,
+                          cache=self._cache)
 
 
 class ParallelExecutor(Executor):
@@ -158,37 +289,196 @@ class ParallelExecutor(Executor):
     finishes first.  The pool is created lazily and reused across
     ``run`` calls until :meth:`close`, so ablation grids amortise the
     fork cost over the whole parameter grid.
+
+    Crash isolation: a worker death (OOM kill, segfault, chaos
+    injection) breaks the whole ``ProcessPoolExecutor``; this backend
+    responds by killing the stragglers, rebuilding the pool and
+    resubmitting every incomplete job -- no attempt is charged, because
+    the pool cannot say whose worker died.  A job that outlives the
+    policy timeout *is* charged an attempt: its deadline identifies it,
+    the pool is rebuilt around the hung worker and the job re-enters
+    the retry loop.  After ``max_rebuilds`` consecutive pool losses the
+    remaining jobs run serially in-process (``BACKEND_DEGRADED``), so a
+    persistently hostile environment slows a sweep down rather than
+    aborting it.
+
+    ``initializer``/``initargs`` are forwarded to every worker process
+    (the chaos harness uses this to install its fault plan).
     """
 
     backend = "process"
 
-    def __init__(self, jobs=None):
+    def __init__(self, jobs=None, initializer=None, initargs=(),
+                 max_rebuilds=2):
+        super().__init__()
         self.jobs = jobs if jobs else (os.cpu_count() or 1)
+        self.max_rebuilds = max_rebuilds
+        self.rebuilds = 0
+        self.degraded = False
+        self._initializer = initializer
+        self._initargs = initargs
         self._pool = None
 
     def _ensure_pool(self):
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
 
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=self._initializer,
+                initargs=self._initargs)
         return self._pool
 
-    def _execute(self, pending, results, state):
-        from concurrent.futures import as_completed
+    def _break_pool(self):
+        """Tear down the pool, killing any worker that is still alive."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.kill()
+            except (OSError, AttributeError):
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
+    def _execute(self, pending, results, state):
+        from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                        wait)
+
+        policy = state.policy
         start = time.perf_counter()
-        pool = self._ensure_pool()
-        futures = {pool.submit(_pool_worker, job): job for job in pending}
+        attempts = {}
+        first_start = {}
+        queue = list(pending)
+        inflight = {}  # future -> (job, deadline or None)
+        rebuilds = 0
         try:
-            for future in as_completed(futures):
-                job = futures[future]
-                _, result = future.result()
-                results[job] = result
-                state.complete(job, result)
+            while queue or inflight:
+                pool = self._ensure_pool()
+                # Cap in-flight submissions at the worker count so a
+                # per-attempt deadline measures the attempt, not time
+                # spent queued behind other jobs.
+                while queue and len(inflight) < self.jobs:
+                    job = queue[0]
+                    attempt = attempts.get(job.job_id, 0) + 1
+                    try:
+                        future = pool.submit(_pool_worker, job, attempt)
+                    except RuntimeError:  # pool broke under us
+                        break
+                    queue.pop(0)
+                    attempts[job.job_id] = attempt
+                    first_start.setdefault(job.job_id,
+                                           time.perf_counter())
+                    deadline = (time.monotonic() + policy.timeout
+                                if policy.timeout else None)
+                    inflight[future] = (job, deadline)
+                if not inflight:
+                    # Submission failed before anything was in flight:
+                    # rebuild and retry (or degrade).
+                    self._break_pool()
+                    rebuilds += 1
+                    if self._maybe_degrade(rebuilds, queue, results,
+                                           state, attempts, first_start):
+                        return
+                    continue
+
+                deadlines = [dl for (_, dl) in inflight.values()
+                             if dl is not None]
+                timeout = (max(0.0, min(deadlines) - time.monotonic())
+                           if deadlines else None)
+                done, _ = wait(list(inflight), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+
+                broke = False
+                for future in done:
+                    job, _ = inflight.pop(future)
+                    try:
+                        _, result = future.result()
+                    except BrokenExecutor:
+                        # A worker died; nobody can tell whose job did
+                        # it, so requeue without charging an attempt.
+                        broke = True
+                        attempts[job.job_id] -= 1
+                        queue.append(job)
+                    except Exception as exc:
+                        self._attempt_failed(job, exc, attempts,
+                                             first_start, queue, state)
+                    else:
+                        results[job] = result
+                        state.complete(
+                            job, result, attempts=attempts[job.job_id],
+                            wall=(time.perf_counter()
+                                  - first_start[job.job_id]))
+
+                now = time.monotonic()
+                expired = [future
+                           for future, (job, dl) in inflight.items()
+                           if dl is not None and now >= dl]
+                for future in expired:
+                    job, _ = inflight.pop(future)
+                    broke = True  # its worker is wedged; rebuild
+                    exc = JobTimeoutError(
+                        "job %s attempt %d exceeded %.3fs timeout"
+                        % (job.job_id, attempts[job.job_id],
+                           policy.timeout),
+                        job_id=job.job_id,
+                        attempts=attempts[job.job_id])
+                    self._attempt_failed(job, exc, attempts, first_start,
+                                         queue, state)
+
+                if broke:
+                    for future, (job, _) in inflight.items():
+                        attempts[job.job_id] -= 1
+                        queue.append(job)
+                    inflight.clear()
+                    self._break_pool()
+                    rebuilds += 1
+                    if self._maybe_degrade(rebuilds, queue, results,
+                                           state, attempts, first_start):
+                        return
         finally:
+            self.rebuilds += rebuilds
             if state.profiler is not None:
                 state.profiler.add("execute",
                                    time.perf_counter() - start)
+
+    def _attempt_failed(self, job, exc, attempts, first_start, queue,
+                        state):
+        """Route one failed attempt through the policy (retry or fail)."""
+        count = attempts[job.job_id]
+        policy = state.policy
+        if policy.should_retry(count):
+            delay = policy.backoff(job.job_id, count)
+            state.retry(job, count, exc, delay)
+            if delay:
+                time.sleep(delay)
+            queue.append(job)
+        else:
+            state.fail(job, count,
+                       time.perf_counter() - first_start[job.job_id],
+                       exc)
+
+    def _maybe_degrade(self, rebuilds, queue, results, state, attempts,
+                       first_start):
+        """After too many pool losses, finish the run serially."""
+        if rebuilds <= self.max_rebuilds:
+            return False
+        self.degraded = True
+        state.degraded("process pool broke %d times" % rebuilds,
+                       remaining=len(queue))
+        while queue:
+            job = queue.pop(0)
+            self._run_one(job, results, state,
+                          prior_attempts=attempts.get(job.job_id, 0),
+                          started=first_start.get(job.job_id))
+        return True
+
+    def describe(self):
+        info = {"backend": self.backend, "jobs": self.jobs}
+        if self.rebuilds:
+            info["pool_rebuilds"] = self.rebuilds
+        if self.degraded:
+            info["degraded"] = True
+        return info
 
     def close(self):
         if self._pool is not None:

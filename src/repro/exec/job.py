@@ -20,6 +20,17 @@ from repro.policies.registry import available_policies
 from repro.workloads.spec import get_profile
 
 
+def stable_hash(text):
+    """A process-independent 63-bit integer hash of ``text``.
+
+    ``hash()`` is salted per interpreter (PYTHONHASHSEED), so per-job
+    seed derivation uses this instead -- the same job_id must map to
+    the same derived seed in every worker and on every rerun.
+    """
+    digest = hashlib.sha256(str(text).encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
 @dataclasses.dataclass(frozen=True)
 class SimJob:
     """One (benchmark, policy, config) simulation at a fixed scale.
@@ -37,6 +48,12 @@ class SimJob:
     num_instructions: int = 20_000
     warmup: int = 0
     seed: int = None
+    #: Opt-in per-job RNG stream: when True the trace is generated from
+    #: ``seed + stable_hash(job_id)`` instead of ``seed``, so repeated
+    #: specs that differ only in seed draw decorrelated streams.  Off by
+    #: default so the shared trace-cache key (and every historical
+    #: job_id) is untouched.
+    decorrelate: bool = False
 
     def __post_init__(self):
         if self.seed is None:
@@ -57,9 +74,22 @@ class SimJob:
         return self.num_instructions + self.warmup
 
     @property
+    def effective_seed(self):
+        """The seed trace generation actually uses.
+
+        Equal to ``seed`` unless ``decorrelate`` is set, in which case
+        an independent stream is derived per job spec.  Because the
+        derived seed feeds the trace-cache key, decorrelated jobs get
+        their own cache entries without perturbing the shared ones.
+        """
+        if not self.decorrelate:
+            return self.seed
+        return self.seed + stable_hash(self.job_id)
+
+    @property
     def trace_key(self):
         """The trace-cache key: everything trace generation depends on."""
-        return (self.benchmark, self.trace_length, self.seed)
+        return (self.benchmark, self.trace_length, self.effective_seed)
 
     @cached_property
     def job_id(self):
@@ -78,6 +108,11 @@ class SimJob:
             "warmup": self.warmup,
             "seed": self.seed,
         }
+        if self.decorrelate:
+            # Only present when set, so every pre-existing job_id (and
+            # therefore every journal written before the flag existed)
+            # stays valid.
+            payload["decorrelate"] = True
         canonical = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
@@ -88,12 +123,13 @@ class SimJob:
 
 
 def build_jobs(benchmarks, policies, config=None, num_instructions=20_000,
-               warmup=0, seed=None):
+               warmup=0, seed=None, decorrelate=False):
     """The benchmark-major job list for a sweep (deterministic order)."""
     config = config or SimConfig()
     return [
         SimJob(benchmark=benchmark, policy=policy, config=config,
-               num_instructions=num_instructions, warmup=warmup, seed=seed)
+               num_instructions=num_instructions, warmup=warmup, seed=seed,
+               decorrelate=decorrelate)
         for benchmark in benchmarks
         for policy in policies
     ]

@@ -28,11 +28,15 @@ AUTH_QUEUE_FULL = "AUTH_QUEUE_FULL"  # verification queue backpressure
 BUS_GRANT = "BUS_GRANT"            # memory data bus granted (dur = hold)
 ROW_CONFLICT = "ROW_CONFLICT"      # DRAM bank row-buffer conflict
 JOB_DONE = "JOB_DONE"              # executor finished one SimJob
+JOB_RETRY = "JOB_RETRY"            # job attempt failed; will run again
+JOB_FAILED = "JOB_FAILED"          # job exhausted its failure policy
+BACKEND_DEGRADED = "BACKEND_DEGRADED"  # pool gave up; serial fallback
 
 KINDS = (
     FETCH_ISSUED, ISSUE, COMMIT, SQUASH, STORE_RELEASED,
     L2_MISS, MSHR_STALL, DECRYPT_DONE, VERIFY_DONE, VERIFY_WINDOW,
-    AUTH_QUEUE_FULL, BUS_GRANT, ROW_CONFLICT, JOB_DONE,
+    AUTH_QUEUE_FULL, BUS_GRANT, ROW_CONFLICT, JOB_DONE, JOB_RETRY,
+    JOB_FAILED, BACKEND_DEGRADED,
 )
 
 # ---- lanes ------------------------------------------------------------
@@ -47,8 +51,9 @@ LANE_VERIFY = "verify"
 LANE_GAP = "gap"
 LANE_BUS = "bus"
 LANE_DRAM = "dram"
-# Executor progress: one JOB_DONE per completed SimJob.  "cycle" on this
-# lane is the completion ordinal, not a simulated cycle.
+# Executor progress: one JOB_DONE per completed SimJob, plus the
+# fault-tolerance events (JOB_RETRY, JOB_FAILED, BACKEND_DEGRADED).
+# "cycle" on this lane is the completion ordinal, not a simulated cycle.
 LANE_JOBS = "jobs"
 
 #: Render order of lanes in trace viewers (top to bottom follows the

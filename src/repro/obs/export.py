@@ -104,18 +104,35 @@ def build_sweep_manifest(sweep, profiler=None):
     manifests produced by different backends stay comparable.
     """
     job_ids = getattr(sweep, "job_ids", {})
+    outcomes = getattr(sweep, "job_outcomes", {})
     runs = []
     for (benchmark, policy), result in sorted(sweep.results.items()):
+        job_id = job_ids.get((benchmark, policy))
+        outcome = outcomes.get(job_id)
         runs.append({
             "benchmark": benchmark,
             "policy": policy,
-            "job_id": job_ids.get((benchmark, policy)),
+            "job_id": job_id,
             "instructions": result.instructions,
             "cycles": result.cycles,
             "ipc": result.ipc,
+            # Fault-tolerance provenance: how many attempts this run
+            # took and whether it was simulated or journal-resumed.
+            # (Wall times stay out: they would break bit-identical
+            # manifest comparisons across backends.)
+            "attempts": outcome.attempts if outcome is not None else None,
+            "status": outcome.status if outcome is not None else None,
             "stats": result.stats.as_dict(),
             "miss_rates": dict(result.miss_summary),
+            "metrics": (result.metrics.as_dict()
+                        if getattr(result, "metrics", None) is not None
+                        else None),
         })
+    failures = [
+        outcome.as_dict()
+        for outcome in sorted(outcomes.values(), key=lambda o: o.job_id)
+        if outcome.status == "failed"
+    ]
     return {
         "format_version": MANIFEST_VERSION,
         "kind": "sweep",
@@ -129,6 +146,7 @@ def build_sweep_manifest(sweep, profiler=None):
         "git": git_describe(),
         "config": config_to_dict(sweep.config),
         "phases": profiler.as_dict() if profiler is not None else {},
+        "failures": failures,
         "runs": runs,
     }
 

@@ -10,19 +10,39 @@ refuses files written by an incompatible version with a
 
 Two granularities:
 
-- :func:`save_sweep` / :func:`load_sweep` persist a *finished* sweep.
+- :func:`save_sweep` / :func:`load_sweep` persist a *finished* sweep
+  (written atomically: write-then-rename, never a torn file).
 - :class:`JobJournal` is an append-only JSONL journal the executors
   write one line to per completed :class:`~repro.exec.job.SimJob`; an
   interrupted sweep re-run against the same journal skips every
   ``job_id`` already on disk and rebuilds those results without
-  simulating.
+  simulating.  Records are CRC32-sealed; corrupt lines are quarantined
+  into a ``.rej`` sidecar instead of silently trusted or fatally
+  rejected (see ``docs/robustness.md``).
 """
 
 import json
 import os
+import zlib
 
 from repro.errors import CheckpointError
 from repro.util.statistics import StatGroup
+
+
+def atomic_write_text(path, text):
+    """Write ``text`` to ``path`` via write-then-rename.
+
+    A crash mid-write leaves the old file intact (or a stray ``.tmp``),
+    never a half-written checkpoint; ``os.replace`` is atomic on POSIX
+    and Windows.
+    """
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
 
 #: Bump when the checkpoint shape changes incompatibly.
 #: v1: unversioned seed format (no stats, no format_version field).
@@ -65,9 +85,9 @@ def sweep_to_dict(sweep):
 
 
 def save_sweep(sweep, path):
-    """Write a finished sweep to ``path`` as JSON."""
-    with open(path, "w") as handle:
-        json.dump(sweep_to_dict(sweep), handle, indent=1, sort_keys=True)
+    """Write a finished sweep to ``path`` as JSON (atomically)."""
+    atomic_write_text(path, json.dumps(sweep_to_dict(sweep), indent=1,
+                                       sort_keys=True))
 
 
 class SweepView:
@@ -127,7 +147,22 @@ def load_sweep(path):
 
 
 #: Bump when a journal line's shape changes incompatibly.
-JOURNAL_VERSION = 1
+#: v1: no integrity field, no metrics.
+#: v2: adds a per-record "crc32" checksum and the persisted RunMetrics
+#:     snapshot ("metrics"), so resumed sweeps rebuild full manifests.
+JOURNAL_VERSION = 2
+
+
+def _record_crc(record):
+    """CRC32 of a record's canonical JSON, ``crc32`` field excluded.
+
+    ``record`` must already be JSON-normalised (string keys, round-
+    tripped floats) -- :meth:`JobJournal.record` guarantees this by
+    passing every record through ``json.loads(json.dumps(...))`` before
+    checksumming, which makes the canonical text a fixed point.
+    """
+    body = {key: value for key, value in record.items() if key != "crc32"}
+    return zlib.crc32(json.dumps(body, sort_keys=True).encode())
 
 
 class JobJournal:
@@ -135,33 +170,90 @@ class JobJournal:
 
     One line per completed :class:`~repro.exec.job.SimJob`, written and
     flushed *before* the next job starts, so a killed sweep loses at
-    most its in-flight jobs.  On open, existing lines are indexed by
-    ``job_id``; a truncated trailing line (the likely artifact of a
-    mid-write kill) is ignored rather than fatal.  Lines written by an
-    incompatible ``journal_version`` are also ignored, which makes the
-    rerun regenerate those jobs instead of trusting stale shapes.
+    most its in-flight jobs.  Every v2 record carries a CRC32 of its
+    canonical JSON, so a torn write, bit rot or hand-editing is caught
+    on open -- not trusted into a resumed sweep.
+
+    Integrity triage on open:
+
+    - *Corrupt* lines (unparseable JSON -- e.g. a truncated tail from a
+      mid-write kill -- missing ``job_id``/``crc32``, or a CRC
+      mismatch) are **quarantined**: moved into a ``<path>.rej``
+      sidecar with their reason, and the journal is rewritten
+      (atomically) without them, so the rerun regenerates those jobs
+      and the sidecar preserves the evidence.
+    - Lines written by a different ``journal_version`` are structurally
+      sound, just foreign: they are *ignored in place* (counted in
+      ``incompatible_lines``), which keeps old-format journals readable
+      by newer builds without destroying them.
+
+    ``skipped_lines`` counts everything not loaded (quarantined plus
+    incompatible), which is what ``repro sweep`` reports.
     """
 
     def __init__(self, path):
         self.path = os.fspath(path)
+        self.rej_path = self.path + ".rej"
         self._records = {}  # job_id -> journal line dict
-        self.skipped_lines = 0
+        self.quarantined_lines = 0
+        self.incompatible_lines = 0
         if os.path.exists(self.path):
-            with open(self.path) as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except ValueError:
-                        self.skipped_lines += 1
-                        continue
-                    if record.get("journal_version") != JOURNAL_VERSION \
-                            or "job_id" not in record:
-                        self.skipped_lines += 1
-                        continue
-                    self._records[record["job_id"]] = record
+            self._load()
+
+    @property
+    def skipped_lines(self):
+        """Total lines ignored on open (quarantined + incompatible)."""
+        return self.quarantined_lines + self.incompatible_lines
+
+    def _load(self):
+        kept = []        # raw lines preserved verbatim (incl. foreign)
+        rejected = []    # (reason, raw line)
+        with open(self.path, errors="replace") as handle:
+            for line in handle:
+                raw = line.rstrip("\n")
+                if not raw.strip():
+                    continue
+                try:
+                    record = json.loads(raw)
+                except ValueError:
+                    rejected.append(("unparseable JSON (torn write?)",
+                                     raw))
+                    continue
+                if not isinstance(record, dict):
+                    rejected.append(("not a JSON object", raw))
+                    continue
+                version = record.get("journal_version")
+                if version != JOURNAL_VERSION:
+                    self.incompatible_lines += 1
+                    kept.append(raw)
+                    continue
+                if "job_id" not in record:
+                    rejected.append(("missing job_id", raw))
+                    continue
+                stored = record.get("crc32")
+                if stored is None:
+                    rejected.append(("missing crc32", raw))
+                    continue
+                if stored != _record_crc(record):
+                    rejected.append(
+                        ("crc32 mismatch (stored %s)" % stored, raw))
+                    continue
+                kept.append(raw)
+                self._records[record["job_id"]] = record
+        if rejected:
+            self.quarantined_lines = len(rejected)
+            self._quarantine(kept, rejected)
+
+    def _quarantine(self, kept, rejected):
+        """Move corrupt lines to the ``.rej`` sidecar, keep the rest."""
+        with open(self.rej_path, "a") as handle:
+            for reason, raw in rejected:
+                handle.write(json.dumps({"reason": reason, "line": raw})
+                             + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        atomic_write_text(self.path,
+                          "".join(raw + "\n" for raw in kept))
 
     @property
     def completed_ids(self):
@@ -175,7 +267,7 @@ class JobJournal:
         return job_id in self._records
 
     def record(self, job, result):
-        """Append one completed job (flushed immediately)."""
+        """Append one completed job (flushed immediately, CRC-sealed)."""
         record = {
             "journal_version": JOURNAL_VERSION,
             "job_id": job.job_id,
@@ -190,27 +282,35 @@ class JobJournal:
             "ipc": result.ipc,
             "miss_rates": dict(result.miss_summary),
             "stats": result.stats.as_dict(),
+            "metrics": (result.metrics.as_dict()
+                        if getattr(result, "metrics", None) is not None
+                        else None),
         }
+        # Normalise through one JSON round trip (int dict keys become
+        # strings) so the CRC is computed over exactly the text a
+        # reader will re-canonicalise.
+        record = json.loads(json.dumps(record))
+        record["crc32"] = _record_crc(record)
         with open(self.path, "a") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
-        self._records[job.job_id] = record
+        self._records[record["job_id"]] = record
 
     def result(self, job):
         """Rebuild the RunResult for ``job``, or None if not journaled.
 
-        The rebuilt result carries a live :class:`StatGroup`, so sweep
-        accessors, manifests and whole-sweep checkpoints work the same
-        whether a run was simulated or resumed.  (Derived ``metrics``
-        are not persisted and come back as None.)
+        The rebuilt result carries a live :class:`StatGroup` and the
+        persisted :class:`~repro.sim.metrics.RunMetrics`, so sweep
+        accessors and manifests work the same whether a run was
+        simulated or resumed.
         """
         record = self._records.get(job.job_id)
         if record is None:
             return None
         from repro.cpu.core import RunResult
 
-        return RunResult(
+        result = RunResult(
             record["name"],
             record["policy_name"],
             record["instructions"],
@@ -218,3 +318,32 @@ class JobJournal:
             StatGroup.from_dict(record["stats"], name="sim"),
             dict(record["miss_rates"]),
         )
+        if record.get("metrics") is not None:
+            from repro.sim.metrics import RunMetrics
+
+            result.metrics = RunMetrics(**record["metrics"])
+        return result
+
+    def compact(self, keep_ids=None):
+        """Rewrite the journal with only current-format, live records.
+
+        Drops incompatible-version lines and -- when ``keep_ids`` is
+        given -- records whose job_id is not in it (the ROADMAP's
+        superseded-spec cleanup: compact against the requested grid).
+        The rewrite is atomic; quarantined lines stay in the sidecar.
+        Returns the number of records dropped.
+        """
+        if keep_ids is not None:
+            keep_ids = set(keep_ids)
+            dropped = [job_id for job_id in self._records
+                       if job_id not in keep_ids]
+            for job_id in dropped:
+                del self._records[job_id]
+        else:
+            dropped = []
+        dropped_lines = self.incompatible_lines + len(dropped)
+        atomic_write_text(self.path, "".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in self._records.values()))
+        self.incompatible_lines = 0
+        return dropped_lines

@@ -29,6 +29,7 @@ class PolicySweep:
         self.seed = seed if seed is not None else self.config.seed
         self.results = {}       # (benchmark, policy) -> RunResult
         self.job_ids = {}       # (benchmark, policy) -> job_id
+        self.job_outcomes = {}  # job_id -> JobResult (attempts, status)
         self.executed_policies = list(self.policies)
         self.backend = None     # executor.describe() of the last run
 
@@ -54,14 +55,20 @@ class PolicySweep:
                           warmup=self.warmup, seed=self.seed)
 
     def run(self, include_baseline=True, profiler=None, tracer=None,
-            executor=None, journal=None, progress=None):
+            executor=None, journal=None, progress=None,
+            failure_policy=None):
         """Execute the sweep; returns self for chaining.
 
         ``executor`` picks the backend (default: serial, or whatever
         ``REPRO_JOBS`` selects); a borrowed executor is left open for
         the caller, a default one is closed.  ``journal`` (a
         :class:`~repro.sim.checkpoint.JobJournal`) makes the sweep
-        resumable: completed job_ids are skipped.  ``profiler``
+        resumable: completed job_ids are skipped.  ``failure_policy``
+        (a :class:`~repro.exec.retry.FailurePolicy`) governs retries,
+        timeouts and skip-vs-abort; per-job attempt counts land in
+        ``self.job_outcomes`` and the sweep manifest.  Jobs that failed
+        terminally under a skipping policy are absent from
+        ``self.results`` (see :meth:`failed_jobs`).  ``profiler``
         accumulates phase wall clock over the whole sweep; ``tracer``
         receives per-run events (serial backend only) plus one
         ``JOB_DONE`` progress event per completed job; ``progress`` is
@@ -70,13 +77,27 @@ class PolicySweep:
         jobs = self.jobs(include_baseline)
         with executor_scope(executor) as active:
             results = active.run(jobs, journal=journal, tracer=tracer,
-                                 profiler=profiler, progress=progress)
+                                 profiler=profiler, progress=progress,
+                                 failure_policy=failure_policy)
             self.backend = active.describe()
+            self.job_outcomes.update(active.last_outcomes)
         self.executed_policies = self.policy_order(include_baseline)
         for job in jobs:
-            self.results[(job.benchmark, job.policy)] = results[job]
             self.job_ids[(job.benchmark, job.policy)] = job.job_id
+            if job in results:
+                self.results[(job.benchmark, job.policy)] = results[job]
         return self
+
+    def failed_jobs(self):
+        """``{(benchmark, policy): JobResult}`` for terminal failures."""
+        from repro.exec.retry import STATUS_FAILED
+
+        failed = {}
+        for key, job_id in self.job_ids.items():
+            outcome = self.job_outcomes.get(job_id)
+            if outcome is not None and outcome.status == STATUS_FAILED:
+                failed[key] = outcome
+        return failed
 
     def write_manifest(self, path, profiler=None):
         """Write the sweep's JSON manifest (see repro.obs.export)."""

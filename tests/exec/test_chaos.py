@@ -1,0 +1,170 @@
+"""Chaos-harness tests: seeded schedules, journal corruption, recovery."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exec import SerialExecutor, build_jobs
+from repro.exec.chaos import (
+    ALL_FAULTS,
+    FAULT_HANG,
+    FAULT_JOB_EXCEPTION,
+    FAULT_JOURNAL_BITFLIP,
+    FAULT_JOURNAL_TRUNCATE,
+    FAULT_WORKER_KILL,
+    ChaosPlan,
+    InjectedFault,
+    build_plan,
+    corrupt_journal,
+    result_digest,
+    run_chaos,
+)
+from repro.sim.checkpoint import JobJournal
+
+JOBS = build_jobs(["gzip"], ["decrypt-only", "authen-then-commit",
+                             "authen-then-issue"],
+                  num_instructions=600, warmup=300)
+
+
+class TestBuildPlan:
+    def test_same_seed_same_schedule(self):
+        one = build_plan(JOBS, seed=5)
+        two = build_plan(JOBS, seed=5)
+        assert one.job_faults == two.job_faults
+        assert one.journal_faults == two.journal_faults
+
+    def test_different_seed_can_differ(self):
+        schedules = {frozenset(build_plan(JOBS, seed=s).job_faults.items())
+                     for s in range(8)}
+        assert len(schedules) > 1
+
+    def test_each_job_fault_hits_a_distinct_job(self):
+        plan = build_plan(JOBS, seed=0)
+        assert sorted(plan.job_faults.values()) == sorted(
+            [FAULT_WORKER_KILL, FAULT_JOB_EXCEPTION, FAULT_HANG])
+        assert len(set(plan.job_faults)) == 3
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ReproError):
+            build_plan(JOBS, seed=0, faults=("disk-on-fire",))
+
+    def test_fault_subset_respected(self):
+        plan = build_plan(JOBS, seed=0,
+                          faults=(FAULT_JOB_EXCEPTION,
+                                  FAULT_JOURNAL_TRUNCATE))
+        assert set(plan.job_faults.values()) == {FAULT_JOB_EXCEPTION}
+        assert plan.journal_faults == (FAULT_JOURNAL_TRUNCATE,)
+
+    def test_faults_fire_on_first_attempt_only(self):
+        plan = ChaosPlan(0, {JOBS[0].job_id: FAULT_JOB_EXCEPTION})
+        with pytest.raises(InjectedFault):
+            plan(JOBS[0], 1)
+        assert plan(JOBS[0], 2) is None
+        assert plan(JOBS[1], 1) is None
+
+    def test_worker_kill_downgrades_in_driver_process(self):
+        plan = ChaosPlan(0, {JOBS[0].job_id: FAULT_WORKER_KILL})
+        with pytest.raises(InjectedFault):  # must NOT SIGKILL this test
+            plan(JOBS[0], 1)
+
+
+class TestCorruptJournal:
+    @pytest.fixture
+    def journal_path(self, tmp_path):
+        path = tmp_path / "chaos.journal"
+        SerialExecutor().run(JOBS, journal=JobJournal(path))
+        return path
+
+    def test_truncate_tears_final_record(self, journal_path):
+        before = journal_path.read_text().splitlines()
+        applied = corrupt_journal(journal_path,
+                                  (FAULT_JOURNAL_TRUNCATE,), seed=0)
+        assert any("truncated" in note for note in applied)
+        after = journal_path.read_text().splitlines()
+        assert len(after) == len(before)
+        assert after[-1] == before[-1][:len(before[-1]) // 2]
+        journal = JobJournal(journal_path)
+        assert journal.quarantined_lines == 1
+        assert len(journal) == len(JOBS) - 1
+
+    def test_bitflip_is_caught_by_crc(self, journal_path):
+        applied = corrupt_journal(journal_path,
+                                  (FAULT_JOURNAL_BITFLIP,), seed=0)
+        assert any("flipped" in note for note in applied)
+        journal = JobJournal(journal_path)
+        assert journal.quarantined_lines == 1
+        assert len(journal) == len(JOBS) - 1
+
+    def test_missing_journal_is_a_noop(self, tmp_path):
+        assert corrupt_journal(tmp_path / "nope", ALL_FAULTS, 0) == []
+
+
+class TestRunChaos:
+    def test_serial_exception_campaign_converges(self, tmp_path):
+        report = run_chaos(num_instructions=600, warmup=300, seed=1,
+                           faults=(FAULT_JOB_EXCEPTION,
+                                   FAULT_JOURNAL_TRUNCATE),
+                           workers=1, workdir=str(tmp_path))
+        assert report.identical
+        assert report.failures == []
+        assert FAULT_JOB_EXCEPTION in report.injected.values()
+        assert report.quarantined_lines == 1
+        # The injected job took >1 attempt; everyone else took 1.
+        assert any(n > 1 for n in report.attempts.values())
+        assert report.as_dict()["stats_digest"] == report.stats_digest
+        assert "bit-identical" in report.render()
+
+    def test_full_campaign_with_worker_kills_converges(self, tmp_path):
+        report = run_chaos(num_instructions=600, warmup=300, seed=0,
+                           workers=2, hang_seconds=1.0, timeout=0.5,
+                           workdir=str(tmp_path))
+        assert report.identical
+        assert report.failures == []
+        assert sorted(report.injected.values()) == sorted(
+            [FAULT_WORKER_KILL, FAULT_JOB_EXCEPTION, FAULT_HANG])
+        assert report.pool_rebuilds >= 1  # the kill broke the pool
+        assert report.retry_events >= 1
+        assert report.quarantined_lines >= 1
+        assert len(report.journal_corruption) == 2
+
+    def test_campaign_is_reproducible(self, tmp_path):
+        kwargs = dict(num_instructions=600, warmup=300, seed=3,
+                      faults=(FAULT_JOB_EXCEPTION,), workers=1)
+        one = run_chaos(workdir=str(tmp_path / "a"), **kwargs)
+        two = run_chaos(workdir=str(tmp_path / "b"), **kwargs)
+        assert one.stats_digest == two.stats_digest
+        assert one.injected == two.injected
+        assert one.attempts == two.attempts
+
+
+class TestResultDigest:
+    def test_digest_tracks_result_content(self):
+        results = SerialExecutor().run(JOBS[:2])
+        a, b = (results[job] for job in JOBS[:2])
+        assert result_digest(a) == result_digest(a)
+        assert result_digest(a) != result_digest(b)
+
+
+class TestChaosCli:
+    def test_cli_reports_and_exits_zero(self, capsys, tmp_path):
+        from repro.cli import main
+
+        report_path = tmp_path / "report.json"
+        code = main(["chaos", "--seed", "0",
+                     "--faults", "job-exception,journal-bitflip",
+                     "-n", "600", "--warmup", "300", "-j", "1",
+                     "--workdir", str(tmp_path),
+                     "--emit-json", str(report_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bit-identical" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["identical"] is True
+        assert payload["faults"] == ["job-exception", "journal-bitflip"]
+
+    def test_cli_rejects_unknown_fault(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--faults", "gremlins"]) == 2
+        assert "unknown fault" in capsys.readouterr().err

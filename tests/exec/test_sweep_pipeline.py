@@ -136,3 +136,118 @@ class TestSweepCli:
         out = capsys.readouterr().out
         assert "absolute IPC" in out
         assert "decrypt-only" not in out
+
+
+class TestSweepFaultTolerance:
+    @pytest.fixture
+    def hook(self):
+        from repro.exec import set_attempt_hook
+
+        installed = []
+
+        def install(fn):
+            installed.append(set_attempt_hook(fn))
+            return fn
+
+        yield install
+        while installed:
+            set_attempt_hook(installed.pop())
+
+    def test_outcomes_land_in_manifest(self):
+        sweep = small_sweep().run()
+        manifest = build_sweep_manifest(sweep)
+        assert manifest["failures"] == []
+        for run in manifest["runs"]:
+            assert run["status"] == "ok"
+            assert run["attempts"] == 1
+            assert run["metrics"]["ipc"] > 0
+
+    def test_failed_job_skipped_and_reported(self, hook):
+        from repro.exec import SKIP_AND_REPORT, FailurePolicy
+
+        sweep = small_sweep()
+        victim = sweep.jobs()[0]
+
+        def fail_one(job, attempt):
+            if job.job_id == victim.job_id:
+                raise RuntimeError("injected")
+
+        hook(fail_one)
+        sweep.run(failure_policy=FailurePolicy(mode=SKIP_AND_REPORT))
+        assert (victim.benchmark, victim.policy) not in sweep.results
+        failed = sweep.failed_jobs()
+        assert set(failed) == {(victim.benchmark, victim.policy)}
+        manifest = build_sweep_manifest(sweep)
+        assert len(manifest["failures"]) == 1
+        assert manifest["failures"][0]["job_id"] == victim.job_id
+        assert all(run["job_id"] != victim.job_id
+                   for run in manifest["runs"])
+
+    def test_cli_retries_heal_transient_failure(self, capsys, hook):
+        from repro.cli import main
+
+        failed_once = set()
+
+        def fail_first(job, attempt):
+            if job.job_id not in failed_once:
+                failed_once.add(job.job_id)
+                raise RuntimeError("transient")
+
+        hook(fail_first)
+        code = main(["sweep", "gzip", "-p", "authen-then-commit",
+                     "-n", "600", "--warmup", "300", "--retries", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 retried" in out
+
+    def test_cli_skip_mode_reports_and_exits_one(self, capsys, hook):
+        from repro.cli import main
+
+        def always_fail(job, attempt):
+            if job.policy == "authen-then-commit":
+                raise RuntimeError("injected terminal failure")
+
+        hook(always_fail)
+        code = main(["sweep", "gzip", "-p", "authen-then-commit",
+                     "-n", "600", "--warmup", "300",
+                     "--on-error", "skip"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "failed terminally" in captured.err
+        assert "completed runs only" in captured.out
+
+    def test_cli_compact_requires_checkpoint(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "gzip", "-n", "600", "--warmup", "300",
+                     "--compact"]) == 2
+        assert "--compact requires" in capsys.readouterr().err
+
+    def test_cli_compact_drops_superseded_records(self, capsys, tmp_path):
+        from repro.cli import main
+
+        journal = tmp_path / "journal.jsonl"
+        base = ["sweep", "gzip", "-n", "600", "--warmup", "300",
+                "--checkpoint", str(journal)]
+        assert main(base + ["-p", "authen-then-commit"]) == 0
+        capsys.readouterr()
+        # A different grid supersedes authen-then-commit's record.
+        assert main(base + ["-p", "authen-then-write", "--compact"]) == 0
+        out = capsys.readouterr().out
+        assert "1 stale line(s) dropped" in out
+        assert "1 completed job(s) will be skipped" in out  # baseline
+
+    def test_cli_reports_quarantined_lines(self, capsys, tmp_path):
+        from repro.cli import main
+
+        journal = tmp_path / "journal.jsonl"
+        args = ["sweep", "gzip", "-p", "authen-then-commit",
+                "-n", "600", "--warmup", "300",
+                "--checkpoint", str(journal)]
+        assert main(args) == 0
+        with open(journal, "a") as handle:
+            handle.write('{"torn half-line\n')
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "quarantined 1 corrupt line(s)" in out
