@@ -5,6 +5,13 @@ Commands
 
 ``table1 | table2 | table3 | fig6 | fig7 | fig8 | fig9 | fig10 | fig12``
     Regenerate a paper table/figure (text form).
+``figures``
+    Regenerate any subset of the paper artifacts (default: all of them,
+    plus the ablation/variance/sensitivity studies) through the job
+    executor: ``--jobs N`` shares one worker pool across every figure
+    with byte-identical artifacts, ``--timeout/--retries/--on-error``
+    govern fault tolerance, ``--out DIR`` collects ``<name>.txt`` files
+    and one combined ``figures-manifest.json``.
 ``run BENCH``
     Simulate one benchmark under one or more policies.  ``--trace-out``
     records a Chrome trace-event file (open in Perfetto); ``--emit-json``
@@ -147,14 +154,23 @@ def _cmd_run(args):
 
 
 def _failure_policy(args):
-    """Build the FailurePolicy the sweep/chaos flags describe."""
+    """Build the FailurePolicy the sweep/figures/chaos flags describe.
+
+    ``--retries N`` promotes *any* non-retrying ``--on-error`` mode to
+    ``retry-then-skip`` (asking for retries while in ``skip`` mode used
+    to be silently ignored); when a promotion happens, the resolved
+    policy is printed so the run records what actually governed it.
+    """
     from repro.exec import (FAIL_FAST, RETRY_THEN_SKIP, SKIP_AND_REPORT,
                             FailurePolicy)
 
     mode = {"fail": FAIL_FAST, "skip": SKIP_AND_REPORT,
             "retry": RETRY_THEN_SKIP}[args.on_error]
-    if args.retries and args.on_error == "fail":
-        mode = RETRY_THEN_SKIP  # --retries implies retrying
+    if args.retries and mode != RETRY_THEN_SKIP:
+        # --retries implies retrying, whatever the terminal mode was.
+        mode = RETRY_THEN_SKIP
+        print("note: --retries %d promotes --on-error %s to %s"
+              % (args.retries, args.on_error, mode), file=sys.stderr)
     return FailurePolicy(mode=mode, max_attempts=max(1, args.retries + 1),
                          timeout=args.timeout)
 
@@ -166,7 +182,7 @@ def _cmd_sweep(args):
     from repro.exec import make_executor
     from repro.obs import PhaseProfiler, build_sweep_manifest, write_json
     from repro.sim.checkpoint import JobJournal
-    from repro.sim.report import render_table, series_rows
+    from repro.sim.report import failure_footer, render_table, series_rows
     from repro.sim.sweep import BASELINE, PolicySweep, normalized_ipc_table
 
     config = SimConfig().with_l2_size(args.l2 * 1024)
@@ -227,19 +243,20 @@ def _cmd_sweep(args):
             print("  %s/%s: %s after %d attempt(s)"
                   % (benchmark, policy, outcome.error, outcome.attempts),
                   file=sys.stderr)
-        print("absolute IPC (completed runs only)")
-        for (benchmark, policy), result in sorted(sweep.results.items()):
-            print("  %-10s %-26s %10.4f"
-                  % (benchmark, policy, result.ipc))
-    elif BASELINE in policies_run:
+    # Failed cells render as "--" and drop out of averages; the table
+    # itself always prints, however partial the sweep came back.
+    if BASELINE in policies_run:
         rows = normalized_ipc_table(sweep, policies_run)
         print("normalized IPC (baseline: %s)" % BASELINE)
         print(render_table(headers, series_rows(rows, policies_run)))
     else:
         print("absolute IPC")
         print(render_table(headers, [
-            [benchmark] + [sweep.ipc(benchmark, p) for p in policies_run]
+            [benchmark] + [sweep.ipc_or_none(benchmark, p)
+                           for p in policies_run]
             for benchmark in sweep.benchmarks], "%.4f"))
+    if failed:
+        print(failure_footer(sweep))
     backend = sweep.backend or {}
     retried = sum(1 for outcome in sweep.job_outcomes.values()
                   if outcome.attempts > 1)
@@ -257,9 +274,64 @@ def _cmd_sweep(args):
     return 1 if failed else 0
 
 
+def _cmd_figures(args):
+    from repro.experiments.figures import ARTIFACTS, run_figures
+
+    if args.only and args.all:
+        print("error: --only and --all are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.only:
+        names = [name.strip() for name in args.only.split(",")
+                 if name.strip()]
+        unknown = sorted(set(names) - set(ARTIFACTS))
+        if unknown:
+            print("error: unknown artifact(s) %s (choose from %s)"
+                  % (", ".join(unknown), ", ".join(ARTIFACTS)),
+                  file=sys.stderr)
+            return 2
+    else:
+        names = list(ARTIFACTS)
+    scale = _scale(args)
+    summary = run_figures(names, args.out,
+                          num_instructions=scale["num_instructions"],
+                          warmup=scale["warmup"], jobs=args.jobs,
+                          failure_policy=_failure_policy(args),
+                          log=print)
+    print("figures manifest written to %s" % summary["manifest_path"])
+    if summary["total_failures"]:
+        print("WARNING: %d job(s) failed terminally; affected cells "
+              "are shown as -- in the artifacts"
+              % summary["total_failures"], file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_chaos(args):
-    from repro.exec.chaos import ALL_FAULTS, run_chaos
+    from repro.exec.chaos import ALL_FAULTS, run_chaos, run_figures_chaos
     from repro.obs import write_json
+
+    scale = _scale(args)
+    if args.figures:
+        from repro.errors import ReproError
+
+        names = [name.strip() for name in args.figures.split(",")
+                 if name.strip()]
+        try:
+            report = run_figures_chaos(
+                figures=names,
+                benchmarks=args.benchmark or ["gzip", "mcf"],
+                num_instructions=scale["num_instructions"],
+                warmup=scale["warmup"], seed=args.seed,
+                workers=args.jobs, workdir=args.workdir)
+        except ReproError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        print(report.render())
+        if args.emit_json:
+            write_json(report.as_dict(), args.emit_json)
+            print("chaos report written to %s" % args.emit_json)
+        return 0 if report.identical else 1
 
     if args.faults:
         faults = tuple(f.strip() for f in args.faults.split(",")
@@ -274,7 +346,6 @@ def _cmd_chaos(args):
         faults = ALL_FAULTS
     policies = args.policy or ["decrypt-only", "authen-then-commit",
                                "authen-then-issue"]
-    scale = _scale(args)
     report = run_chaos(benchmarks=args.benchmark or ["gzip"],
                        policies=policies,
                        num_instructions=scale["num_instructions"],
@@ -443,6 +514,36 @@ def build_parser():
     _add_scale(p, default_n=6000)
     p.set_defaults(func=_cmd_sweep)
 
+    p = sub.add_parser("figures",
+                       help="regenerate paper artifacts (all or a "
+                            "subset) through the job executor, with a "
+                            "combined manifest")
+    p.add_argument("--only", metavar="CSV", default=None,
+                   help="comma-separated artifact names (default: all); "
+                        "e.g. fig7,table1,ablations")
+    p.add_argument("--all", action="store_true",
+                   help="regenerate every artifact (the default; "
+                        "mutually exclusive with --only)")
+    p.add_argument("--out", metavar="DIR", default="figures-out",
+                   help="output directory for <name>.txt artifacts and "
+                        "figures-manifest.json (default: figures-out)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes shared by every figure "
+                        "(default 1: serial backend; artifacts are "
+                        "byte-identical either way)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                   help="per-attempt wall-clock budget for one job")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="re-run a failed/timed-out job up to N more "
+                        "times (with backoff) before giving up")
+    p.add_argument("--on-error", choices=("fail", "skip", "retry"),
+                   default="fail",
+                   help="terminal-failure policy: abort (fail, "
+                        "default), skip the job and render -- cells "
+                        "(skip), or retry then skip (retry)")
+    _add_scale(p)
+    p.set_defaults(func=_cmd_figures)
+
     p = sub.add_parser("chaos",
                        help="fault-injection harness: run a sweep under "
                             "injected worker kills, hangs and journal "
@@ -457,7 +558,13 @@ def build_parser():
     p.add_argument("--faults", metavar="CSV", default=None,
                    help="comma-separated fault kinds (default: all): "
                         "worker-kill, job-exception, hang, "
-                        "journal-truncate, journal-bitflip")
+                        "journal-truncate, journal-bitflip, "
+                        "pool-init-failure, journal-enospc")
+    p.add_argument("--figures", metavar="CSV", default=None,
+                   help="run the figures chaos smoke instead: "
+                        "regenerate these artifacts (e.g. fig8) with a "
+                        "worker kill injected and verify byte-identical "
+                        "output")
     p.add_argument("-j", "--jobs", type=int, default=2,
                    help="worker processes for the faulty phase "
                         "(default 2)")

@@ -4,10 +4,14 @@ The paper argues a secure processor must keep producing correct results
 while memory misbehaves; this module holds the sweep infrastructure to
 the same standard.  Instead of hoping the retry/journal machinery works,
 :func:`run_chaos` *injects* the failure modes -- killed workers, raised
-exceptions, artificial hangs, journal truncation and bit flips -- from a
-seeded schedule, then asserts the sweep still converges to results
-bit-identical to a fault-free serial run (cycles, IPC and the sha256
-stats digest of every job).
+exceptions, artificial hangs, journal truncation and bit flips, plus the
+infrastructure faults (a pool initializer that dies, a journal append
+hitting ENOSPC) -- from a seeded schedule, then asserts the sweep still
+converges to results bit-identical to a fault-free serial run (cycles,
+IPC and the sha256 stats digest of every job).
+:func:`run_figures_chaos` holds ``repro figures`` to the same standard:
+a worker kill mid-regeneration must still yield byte-identical text
+artifacts.
 
 Determinism is the point: a :class:`ChaosPlan` is a pure function of
 ``(job list, seed, fault kinds)``, so a failing chaos run is exactly
@@ -37,7 +41,12 @@ from repro.exec.retry import (
     STATUS_RESUMED,
     FailurePolicy,
 )
-from repro.obs.events import BACKEND_DEGRADED, JOB_FAILED, JOB_RETRY
+from repro.obs.events import (
+    BACKEND_DEGRADED,
+    JOB_FAILED,
+    JOB_RETRY,
+    JOURNAL_DEGRADED,
+)
 from repro.util.rng import DeterministicRng
 
 
@@ -52,10 +61,17 @@ FAULT_JOB_EXCEPTION = "job-exception"      # raise InjectedFault
 FAULT_HANG = "hang"                        # sleep past the timeout
 FAULT_JOURNAL_TRUNCATE = "journal-truncate"  # tear the journal tail
 FAULT_JOURNAL_BITFLIP = "journal-bitflip"    # flip one stored digit
+FAULT_POOL_INIT = "pool-init-failure"      # first pool's initializer dies
+FAULT_JOURNAL_ENOSPC = "journal-enospc"    # journal append raises ENOSPC
 
 JOB_FAULTS = (FAULT_WORKER_KILL, FAULT_JOB_EXCEPTION, FAULT_HANG)
 JOURNAL_FAULTS = (FAULT_JOURNAL_TRUNCATE, FAULT_JOURNAL_BITFLIP)
-ALL_FAULTS = JOB_FAULTS + JOURNAL_FAULTS
+#: Infrastructure faults: not tied to one job.  ``pool-init-failure``
+#: breaks the first worker pool while it is still being populated (the
+#: rebuild must heal it); ``journal-enospc`` makes a mid-sweep journal
+#: append raise ``OSError(ENOSPC)`` (the sweep must finish unjournaled).
+INFRA_FAULTS = (FAULT_POOL_INIT, FAULT_JOURNAL_ENOSPC)
+ALL_FAULTS = JOB_FAULTS + JOURNAL_FAULTS + INFRA_FAULTS
 
 
 class ChaosPlan:
@@ -68,18 +84,48 @@ class ChaosPlan:
     """
 
     def __init__(self, seed, job_faults, hang_seconds=2.0,
-                 journal_faults=()):
+                 journal_faults=(), infra_faults=()):
         self.seed = seed
         self.job_faults = dict(job_faults)
         self.hang_seconds = hang_seconds
         self.journal_faults = tuple(journal_faults)
+        self.infra_faults = tuple(infra_faults)
+        self.init_sentinel = None
         self.driver_pid = os.getpid()
 
     def fault_for(self, job, attempt):
-        """The fault to fire for this attempt (None for no fault)."""
+        """The fault to fire for this attempt (None for no fault).
+
+        Keys in ``job_faults`` may be job_ids or ``benchmark/policy``
+        pairs -- the latter lets callers (the figures chaos smoke) target
+        a job without precomputing its configuration-dependent job_id.
+        """
         if attempt != 1:
             return None
-        return self.job_faults.get(job.job_id)
+        kind = self.job_faults.get(job.job_id)
+        if kind is None:
+            kind = self.job_faults.get("%s/%s"
+                                       % (job.benchmark, job.policy))
+        return kind
+
+    def arm_init_fault(self, sentinel_path):
+        """Arm ``pool-init-failure``: the first worker whose initializer
+        creates ``sentinel_path`` raises, breaking its whole pool; every
+        later initializer (the rebuilt pool) finds the sentinel and
+        succeeds -- so the fault fires exactly once per campaign."""
+        self.init_sentinel = sentinel_path
+
+    def init_fault(self):
+        """Fire the armed pool-initializer fault (worker side)."""
+        if (FAULT_POOL_INIT not in self.infra_faults
+                or self.init_sentinel is None):
+            return
+        try:
+            open(self.init_sentinel, "x").close()
+        except FileExistsError:
+            return
+        raise InjectedFault("injected pool-initializer failure "
+                            "(first pool only)")
 
     def __call__(self, job, attempt):
         kind = self.fault_for(job, attempt)
@@ -102,8 +148,15 @@ class ChaosPlan:
 
 
 def _install_in_worker(plan):
-    """Pool initializer: arm the plan in a freshly forked worker."""
+    """Pool initializer: arm the plan in a freshly forked worker.
+
+    Also the injection point for ``pool-init-failure``: the raise
+    happens here, while the pool is still being populated, which is the
+    exact window a real initializer bug (bad import, missing mount)
+    would hit.
+    """
     set_attempt_hook(plan)
+    plan.init_fault()
 
 
 def build_plan(jobs, seed, faults=ALL_FAULTS, hang_seconds=2.0):
@@ -126,8 +179,10 @@ def build_plan(jobs, seed, faults=ALL_FAULTS, hang_seconds=2.0):
             continue
         job_faults[available.pop(rng.randrange(len(available)))] = kind
     journal_faults = tuple(k for k in JOURNAL_FAULTS if k in faults)
+    infra_faults = tuple(k for k in INFRA_FAULTS if k in faults)
     return ChaosPlan(seed, job_faults, hang_seconds=hang_seconds,
-                     journal_faults=journal_faults)
+                     journal_faults=journal_faults,
+                     infra_faults=infra_faults)
 
 
 def corrupt_journal(path, faults, seed):
@@ -173,6 +228,33 @@ def corrupt_journal(path, faults, seed):
     return applied
 
 
+def _enospc_journal(path, fail_at=2):
+    """A ``JobJournal`` whose ``fail_at``-th append raises ``ENOSPC``.
+
+    Replays a full disk mid-sweep.  Only that one append raises: the
+    executor is expected to drop the journal on the first ``OSError``
+    (emitting ``JOURNAL_DEGRADED``) and finish the sweep from memory,
+    so a later append would be a bug, not a heal.
+    """
+    import errno
+
+    from repro.sim.checkpoint import JobJournal
+
+    class EnospcJournal(JobJournal):
+        def __init__(self, journal_path):
+            super().__init__(journal_path)
+            self._appends = 0
+
+        def record(self, job, result):
+            self._appends += 1
+            if self._appends == fail_at:
+                raise OSError(errno.ENOSPC,
+                              "injected: no space left on device")
+            return super().record(job, result)
+
+    return EnospcJournal(path)
+
+
 def result_digest(result):
     """sha256 over everything a run asserts: cycles, IPC inputs, stats."""
     payload = {
@@ -209,6 +291,7 @@ class ChaosReport:
     stats_digest: str       # sha256 over the per-job digests, in order
     journal_path: str
     rej_path: str
+    journal_degraded_events: int = 0
 
     def as_dict(self):
         return dataclasses.asdict(self)
@@ -234,6 +317,10 @@ class ChaosReport:
                         " (degraded to serial)" if self.degraded else "",
                         self.retry_events, self.failed_events,
                         self.degraded_events))
+        if self.journal_degraded_events:
+            lines.append("  journal degraded mid-sweep (%d event(s)): "
+                         "append failed, run finished unjournaled"
+                         % self.journal_degraded_events)
         if self.quarantined_lines:
             lines.append("  quarantined %d journal line(s) -> %s"
                          % (self.quarantined_lines, self.rej_path))
@@ -291,6 +378,11 @@ def run_chaos(benchmarks=("gzip",),
             os.remove(stale)
 
     plan = build_plan(jobs, seed, faults, hang_seconds=hang_seconds)
+    sentinel = os.path.join(workdir, "pool-init.sentinel")
+    if os.path.exists(sentinel):
+        os.remove(sentinel)
+    if FAULT_POOL_INIT in plan.infra_faults:
+        plan.arm_init_fault(sentinel)
     policy = FailurePolicy(mode=RETRY_THEN_SKIP,
                            max_attempts=max_attempts, timeout=timeout,
                            backoff_base=0.01, backoff_max=0.05,
@@ -301,6 +393,10 @@ def run_chaos(benchmarks=("gzip",),
     # Phase 2: run with faults armed.
     attempts = {}
     failures = []
+    if FAULT_JOURNAL_ENOSPC in plan.infra_faults:
+        phase2_journal = _enospc_journal(journal_path)
+    else:
+        phase2_journal = JobJournal(journal_path)
     previous = set_attempt_hook(plan)
     try:
         if workers and workers > 1:
@@ -310,7 +406,7 @@ def run_chaos(benchmarks=("gzip",),
         else:
             executor = SerialExecutor()
         with executor:
-            executor.run(jobs, journal=JobJournal(journal_path),
+            executor.run(jobs, journal=phase2_journal,
                          tracer=own_tracer, failure_policy=policy)
             for job_id, outcome in executor.last_outcomes.items():
                 attempts[job_id] = outcome.attempts
@@ -374,4 +470,127 @@ def run_chaos(benchmarks=("gzip",),
         stats_digest=stats_digest,
         journal_path=journal_path,
         rej_path=journal.rej_path,
+        journal_degraded_events=sum(1 for e in events
+                                    if e.kind == JOURNAL_DEGRADED),
+    )
+
+
+@dataclasses.dataclass
+class FiguresChaosReport:
+    """Outcome of one :func:`run_figures_chaos` campaign."""
+
+    identical: bool
+    seed: int
+    figures: tuple
+    benchmarks: tuple
+    injected: dict          # target key -> fault kind
+    mismatches: list        # artifact names whose bytes diverged
+    failures: int           # terminal failures in the faulted run
+    pool_rebuilds: int
+    degraded: bool
+    reference_dir: str
+    faulted_dir: str
+
+    def as_dict(self):
+        return dataclasses.asdict(self)
+
+    def render(self):
+        lines = ["figures chaos campaign: seed=%d figures=%s"
+                 % (self.seed, ",".join(self.figures))]
+        lines.append("  injected: %s" % (
+            ", ".join("%s->%s" % (kind, key)
+                      for key, kind in sorted(self.injected.items(),
+                                              key=lambda kv: kv[1]))
+            or "none"))
+        lines.append("  pool rebuilds: %d%s; terminal failures: %d"
+                     % (self.pool_rebuilds,
+                        " (degraded to serial)" if self.degraded else "",
+                        self.failures))
+        lines.append("verdict: %s" % (
+            "artifacts byte-identical to the fault-free serial run"
+            if self.identical else
+            "artifacts DIVERGED from the fault-free serial run: %s"
+            % (self.mismatches or "(terminal failures)")))
+        return "\n".join(lines)
+
+
+def run_figures_chaos(figures=("fig8",), benchmarks=("gzip", "mcf"),
+                      num_instructions=1200, warmup=600, seed=0,
+                      workers=2, timeout=30.0, max_attempts=4,
+                      target_policy="authen-then-issue", workdir=None):
+    """Chaos smoke for ``repro figures``: kill a worker mid-regeneration
+    under a retry policy, assert the artifacts come out byte-identical.
+
+    Two phases: a clean serial :func:`~repro.experiments.figures.\
+run_figures` produces the reference artifacts, then the same figure set
+    regenerates on a worker pool with a ``worker-kill`` armed against
+    the first benchmark's first job (targeted by ``benchmark/policy``
+    key, so no job_id precomputation).  The kill never charges an
+    attempt, so the pool keeps dying until the executor degrades to
+    serial execution -- where the plan downgrades the kill to an
+    :class:`InjectedFault` that the retry policy heals.  The campaign
+    passes when every ``<name>.txt`` is byte-for-byte the reference and
+    nothing failed terminally.
+    """
+    from repro.experiments.figures import ARTIFACTS, run_figures
+
+    figures = tuple(figures)
+    unknown = set(figures) - set(ARTIFACTS)
+    if unknown:
+        raise ReproError("unknown figure(s): %s (expected %s)"
+                         % (", ".join(sorted(unknown)),
+                            ", ".join(ARTIFACTS)))
+    if workdir is None:
+        import tempfile
+
+        workdir = tempfile.mkdtemp(prefix="repro-figchaos-")
+    os.makedirs(workdir, exist_ok=True)
+    scale = dict(num_instructions=num_instructions, warmup=warmup,
+                 benchmarks=tuple(benchmarks))
+
+    reference = run_figures(figures, os.path.join(workdir, "reference"),
+                            jobs=1, **scale)
+
+    # ``target_policy`` must name a policy the chosen figure set really
+    # sweeps (the default matches fig8's reference policy) -- a key that
+    # matches no job would make the campaign pass without ever injecting.
+    target = "%s/%s" % (benchmarks[0], target_policy)
+    plan = ChaosPlan(seed, {target: FAULT_WORKER_KILL})
+    policy = FailurePolicy(mode=RETRY_THEN_SKIP,
+                           max_attempts=max_attempts, timeout=timeout,
+                           backoff_base=0.01, backoff_max=0.05,
+                           jitter_seed=seed)
+    previous = set_attempt_hook(plan)
+    try:
+        with ParallelExecutor(workers, initializer=_install_in_worker,
+                              initargs=(plan,)) as executor:
+            faulted = run_figures(
+                figures, os.path.join(workdir, "faulted"),
+                executor=executor, failure_policy=policy, **scale)
+            pool_rebuilds = executor.rebuilds
+            degraded = executor.degraded
+    finally:
+        set_attempt_hook(previous)
+
+    mismatches = []
+    for name in figures:
+        with open(reference["artifact_paths"][name], "rb") as handle:
+            want = handle.read()
+        with open(faulted["artifact_paths"][name], "rb") as handle:
+            got = handle.read()
+        if want != got:
+            mismatches.append(name)
+    failures = faulted["total_failures"]
+    return FiguresChaosReport(
+        identical=not mismatches and not failures,
+        seed=seed,
+        figures=figures,
+        benchmarks=tuple(benchmarks),
+        injected=dict(plan.job_faults),
+        mismatches=mismatches,
+        failures=failures,
+        pool_rebuilds=pool_rebuilds,
+        degraded=degraded,
+        reference_dir=os.path.join(workdir, "reference"),
+        faulted_dir=os.path.join(workdir, "faulted"),
     )

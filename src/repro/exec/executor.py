@@ -23,7 +23,9 @@ Because ``execute_job`` is pure, none of this perturbs results.
 Observability: each completed job emits a ``JOB_DONE`` event on the
 ``jobs`` lane of the supplied tracer and credits the profiler; retries,
 terminal failures and backend degradation emit ``JOB_RETRY``,
-``JOB_FAILED`` and ``BACKEND_DEGRADED`` on the same lane.  The parallel
+``JOB_FAILED`` and ``BACKEND_DEGRADED`` on the same lane; a journal
+append that dies (ENOSPC) emits ``JOURNAL_DEGRADED`` and the run
+continues without the journal rather than aborting.  The parallel
 backend cannot thread a tracer into workers (sinks do not cross
 processes), so per-run events are only recorded by the serial backend.
 """
@@ -48,6 +50,7 @@ from repro.obs.events import (
     JOB_DONE,
     JOB_FAILED,
     JOB_RETRY,
+    JOURNAL_DEGRADED,
     LANE_JOBS,
 )
 
@@ -222,7 +225,18 @@ class _RunState:
             job_id=job.job_id, status=STATUS_OK, attempts=attempts,
             wall_time=wall)
         if self.journal is not None:
-            self.journal.record(job, result)
+            try:
+                self.journal.record(job, result)
+            except OSError as exc:
+                # A journal append failing (ENOSPC, dead filesystem)
+                # must not take the sweep down with it: the results are
+                # already in memory.  Drop the journal -- this run just
+                # loses resumability from here on -- and say so.
+                self.journal = None
+                if self.tracer is not None:
+                    self.tracer.emit(JOURNAL_DEGRADED, LANE_JOBS,
+                                     self.done, job_id=job.job_id,
+                                     error=repr(exc))
         if self.tracer is not None:
             self.tracer.emit(JOB_DONE, LANE_JOBS, self.done,
                              job_id=job.job_id, benchmark=job.benchmark,

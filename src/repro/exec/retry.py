@@ -22,6 +22,7 @@ import dataclasses
 import hashlib
 import signal
 import threading
+import time
 from contextlib import contextmanager
 
 from repro.errors import ConfigError, JobTimeoutError
@@ -125,6 +126,13 @@ def attempt_deadline(seconds):
     None/0 -- the block runs unbounded.  The process-pool backend does
     not need this: it enforces deadlines from the parent by rebuilding
     the pool around a hung worker.
+
+    Nestable: a pre-existing ``ITIMER_REAL`` timer (an outer deadline)
+    is captured from ``setitimer``'s return value and re-armed on exit
+    with whatever budget it has left, so an inner deadline never
+    silently disarms an outer one.  An outer timer that would already
+    have expired is re-armed with an epsilon delay and fires at the
+    first opportunity.
     """
     if (not seconds or not hasattr(signal, "setitimer")
             or threading.current_thread() is not threading.main_thread()):
@@ -136,9 +144,15 @@ def attempt_deadline(seconds):
             "job attempt exceeded %.3fs timeout" % seconds)
 
     previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    outer_delay, outer_interval = signal.setitimer(signal.ITIMER_REAL,
+                                                   seconds)
+    entered = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_delay:
+            remaining = outer_delay - (time.monotonic() - entered)
+            signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6),
+                             outer_interval)

@@ -11,6 +11,11 @@ Not figures from the paper -- these probe the knobs the paper fixes:
   authen-then-fetch (Section 4.2.4 describes both);
 - ``lazy_comparison``: lazy authentication (Yan et al. [25]) against the
   gated schemes -- it should cost nearly nothing and protect nothing.
+
+Every grid accepts ``executor=`` (one backend, and therefore one warm
+worker pool, shared across its configurations) and ``failure_policy=``
+(a :class:`~repro.exec.retry.FailurePolicy`); a grid point whose jobs
+all failed under a skipping policy reports None and renders as ``--``.
 """
 
 from repro.config import SimConfig
@@ -21,25 +26,27 @@ DEFAULT_BENCHMARKS = ("mcf", "twolf", "swim", "mgrid", "ammp", "gcc")
 
 
 def _sweep(benchmarks, policies, config, num_instructions, warmup,
-           executor, include_baseline=True):
+           executor, include_baseline=True, failure_policy=None):
     """One grid point through the shared executor."""
     return PolicySweep(list(benchmarks), list(policies), config=config,
                        num_instructions=num_instructions,
                        warmup=warmup).run(include_baseline=include_baseline,
-                                          executor=executor)
+                                          executor=executor,
+                                          failure_policy=failure_policy)
 
 
 def _average(config, policy, benchmarks, num_instructions, warmup,
-             executor=None):
+             executor=None, failure_policy=None):
     sweep = _sweep(benchmarks, [policy], config, num_instructions,
-                   warmup, executor)
+                   warmup, executor, failure_policy=failure_policy)
     return sweep.average_normalized(policy)
 
 
 def mac_latency_sweep(latencies=(20, 74, 150, 300),
                       policy="authen-then-commit",
                       benchmarks=DEFAULT_BENCHMARKS,
-                      num_instructions=8000, warmup=8000, executor=None):
+                      num_instructions=8000, warmup=8000, executor=None,
+                      failure_policy=None):
     """Normalized IPC of ``policy`` as the MAC latency grows.
 
     Every grid function here shares one executor (and therefore one
@@ -52,40 +59,45 @@ def mac_latency_sweep(latencies=(20, 74, 150, 300),
         for latency in latencies:
             config = SimConfig().with_secure(hmac_latency=latency)
             out[latency] = _average(config, policy, benchmarks,
-                                    num_instructions, warmup, executor=ex)
+                                    num_instructions, warmup, executor=ex,
+                                    failure_policy=failure_policy)
     return out
 
 
 def queue_depth_sweep(depths=(2, 4, 16, 64),
                       policy="authen-then-commit",
                       benchmarks=DEFAULT_BENCHMARKS,
-                      num_instructions=8000, warmup=8000, executor=None):
+                      num_instructions=8000, warmup=8000, executor=None,
+                      failure_policy=None):
     """Normalized IPC vs authentication-queue depth (backpressure)."""
     out = {}
     with executor_scope(executor) as ex:
         for depth in depths:
             config = SimConfig().with_secure(auth_queue_depth=depth)
             out[depth] = _average(config, policy, benchmarks,
-                                  num_instructions, warmup, executor=ex)
+                                  num_instructions, warmup, executor=ex,
+                                  failure_policy=failure_policy)
     return out
 
 
 def store_buffer_sweep(entries=(2, 8, 32),
                        benchmarks=DEFAULT_BENCHMARKS,
-                       num_instructions=8000, warmup=8000, executor=None):
+                       num_instructions=8000, warmup=8000, executor=None,
+                       failure_policy=None):
     """authen-then-write vs the unverified-store buffer size."""
     out = {}
     with executor_scope(executor) as ex:
         for count in entries:
             config = SimConfig().with_secure(store_buffer_entries=count)
             out[count] = _average(config, "authen-then-write", benchmarks,
-                                  num_instructions, warmup, executor=ex)
+                                  num_instructions, warmup, executor=ex,
+                                  failure_policy=failure_policy)
     return out
 
 
 def fetch_variant_comparison(benchmarks=DEFAULT_BENCHMARKS,
                              num_instructions=8000, warmup=8000,
-                             executor=None):
+                             executor=None, failure_policy=None):
     """Tag vs drain vs precise variants of authen-then-fetch.
 
     A noteworthy (and initially counter-intuitive) finding: the
@@ -102,7 +114,8 @@ def fetch_variant_comparison(benchmarks=DEFAULT_BENCHMARKS,
     sweep = _sweep(benchmarks,
                    ["authen-then-fetch", "authen-then-fetch-drain",
                     "authen-then-fetch-precise"],
-                   None, num_instructions, warmup, executor)
+                   None, num_instructions, warmup, executor,
+                   failure_policy=failure_policy)
     return {
         "tag": sweep.average_normalized("authen-then-fetch"),
         "drain": sweep.average_normalized("authen-then-fetch-drain"),
@@ -115,7 +128,7 @@ def encryption_mode_comparison(benchmarks=DEFAULT_BENCHMARKS,
                                          "authen-then-issue",
                                          "authen-then-commit"),
                                num_instructions=8000, warmup=8000,
-                               executor=None):
+                               executor=None, failure_policy=None):
     """Counter mode + HMAC vs CBC + CBC-MAC (Table 1, as performance).
 
     Returns ``{mode: {policy: avg IPC}}`` (absolute IPC, shared traces).
@@ -131,7 +144,8 @@ def encryption_mode_comparison(benchmarks=DEFAULT_BENCHMARKS,
             config = SimConfig().with_secure(encryption_mode=mode)
             sweep = _sweep(benchmarks, policies, config,
                            num_instructions, warmup, ex,
-                           include_baseline=False)
+                           include_baseline=False,
+                           failure_policy=failure_policy)
             out[mode] = {
                 policy: sum(sweep.ipc(b, policy) for b in benchmarks)
                 / len(benchmarks)
@@ -145,7 +159,7 @@ def mac_scheme_comparison(benchmarks=DEFAULT_BENCHMARKS,
                                     "authen-then-commit",
                                     "commit+fetch"),
                           num_instructions=8000, warmup=8000,
-                          executor=None):
+                          executor=None, failure_policy=None):
     """HMAC vs GMAC verification (the direction later work took).
 
     A Galois MAC closes the decrypt-to-verify gap to a few cycles, which
@@ -157,7 +171,8 @@ def mac_scheme_comparison(benchmarks=DEFAULT_BENCHMARKS,
         for scheme in ("hmac", "gmac"):
             config = SimConfig().with_secure(mac_scheme=scheme)
             sweep = _sweep(benchmarks, policies, config,
-                           num_instructions, warmup, ex)
+                           num_instructions, warmup, ex,
+                           failure_policy=failure_policy)
             out[scheme] = {p: sweep.average_normalized(p)
                            for p in policies}
     return out
@@ -167,7 +182,8 @@ def prefetch_sweep(degrees=(0, 2, 4),
                    policies=("decrypt-only", "authen-then-issue",
                              "authen-then-commit"),
                    benchmarks=("swim", "mgrid", "applu"),
-                   num_instructions=8000, warmup=8000, executor=None):
+                   num_instructions=8000, warmup=8000, executor=None,
+                   failure_policy=None):
     """Stream prefetching vs the authentication gap.
 
     Prefetched lines start verification the moment they arrive, usually
@@ -184,7 +200,8 @@ def prefetch_sweep(degrees=(0, 2, 4),
                                          prefetch_degree=degree)
             sweep = _sweep(benchmarks, policies, config,
                            num_instructions, warmup, ex,
-                           include_baseline=False)
+                           include_baseline=False,
+                           failure_policy=failure_policy)
             out[degree] = {
                 policy: sum(sweep.ipc(b, policy) for b in benchmarks)
                 / len(benchmarks)
@@ -196,7 +213,7 @@ def prefetch_sweep(degrees=(0, 2, 4),
 def split_counter_comparison(benchmarks=DEFAULT_BENCHMARKS,
                              policy="authen-then-commit",
                              num_instructions=8000, warmup=8000,
-                             executor=None):
+                             executor=None, failure_policy=None):
     """Monolithic vs split (major/minor) counters, with prediction off so
     the counter-cache coverage difference is visible.
 
@@ -211,7 +228,8 @@ def split_counter_comparison(benchmarks=DEFAULT_BENCHMARKS,
                                              counter_prediction_rate=0.0)
             sweep = _sweep(benchmarks, [policy], config,
                            num_instructions, warmup, ex,
-                           include_baseline=False)
+                           include_baseline=False,
+                           failure_policy=failure_policy)
             out["split" if split else "monolithic"] = sum(
                 sweep.ipc(b, policy) for b in benchmarks) \
                 / len(benchmarks)
@@ -219,12 +237,58 @@ def split_counter_comparison(benchmarks=DEFAULT_BENCHMARKS,
 
 
 def lazy_comparison(benchmarks=DEFAULT_BENCHMARKS,
-                    num_instructions=8000, warmup=8000, executor=None):
+                    num_instructions=8000, warmup=8000, executor=None,
+                    failure_policy=None):
     """Lazy authentication vs commit gating (performance side of [25])."""
     sweep = _sweep(benchmarks, ["lazy", "authen-then-commit"], None,
-                   num_instructions, warmup, executor)
+                   num_instructions, warmup, executor,
+                   failure_policy=failure_policy)
     return {
         "lazy": sweep.average_normalized("lazy"),
         "authen-then-commit": sweep.average_normalized(
             "authen-then-commit"),
     }
+
+
+def render(num_instructions=8000, warmup=8000,
+           benchmarks=DEFAULT_BENCHMARKS, executor=None,
+           failure_policy=None):
+    """Text artifact for ``repro figures``: the headline ablations.
+
+    Covers the three grids DESIGN.md leans on most -- MAC latency,
+    authentication-queue depth and the lazy-vs-gated comparison -- under
+    one shared executor.  The exhaustive grids remain importable
+    functions; this keeps the regenerated artifact bounded.
+    """
+    from repro.sim.report import render_table
+
+    with executor_scope(executor) as ex:
+        mac = mac_latency_sweep(benchmarks=benchmarks,
+                                num_instructions=num_instructions,
+                                warmup=warmup, executor=ex,
+                                failure_policy=failure_policy)
+        depth = queue_depth_sweep(benchmarks=benchmarks,
+                                  num_instructions=num_instructions,
+                                  warmup=warmup, executor=ex,
+                                  failure_policy=failure_policy)
+        lazy = lazy_comparison(benchmarks=benchmarks,
+                               num_instructions=num_instructions,
+                               warmup=warmup, executor=ex,
+                               failure_policy=failure_policy)
+    out = [
+        "Ablations -- normalized IPC of authen-then-commit "
+        "(averaged over %s)" % ", ".join(benchmarks),
+        "",
+        "MAC latency sweep:",
+        render_table(["hmac_latency", "normalized ipc"],
+                     [[latency, mac[latency]] for latency in sorted(mac)]),
+        "",
+        "Authentication-queue depth sweep:",
+        render_table(["queue_depth", "normalized ipc"],
+                     [[d, depth[d]] for d in sorted(depth)]),
+        "",
+        "Lazy authentication vs commit gating:",
+        render_table(["policy", "normalized ipc"],
+                     [[name, lazy[name]] for name in sorted(lazy)]),
+    ]
+    return "\n".join(out)

@@ -4,6 +4,9 @@ Figure 10: normalized IPC of the four schemes with a 64-entry RUU.
 Figure 11: speedup of authen-then-commit and commit+fetch over
 authen-then-issue with the 64-entry RUU.  The paper finds the same
 performance ranking as with 128 entries.
+
+Both figures come from one sweep, so ``executor=``/``failure_policy=``
+thread straight through to it; failed cells render as ``--``.
 """
 
 from repro.config import SimConfig
@@ -16,21 +19,26 @@ FIG10_POLICIES = ("authen-then-issue", "authen-then-write",
 
 
 def run(ruu_entries=64, num_instructions=12_000, warmup=12_000,
-        l2_bytes=256 * 1024, benchmarks=None):
+        l2_bytes=256 * 1024, benchmarks=None, executor=None,
+        failure_policy=None):
     if benchmarks is None:
         benchmarks = int_benchmarks() + fp_benchmarks()
     config = SimConfig().with_l2_size(l2_bytes).with_ruu(ruu_entries)
     sweep = PolicySweep(benchmarks, list(FIG10_POLICIES), config=config,
                         num_instructions=num_instructions,
-                        warmup=warmup).run()
+                        warmup=warmup).run(executor=executor,
+                                           failure_policy=failure_policy)
     fig10 = normalized_ipc_table(sweep, list(FIG10_POLICIES))
     fig11 = speedup_over(sweep, "authen-then-issue",
                          ["authen-then-commit", "commit+fetch"])
     return sweep, fig10, fig11
 
 
-def render(ruu_entries=64, num_instructions=12_000, warmup=12_000):
-    _, fig10, fig11 = run(ruu_entries, num_instructions, warmup)
+def render(ruu_entries=64, num_instructions=12_000, warmup=12_000,
+           benchmarks=None, executor=None, failure_policy=None):
+    _, fig10, fig11 = run(ruu_entries, num_instructions, warmup,
+                          benchmarks=benchmarks, executor=executor,
+                          failure_policy=failure_policy)
     out = [
         "Figure 10 -- normalized IPC, %d-entry RUU (256KB L2)" % ruu_entries,
         render_table(["benchmark"] + list(FIG10_POLICIES),

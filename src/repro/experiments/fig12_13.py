@@ -6,6 +6,9 @@ latency grows (tree-node fetches), every scheme slows down, and the gaps
 between authen-then-write / commit / fetch compress -- while the ranking
 stays the same.  Figure 13: speedup of commit and commit+fetch over
 authen-then-issue under the tree.
+
+Both figures come from one sweep, so ``executor=``/``failure_policy=``
+thread straight through to it; failed cells render as ``--``.
 """
 
 from repro.config import SimConfig
@@ -19,7 +22,8 @@ FIG12_POLICIES = ("authen-then-issue", "authen-then-write",
 
 
 def run(num_instructions=12_000, warmup=12_000, l2_bytes=256 * 1024,
-        tree_cache_bytes=8 * 1024, benchmarks=None):
+        tree_cache_bytes=8 * 1024, benchmarks=None, executor=None,
+        failure_policy=None):
     if benchmarks is None:
         benchmarks = int_benchmarks() + fp_benchmarks()
     config = (SimConfig().with_l2_size(l2_bytes)
@@ -27,15 +31,19 @@ def run(num_instructions=12_000, warmup=12_000, l2_bytes=256 * 1024,
                            hash_tree_cache_bytes=tree_cache_bytes))
     sweep = PolicySweep(benchmarks, list(FIG12_POLICIES), config=config,
                         num_instructions=num_instructions,
-                        warmup=warmup).run()
+                        warmup=warmup).run(executor=executor,
+                                           failure_policy=failure_policy)
     fig12 = normalized_ipc_table(sweep, list(FIG12_POLICIES))
     fig13 = speedup_over(sweep, "authen-then-issue",
                          ["authen-then-commit", "commit+fetch"])
     return sweep, fig12, fig13
 
 
-def render(num_instructions=12_000, warmup=12_000):
-    _, fig12, fig13 = run(num_instructions, warmup)
+def render(num_instructions=12_000, warmup=12_000, benchmarks=None,
+           executor=None, failure_policy=None):
+    _, fig12, fig13 = run(num_instructions, warmup,
+                          benchmarks=benchmarks, executor=executor,
+                          failure_policy=failure_policy)
     out = [
         "Figure 12 -- normalized IPC under CHTree hash-tree authentication"
         " (256KB L2, 8KB tree cache; baseline: decryption only)",

@@ -72,7 +72,15 @@ def run(compute_latency=30, config=None):
     return timelines
 
 
-def render(compute_latency=30, config=None):
+def render(compute_latency=30, config=None, executor=None,
+           failure_policy=None):
+    """Render the Figure 6 timeline.
+
+    ``executor``/``failure_policy`` are accepted for interface
+    uniformity with the sweep-backed figures (``repro figures`` passes
+    them to every artifact) but unused: this figure is two analytic
+    engine timelines, not simulation jobs.
+    """
     timelines = run(compute_latency, config)
     lines = ["Figure 6 -- two dependent external fetches "
              "(compute latency between them: %d cycles)" % compute_latency]

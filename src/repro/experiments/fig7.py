@@ -3,9 +3,16 @@
 Four panels: {INT, FP} x {256KB, 1MB} L2, all normalized against the
 decrypt-only baseline, plus the per-suite averages the paper quotes
 (authen-then-issue ~0.87, ... authen-then-write ~0.98).
+
+Every entry point accepts ``executor=`` (a
+:func:`repro.exec.make_executor` backend, shared across panels so one
+warm worker pool serves the whole figure) and ``failure_policy=`` (a
+:class:`~repro.exec.retry.FailurePolicy`); under a skipping policy a
+failed job renders as a ``--`` cell instead of aborting the figure.
 """
 
 from repro.config import SimConfig
+from repro.exec import executor_scope
 from repro.policies.registry import FIGURE7_POLICIES
 from repro.sim.report import render_table, series_rows
 from repro.sim.sweep import PolicySweep, normalized_ipc_table
@@ -16,29 +23,34 @@ DEFAULT_WARMUP = 12_000
 
 
 def run(l2_bytes=256 * 1024, suite="int", num_instructions=DEFAULT_N,
-        warmup=DEFAULT_WARMUP, policies=FIGURE7_POLICIES, benchmarks=None):
+        warmup=DEFAULT_WARMUP, policies=FIGURE7_POLICIES, benchmarks=None,
+        executor=None, failure_policy=None):
     """One panel of Figure 7; returns (sweep, table_rows)."""
     if benchmarks is None:
         benchmarks = int_benchmarks() if suite == "int" else fp_benchmarks()
     config = SimConfig().with_l2_size(l2_bytes)
     sweep = PolicySweep(benchmarks, list(policies), config=config,
                         num_instructions=num_instructions,
-                        warmup=warmup).run()
+                        warmup=warmup).run(executor=executor,
+                                           failure_policy=failure_policy)
     return sweep, normalized_ipc_table(sweep, list(policies))
 
 
 def run_all_panels(num_instructions=DEFAULT_N, warmup=DEFAULT_WARMUP,
-                   policies=FIGURE7_POLICIES, benchmarks_per_suite=None):
+                   policies=FIGURE7_POLICIES, benchmarks_per_suite=None,
+                   executor=None, failure_policy=None):
     """All four panels; returns {(suite, l2): table_rows}."""
     panels = {}
-    for l2 in (256 * 1024, 1024 * 1024):
-        for suite in ("int", "fp"):
-            benchmarks = None
-            if benchmarks_per_suite is not None:
-                benchmarks = benchmarks_per_suite[suite]
-            _, rows = run(l2, suite, num_instructions, warmup, policies,
-                          benchmarks)
-            panels[(suite, l2)] = rows
+    with executor_scope(executor) as active:
+        for l2 in (256 * 1024, 1024 * 1024):
+            for suite in ("int", "fp"):
+                benchmarks = None
+                if benchmarks_per_suite is not None:
+                    benchmarks = benchmarks_per_suite[suite]
+                _, rows = run(l2, suite, num_instructions, warmup,
+                              policies, benchmarks, executor=active,
+                              failure_policy=failure_policy)
+                panels[(suite, l2)] = rows
     return panels
 
 
@@ -49,8 +61,11 @@ def render_panel(rows, title, policies=FIGURE7_POLICIES):
 
 
 def render(num_instructions=DEFAULT_N, warmup=DEFAULT_WARMUP,
-           policies=FIGURE7_POLICIES):
-    panels = run_all_panels(num_instructions, warmup, policies)
+           policies=FIGURE7_POLICIES, benchmarks_per_suite=None,
+           executor=None, failure_policy=None):
+    panels = run_all_panels(num_instructions, warmup, policies,
+                            benchmarks_per_suite, executor=executor,
+                            failure_policy=failure_policy)
     out = []
     names = {("int", 256 * 1024): "Figure 7(a) SPEC2000 INT, 256KB L2",
              ("fp", 256 * 1024): "Figure 7(b) SPEC2000 FP, 256KB L2",

@@ -4,6 +4,10 @@ The paper compares authen-then-commit, authen-then-write and
 commit+fetch against the conservative authen-then-issue baseline:
 commit ~ +12% average, write ~ +14%, commit+fetch ~ +10% for several
 benchmarks.
+
+``executor=``/``failure_policy=`` thread through to the underlying
+:class:`~repro.sim.sweep.PolicySweep`; a job that fails terminally
+under a skipping policy renders as a ``--`` cell.
 """
 
 from repro.config import SimConfig
@@ -16,18 +20,23 @@ COMPARED = ("authen-then-commit", "authen-then-write", "commit+fetch")
 
 
 def run(num_instructions=12_000, warmup=12_000, l2_bytes=256 * 1024,
-        benchmarks=None, compared=COMPARED):
+        benchmarks=None, compared=COMPARED, executor=None,
+        failure_policy=None):
     if benchmarks is None:
         benchmarks = int_benchmarks() + fp_benchmarks()
     config = SimConfig().with_l2_size(l2_bytes)
     sweep = PolicySweep(benchmarks, [REFERENCE] + list(compared),
                         config=config, num_instructions=num_instructions,
-                        warmup=warmup).run(include_baseline=False)
+                        warmup=warmup).run(include_baseline=False,
+                                           executor=executor,
+                                           failure_policy=failure_policy)
     return sweep, speedup_over(sweep, REFERENCE, list(compared))
 
 
-def render(num_instructions=12_000, warmup=12_000):
-    _, rows = run(num_instructions, warmup)
+def render(num_instructions=12_000, warmup=12_000, benchmarks=None,
+           executor=None, failure_policy=None):
+    _, rows = run(num_instructions, warmup, benchmarks=benchmarks,
+                  executor=executor, failure_policy=failure_policy)
     headers = ["benchmark"] + list(COMPARED)
     return ("Figure 8 -- IPC speedup over authen-then-issue (256KB L2)\n"
             + render_table(headers, series_rows(rows, list(COMPARED))))

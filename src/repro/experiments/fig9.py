@@ -2,9 +2,14 @@
 
 Address obfuscation + authen-then-commit at three re-map cache sizes;
 IPC improves with the size of the re-map cache.
+
+``executor=`` shares one backend (and warm worker pool) across all
+sizes; ``failure_policy=`` governs per-job retries/skips, with failed
+cells rendered as ``--`` and excluded from the averages.
 """
 
 from repro.config import SimConfig
+from repro.exec import executor_scope
 from repro.sim.report import render_table
 from repro.sim.sweep import PolicySweep
 
@@ -13,35 +18,45 @@ DEFAULT_SIZES = (16 * 1024, 64 * 1024, 256 * 1024)
 
 
 def run(sizes=DEFAULT_SIZES, benchmarks=None, num_instructions=12_000,
-        warmup=12_000, l2_bytes=256 * 1024):
+        warmup=12_000, l2_bytes=256 * 1024, executor=None,
+        failure_policy=None):
     """Returns ``{size: {benchmark: normalized ipc}}`` plus averages."""
     if benchmarks is None:
         from repro.workloads.spec import fp_benchmarks, int_benchmarks
 
         benchmarks = int_benchmarks() + fp_benchmarks()
     results = {}
-    for size in sizes:
-        config = (SimConfig().with_l2_size(l2_bytes)
-                  .with_secure(remap_cache_bytes=size))
-        sweep = PolicySweep(benchmarks, [POLICY], config=config,
-                            num_instructions=num_instructions,
-                            warmup=warmup).run()
-        results[size] = sweep.normalized_series(POLICY)
+    with executor_scope(executor) as active:
+        for size in sizes:
+            config = (SimConfig().with_l2_size(l2_bytes)
+                      .with_secure(remap_cache_bytes=size))
+            sweep = PolicySweep(benchmarks, [POLICY], config=config,
+                                num_instructions=num_instructions,
+                                warmup=warmup).run(
+                                    executor=active,
+                                    failure_policy=failure_policy)
+            results[size] = sweep.normalized_series(POLICY)
     return results
 
 
 def averages(results):
-    return {
-        size: sum(series.values()) / len(series)
-        for size, series in results.items()
-    }
+    """Per-size average over the benchmarks that completed (None: none)."""
+    out = {}
+    for size, series in results.items():
+        values = [v for v in series.values() if v is not None]
+        out[size] = sum(values) / len(values) if values else None
+    return out
 
 
-def render(sizes=DEFAULT_SIZES, num_instructions=12_000, warmup=12_000):
-    results = run(sizes, num_instructions=num_instructions, warmup=warmup)
-    benchmarks = sorted(next(iter(results.values())))
+def render(sizes=DEFAULT_SIZES, num_instructions=12_000, warmup=12_000,
+           benchmarks=None, executor=None, failure_policy=None):
+    results = run(sizes, benchmarks=benchmarks,
+                  num_instructions=num_instructions, warmup=warmup,
+                  executor=executor, failure_policy=failure_policy)
+    benchmark_names = sorted(next(iter(results.values())))
     headers = ["benchmark"] + ["%dKB" % (s // 1024) for s in sizes]
-    rows = [[b] + [results[s][b] for s in sizes] for b in benchmarks]
+    rows = [[b] + [results[s][b] for s in sizes]
+            for b in benchmark_names]
     avg = averages(results)
     rows.append(["average"] + [avg[s] for s in sizes])
     return ("Figure 9 -- normalized IPC vs re-map cache size "

@@ -19,23 +19,25 @@ BENCHMARKS = ("mcf", "twolf", "swim", "mgrid")
 
 
 def _averages(config, benchmarks, num_instructions, warmup,
-              policies=POLICIES, executor=None):
+              policies=POLICIES, executor=None, failure_policy=None):
     sweep = PolicySweep(list(benchmarks), list(policies), config=config,
                         num_instructions=num_instructions,
-                        warmup=warmup).run(executor=executor)
+                        warmup=warmup).run(executor=executor,
+                                           failure_policy=failure_policy)
     return {p: sweep.average_normalized(p) for p in policies}
 
 
 def decrypt_latency_sweep(latencies=(40, 80, 160),
                           benchmarks=BENCHMARKS,
                           num_instructions=8000, warmup=8000,
-                          executor=None):
+                          executor=None, failure_policy=None):
     """AES pipeline latency: mostly hidden behind the fetch, so the
     policy ranking should barely move."""
     return {
         latency: _averages(
             SimConfig().with_secure(decrypt_latency=latency),
-            benchmarks, num_instructions, warmup, executor=executor)
+            benchmarks, num_instructions, warmup, executor=executor,
+            failure_policy=failure_policy)
         for latency in latencies
     }
 
@@ -43,7 +45,7 @@ def decrypt_latency_sweep(latencies=(40, 80, 160),
 def memory_speed_sweep(cas_values=(10, 20, 40),
                        benchmarks=BENCHMARKS,
                        num_instructions=8000, warmup=8000,
-                       executor=None):
+                       executor=None, failure_policy=None):
     """Memory CAS latency (bus clocks): slower memory widens every
     miss but shrinks verification's *relative* share."""
     import dataclasses
@@ -55,13 +57,15 @@ def memory_speed_sweep(cas_values=(10, 20, 40),
             config, dram=dataclasses.replace(config.dram,
                                              cas_bus_clocks=cas))
         out[cas] = _averages(config, benchmarks, num_instructions, warmup,
-                             executor=executor)
+                             executor=executor,
+                             failure_policy=failure_policy)
     return out
 
 
 def mshr_sweep(entries=(2, 8, 16),
                benchmarks=BENCHMARKS,
-               num_instructions=8000, warmup=8000, executor=None):
+               num_instructions=8000, warmup=8000, executor=None,
+               failure_policy=None):
     """Outstanding-miss slots: fewer MSHRs serialise misses, which makes
     fetch gating relatively cheaper (the misses were serial anyway)."""
     import dataclasses
@@ -70,16 +74,60 @@ def mshr_sweep(entries=(2, 8, 16),
     for count in entries:
         config = dataclasses.replace(SimConfig(), mshr_entries=count)
         out[count] = _averages(config, benchmarks, num_instructions,
-                               warmup, executor=executor)
+                               warmup, executor=executor,
+                               failure_policy=failure_policy)
     return out
 
 
 def ruu_sweep(sizes=(32, 64, 128, 256),
               benchmarks=BENCHMARKS,
-              num_instructions=8000, warmup=8000, executor=None):
+              num_instructions=8000, warmup=8000, executor=None,
+              failure_policy=None):
     """Window size beyond the paper's 128/64 pair."""
     return {
         size: _averages(SimConfig().with_ruu(size), benchmarks,
-                        num_instructions, warmup, executor=executor)
+                        num_instructions, warmup, executor=executor,
+                        failure_policy=failure_policy)
         for size in sizes
     }
+
+
+def render(num_instructions=8000, warmup=8000, benchmarks=BENCHMARKS,
+           executor=None, failure_policy=None):
+    """Text artifact for ``repro figures``: all four sensitivity sweeps
+    under one shared executor, one table per varied parameter."""
+    from repro.exec import executor_scope
+    from repro.sim.report import render_table
+
+    with executor_scope(executor) as ex:
+        grids = [
+            ("decrypt latency (cycles)",
+             decrypt_latency_sweep(benchmarks=benchmarks,
+                                   num_instructions=num_instructions,
+                                   warmup=warmup, executor=ex,
+                                   failure_policy=failure_policy)),
+            ("memory CAS (bus clocks)",
+             memory_speed_sweep(benchmarks=benchmarks,
+                                num_instructions=num_instructions,
+                                warmup=warmup, executor=ex,
+                                failure_policy=failure_policy)),
+            ("MSHR entries",
+             mshr_sweep(benchmarks=benchmarks,
+                        num_instructions=num_instructions,
+                        warmup=warmup, executor=ex,
+                        failure_policy=failure_policy)),
+            ("RUU size",
+             ruu_sweep(benchmarks=benchmarks,
+                       num_instructions=num_instructions,
+                       warmup=warmup, executor=ex,
+                       failure_policy=failure_policy)),
+        ]
+    out = ["Sensitivity -- average normalized IPC per policy "
+           "(benchmarks: %s)" % ", ".join(benchmarks)]
+    for title, grid in grids:
+        out.append("")
+        out.append("%s:" % title)
+        rows = [[value] + [grid[value][p] for p in POLICIES]
+                for value in sorted(grid)]
+        out.append(render_table([title] + list(POLICIES), rows))
+    return "\n".join(out)

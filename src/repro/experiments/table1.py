@@ -13,7 +13,9 @@ def run(memory_fetch_latency=200, decrypt_latency=80, hmac_latency=74,
     return latency_gap_table(model, memory_fetch_latency)
 
 
-def render(memory_fetch_latency=200):
+def render(memory_fetch_latency=200, executor=None, failure_policy=None):
+    # executor/failure_policy: interface uniformity only -- this table
+    # is computed from the analytic crypto latency model, no jobs run.
     rows = run(memory_fetch_latency)
     headers = ["scheme", "decrypt (critical)", "decrypt (full line)",
                "authenticate", "gap"]

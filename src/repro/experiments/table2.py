@@ -24,7 +24,11 @@ def run_empirical(policies=TABLE2_POLICIES, attacks=FETCH_CHANNEL_ATTACKS):
     return empirical_security_matrix(policies, attacks)
 
 
-def render(policies=TABLE2_POLICIES, empirical=True):
+def render(policies=TABLE2_POLICIES, empirical=True, executor=None,
+           failure_policy=None):
+    # executor/failure_policy: interface uniformity only -- the
+    # empirical column runs the functional attack harness in-process,
+    # not SimJobs through the executor.
     rows = run_static(policies)
     out = ["Table 2 -- characteristics of the authentication schemes",
            render_table(rows[0], rows[1:])]

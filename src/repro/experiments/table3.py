@@ -8,7 +8,9 @@ def run(config=None):
     return table3_parameters(config or SimConfig())
 
 
-def render(config=None):
+def render(config=None, executor=None, failure_policy=None):
+    # executor/failure_policy: interface uniformity only -- the table
+    # prints SimConfig defaults, no jobs run.
     rows = run(config)
     return ("Table 3 -- processor model parameters\n"
             + render_table(["parameter", "value"], [list(r) for r in rows]))

@@ -18,12 +18,16 @@ DEFAULT_BENCHMARKS = ("mcf", "twolf", "swim", "mgrid")
 
 def run(seeds=(2006, 7, 42), policies=DEFAULT_POLICIES,
         benchmarks=DEFAULT_BENCHMARKS, num_instructions=8000,
-        warmup=8000, l2_bytes=256 * 1024, executor=None):
+        warmup=8000, l2_bytes=256 * 1024, executor=None,
+        failure_policy=None):
     """Per-policy normalized-IPC samples across seeds.
 
     ``executor`` (a :func:`repro.exec.make_executor` backend) fans each
     seed's sweep out over worker processes; results are bit-identical to
-    the serial default.
+    the serial default.  Under a skipping ``failure_policy`` a seed whose
+    jobs all failed contributes a None sample, kept in place so samples
+    stay seed-aligned across policies; mean/std are computed over the
+    surviving samples (None when none survived).
 
     Returns ``{policy: {"samples": [...], "mean": m, "std": s}}``.
     """
@@ -32,17 +36,24 @@ def run(seeds=(2006, 7, 42), policies=DEFAULT_POLICIES,
         sweep = PolicySweep(list(benchmarks), list(policies),
                             config=SimConfig().with_l2_size(l2_bytes),
                             num_instructions=num_instructions,
-                            warmup=warmup, seed=seed).run(executor=executor)
+                            warmup=warmup, seed=seed).run(
+                                executor=executor,
+                                failure_policy=failure_policy)
         for policy in policies:
             samples[policy].append(sweep.average_normalized(policy))
     out = {}
     for policy, values in samples.items():
-        mean = sum(values) / len(values)
-        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        present = [v for v in values if v is not None]
+        if present:
+            mean = sum(present) / len(present)
+            variance = sum((v - mean) ** 2 for v in present) / len(present)
+            std = math.sqrt(variance)
+        else:
+            mean = std = None
         out[policy] = {
             "samples": values,
             "mean": mean,
-            "std": math.sqrt(variance),
+            "std": std,
         }
     return out
 
@@ -55,22 +66,33 @@ def ordering_is_stable(result, order=("authen-then-issue",
     The default omits commit+fetch: its average sits within noise of
     authen-then-issue (the paper separates them by only ~3pp), so its
     rank against issue is not seed-stable on small benchmark subsets.
+
+    An ordering over policies none of which appear in ``result`` is
+    vacuously stable: the empty intersection returns True instead of
+    indexing into an empty list.
     """
     present = [p for p in order if p in result]
+    if not present:
+        return True
     count = len(result[present[0]]["samples"])
     for index in range(count):
         values = [result[p]["samples"][index] for p in present]
+        if any(v is None for v in values):
+            continue  # a skipped seed can't witness an inversion
         if any(b < a - 0.005 for a, b in zip(values, values[1:])):
             return False
     return True
 
 
 def render(result):
+    def fmt(value):
+        return "--" if value is None else "%.3f" % value
+
     lines = ["Seed variance of normalized IPC (mean +/- std):"]
     for policy, stats in sorted(result.items()):
-        lines.append("  %-24s %.3f +/- %.3f   %s"
-                     % (policy, stats["mean"], stats["std"],
-                        ["%.3f" % v for v in stats["samples"]]))
+        lines.append("  %-24s %s +/- %s   %s"
+                     % (policy, fmt(stats["mean"]), fmt(stats["std"]),
+                        [fmt(v) for v in stats["samples"]]))
     lines.append("ordering stable across seeds: %s"
                  % ordering_is_stable(result))
     return "\n".join(lines)

@@ -151,6 +151,35 @@ def build_sweep_manifest(sweep, profiler=None):
     }
 
 
+def build_figures_manifest(entries, backend=None, num_instructions=None,
+                           warmup=None, profiler=None):
+    """Combined manifest for one ``repro figures`` invocation.
+
+    ``entries`` is a list of dicts -- one per regenerated artifact --
+    each carrying ``name``, ``artifact`` (the text file written),
+    ``jobs`` (per-job outcome dicts, sorted by job_id) and ``failures``
+    (the terminal-failure subset).  The top level records the shared
+    executor ``backend``, so a serial and a parallel regeneration of
+    the same artifact set differ only in that field (and phases/git).
+    """
+    total_jobs = sum(len(entry.get("jobs", ())) for entry in entries)
+    total_failures = sum(len(entry.get("failures", ()))
+                         for entry in entries)
+    return {
+        "format_version": MANIFEST_VERSION,
+        "kind": "figures",
+        "artifacts": [entry["name"] for entry in entries],
+        "num_instructions": num_instructions,
+        "warmup": warmup,
+        "backend": backend,
+        "git": git_describe(),
+        "phases": profiler.as_dict() if profiler is not None else {},
+        "total_jobs": total_jobs,
+        "total_failures": total_failures,
+        "figures": entries,
+    }
+
+
 def write_json(payload, path):
     """Write any manifest to ``path`` (stable key order)."""
     with open(path, "w") as handle:
@@ -159,14 +188,25 @@ def write_json(payload, path):
 
 
 def write_sweep_csv(sweep, path, baseline="decrypt-only"):
-    """Flatten a sweep to CSV: one row per (benchmark, policy) run."""
+    """Flatten a sweep to CSV: one row per (benchmark, policy) job.
+
+    Completed runs carry their numbers plus a ``status`` column
+    (``ok``/``resumed``); jobs that failed terminally under a skipping
+    failure policy still get a row -- status ``failed``, numeric fields
+    empty -- so a partial sweep's CSV names every grid point instead of
+    raising KeyError on the missing ones.
+    """
     import csv
 
+    from repro.exec.retry import STATUS_FAILED
+
+    outcomes = getattr(sweep, "job_outcomes", {})
+    job_ids = getattr(sweep, "job_ids", {})
     miss_keys = ("l1i", "l1d", "l2", "itlb", "dtlb")
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(["benchmark", "policy", "instructions", "cycles",
-                         "ipc", "ipc_normalized"]
+        writer.writerow(["benchmark", "policy", "status", "instructions",
+                         "cycles", "ipc", "ipc_normalized"]
                         + ["miss_%s" % key for key in miss_keys])
         for (benchmark, policy), result in sorted(sweep.results.items()):
             if (benchmark, baseline) in sweep.results:
@@ -174,10 +214,18 @@ def write_sweep_csv(sweep, path, baseline="decrypt-only"):
                 normalized = result.ipc / base if base else 0.0
             else:
                 normalized = ""
+            outcome = outcomes.get(job_ids.get((benchmark, policy)))
             writer.writerow(
-                [benchmark, policy, result.instructions, result.cycles,
+                [benchmark, policy,
+                 outcome.status if outcome is not None else "ok",
+                 result.instructions, result.cycles,
                  "%.6f" % result.ipc,
                  "%.6f" % normalized if normalized != "" else ""]
                 + ["%.6f" % result.miss_summary.get(key, 0.0)
                    for key in miss_keys])
+        failed = (sweep.failed_jobs()
+                  if hasattr(sweep, "failed_jobs") else {})
+        for (benchmark, policy), outcome in sorted(failed.items()):
+            writer.writerow([benchmark, policy, STATUS_FAILED,
+                             "", "", "", ""] + [""] * len(miss_keys))
     return path

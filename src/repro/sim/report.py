@@ -1,18 +1,28 @@
 """Plain-text rendering of experiment tables."""
 
 
+#: Placeholder rendered for a cell whose run is missing (a job that
+#: failed terminally under a skipping failure policy).
+MISSING_CELL = "--"
+
+
 def render_table(headers, rows, float_format="%.3f"):
     """Render a list-of-lists table with aligned columns.
 
     Numeric cells (ints and floats, as conventional for figures) are
-    right-aligned; text cells are left-aligned.
+    right-aligned; text cells are left-aligned.  ``None`` cells render
+    as ``--`` (right-aligned: they stand in for numbers).
     """
     def fmt(value):
+        if value is None:
+            return MISSING_CELL
         if isinstance(value, float):
             return float_format % value
         return str(value)
 
     def numeric(value):
+        if value is None:
+            return True  # placeholder for a number: align like one
         return isinstance(value, (int, float)) and \
             not isinstance(value, bool)
 
@@ -39,3 +49,21 @@ def series_rows(table_rows, policies):
     for benchmark, values in table_rows:
         out.append([benchmark] + [values[p] for p in policies])
     return out
+
+
+def failure_footer(sweep):
+    """Table footer summarising a sweep's terminal failures, or "".
+
+    One line per failed (benchmark, policy) pair plus a count, appended
+    under rendered tables so a ``--`` cell is never silent.
+    """
+    failed = sweep.failed_jobs()
+    if not failed:
+        return ""
+    lines = ["%d job(s) failed terminally and are shown as %s:"
+             % (len(failed), MISSING_CELL)]
+    for (benchmark, policy), outcome in sorted(failed.items()):
+        lines.append("  %s/%s: %s after %d attempt(s)"
+                     % (benchmark, policy, outcome.error,
+                        outcome.attempts))
+    return "\n".join(lines)

@@ -21,7 +21,11 @@ class PolicySweep:
 
     def __init__(self, benchmarks, policies, config=None,
                  num_instructions=20_000, seed=None, warmup=None):
-        self.benchmarks = list(benchmarks)
+        # Deduped (first occurrence wins): a duplicated benchmark would
+        # collapse to one normalized_series entry anyway, and keeping
+        # the duplicate used to deflate average_normalized, which
+        # divided by the raw list length.
+        self.benchmarks = list(dict.fromkeys(benchmarks))
         self.policies = list(policies)
         self.config = config or SimConfig()
         self.num_instructions = num_instructions
@@ -113,27 +117,52 @@ class PolicySweep:
         return write_sweep_csv(self, path, baseline=baseline)
 
     def ipc(self, benchmark, policy):
+        """IPC of one run; raises KeyError if the run is absent."""
         return self.results[(benchmark, policy)].ipc
 
+    def ipc_or_none(self, benchmark, policy):
+        """IPC of one run, or None when the job failed terminally under
+        a skipping failure policy (absent from ``results``)."""
+        result = self.results.get((benchmark, policy))
+        return None if result is None else result.ipc
+
     def normalized(self, benchmark, policy, baseline=BASELINE):
-        """IPC of ``policy`` normalised to ``baseline`` for a benchmark."""
-        base = self.ipc(benchmark, baseline)
-        return self.ipc(benchmark, policy) / base if base else 0.0
+        """IPC of ``policy`` normalised to ``baseline`` for a benchmark.
+
+        None when either run is missing (a terminal failure under
+        ``skip-and-report``/``retry-then-skip``); renderers show such
+        cells as ``--`` and averages exclude them.
+        """
+        base = self.ipc_or_none(benchmark, baseline)
+        ipc = self.ipc_or_none(benchmark, policy)
+        if base is None or ipc is None:
+            return None
+        return ipc / base if base else 0.0
 
     def normalized_series(self, policy, baseline=BASELINE):
-        """Per-benchmark normalised IPC for one policy."""
+        """Per-benchmark normalised IPC for one policy (None: failed)."""
         return {
             benchmark: self.normalized(benchmark, policy, baseline)
             for benchmark in self.benchmarks
         }
 
     def average_normalized(self, policy, baseline=BASELINE):
-        values = self.normalized_series(policy, baseline).values()
-        return sum(values) / len(self.benchmarks)
+        """Average over the benchmarks that completed (None: none did)."""
+        values = [v for v in self.normalized_series(policy,
+                                                    baseline).values()
+                  if v is not None]
+        if not values:
+            return None
+        return sum(values) / len(values)
 
 
 def normalized_ipc_table(sweep, policies=None, baseline=BASELINE):
-    """Rows of (benchmark, {policy: normalized ipc}) plus an average row."""
+    """Rows of (benchmark, {policy: normalized ipc}) plus an average row.
+
+    Cells whose job (or baseline) failed terminally under a skipping
+    failure policy hold None -- rendered as ``--`` -- and the average
+    row covers only the benchmarks that completed.
+    """
     policies = policies or sweep.policies
     rows = []
     for benchmark in sweep.benchmarks:
@@ -152,19 +181,24 @@ def speedup_over(sweep, reference, policies=None):
     """Figure 8/11/13 presentation: IPC speedup over ``reference``.
 
     Returns rows of (benchmark, {policy: speedup}) where speedup is
-    ``ipc(policy) / ipc(reference)``.
+    ``ipc(policy) / ipc(reference)``.  Cells with a failed run (policy
+    or reference) hold None and are excluded from the average row.
     """
     policies = policies or [p for p in sweep.policies if p != reference]
     rows = []
     for benchmark in sweep.benchmarks:
-        ref = sweep.ipc(benchmark, reference)
-        rows.append((
-            benchmark,
-            {p: (sweep.ipc(benchmark, p) / ref if ref else 0.0)
-             for p in policies},
-        ))
-    averages = {
-        p: sum(row[1][p] for row in rows) / len(rows) for p in policies
-    }
+        ref = sweep.ipc_or_none(benchmark, reference)
+        cells = {}
+        for p in policies:
+            ipc = sweep.ipc_or_none(benchmark, p)
+            if ref is None or ipc is None:
+                cells[p] = None
+            else:
+                cells[p] = ipc / ref if ref else 0.0
+        rows.append((benchmark, cells))
+    averages = {}
+    for p in policies:
+        values = [row[1][p] for row in rows if row[1][p] is not None]
+        averages[p] = sum(values) / len(values) if values else None
     rows.append(("average", averages))
     return rows

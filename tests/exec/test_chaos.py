@@ -168,3 +168,113 @@ class TestChaosCli:
 
         assert main(["chaos", "--faults", "gremlins"]) == 2
         assert "unknown fault" in capsys.readouterr().err
+
+
+class TestInfraFaults:
+    def test_fault_for_matches_benchmark_policy_key(self):
+        plan = ChaosPlan(0, {"gzip/decrypt-only": FAULT_JOB_EXCEPTION})
+        target = next(j for j in JOBS if j.policy == "decrypt-only")
+        other = next(j for j in JOBS if j.policy != "decrypt-only")
+        assert plan.fault_for(target, 1) == FAULT_JOB_EXCEPTION
+        assert plan.fault_for(target, 2) is None
+        assert plan.fault_for(other, 1) is None
+
+    def test_init_fault_fires_exactly_once(self, tmp_path):
+        from repro.exec.chaos import FAULT_POOL_INIT
+
+        plan = ChaosPlan(0, {}, infra_faults=(FAULT_POOL_INIT,))
+        plan.arm_init_fault(str(tmp_path / "sentinel"))
+        with pytest.raises(InjectedFault):
+            plan.init_fault()
+        plan.init_fault()  # sentinel exists: the rebuilt pool heals
+
+    def test_unarmed_init_fault_is_a_noop(self):
+        from repro.exec.chaos import FAULT_POOL_INIT
+
+        ChaosPlan(0, {}).init_fault()
+        ChaosPlan(0, {}, infra_faults=(FAULT_POOL_INIT,)).init_fault()
+
+    def test_enospc_journal_degrades_not_aborts(self, tmp_path):
+        from repro.exec.chaos import _enospc_journal
+        from repro.obs import MemorySink, Tracer
+        from repro.obs.events import JOURNAL_DEGRADED
+
+        sink = MemorySink()
+        journal = _enospc_journal(str(tmp_path / "j.jsonl"), fail_at=2)
+        executor = SerialExecutor()
+        results = executor.run(JOBS, journal=journal,
+                               tracer=Tracer([sink]))
+        # Every job completed in memory despite the dead journal...
+        assert set(results) == set(JOBS)
+        degraded = [e for e in sink.events
+                    if e.kind == JOURNAL_DEGRADED]
+        assert len(degraded) == 1
+        assert "ENOSPC" in degraded[0].args["error"].upper() or \
+            "28" in degraded[0].args["error"]
+        # ...and only the pre-failure record made it to disk.
+        assert len(JobJournal(str(tmp_path / "j.jsonl"))) == 1
+
+    def test_pool_init_campaign_converges(self, tmp_path):
+        from repro.exec.chaos import FAULT_POOL_INIT
+
+        report = run_chaos(policies=("decrypt-only",
+                                     "authen-then-commit"),
+                           num_instructions=600, warmup=300, seed=0,
+                           faults=(FAULT_POOL_INIT,), workers=2,
+                           workdir=str(tmp_path))
+        assert report.identical
+        assert report.pool_rebuilds >= 1
+        assert report.failures == []
+
+    def test_enospc_campaign_converges(self, tmp_path):
+        from repro.exec.chaos import FAULT_JOURNAL_ENOSPC
+
+        report = run_chaos(policies=("decrypt-only",
+                                     "authen-then-commit"),
+                           num_instructions=600, warmup=300, seed=0,
+                           faults=(FAULT_JOURNAL_ENOSPC,), workers=1,
+                           workdir=str(tmp_path))
+        assert report.identical
+        assert report.journal_degraded_events == 1
+        # The journal died after one record: phase 3 re-simulates the
+        # lost jobs instead of resuming them.
+        assert report.reexecuted_jobs >= 1
+        assert "journal degraded" in report.render()
+
+
+class TestFiguresChaos:
+    def test_worker_kill_yields_identical_artifacts(self, tmp_path):
+        from repro.exec.chaos import run_figures_chaos
+
+        report = run_figures_chaos(figures=("fig8",),
+                                   benchmarks=("gzip",),
+                                   num_instructions=600, warmup=300,
+                                   workers=2, workdir=str(tmp_path))
+        assert report.identical
+        assert report.failures == 0
+        assert report.mismatches == []
+        assert FAULT_WORKER_KILL in report.injected.values()
+        assert report.pool_rebuilds >= 1
+        assert "byte-identical" in report.render()
+
+    def test_unknown_figure_rejected(self):
+        from repro.exec.chaos import run_figures_chaos
+
+        with pytest.raises(ReproError):
+            run_figures_chaos(figures=("fig99",))
+
+    def test_cli_figures_smoke(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(["chaos", "--figures", "fig8",
+                     "--benchmark", "gzip",
+                     "-n", "600", "--warmup", "300",
+                     "--workdir", str(tmp_path)])
+        assert code == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_cli_figures_rejects_unknown(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--figures", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err

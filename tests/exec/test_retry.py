@@ -196,3 +196,46 @@ class TestSerialFailurePolicy:
             outcome = executor.last_outcomes[job.job_id]
             assert outcome.status == STATUS_RESUMED
             assert outcome.attempts == 0
+
+
+class TestAttemptDeadlineNesting:
+    """A nested deadline must re-arm the outer timer's remainder on
+    exit -- restoring only the handler used to silently disarm the
+    outer deadline."""
+
+    def test_outer_deadline_survives_inner_block(self):
+        import time
+
+        from repro.exec.retry import attempt_deadline
+
+        with pytest.raises(JobTimeoutError):
+            with attempt_deadline(0.2):
+                with attempt_deadline(10.0):
+                    pass  # generous inner deadline, exits untriggered
+                # The outer 0.2s must still be armed here.
+                time.sleep(1.0)
+
+    def test_expired_inner_leaves_outer_rearmed_then_clean(self):
+        import signal
+        import time
+
+        from repro.exec.retry import attempt_deadline
+
+        with attempt_deadline(10.0):
+            with pytest.raises(JobTimeoutError):
+                with attempt_deadline(0.05):
+                    time.sleep(1.0)
+            # Outer remainder re-armed by the inner exit path.
+            armed, _ = signal.getitimer(signal.ITIMER_REAL)
+            assert armed > 0
+        # Both exited: nothing may still be ticking.
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+    def test_single_deadline_disarms_on_exit(self):
+        import signal
+
+        from repro.exec.retry import attempt_deadline
+
+        with attempt_deadline(5.0):
+            pass
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)

@@ -214,7 +214,51 @@ class TestSweepFaultTolerance:
         assert code == 1
         captured = capsys.readouterr()
         assert "failed terminally" in captured.err
-        assert "completed runs only" in captured.out
+        # The table still renders: the failed cell is a placeholder and
+        # the footer names the casualty.
+        assert "normalized IPC" in captured.out
+        assert "--" in captured.out
+        assert "shown as --" in captured.out
+        assert "gzip/authen-then-commit" in captured.out
+
+    def test_retries_promote_skip_mode_to_retry(self, capsys):
+        # "--on-error skip --retries 2" used to silently drop the
+        # retries; now it resolves to retry-then-skip and says so.
+        from repro.cli import _failure_policy, build_parser
+        from repro.exec import RETRY_THEN_SKIP
+
+        args = build_parser().parse_args(
+            ["sweep", "gzip", "--on-error", "skip", "--retries", "2"])
+        policy = _failure_policy(args)
+        assert policy.mode == RETRY_THEN_SKIP
+        assert policy.max_attempts == 3
+        assert "promotes --on-error skip" in capsys.readouterr().err
+
+    def test_retries_with_retry_mode_print_no_note(self, capsys):
+        from repro.cli import _failure_policy, build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "gzip", "--on-error", "retry", "--retries", "2"])
+        _failure_policy(args)
+        assert "promotes" not in capsys.readouterr().err
+
+    def test_cli_skip_retries_actually_retry(self, capsys, hook):
+        from repro.cli import main
+
+        attempts_seen = []
+
+        def fail_first(job, attempt):
+            if job.policy == "authen-then-commit":
+                attempts_seen.append(attempt)
+                if attempt == 1:
+                    raise RuntimeError("transient")
+
+        hook(fail_first)
+        code = main(["sweep", "gzip", "-p", "authen-then-commit",
+                     "-n", "600", "--warmup", "300",
+                     "--on-error", "skip", "--retries", "2"])
+        assert code == 0
+        assert attempts_seen == [1, 2]
 
     def test_cli_compact_requires_checkpoint(self, capsys):
         from repro.cli import main

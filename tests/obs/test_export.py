@@ -100,3 +100,25 @@ class TestConfigDict:
 
     def test_none_passthrough(self):
         assert config_to_dict(None) is None
+
+
+class TestFiguresManifest:
+    def test_totals_and_shape(self):
+        from repro.obs.export import build_figures_manifest
+
+        entries = [
+            {"name": "fig8", "artifact": "fig8.txt",
+             "jobs": [{"job_id": "a", "status": "ok"},
+                      {"job_id": "b", "status": "failed"}],
+             "failures": [{"job_id": "b", "status": "failed"}]},
+            {"name": "table1", "artifact": "table1.txt",
+             "jobs": [], "failures": []},
+        ]
+        manifest = build_figures_manifest(
+            entries, backend={"backend": "process", "jobs": 2},
+            num_instructions=600, warmup=300)
+        assert manifest["kind"] == "figures"
+        assert manifest["artifacts"] == ["fig8", "table1"]
+        assert manifest["total_jobs"] == 2
+        assert manifest["total_failures"] == 1
+        assert manifest["backend"]["jobs"] == 2

@@ -1,0 +1,165 @@
+"""Graceful degradation of tables/averages/CSV on terminally-failed jobs.
+
+Regression suite for the headline bugfix: every table builder used to
+raise KeyError the moment a sweep came back partial under a skipping
+failure policy.  Now a failed cell is None (rendered ``--``), averages
+cover only what completed, and the failure count lands in the footer,
+the CSV and the manifest.
+"""
+
+import csv
+
+import pytest
+
+from repro.exec import SKIP_AND_REPORT, FailurePolicy, set_attempt_hook
+from repro.obs.export import build_sweep_manifest, write_sweep_csv
+from repro.sim.report import (
+    MISSING_CELL,
+    failure_footer,
+    render_table,
+    series_rows,
+)
+from repro.sim.sweep import (
+    BASELINE,
+    PolicySweep,
+    normalized_ipc_table,
+    speedup_over,
+)
+
+SCALE = dict(num_instructions=600, warmup=300)
+
+
+@pytest.fixture
+def hook():
+    installed = []
+
+    def install(fn):
+        installed.append(set_attempt_hook(fn))
+        return fn
+
+    yield install
+    while installed:
+        set_attempt_hook(installed.pop())
+
+
+def partial_sweep(hook, benchmarks=("gzip", "mcf"),
+                  policies=("authen-then-commit", "authen-then-write"),
+                  fail=("mcf", "authen-then-commit")):
+    """A sweep with exactly one (benchmark, policy) job failed."""
+
+    def fail_one(job, attempt):
+        if (job.benchmark, job.policy) == fail:
+            raise RuntimeError("injected terminal failure")
+
+    hook(fail_one)
+    return PolicySweep(list(benchmarks), list(policies), **SCALE).run(
+        failure_policy=FailurePolicy(mode=SKIP_AND_REPORT))
+
+
+class TestPartialSweepAccessors:
+    def test_failed_cell_is_none_not_keyerror(self, hook):
+        sweep = partial_sweep(hook)
+        assert sweep.ipc_or_none("mcf", "authen-then-commit") is None
+        assert sweep.ipc_or_none("gzip", "authen-then-commit") > 0
+        assert sweep.normalized("mcf", "authen-then-commit") is None
+        with pytest.raises(KeyError):  # the strict accessor still raises
+            sweep.ipc("mcf", "authen-then-commit")
+
+    def test_failed_jobs_names_the_casualty(self, hook):
+        sweep = partial_sweep(hook)
+        assert set(sweep.failed_jobs()) == {("mcf", "authen-then-commit")}
+
+    def test_average_excludes_failed_benchmark(self, hook):
+        sweep = partial_sweep(hook)
+        avg = sweep.average_normalized("authen-then-commit")
+        assert avg == sweep.normalized("gzip", "authen-then-commit")
+
+    def test_average_none_when_nothing_completed(self, hook):
+        def fail_policy(job, attempt):
+            if job.policy == "authen-then-commit":
+                raise RuntimeError("injected terminal failure")
+
+        hook(fail_policy)
+        sweep = PolicySweep(["gzip"], ["authen-then-commit"],
+                            **SCALE).run(
+            failure_policy=FailurePolicy(mode=SKIP_AND_REPORT))
+        assert sweep.average_normalized("authen-then-commit") is None
+
+
+class TestPartialTables:
+    def test_normalized_table_has_none_cells(self, hook):
+        sweep = partial_sweep(hook)
+        rows = normalized_ipc_table(sweep,
+                                    ["authen-then-commit",
+                                     "authen-then-write"])
+        cells = dict(rows)
+        assert cells["mcf"]["authen-then-commit"] is None
+        assert cells["mcf"]["authen-then-write"] is not None
+        assert cells["average"]["authen-then-commit"] is not None
+
+    def test_speedup_over_skips_failed_reference(self, hook):
+        sweep = partial_sweep(hook,
+                              fail=("mcf", "authen-then-write"))
+        rows = speedup_over(sweep, "authen-then-write",
+                            ["authen-then-commit"])
+        cells = dict(rows)
+        # mcf's reference run failed: its speedup cell is None and the
+        # average covers gzip only.
+        assert cells["mcf"]["authen-then-commit"] is None
+        assert cells["average"]["authen-then-commit"] == \
+            cells["gzip"]["authen-then-commit"]
+
+    def test_render_table_shows_placeholder(self, hook):
+        sweep = partial_sweep(hook)
+        policies = ["authen-then-commit", "authen-then-write"]
+        rows = normalized_ipc_table(sweep, policies)
+        text = render_table(["benchmark"] + policies,
+                            series_rows(rows, policies))
+        assert MISSING_CELL in text
+        assert "KeyError" not in text
+
+    def test_failure_footer_counts_and_names(self, hook):
+        sweep = partial_sweep(hook)
+        footer = failure_footer(sweep)
+        assert "1 job(s) failed terminally" in footer
+        assert "mcf/authen-then-commit" in footer
+        assert MISSING_CELL in footer
+
+    def test_failure_footer_empty_on_clean_sweep(self):
+        sweep = PolicySweep(["gzip"], ["authen-then-commit"],
+                            **SCALE).run()
+        assert failure_footer(sweep) == ""
+
+
+class TestPartialExports:
+    def test_csv_carries_failed_row(self, hook, tmp_path):
+        sweep = partial_sweep(hook)
+        path = tmp_path / "sweep.csv"
+        write_sweep_csv(sweep, str(path))
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        by_key = {(r["benchmark"], r["policy"]): r for r in rows}
+        failed = by_key[("mcf", "authen-then-commit")]
+        assert failed["status"] == "failed"
+        assert failed["ipc"] == ""
+        assert by_key[("gzip", "authen-then-commit")]["status"] == "ok"
+
+    def test_manifest_counts_failures(self, hook):
+        sweep = partial_sweep(hook)
+        manifest = build_sweep_manifest(sweep)
+        assert len(manifest["failures"]) == 1
+        assert manifest["failures"][0]["status"] == "failed"
+        run_keys = {(r["benchmark"], r["policy"])
+                    for r in manifest["runs"]}
+        assert ("mcf", "authen-then-commit") not in run_keys
+
+
+class TestDuplicateBenchmarks:
+    def test_duplicates_deduped_and_average_undeflated(self):
+        dup = PolicySweep(["gzip", "gzip"], ["authen-then-commit"],
+                          **SCALE).run()
+        ref = PolicySweep(["gzip"], ["authen-then-commit"],
+                          **SCALE).run()
+        assert dup.benchmarks == ["gzip"]
+        assert dup.average_normalized("authen-then-commit") == \
+            ref.average_normalized("authen-then-commit")
