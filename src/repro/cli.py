@@ -24,10 +24,19 @@ Commands
     skipped on rerun), ``--emit-json``/``--csv`` export the results.
 ``trace BENCH``
     Record one run and render the decrypt-to-verify gap timeline as text.
+``report FILE [FILE ...]``
+    Render a run health report (job totals, per-cell outcomes, slowest
+    jobs, cache savings, degradations) from any mix of sweep/figures/
+    run/chaos manifests and metrics snapshots, plus ``--journal`` for
+    per-job resource accounting.
 ``attack NAME``
     Run one exploit against one policy and report leak/detection.
 ``list``
     Show available benchmarks, policies and attacks.
+
+``run``, ``sweep`` and ``figures`` all accept ``--metrics-out FILE`` to
+dump the run's fleet-telemetry snapshot (JSON, or Prometheus text when
+the file ends in ``.prom``/``.txt``).
 """
 
 import argparse
@@ -80,12 +89,39 @@ _DEFAULT_POLICIES = ["decrypt-only", "authen-then-issue",
                      "commit+fetch"]
 
 
+def _metrics_registry(args):
+    """The run's MetricsRegistry, or None when telemetry is off.
+
+    Telemetry turns on when the user asked for a snapshot
+    (``--metrics-out``) or for live progress (the TTY progress line
+    feeds on the wall-time histogram).  Off means the executor sees
+    ``metrics=None`` and every recording site degrades to the shared
+    no-op metric -- the PR-1 invariant that observability must cost
+    nothing when unused.
+    """
+    if getattr(args, "metrics_out", None) or getattr(args, "progress",
+                                                     False):
+        from repro.obs import MetricsRegistry
+        return MetricsRegistry()
+    return None
+
+
+def _write_metrics(metrics, args):
+    if getattr(args, "metrics_out", None):
+        from repro.obs import write_metrics
+
+        write_metrics(metrics, args.metrics_out)
+        print("metrics snapshot written to %s" % args.metrics_out)
+
+
 def _cmd_run(args):
+    import time
+
     from repro.config import SimConfig
     from repro.exec import ParallelExecutor, build_jobs, execute_job
-    from repro.obs import (ChromeTraceSink, PhaseProfiler, Tracer,
-                           build_run_manifest, build_run_set_manifest,
-                           write_json)
+    from repro.obs import (ChromeTraceSink, JobMetrics, PhaseProfiler,
+                           Tracer, build_run_manifest,
+                           build_run_set_manifest, write_json)
 
     config = SimConfig().with_l2_size(args.l2 * 1024)
     if args.hash_tree:
@@ -111,16 +147,24 @@ def _cmd_run(args):
               "serial backend supports; running with --jobs 1",
               file=sys.stderr)
         num_workers = 1
+    metrics = _metrics_registry(args)
     if num_workers > 1:
         with ParallelExecutor(num_workers) as executor:
-            results = executor.run(jobs, profiler=profiler)
+            results = executor.run(jobs, profiler=profiler,
+                                   metrics=metrics)
     else:
         results = {}
+        jm = JobMetrics(metrics)
+        jm.pending.set(len(jobs))
         for job in jobs:
             if chrome is not None:
                 chrome.begin_process("%s/%s" % (args.benchmark, job.policy))
-            results[job] = execute_job(job, tracer=tracer,
-                                       profiler=profiler)
+            job_started = time.perf_counter()
+            result = execute_job(job, tracer=tracer, profiler=profiler)
+            results[job] = result
+            jm.observe_completed(result,
+                                 time.perf_counter() - job_started)
+            jm.pending.dec()
 
     baseline = None
     recorded = []
@@ -148,6 +192,7 @@ def _cmd_run(args):
                 profiler=profiler, benchmark=args.benchmark)
         write_json(manifest, args.emit_json)
         print("run manifest written to %s" % args.emit_json)
+    _write_metrics(metrics, args)
     if args.trace_out or args.emit_json:
         print(profiler.render())
     return 0
@@ -219,18 +264,25 @@ def _cmd_sweep(args):
             print("resuming from %s: %d completed job(s) will be skipped"
                   % (args.checkpoint, len(journal)))
 
+    metrics = _metrics_registry(args)
     progress = None
     if args.progress:
-        def progress(job, result, done, total):
-            print("[%d/%d] %s/%s: %d cycles"
-                  % (done, total, job.benchmark, job.policy,
-                     result.cycles), file=sys.stderr)
+        # A real TTY gets the single rewriting status line (done/total,
+        # ETA, retries, cache hit rate); pipes keep line-per-job logs.
+        from repro.obs import make_progress
+        progress = make_progress(sys.stderr, metrics=metrics)
 
     start = time.perf_counter()
-    with make_executor(args.jobs) as executor:
-        sweep.run(include_baseline=not args.no_baseline,
-                  profiler=profiler, executor=executor, journal=journal,
-                  progress=progress, failure_policy=_failure_policy(args))
+    try:
+        with make_executor(args.jobs) as executor:
+            sweep.run(include_baseline=not args.no_baseline,
+                      profiler=profiler, executor=executor,
+                      journal=journal, progress=progress,
+                      failure_policy=_failure_policy(args),
+                      metrics=metrics)
+    finally:
+        if progress is not None:
+            progress.close()
     elapsed = time.perf_counter() - start
 
     failed = sweep.failed_jobs()
@@ -271,6 +323,7 @@ def _cmd_sweep(args):
     if args.csv:
         sweep.write_csv(args.csv)
         print("sweep CSV written to %s" % args.csv)
+    _write_metrics(metrics, args)
     return 1 if failed else 0
 
 
@@ -293,12 +346,14 @@ def _cmd_figures(args):
     else:
         names = list(ARTIFACTS)
     scale = _scale(args)
+    metrics = _metrics_registry(args)
     summary = run_figures(names, args.out,
                           num_instructions=scale["num_instructions"],
                           warmup=scale["warmup"], jobs=args.jobs,
                           failure_policy=_failure_policy(args),
-                          log=print)
+                          log=print, metrics=metrics)
     print("figures manifest written to %s" % summary["manifest_path"])
+    _write_metrics(metrics, args)
     if summary["total_failures"]:
         print("WARNING: %d job(s) failed terminally; affected cells "
               "are shown as -- in the artifacts"
@@ -363,7 +418,7 @@ def _cmd_chaos(args):
 def _cmd_trace(args):
     from repro.config import SimConfig
     from repro.obs import (MemorySink, Tracer, render_gap_timeline,
-                           render_lane_census)
+                           render_jobs_summary, render_lane_census)
     from repro.sim.runner import run_benchmark
 
     sink = MemorySink(capacity=args.buffer)
@@ -379,8 +434,35 @@ def _cmd_trace(args):
               % sink.dropped)
     print()
     print(render_lane_census(sink.events))
+    jobs_summary = render_jobs_summary(sink.events)
+    if jobs_summary is not None:  # single-run traces omit the section
+        print()
+        print(jobs_summary)
     print()
     print(render_gap_timeline(sink.events, limit=args.limit))
+    return 0
+
+
+def _cmd_report(args):
+    import json
+
+    from repro.errors import ReproError
+    from repro.obs import build_report, render_report
+
+    if not args.artifact and not args.journal:
+        print("error: nothing to report on; pass at least one manifest/"
+              "snapshot file or --journal", file=sys.stderr)
+        return 2
+    try:
+        report = build_report(args.artifact, journal=args.journal,
+                              top=args.top)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report, top=args.top))
     return 0
 
 
@@ -469,6 +551,9 @@ def build_parser():
                         "timings, full stats snapshot)")
     p.add_argument("-j", "--jobs", type=int, default=1,
                    help="worker processes (default 1: serial backend)")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write the fleet-telemetry snapshot (JSON, or "
+                        "Prometheus text for .prom/.txt)")
     _add_scale(p)
     p.set_defaults(func=_cmd_run)
 
@@ -497,7 +582,12 @@ def build_parser():
                    help="write the sweep manifest (per-job ids, backend "
                         "metadata, full stats snapshots)")
     p.add_argument("--progress", action="store_true",
-                   help="print per-job completions to stderr")
+                   help="live progress on stderr: a rewriting status "
+                        "line (done/total, ETA, retries, cache hit "
+                        "rate) on a TTY, per-job lines otherwise")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write the fleet-telemetry snapshot (JSON, or "
+                        "Prometheus text for .prom/.txt)")
     p.add_argument("--timeout", type=float, default=None, metavar="SECS",
                    help="per-attempt wall-clock budget for one job")
     p.add_argument("--retries", type=int, default=0, metavar="N",
@@ -541,6 +631,9 @@ def build_parser():
                    help="terminal-failure policy: abort (fail, "
                         "default), skip the job and render -- cells "
                         "(skip), or retry then skip (retry)")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write the fleet-telemetry snapshot (JSON, or "
+                        "Prometheus text for .prom/.txt)")
     _add_scale(p)
     p.set_defaults(func=_cmd_figures)
 
@@ -592,6 +685,22 @@ def build_parser():
     p.add_argument("--buffer", type=int, default=None,
                    help="ring-buffer capacity (default: unbounded)")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("report",
+                       help="render a run health report from sweep/"
+                            "figures/run/chaos manifests, metrics "
+                            "snapshots and the job journal")
+    p.add_argument("artifact", nargs="*", metavar="FILE",
+                   help="manifest / metrics-snapshot / chaos-report "
+                        "JSON files (kinds are sniffed per file)")
+    p.add_argument("--journal", metavar="FILE",
+                   help="job journal (--checkpoint file) to mine for "
+                        "per-job wall/RSS/cache accounting")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="rows in the slowest-jobs table (default 10)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of text")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("attack", help="run an exploit against a policy")
     p.add_argument("attack")

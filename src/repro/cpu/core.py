@@ -69,6 +69,10 @@ class RunResult:
         # Derived RunMetrics, attached by repro.exec.execute_job; None
         # for results produced by driving the core directly.
         self.metrics = None
+        # Per-job resource accounting (wall/tracegen seconds, cache hit,
+        # peak RSS), attached by repro.exec.execute_job; never part of
+        # the simulated state, so it stays out of result digests.
+        self.accounting = None
 
     @property
     def ipc(self):

@@ -11,6 +11,7 @@ and bit-identical because generation is deterministic.
 """
 
 import threading
+import time
 from collections import OrderedDict
 
 from repro.workloads.spec import get_profile
@@ -26,6 +27,8 @@ class TraceCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.gen_seconds = 0.0  # wall time spent generating on misses
 
     def get(self, benchmark, num_instructions, seed, profiler=None):
         """The trace for ``benchmark``, generated at most once per key.
@@ -46,16 +49,31 @@ class TraceCache:
                 return trace
             self.misses += 1
         profile = get_profile(benchmark)
+        started = time.perf_counter()
         if profiler is not None:
             with profiler.phase("tracegen"):
                 trace = generate_trace(profile, num_instructions, seed=seed)
         else:
             trace = generate_trace(profile, num_instructions, seed=seed)
+        elapsed = time.perf_counter() - started
         with self._lock:
+            self.gen_seconds += elapsed
             self._entries[key] = trace
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
         return trace
+
+    def stats(self):
+        """Counter snapshot for telemetry (hits/misses/evictions/...)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "gen_seconds": round(self.gen_seconds, 6),
+            }
 
     def clear(self):
         with self._lock:

@@ -31,11 +31,12 @@ processes), so per-run events are only recorded by the serial backend.
 """
 
 import os
+import sys
 import time
 from contextlib import contextmanager
 
 from repro.errors import JobTimeoutError
-from repro.exec.cache import cached_trace
+from repro.exec.cache import GLOBAL_CACHE, cached_trace
 from repro.exec.retry import (
     FAIL_FAST,
     STATUS_FAILED,
@@ -53,6 +54,7 @@ from repro.obs.events import (
     JOURNAL_DEGRADED,
     LANE_JOBS,
 )
+from repro.obs.metrics import JobMetrics
 
 #: Optional fault-injection hook called as ``hook(job, attempt)`` at the
 #: start of every attempt (in the worker process for the pool backend).
@@ -69,18 +71,46 @@ def set_attempt_hook(hook):
     return previous
 
 
+def _peak_rss_kb():
+    """Peak RSS of this process in KB (None where unavailable).
+
+    Linux reports ``ru_maxrss`` in KB, macOS in bytes (normalised
+    here).  This is a process high-water mark, not a per-job delta:
+    for pool workers it approximates the job well, for the serial
+    backend it is the driver's footprint.
+    """
+    try:
+        import resource
+    except ImportError:
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        rss //= 1024
+    return rss
+
+
 def execute_job(job, tracer=None, profiler=None, cache=None):
     """Run one job and return its RunResult (with ``.metrics`` attached).
 
     Pure with respect to ``job``: every call builds a private simulator,
     so results do not depend on execution order or backend.
+
+    Resource accounting rides along on ``result.accounting`` -- wall
+    and tracegen seconds, whether the trace came from cache, and the
+    process's peak RSS.  It is measured here, inside the worker for the
+    pool backend, because the accounting has to cross the pickle
+    boundary with the result; it never touches simulated state.
     """
     from repro.sim.metrics import collect_metrics
     from repro.sim.runner import build_simulator
 
+    started = time.perf_counter()
+    active_cache = cache if cache is not None else GLOBAL_CACHE
+    hits_before = active_cache.hits
+    gen_before = active_cache.gen_seconds
     trace = cached_trace(job.benchmark, job.trace_length,
                          job.effective_seed, profiler=profiler,
-                         cache=cache)
+                         cache=active_cache)
     core, hierarchy = build_simulator(job.config, job.policy, tracer=tracer)
     result = core.run(trace, warmup=job.warmup, profiler=profiler)
     if profiler is not None:
@@ -88,6 +118,13 @@ def execute_job(job, tracer=None, profiler=None, cache=None):
             result.metrics = collect_metrics(result, hierarchy)
     else:
         result.metrics = collect_metrics(result, hierarchy)
+    result.accounting = {
+        "wall_seconds": round(time.perf_counter() - started, 6),
+        "tracegen_seconds": round(active_cache.gen_seconds - gen_before,
+                                  6),
+        "cache_hit": active_cache.hits > hits_before,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
     return result
 
 
@@ -108,7 +145,7 @@ class Executor:
         self.last_outcomes = {}
 
     def run(self, jobs, journal=None, tracer=None, profiler=None,
-            progress=None, failure_policy=None):
+            progress=None, failure_policy=None, metrics=None):
         """Execute ``jobs``; returns ``{job: RunResult}``.
 
         ``journal`` (a :class:`~repro.sim.checkpoint.JobJournal`) makes
@@ -125,6 +162,13 @@ class Executor:
 
         ``progress(job, result, done, total)`` fires per completion in
         the calling process, after the journal append.
+
+        ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
+        receives the standard execution-layer families -- jobs settled
+        by status, wall-time/backoff histograms, queue depth, cache and
+        degradation counters.  None (the default) routes every record
+        through the shared null registry: a no-op per event, and
+        nothing that can perturb simulated cycle counts.
         """
         jobs = list(jobs)
         results = {}
@@ -135,12 +179,18 @@ class Executor:
             if done is not None:
                 results[job] = done
                 outcomes[job.job_id] = JobResult(
-                    job_id=job.job_id, status=STATUS_RESUMED, attempts=0)
+                    job_id=job.job_id, status=STATUS_RESUMED, attempts=0,
+                    cache_hit=(done.accounting or {}).get("cache_hit"),
+                    peak_rss_kb=(done.accounting or {}).get("peak_rss_kb"))
             else:
                 pending.append(job)
         state = _RunState(len(jobs), len(jobs) - len(pending), journal,
                           tracer, profiler, progress,
-                          failure_policy or FailurePolicy(), outcomes)
+                          failure_policy or FailurePolicy(), outcomes,
+                          metrics=metrics)
+        for outcome in outcomes.values():
+            state.jm.jobs.labels(STATUS_RESUMED).inc()
+        state.jm.pending.set(len(pending))
         self.last_outcomes = outcomes
         if pending:
             self._execute(pending, results, state)
@@ -206,10 +256,15 @@ class Executor:
 
 
 class _RunState:
-    """Per-run completion bookkeeping shared by the backends."""
+    """Per-run completion bookkeeping shared by the backends.
+
+    ``jm`` holds the standard metric families: real ones when the run
+    was handed a registry, the shared null metric otherwise, so every
+    code path below records unconditionally.
+    """
 
     def __init__(self, total, done, journal, tracer, profiler, progress,
-                 policy, outcomes):
+                 policy, outcomes, metrics=None):
         self.total = total
         self.done = done
         self.journal = journal
@@ -218,12 +273,17 @@ class _RunState:
         self.progress = progress
         self.policy = policy
         self.outcomes = outcomes
+        self.jm = JobMetrics(metrics)
 
     def complete(self, job, result, attempts=1, wall=0.0):
         self.done += 1
+        accounting = getattr(result, "accounting", None) or {}
         self.outcomes[job.job_id] = JobResult(
             job_id=job.job_id, status=STATUS_OK, attempts=attempts,
-            wall_time=wall)
+            wall_time=wall, cache_hit=accounting.get("cache_hit"),
+            peak_rss_kb=accounting.get("peak_rss_kb"))
+        self.jm.observe_completed(result, wall, status=STATUS_OK)
+        self.jm.pending.set(self.total - self.done)
         if self.journal is not None:
             try:
                 self.journal.record(job, result)
@@ -233,6 +293,7 @@ class _RunState:
                 # already in memory.  Drop the journal -- this run just
                 # loses resumability from here on -- and say so.
                 self.journal = None
+                self.jm.journal_degraded.inc()
                 if self.tracer is not None:
                     self.tracer.emit(JOURNAL_DEGRADED, LANE_JOBS,
                                      self.done, job_id=job.job_id,
@@ -247,6 +308,10 @@ class _RunState:
             self.progress(job, result, self.done, self.total)
 
     def retry(self, job, attempt, exc, delay):
+        self.jm.retries.inc()
+        self.jm.backoff.observe(delay)
+        if isinstance(exc, JobTimeoutError):
+            self.jm.timeouts.inc()
         if self.tracer is not None:
             self.tracer.emit(JOB_RETRY, LANE_JOBS, self.done,
                              job_id=job.job_id, attempt=attempt,
@@ -258,6 +323,10 @@ class _RunState:
         self.outcomes[job.job_id] = JobResult(
             job_id=job.job_id, status=STATUS_FAILED, attempts=attempts,
             wall_time=wall, error=repr(exc))
+        self.jm.jobs.labels(STATUS_FAILED).inc()
+        self.jm.pending.set(self.total - self.done)
+        if isinstance(exc, JobTimeoutError):
+            self.jm.timeouts.inc()
         if self.tracer is not None:
             self.tracer.emit(JOB_FAILED, LANE_JOBS, self.done,
                              job_id=job.job_id, benchmark=job.benchmark,
@@ -267,6 +336,7 @@ class _RunState:
             raise exc
 
     def degraded(self, reason, remaining):
+        self.jm.degraded.inc()
         if self.tracer is not None:
             self.tracer.emit(BACKEND_DEGRADED, LANE_JOBS, self.done,
                              reason=reason, remaining=remaining)
@@ -289,9 +359,15 @@ class SerialExecutor(Executor):
         self._cache = cache
 
     def _execute(self, pending, results, state):
+        # Evictions can only be observed driver-side (pool workers'
+        # caches live in other processes), so this delta is the serial
+        # backend's contribution alone.
+        cache = self._cache if self._cache is not None else GLOBAL_CACHE
+        evictions_before = cache.evictions
         for job in pending:
             self._run_one(job, results, state, run_tracer=state.tracer,
                           cache=self._cache)
+        state.jm.cache_evictions.inc(cache.evictions - evictions_before)
 
 
 class ParallelExecutor(Executor):
@@ -451,6 +527,7 @@ class ParallelExecutor(Executor):
                         return
         finally:
             self.rebuilds += rebuilds
+            state.jm.pool_rebuilds.inc(rebuilds)
             if state.profiler is not None:
                 state.profiler.add("execute",
                                    time.perf_counter() - start)

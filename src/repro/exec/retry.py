@@ -104,6 +104,12 @@ class JobResult:
     journal resume); ``wall_time`` spans first attempt to settlement,
     backoff sleeps included; ``error`` is the terminal error's repr
     (None unless ``status`` is failed).
+
+    ``cache_hit`` and ``peak_rss_kb`` carry the per-job resource
+    accounting measured inside ``execute_job`` (None when the job never
+    produced a result, e.g. terminal failures or old journal records).
+    Like ``wall_time`` they are *volatile*: backend- and machine-
+    dependent, so manifest comparisons must strip them.
     """
 
     job_id: str
@@ -111,6 +117,12 @@ class JobResult:
     attempts: int = 1
     wall_time: float = 0.0
     error: str = None
+    cache_hit: bool = None
+    peak_rss_kb: int = None
+
+    #: as_dict keys that vary across backends/machines (stripped from
+    #: byte-identical manifest comparisons).
+    VOLATILE_FIELDS = ("wall_time", "cache_hit", "peak_rss_kb")
 
     def as_dict(self):
         return dataclasses.asdict(self)

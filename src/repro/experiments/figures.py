@@ -35,9 +35,10 @@ class _OutcomeRecorder:
     of the experiment modules: they just thread ``executor=`` through.
     """
 
-    def __init__(self, inner, failure_policy=None):
+    def __init__(self, inner, failure_policy=None, metrics=None):
         self._inner = inner
         self._failure_policy = failure_policy
+        self._metrics = metrics
         self.outcomes = {}   # job_id -> JobResult
         self.job_keys = {}   # job_id -> (benchmark, policy)
 
@@ -45,6 +46,8 @@ class _OutcomeRecorder:
         jobs = list(jobs)
         if kwargs.get("failure_policy") is None:
             kwargs["failure_policy"] = self._failure_policy
+        if kwargs.get("metrics") is None:
+            kwargs["metrics"] = self._metrics
         results = self._inner.run(jobs, **kwargs)
         for job in jobs:
             self.job_keys[job.job_id] = (job.benchmark, job.policy)
@@ -74,21 +77,37 @@ class _OutcomeRecorder:
         return sorted(lines)
 
     def manifest_jobs(self):
-        """Outcome dicts sorted by job_id, wall times stripped.
+        """Outcome dicts sorted by job_id, volatile fields stripped.
 
-        Wall time is the one field that differs between a serial and a
-        parallel regeneration of the same artifacts; dropping it keeps
-        the combined manifest comparable across backends.
+        Wall time, cache hits and peak RSS differ between a serial and
+        a parallel regeneration of the same artifacts (and between
+        machines); dropping them keeps the combined manifest comparable
+        across backends.
         """
+        from repro.exec.retry import JobResult
+
         jobs = []
         for job_id in sorted(self.outcomes):
             outcome = self.outcomes[job_id].as_dict()
-            outcome.pop("wall_time", None)
+            for field in JobResult.VOLATILE_FIELDS:
+                outcome.pop(field, None)
             benchmark, policy = self.job_keys.get(job_id, (None, None))
             outcome["benchmark"] = benchmark
             outcome["policy"] = policy
             jobs.append(outcome)
         return jobs
+
+    def rollup(self):
+        """Per-figure outcome rollup (backend-identical by construction:
+        derived from statuses and attempt counts only)."""
+        counts = {"total": len(self.outcomes), "ok": 0, "resumed": 0,
+                  "failed": 0, "retried": 0}
+        for outcome in self.outcomes.values():
+            if outcome.status in counts:
+                counts[outcome.status] += 1
+            if outcome.attempts > 1:
+                counts["retried"] += 1
+        return counts
 
 
 def _render_table1(ctx):
@@ -218,7 +237,7 @@ ARTIFACTS = {
 
 def run_figures(names, out_dir, num_instructions=12_000, warmup=12_000,
                 jobs=None, executor=None, failure_policy=None,
-                benchmarks=None, log=None):
+                benchmarks=None, log=None, metrics=None):
     """Regenerate ``names`` (artifact keys) into ``out_dir``.
 
     All figures share one executor: a borrowed ``executor`` is used and
@@ -231,6 +250,10 @@ def run_figures(names, out_dir, num_instructions=12_000, warmup=12_000,
     ``<out_dir>/figures-manifest.json``.  Returns a dict with
     ``entries`` (per-figure manifest entries), ``manifest_path``,
     ``artifact_paths`` and ``total_failures``.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) is
+    threaded through every sweep and additionally receives one
+    ``repro_figure_jobs_total{figure,status}`` rollup per artifact.
     """
     import os
 
@@ -248,7 +271,8 @@ def run_figures(names, out_dir, num_instructions=12_000, warmup=12_000,
             if name not in names:
                 continue
             recorder = _OutcomeRecorder(inner,
-                                        failure_policy=failure_policy)
+                                        failure_policy=failure_policy,
+                                        metrics=metrics)
             ctx = {
                 "num_instructions": num_instructions,
                 "warmup": warmup,
@@ -271,9 +295,17 @@ def run_figures(names, out_dir, num_instructions=12_000, warmup=12_000,
                 "name": name,
                 "artifact": "%s.txt" % name,
                 "jobs": manifest_jobs,
+                "rollup": recorder.rollup(),
                 "failures": [job for job in manifest_jobs
                              if job["status"] == STATUS_FAILED],
             })
+            if metrics is not None and metrics.enabled:
+                figure_jobs = metrics.counter(
+                    "repro_figure_jobs_total",
+                    "Figure-regeneration jobs settled, by artifact and "
+                    "terminal status", ("figure", "status"))
+                for outcome in recorder.outcomes.values():
+                    figure_jobs.labels(name, outcome.status).inc()
             if log is not None:
                 log("%-12s -> %s (%d job(s), %d failed)"
                     % (name, path, len(manifest_jobs), len(failures)))

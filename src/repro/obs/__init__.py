@@ -1,7 +1,7 @@
-"""Observability: event tracing, run manifests, phase profiling.
+"""Observability: event tracing, run manifests, metrics, profiling.
 
-See ``docs/observability.md`` for the event taxonomy, sink formats and
-manifest schema.
+See ``docs/observability.md`` for the event taxonomy, sink formats,
+manifest schema and the fleet-telemetry metric taxonomy.
 """
 
 from repro.obs import events
@@ -12,9 +12,21 @@ from repro.obs.export import (
     write_json,
     write_sweep_csv,
 )
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    JobMetrics,
+    MetricsRegistry,
+    write_metrics,
+)
 from repro.obs.profile import PhaseProfiler
+from repro.obs.progress import ProgressLine, ProgressLog, make_progress
+from repro.obs.report import build_report, render_report
 from repro.obs.sinks import ChromeTraceSink, JsonlSink, MemorySink, Sink
-from repro.obs.timeline import render_gap_timeline, render_lane_census
+from repro.obs.timeline import (
+    render_gap_timeline,
+    render_jobs_summary,
+    render_lane_census,
+)
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = [
@@ -26,11 +38,21 @@ __all__ = [
     "JsonlSink",
     "ChromeTraceSink",
     "PhaseProfiler",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "JobMetrics",
+    "write_metrics",
+    "ProgressLine",
+    "ProgressLog",
+    "make_progress",
+    "build_report",
+    "render_report",
     "build_run_manifest",
     "build_run_set_manifest",
     "build_sweep_manifest",
     "write_json",
     "write_sweep_csv",
     "render_gap_timeline",
+    "render_jobs_summary",
     "render_lane_census",
 ]

@@ -118,10 +118,15 @@ def build_sweep_manifest(sweep, profiler=None):
             "ipc": result.ipc,
             # Fault-tolerance provenance: how many attempts this run
             # took and whether it was simulated or journal-resumed.
-            # (Wall times stay out: they would break bit-identical
-            # manifest comparisons across backends.)
             "attempts": outcome.attempts if outcome is not None else None,
             "status": outcome.status if outcome is not None else None,
+            # Per-job resource accounting (wall/tracegen seconds, cache
+            # hit, peak RSS).  Volatile by design -- backend- and
+            # machine-dependent -- so bit-identical manifest
+            # comparisons must strip this key (and the wall_time /
+            # cache_hit / peak_rss_kb fields inside "failures" entries;
+            # see JobResult.VOLATILE_FIELDS).
+            "accounting": getattr(result, "accounting", None),
             "stats": result.stats.as_dict(),
             "miss_rates": dict(result.miss_summary),
             "metrics": (result.metrics.as_dict()

@@ -48,15 +48,37 @@ class PhaseProfiler:
                 for name, seconds in self._phases.items()}
 
     def render(self):
-        """Human-readable phase table."""
+        """Human-readable phase table.
+
+        Header + dashes with right-aligned value columns -- the same
+        shape as the sweep tables out of
+        :func:`~repro.sim.report.render_table` -- plus a
+        percent-of-total column, so phase output and experiment tables
+        read as one report.
+        """
         if not self._phases:
             return "phases: (none recorded)"
         total = self.total or 1.0
-        width = max(len(name) for name in self._phases)
-        lines = ["phase timings (wall clock):"]
-        for name, seconds in self._phases.items():
-            lines.append("  %-*s %8.3fs %5.1f%%  (x%d)" % (
-                width, name, seconds, 100.0 * seconds / total,
-                self._counts[name]))
-        lines.append("  %-*s %8.3fs" % (width, "total", self.total))
+        headers = ["phase", "seconds", "% of total", "calls"]
+        rows = [
+            [name, "%.3f" % seconds,
+             "%.1f%%" % (100.0 * seconds / total),
+             "%d" % self._counts[name]]
+            for name, seconds in self._phases.items()
+        ]
+        rows.append(["total", "%.3f" % self.total, "100.0%",
+                     "%d" % sum(self._counts.values())])
+        widths = [max(len(headers[i]), *(len(row[i]) for row in rows))
+                  for i in range(len(headers))]
+        lines = [
+            "phase timings (wall clock):",
+            "  " + "  ".join(h.ljust(widths[i]) if i == 0
+                             else h.rjust(widths[i])
+                             for i, h in enumerate(headers)),
+            "  " + "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  " + "  ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)))
         return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Live fleet progress: a single rewriting status line for sweeps.
+
+``repro sweep/figures --progress`` used to print one line per completed
+job -- fine for a 4-cell smoke, useless noise for a 300-job grid.  The
+:class:`ProgressLine` renderer rewrites one status line in place
+(carriage return, no scrollback spam) showing done/total, percent, an
+ETA derived from the wall-time histogram in the run's
+:class:`~repro.obs.metrics.MetricsRegistry`, retry/failure counts and
+the trace-cache hit rate.
+
+:func:`make_progress` is the factory the CLI uses: it hands back the
+rewriting renderer only when the stream is a real TTY and falls back to
+the classic one-line-per-job printer otherwise (CI logs, pipes), so
+redirected output stays grep-able.  Both renderers have the executor's
+``progress(job, result, done, total)`` signature plus a ``close()``
+that finishes the line.
+"""
+
+import time
+
+
+class ProgressLog:
+    """Per-completion line printer (the non-TTY fallback)."""
+
+    def __init__(self, stream):
+        self._stream = stream
+
+    def __call__(self, job, result, done, total):
+        self._stream.write("[%d/%d] %s/%s: %d cycles\n"
+                           % (done, total, job.benchmark, job.policy,
+                              result.cycles))
+        self._stream.flush()
+
+    def close(self):
+        pass
+
+
+class ProgressLine:
+    """Single rewriting TTY status line fed by the metrics registry."""
+
+    def __init__(self, stream, metrics=None, clock=time.monotonic):
+        self._stream = stream
+        self._metrics = metrics
+        self._clock = clock
+        self._started = clock()
+        self._last_width = 0
+        self._dirty = False
+
+    def _family_total(self, name):
+        if self._metrics is None:
+            return 0
+        family = self._metrics.get(name)
+        return family.total() if family is not None else 0
+
+    def _eta(self, done, total):
+        """Remaining seconds, estimated from the wall-time histogram.
+
+        mean-wall x remaining, divided by the observed concurrency
+        (total wall banked / elapsed) so a parallel backend's ETA does
+        not overshoot by the worker count.  Falls back to elapsed-rate
+        when no histogram is available; None until anything completes.
+        """
+        remaining = total - done
+        if remaining <= 0:
+            return 0.0
+        elapsed = self._clock() - self._started
+        wall = (self._metrics.get("repro_job_wall_seconds")
+                if self._metrics is not None else None)
+        if wall is not None and wall.count:
+            concurrency = max(1.0, wall.sum / elapsed if elapsed else 1.0)
+            return remaining * wall.mean() / concurrency
+        if done and elapsed:
+            return elapsed / done * remaining
+        return None
+
+    def _segments(self, done, total):
+        parts = ["[%d/%d]" % (done, total),
+                 "%3.0f%%" % (100.0 * done / total if total else 100.0)]
+        eta = self._eta(done, total)
+        if eta is not None:
+            parts.append("eta %s" % _format_seconds(eta))
+        retries = self._family_total("repro_job_retries_total")
+        if retries:
+            parts.append("retried %d" % retries)
+        failed = 0
+        if self._metrics is not None:
+            jobs = self._metrics.get("repro_jobs_total")
+            if jobs is not None:
+                failed = jobs.value_for("failed")
+        if failed:
+            parts.append("failed %d" % failed)
+        hits = self._family_total("repro_trace_cache_hits_total")
+        misses = self._family_total("repro_trace_cache_misses_total")
+        if hits + misses:
+            parts.append("cache %.0f%%" % (100.0 * hits / (hits + misses)))
+        return parts
+
+    def __call__(self, job, result, done, total):
+        line = "%s | %s/%s" % (" ".join(self._segments(done, total)),
+                               job.benchmark, job.policy)
+        padding = " " * max(0, self._last_width - len(line))
+        self._stream.write("\r" + line + padding)
+        self._stream.flush()
+        self._last_width = len(line)
+        self._dirty = True
+
+    def close(self):
+        """Finish the status line so following output starts clean."""
+        if self._dirty:
+            self._stream.write("\n")
+            self._stream.flush()
+            self._dirty = False
+
+
+def _format_seconds(seconds):
+    if seconds >= 3600:
+        return "%dh%02dm" % (seconds // 3600, seconds % 3600 // 60)
+    if seconds >= 60:
+        return "%dm%02ds" % (seconds // 60, seconds % 60)
+    return "%.1fs" % seconds
+
+
+def make_progress(stream, metrics=None):
+    """The right progress renderer for ``stream``.
+
+    A real TTY gets the rewriting :class:`ProgressLine` (fed by
+    ``metrics`` when given); anything else -- CI logs, ``2>file`` --
+    gets the classic :class:`ProgressLog` line-per-job printer.
+    """
+    try:
+        is_tty = stream.isatty()
+    except (AttributeError, ValueError):
+        is_tty = False
+    if is_tty:
+        return ProgressLine(stream, metrics=metrics)
+    return ProgressLog(stream)

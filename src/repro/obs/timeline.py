@@ -7,8 +7,20 @@ timeline, plus a per-lane event census -- a no-dependencies first look
 before opening the Chrome trace in Perfetto.
 """
 
-from repro.obs.events import VERIFY_WINDOW
+from repro.obs.events import (
+    BACKEND_DEGRADED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_RETRY,
+    JOURNAL_DEGRADED,
+    LANE_JOBS,
+    VERIFY_WINDOW,
+)
 from repro.util.statistics import Histogram
+
+#: Executor-lane event kinds the jobs summary reports, in display order.
+JOB_EVENT_KINDS = (JOB_DONE, JOB_RETRY, JOB_FAILED, BACKEND_DEGRADED,
+                   JOURNAL_DEGRADED)
 
 
 def gap_histogram(events):
@@ -50,6 +62,35 @@ def render_gap_timeline(events, limit=32, width=48):
         "gap cycles over %d fetches: mean=%.1f p50=%d p95=%d max=%d"
         % (hist.total, hist.mean(), hist.percentile(50),
            hist.percentile(95), hist.max_key()))
+    return "\n".join(lines)
+
+
+def render_jobs_summary(events):
+    """Summarize executor-lane events: counts plus first/last ordinal.
+
+    The jobs lane abuses the ``cycle`` field as a completion *ordinal*
+    (how many jobs had settled when the event fired), so the span reads
+    as "first seen after N settlements, last after M".  Returns None
+    when the stream holds no executor events, so callers can omit the
+    section for single-run traces.
+    """
+    summary = {}  # kind -> (count, first ordinal, last ordinal)
+    for event in events:
+        if event.lane != LANE_JOBS or event.kind not in JOB_EVENT_KINDS:
+            continue
+        count, first, last = summary.get(event.kind, (0, event.cycle,
+                                                      event.cycle))
+        summary[event.kind] = (count + 1, min(first, event.cycle),
+                               max(last, event.cycle))
+    if not summary:
+        return None
+    lines = ["executor events (ordinal = jobs settled when emitted):",
+             "  %-18s %6s %8s %8s" % ("kind", "count", "first", "last")]
+    for kind in JOB_EVENT_KINDS:
+        if kind not in summary:
+            continue
+        count, first, last = summary[kind]
+        lines.append("  %-18s %6d %8d %8d" % (kind, count, first, last))
     return "\n".join(lines)
 
 

@@ -285,6 +285,11 @@ class JobJournal:
             "metrics": (result.metrics.as_dict()
                         if getattr(result, "metrics", None) is not None
                         else None),
+            # Per-job resource accounting (wall/tracegen seconds, cache
+            # hit, peak RSS).  An *additive* v2 field: old readers
+            # ignore it, old records come back with accounting None,
+            # and it is CRC-covered like everything else.
+            "accounting": getattr(result, "accounting", None),
         }
         # Normalise through one JSON round trip (int dict keys become
         # strings) so the CRC is computed over exactly the text a
@@ -322,7 +327,24 @@ class JobJournal:
             from repro.sim.metrics import RunMetrics
 
             result.metrics = RunMetrics(**record["metrics"])
+        result.accounting = record.get("accounting")
         return result
+
+    def accounting(self):
+        """Per-job accounting for every journaled record.
+
+        ``{job_id: {"benchmark", "policy", "accounting": dict-or-None}}``
+        -- what ``repro report`` mines for slowest-job and resource
+        tables without re-simulating anything.
+        """
+        return {
+            job_id: {
+                "benchmark": record.get("benchmark"),
+                "policy": record.get("policy"),
+                "accounting": record.get("accounting"),
+            }
+            for job_id, record in self._records.items()
+        }
 
     def compact(self, keep_ids=None):
         """Rewrite the journal with only current-format, live records.

@@ -71,9 +71,11 @@ def collect_metrics(result, hierarchy):
     if "decrypt_verify_gap" in hier_stats:
         gap_hist = hier_stats["decrypt_verify_gap"]
         gap = gap_hist.mean()
-        gap_p50 = gap_hist.percentile(50)
-        gap_p95 = gap_hist.percentile(95)
-        gap_max = gap_hist.max_key()
+        # percentile/max_key return None on an empty histogram; the run
+        # metrics keep the historical 0 so journal records stay stable.
+        gap_p50 = gap_hist.percentile(50) or 0
+        gap_p95 = gap_hist.percentile(95) or 0
+        gap_max = gap_hist.max_key() or 0
     else:
         gap = 0.0
         gap_p50 = gap_p95 = gap_max = 0

@@ -60,7 +60,7 @@ class PolicySweep:
 
     def run(self, include_baseline=True, profiler=None, tracer=None,
             executor=None, journal=None, progress=None,
-            failure_policy=None):
+            failure_policy=None, metrics=None):
         """Execute the sweep; returns self for chaining.
 
         ``executor`` picks the backend (default: serial, or whatever
@@ -76,13 +76,17 @@ class PolicySweep:
         accumulates phase wall clock over the whole sweep; ``tracer``
         receives per-run events (serial backend only) plus one
         ``JOB_DONE`` progress event per completed job; ``progress`` is
-        called as ``progress(job, result, done, total)``.
+        called as ``progress(job, result, done, total)``; ``metrics``
+        (a :class:`~repro.obs.metrics.MetricsRegistry`) receives the
+        execution-layer families plus a per-cell
+        ``repro_sweep_cells_total{benchmark,policy,status}`` rollup.
         """
         jobs = self.jobs(include_baseline)
         with executor_scope(executor) as active:
             results = active.run(jobs, journal=journal, tracer=tracer,
                                  profiler=profiler, progress=progress,
-                                 failure_policy=failure_policy)
+                                 failure_policy=failure_policy,
+                                 metrics=metrics)
             self.backend = active.describe()
             self.job_outcomes.update(active.last_outcomes)
         self.executed_policies = self.policy_order(include_baseline)
@@ -90,6 +94,16 @@ class PolicySweep:
             self.job_ids[(job.benchmark, job.policy)] = job.job_id
             if job in results:
                 self.results[(job.benchmark, job.policy)] = results[job]
+        if metrics is not None and metrics.enabled:
+            cells = metrics.counter(
+                "repro_sweep_cells_total",
+                "Sweep grid cells settled, by benchmark, policy and "
+                "terminal status", ("benchmark", "policy", "status"))
+            for job in jobs:
+                outcome = self.job_outcomes.get(job.job_id)
+                if outcome is not None:
+                    cells.labels(job.benchmark, job.policy,
+                                 outcome.status).inc()
         return self
 
     def failed_jobs(self):

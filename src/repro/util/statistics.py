@@ -50,12 +50,16 @@ class Histogram:
 
     def percentile(self, q):
         """Smallest key whose cumulative weight covers the ``q``-th
-        percentile (``q`` in [0, 100]); 0 for an empty histogram."""
+        percentile (``q`` in [0, 100]); None for an empty histogram.
+
+        None (not 0) so consumers can tell "no observations" apart from
+        "the percentile is the 0 bucket"; renderers show it as ``--``.
+        """
         if not 0 <= q <= 100:
             raise ValueError("percentile must be in [0, 100], got %r" % q)
         total = self.total
         if total == 0:
-            return 0
+            return None
         need = q / 100.0 * total
         cumulative = 0
         for key in sorted(self.buckets):
@@ -65,8 +69,8 @@ class Histogram:
         return key
 
     def max_key(self):
-        """Largest observed key; 0 for an empty histogram."""
-        return max(self.buckets) if self.buckets else 0
+        """Largest observed key; None for an empty histogram."""
+        return max(self.buckets) if self.buckets else None
 
     def reset(self):
         self.buckets.clear()

@@ -1,0 +1,222 @@
+"""Metrics registry tests: labels, disabled no-op path, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRIC,
+    NULL_REGISTRY,
+    HistogramMetric,
+    JobMetrics,
+    MetricsRegistry,
+    write_metrics,
+)
+
+
+class TestFamilies:
+    def test_counter_labels_create_children_on_first_use(self):
+        reg = MetricsRegistry()
+        jobs = reg.counter("jobs_total", "jobs", ("status",))
+        jobs.labels("ok").inc()
+        jobs.labels("ok").inc(2)
+        jobs.labels("failed").inc()
+        assert jobs.labels("ok").value == 3
+        assert jobs.labels("failed").value == 1
+        assert jobs.total() == 4
+
+    def test_label_arity_enforced(self):
+        reg = MetricsRegistry()
+        jobs = reg.counter("jobs_total", "jobs", ("status",))
+        with pytest.raises(ValueError):
+            jobs.labels()
+        with pytest.raises(ValueError):
+            jobs.labels("ok", "extra")
+
+    def test_label_values_coerced_to_str(self):
+        reg = MetricsRegistry()
+        cells = reg.counter("cells", "", ("index",))
+        cells.labels(7).inc()
+        assert cells.labels("7").value == 1
+
+    def test_reregistering_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs_total", "jobs", ("status",))
+        b = reg.counter("jobs_total", "jobs", ("status",))
+        assert a is b
+
+    def test_kind_and_label_conflicts_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs", ("status",))
+        with pytest.raises(ValueError):
+            reg.gauge("jobs_total", "jobs", ("status",))
+        with pytest.raises(ValueError):
+            reg.counter("jobs_total", "jobs", ("benchmark",))
+
+    def test_counter_rejects_negative_increment(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        pending = reg.gauge("pending")
+        pending.set(5)
+        pending.dec()
+        pending.inc(3)
+        assert pending.value == 7
+
+    def test_value_for_does_not_create_children(self):
+        # Read-only consumers (the progress line) must not pollute
+        # snapshots with empty series.
+        reg = MetricsRegistry()
+        jobs = reg.counter("jobs_total", "jobs", ("status",))
+        assert jobs.value_for("failed") == 0
+        assert jobs.samples() == []
+        jobs.labels("failed").inc()
+        assert jobs.value_for("failed") == 1
+
+
+class TestHistogram:
+    def test_quantisation_bounds_buckets_but_mean_is_exact(self):
+        hist = HistogramMetric(resolution=1e-3)
+        hist.observe(0.0101)
+        hist.observe(0.0102)  # same 10ms bucket
+        hist.observe(0.0204)
+        assert hist.count == 3
+        assert hist.mean() == pytest.approx((0.0101 + 0.0102 + 0.0204) / 3)
+        assert hist.percentile(50) == pytest.approx(0.010)
+        assert hist.max_value() == pytest.approx(0.020)
+
+    def test_empty_distribution_is_none_not_zero(self):
+        hist = HistogramMetric()
+        assert hist.percentile(50) is None
+        assert hist.max_value() is None
+        assert hist.mean() == 0.0
+
+
+class TestDisabledPath:
+    def test_disabled_registry_hands_out_the_null_metric(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("jobs_total") is NULL_METRIC
+        assert reg.histogram("wall") is NULL_METRIC
+        assert NULL_REGISTRY.gauge("pending") is NULL_METRIC
+
+    def test_null_metric_absorbs_every_operation(self):
+        m = NULL_METRIC
+        assert m.labels("anything", "at", "all") is m
+        m.inc()
+        m.dec()
+        m.set(9)
+        m.observe(1.5)
+        assert m.value == 0
+        assert m.count == 0
+        assert m.total() == 0
+        assert m.percentile(50) is None
+        assert m.max_value() is None
+
+    def test_disabled_registry_snapshot_is_empty(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("jobs_total").inc()
+        snap = reg.snapshot()
+        assert snap["enabled"] is False
+        assert snap["families"] == {}
+
+    def test_job_metrics_without_registry_is_all_noop(self):
+        jm = JobMetrics(None)
+        assert jm.jobs is NULL_METRIC
+        assert jm.wall is NULL_METRIC
+        jm.observe_completed(object(), 0.5)  # no accounting attr: fine
+        assert jm.registry is NULL_REGISTRY
+
+
+class TestJobMetrics:
+    class FakeResult:
+        def __init__(self, accounting):
+            self.accounting = accounting
+
+    def test_observe_completed_records_accounting(self):
+        reg = MetricsRegistry()
+        jm = JobMetrics(reg)
+        jm.observe_completed(self.FakeResult(
+            {"wall_seconds": 0.2, "tracegen_seconds": 0.1,
+             "cache_hit": False, "peak_rss_kb": 1000}), 0.2)
+        jm.observe_completed(self.FakeResult(
+            {"wall_seconds": 0.05, "tracegen_seconds": 0.0,
+             "cache_hit": True, "peak_rss_kb": 1100}), 0.05)
+        assert jm.jobs.labels("ok").value == 2
+        assert jm.wall.count == 2
+        assert jm.cache_hits.value == 1
+        assert jm.cache_misses.value == 1
+        assert jm.tracegen.count == 1
+        # saved = hits x mean miss cost = 1 x 0.1
+        assert jm.cache_saved.value == pytest.approx(0.1)
+        assert jm.rss.count == 2
+        assert jm.rss.max_value() == pytest.approx(1100)
+
+    def test_shared_taxonomy_is_reentrant(self):
+        # Two JobMetrics over one registry (sweep driver + executor)
+        # must resolve to the same families, not clash.
+        reg = MetricsRegistry()
+        a, b = JobMetrics(reg), JobMetrics(reg)
+        a.retries.inc()
+        b.retries.inc()
+        assert reg.get("repro_job_retries_total").value == 2
+
+
+class TestExporters:
+    def build(self):
+        reg = MetricsRegistry()
+        jobs = reg.counter("repro_jobs_total", "Jobs settled", ("status",))
+        jobs.labels("ok").inc(3)
+        wall = reg.histogram("repro_job_wall_seconds", "Wall time")
+        wall.observe(0.25)
+        reg.histogram("repro_retry_backoff_seconds", "never observed")
+        reg.gauge("repro_jobs_pending").set(2)
+        return reg
+
+    def test_snapshot_shape(self):
+        snap = self.build().snapshot()
+        assert snap["kind"] == "metrics"
+        assert snap["format_version"] == 1
+        jobs = snap["families"]["repro_jobs_total"]
+        assert jobs["type"] == "counter"
+        assert jobs["labels"] == ["status"]
+        assert jobs["samples"] == [
+            {"labels": {"status": "ok"}, "value": 3}]
+        wall = snap["families"]["repro_job_wall_seconds"]["samples"][0]
+        assert wall["count"] == 1
+        assert wall["p50"] == pytest.approx(0.25)
+        # Registered-but-never-observed families still list (empty).
+        assert snap["families"]["repro_retry_backoff_seconds"][
+            "samples"] == []
+
+    def test_prometheus_text(self):
+        text = self.build().render_prometheus()
+        assert '# TYPE repro_jobs_total counter' in text
+        assert 'repro_jobs_total{status="ok"} 3' in text
+        assert '# TYPE repro_job_wall_seconds summary' in text
+        assert 'repro_job_wall_seconds{quantile="0.5"} 0.25' in text
+        assert 'repro_job_wall_seconds_count 1' in text
+        assert 'repro_jobs_pending 2' in text
+        # A family with no series exports only its HELP/TYPE header.
+        assert '# TYPE repro_retry_backoff_seconds summary' in text
+        assert 'repro_retry_backoff_seconds{quantile' not in text
+        assert 'repro_retry_backoff_seconds_count' not in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "", ("path",)).labels('a"b\\c\nd').inc()
+        text = reg.render_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_write_metrics_json_and_prometheus(self, tmp_path):
+        reg = self.build()
+        json_path = tmp_path / "metrics.json"
+        prom_path = tmp_path / "metrics.prom"
+        write_metrics(reg, json_path)
+        write_metrics(reg, prom_path)
+        snap = json.loads(json_path.read_text())
+        assert snap["families"]["repro_jobs_total"]["samples"][0][
+            "value"] == 3
+        assert prom_path.read_text().startswith("# HELP")

@@ -1,0 +1,127 @@
+"""Progress renderer tests: TTY detection, status-line content, ETA."""
+
+import io
+
+from repro.obs.metrics import JobMetrics, MetricsRegistry
+from repro.obs.progress import (
+    ProgressLine,
+    ProgressLog,
+    _format_seconds,
+    make_progress,
+)
+
+
+class FakeStream(io.StringIO):
+    def __init__(self, tty):
+        super().__init__()
+        self._tty = tty
+
+    def isatty(self):
+        return self._tty
+
+
+class FakeJob:
+    benchmark = "gzip"
+    policy = "authen-then-commit"
+
+
+class FakeResult:
+    cycles = 1234
+
+
+class TestFactory:
+    def test_tty_gets_the_rewriting_line(self):
+        assert isinstance(make_progress(FakeStream(True)), ProgressLine)
+
+    def test_pipe_gets_line_per_job(self):
+        assert isinstance(make_progress(FakeStream(False)), ProgressLog)
+
+    def test_stream_without_isatty_gets_line_per_job(self):
+        assert isinstance(make_progress(object()), ProgressLog)
+
+
+class TestProgressLog:
+    def test_one_line_per_completion_and_noop_close(self):
+        stream = FakeStream(False)
+        progress = ProgressLog(stream)
+        progress(FakeJob(), FakeResult(), 1, 4)
+        progress.close()
+        assert stream.getvalue() == \
+            "[1/4] gzip/authen-then-commit: 1234 cycles\n"
+
+
+class TestProgressLine:
+    def test_segments_without_metrics(self):
+        stream = FakeStream(True)
+        clock = iter([0.0, 10.0]).__next__
+        progress = ProgressLine(stream, clock=clock)
+        progress(FakeJob(), FakeResult(), 2, 4)
+        line = stream.getvalue()
+        assert line.startswith("\r[2/4]  50%")
+        # elapsed-rate fallback: 10s for 2 jobs -> 10s for the rest
+        assert "eta 10.0s" in line
+        assert "| gzip/authen-then-commit" in line
+
+    def test_metrics_feed_retries_failures_and_cache(self):
+        reg = MetricsRegistry()
+        jm = JobMetrics(reg)
+        jm.retries.inc(2)
+        jm.jobs.labels("failed").inc()
+        jm.cache_hits.inc(3)
+        jm.cache_misses.inc()
+        stream = FakeStream(True)
+        clock = iter([0.0, 8.0]).__next__
+        progress = ProgressLine(stream, metrics=reg, clock=clock)
+        progress(FakeJob(), FakeResult(), 3, 4)
+        line = stream.getvalue()
+        assert "retried 2" in line
+        assert "failed 1" in line
+        assert "cache 75%" in line
+
+    def test_eta_uses_wall_histogram_with_concurrency_divisor(self):
+        reg = MetricsRegistry()
+        jm = JobMetrics(reg)
+        # 4 jobs x 2s of wall banked in 4s elapsed: concurrency 2, so
+        # the 4 remaining jobs should take ~ 4 * 2 / 2 = 4s.
+        for _ in range(4):
+            jm.wall.observe(2.0)
+        stream = FakeStream(True)
+        clock = iter([0.0, 4.0]).__next__
+        progress = ProgressLine(stream, metrics=reg, clock=clock)
+        progress(FakeJob(), FakeResult(), 4, 8)
+        assert "eta 4.0s" in stream.getvalue()
+
+    def test_reading_the_line_never_pollutes_the_snapshot(self):
+        # The status line reads failure counts via value_for; it must
+        # not create a zero-valued {status="failed"} series.
+        reg = MetricsRegistry()
+        jm = JobMetrics(reg)
+        jm.jobs.labels("ok").inc()
+        progress = ProgressLine(FakeStream(True), metrics=reg,
+                                clock=iter([0.0, 1.0]).__next__)
+        progress(FakeJob(), FakeResult(), 1, 2)
+        samples = reg.snapshot()["families"]["repro_jobs_total"]["samples"]
+        assert [s["labels"] for s in samples] == [{"status": "ok"}]
+
+    def test_rewrite_pads_over_the_previous_line_and_close_finishes(self):
+        stream = FakeStream(True)
+        clock = iter([0.0, 1.0, 2.0]).__next__
+        progress = ProgressLine(stream, clock=clock)
+        progress(FakeJob(), FakeResult(), 1, 2)
+
+        class ShortJob:
+            benchmark = "mcf"
+            policy = "x"
+
+        progress(ShortJob(), FakeResult(), 2, 2)
+        progress.close()
+        progress.close()  # idempotent
+        text = stream.getvalue()
+        assert text.count("\r") == 2
+        assert text.endswith("\n")
+        assert not text.endswith("\n\n")
+
+    def test_format_seconds(self):
+        assert _format_seconds(12.34) == "12.3s"
+        assert _format_seconds(90) == "1m30s"
+        assert _format_seconds(3700) == "1h01m"

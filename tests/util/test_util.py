@@ -129,12 +129,14 @@ class TestStats:
         with pytest.raises(ValueError):
             Histogram("x").percentile(-1)
 
-    def test_percentile_empty(self):
-        assert Histogram("x").percentile(95) == 0
+    def test_percentile_empty_is_none(self):
+        # None, not 0: "no observations" must be distinguishable from
+        # "the percentile is bucket 0" (renderers show `--`).
+        assert Histogram("x").percentile(95) is None
 
     def test_max_key(self):
         h = Histogram("x")
-        assert h.max_key() == 0
+        assert h.max_key() is None
         h.add(3)
         h.add(11)
         assert h.max_key() == 11
