@@ -42,7 +42,7 @@ the file ends in ``.prom``/``.txt``).
 import argparse
 import sys
 
-from repro.policies.registry import available_policies
+from repro.policies.registry import available_policies, policy_set
 from repro.workloads.spec import SPEC2000_PROFILES
 
 
@@ -84,9 +84,7 @@ def _cmd_figure(args):
     return 0
 
 
-_DEFAULT_POLICIES = ["decrypt-only", "authen-then-issue",
-                     "authen-then-commit", "authen-then-write",
-                     "commit+fetch"]
+_DEFAULT_POLICIES = list(policy_set("cli-default"))
 
 
 def _metrics_registry(args):
@@ -119,6 +117,7 @@ def _cmd_run(args):
 
     from repro.config import SimConfig
     from repro.exec import ParallelExecutor, build_jobs, execute_job
+    from repro.exec.job import build_job_groups
     from repro.obs import (ChromeTraceSink, JobMetrics, PhaseProfiler,
                            Tracer, build_run_manifest,
                            build_run_set_manifest, write_json)
@@ -149,8 +148,16 @@ def _cmd_run(args):
         num_workers = 1
     metrics = _metrics_registry(args)
     if num_workers > 1:
+        # One grouped job: the worker decodes the trace once and fans it
+        # out to every requested policy (results keyed per member job,
+        # identical to the per-job expansion below).
+        groups = build_job_groups([args.benchmark], policies,
+                                  config=config,
+                                  num_instructions=scale[
+                                      "num_instructions"],
+                                  warmup=scale["warmup"])
         with ParallelExecutor(num_workers) as executor:
-            results = executor.run(jobs, profiler=profiler,
+            results = executor.run(groups, profiler=profiler,
                                    metrics=metrics)
     else:
         results = {}
@@ -363,10 +370,34 @@ def _cmd_figures(args):
 
 
 def _cmd_chaos(args):
-    from repro.exec.chaos import ALL_FAULTS, run_chaos, run_figures_chaos
+    from repro.exec.chaos import (ALL_FAULTS, run_chaos, run_figures_chaos,
+                                  run_group_chaos)
     from repro.obs import write_json
 
     scale = _scale(args)
+    if args.group:
+        from repro.errors import ReproError
+
+        try:
+            report = run_group_chaos(
+                benchmarks=args.benchmark or ["gzip", "mcf"],
+                policies=args.policy or ["decrypt-only",
+                                         "authen-then-commit",
+                                         "authen-then-issue",
+                                         "authen-then-write"],
+                num_instructions=scale["num_instructions"],
+                warmup=scale["warmup"], seed=args.seed,
+                workers=args.jobs, timeout=args.timeout,
+                workdir=args.workdir)
+        except ReproError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        print(report.render())
+        if args.emit_json:
+            write_json(report.as_dict(), args.emit_json)
+            print("chaos report written to %s" % args.emit_json)
+        return 0 if report.identical else 1
+
     if args.figures:
         from repro.errors import ReproError
 
@@ -482,8 +513,9 @@ def _cmd_attack(args):
 
 
 def _cmd_perf(args):
-    from repro.perf.bench import (check_goldens, render_table, run_matrix,
-                                  write_report)
+    from repro.perf.bench import (check_goldens, render_group_table,
+                                  render_table, run_group_matrix,
+                                  run_matrix, write_report)
     from repro.perf.golden import GOLDEN_CYCLES
 
     if args.check:
@@ -494,13 +526,27 @@ def _cmd_perf(args):
             for line in mismatches:
                 print("  " + line, file=sys.stderr)
             return 1
-        print("golden parity OK: %d cells bit-identical"
+        print("golden parity OK: %d cells bit-identical through both "
+              "the legacy and the shared-pass path"
               % len(GOLDEN_CYCLES))
         return 0
 
     report = run_matrix(num_instructions=args.instructions,
                         warmup=args.warmup, repeats=args.repeats)
     print(render_table(report))
+    if not args.no_group:
+        group = run_group_matrix(num_instructions=args.instructions,
+                                 warmup=args.warmup,
+                                 repeats=args.repeats)
+        report["multi_policy"] = group
+        print()
+        print("multi-policy sweep (decode once, evaluate %d policies):"
+              % len(group["matrix"]["policies"]))
+        print(render_group_table(group))
+        if not group["cycles_identical"]:
+            print("grouped path cycle MISMATCH -- see table above",
+                  file=sys.stderr)
+            return 1
     if not args.no_json:
         path = write_report(report, path=args.out)
         print("benchmark report written to %s" % path)
@@ -658,6 +704,12 @@ def build_parser():
                         "regenerate these artifacts (e.g. fig8) with a "
                         "worker kill injected and verify byte-identical "
                         "output")
+    p.add_argument("--group", action="store_true",
+                   help="run the grouped-pipeline campaign instead: "
+                        "worker-kill a multi-policy group mid-"
+                        "evaluation and gate that journal resume "
+                        "re-runs only the unfinished policy "
+                        "evaluations bit-identically")
     p.add_argument("-j", "--jobs", type=int, default=2,
                    help="worker processes for the faulty phase "
                         "(default 2)")
@@ -726,6 +778,9 @@ def build_parser():
                         "current directory)")
     p.add_argument("--no-json", action="store_true",
                    help="print the table only, do not write a report")
+    p.add_argument("--no-group", action="store_true",
+                   help="skip the grouped-vs-legacy multi-policy sweep "
+                        "benchmark (all registered policies)")
     p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser("list", help="list benchmarks/policies/attacks")

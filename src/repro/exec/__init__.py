@@ -18,10 +18,17 @@ from repro.exec.executor import (
     default_jobs,
     execute_job,
     executor_scope,
+    iter_group_results,
     make_executor,
     set_attempt_hook,
 )
-from repro.exec.job import SimJob, build_jobs, stable_hash
+from repro.exec.job import (
+    MultiPolicySimJob,
+    SimJob,
+    build_job_groups,
+    build_jobs,
+    stable_hash,
+)
 from repro.exec.retry import (
     FAIL_FAST,
     RETRY_THEN_SKIP,
@@ -35,9 +42,12 @@ from repro.exec.retry import (
 
 __all__ = [
     "SimJob",
+    "MultiPolicySimJob",
     "build_jobs",
+    "build_job_groups",
     "stable_hash",
     "execute_job",
+    "iter_group_results",
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",

@@ -28,6 +28,7 @@ class TraceCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.group_reuses = 0   # in-worker fan-out hits (grouped jobs)
         self.gen_seconds = 0.0  # wall time spent generating on misses
 
     def get(self, benchmark, num_instructions, seed, profiler=None):
@@ -64,14 +65,35 @@ class TraceCache:
                 self.evictions += 1
         return trace
 
+    def count_group_reuse(self, reuses):
+        """Charge ``reuses`` cache hits for a grouped multi-policy job.
+
+        A :class:`~repro.exec.job.MultiPolicySimJob` calls ``get`` once
+        and fans the trace out to N policy evaluations in-process; the
+        N-1 reuses never go through ``get``, so without this the hit
+        counters would under-report exactly the reuse the grouped
+        pipeline exists to create (1 generation + N-1 hits per group).
+        """
+        if reuses <= 0:
+            return
+        with self._lock:
+            self.hits += reuses
+            self.group_reuses += reuses
+
     def stats(self):
         """Counter snapshot for telemetry (hits/misses/evictions/...)."""
         with self._lock:
+            lookups = self.hits + self.misses
             return {
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "group_reuses": self.group_reuses,
+                # Guarded: a fresh cache has zero lookups, and stats()
+                # must never divide by zero.
+                "hit_rate": (round(self.hits / lookups, 6)
+                             if lookups else 0.0),
                 "gen_seconds": round(self.gen_seconds, 6),
             }
 

@@ -99,6 +99,10 @@ class ChaosPlan:
         Keys in ``job_faults`` may be job_ids or ``benchmark/policy``
         pairs -- the latter lets callers (the figures chaos smoke) target
         a job without precomputing its configuration-dependent job_id.
+        Grouped execution keeps this targeting surface: the executors
+        fire the attempt hook once per *member* evaluation, so a fault
+        keyed by a member's job_id or cell lands inside whichever
+        grouped job carries it.
         """
         if attempt != 1:
             return None
@@ -472,6 +476,219 @@ def run_chaos(benchmarks=("gzip",),
         rej_path=journal.rej_path,
         journal_degraded_events=sum(1 for e in events
                                     if e.kind == JOURNAL_DEGRADED),
+    )
+
+
+@dataclasses.dataclass
+class GroupChaosReport:
+    """Outcome of one :func:`run_group_chaos` campaign."""
+
+    identical: bool
+    seed: int
+    benchmarks: tuple
+    policies: tuple
+    victim: str             # "benchmark/policy" cell the faults target
+    total_members: int
+    pool_rebuilds: int      # worker-kill phase pool losses
+    degraded: bool          # worker-kill phase fell back to serial
+    journaled_before_kill: int
+    resume_exact: bool      # resume re-ran ONLY the unfinished members
+    resumed_members: int
+    reexecuted_members: int
+    mismatches: list        # member job_ids whose digest diverged
+    failures: list          # terminal JobResult dicts from any phase
+    stats_digest: str
+    workdir: str
+
+    def as_dict(self):
+        return dataclasses.asdict(self)
+
+    def render(self):
+        lines = ["grouped chaos campaign: seed=%d victim=%s"
+                 % (self.seed, self.victim)]
+        lines.append("  %d benchmark group(s) x %d policies "
+                     "(%d member evaluations)"
+                     % (len(self.benchmarks), len(self.policies),
+                        self.total_members))
+        lines.append("  worker-kill phase: %d pool rebuild(s)%s, "
+                     "results complete"
+                     % (self.pool_rebuilds,
+                        " (degraded to serial)" if self.degraded
+                        else ""))
+        lines.append("  mid-group kill: %d member(s) journaled before "
+                     "the fault; resume re-ran %d, resumed %d -- %s"
+                     % (self.journaled_before_kill,
+                        self.reexecuted_members, self.resumed_members,
+                        "exactly the unfinished members"
+                        if self.resume_exact else
+                        "WRONG member set re-executed"))
+        if self.failures:
+            lines.append("  TERMINAL FAILURES: %s" % self.failures)
+        lines.append("  stats digest: %s" % self.stats_digest)
+        lines.append("verdict: %s" % (
+            "bit-identical to the fault-free per-job run"
+            if self.identical else
+            "DIVERGED from the fault-free per-job run: %s"
+            % (self.mismatches or "(resume or failure gate)")))
+        return "\n".join(lines)
+
+
+def run_group_chaos(benchmarks=("gzip", "mcf"),
+                    policies=("decrypt-only", "authen-then-commit",
+                              "authen-then-issue", "authen-then-write"),
+                    num_instructions=1500, warmup=750, seed=0,
+                    workers=2, timeout=30.0, max_attempts=4,
+                    workdir=None):
+    """Chaos campaign for the grouped (decode once, evaluate N) path.
+
+    Three phases against a fault-free *per-job* serial reference:
+
+    1. *Worker-kill phase*: the grouped sweep runs on a worker pool with
+       a ``worker-kill`` armed against a mid-group member (second
+       policy of the first benchmark's group).  The pool keeps dying --
+       a killed worker never charges an attempt -- until the executor
+       degrades to in-process execution, where the kill downgrades to
+       an :class:`InjectedFault` the retry policy heals.  Results must
+       come back complete and bit-identical.
+    2. *Mid-group kill*: the same grouped sweep runs serially under
+       fail-fast with an exception armed against the same member; the
+       run aborts mid-group, leaving a journal holding exactly the
+       members that completed before the fault (incremental mid-group
+       journaling).
+    3. *Resume gate*: the grouped sweep re-runs against that torn
+       journal.  The gate: every journaled member resumes from disk,
+       **only** the unfinished evaluations re-run, and the merged
+       results are bit-identical to the reference.
+    """
+    from repro.exec.job import build_job_groups
+    from repro.sim.checkpoint import JobJournal
+
+    benchmarks = list(benchmarks)
+    policies = list(policies)
+    if len(policies) < 3:
+        raise ReproError("run_group_chaos needs >= 3 policies so the "
+                         "fault can land mid-group")
+    jobs = build_jobs(benchmarks, policies,
+                      num_instructions=num_instructions, warmup=warmup)
+    groups = build_job_groups(benchmarks, policies,
+                              num_instructions=num_instructions,
+                              warmup=warmup)
+    reference = SerialExecutor().run(jobs)
+    ref_digests = {job.job_id: result_digest(reference[job])
+                   for job in jobs}
+
+    if workdir is None:
+        import tempfile
+
+        workdir = tempfile.mkdtemp(prefix="repro-groupchaos-")
+    os.makedirs(workdir, exist_ok=True)
+
+    victim_index = 1   # second member: mid-group, never the first
+    victim = "%s/%s" % (benchmarks[0], policies[victim_index])
+    failures = []
+
+    # Phase 1: worker-kill against the victim member, grouped, on a
+    # pool.  Heals via pool rebuild -> degradation -> in-process retry.
+    plan = ChaosPlan(seed, {victim: FAULT_WORKER_KILL})
+    retry_policy = FailurePolicy(mode=RETRY_THEN_SKIP,
+                                 max_attempts=max_attempts,
+                                 timeout=timeout, backoff_base=0.01,
+                                 backoff_max=0.05, jitter_seed=seed)
+    kill_journal = os.path.join(workdir, "group-kill.journal")
+    if os.path.exists(kill_journal):
+        os.remove(kill_journal)
+    previous = set_attempt_hook(plan)
+    try:
+        if workers and workers > 1:
+            executor = ParallelExecutor(
+                workers, initializer=_install_in_worker,
+                initargs=(plan,))
+        else:
+            executor = SerialExecutor()
+        with executor:
+            killed = executor.run(groups,
+                                  journal=JobJournal(kill_journal),
+                                  failure_policy=retry_policy)
+            pool_rebuilds = getattr(executor, "rebuilds", 0)
+            degraded = getattr(executor, "degraded", False)
+            failures.extend(outcome.as_dict() for outcome
+                            in executor.failures.values())
+    finally:
+        set_attempt_hook(previous)
+    kill_mismatches = [
+        member.job_id
+        for group in groups for member in group.member_jobs
+        if member not in killed
+        or result_digest(killed[member]) != ref_digests[member.job_id]]
+
+    # Phase 2: abort mid-group under fail-fast, leaving a torn journal.
+    resume_journal = os.path.join(workdir, "group-resume.journal")
+    if os.path.exists(resume_journal):
+        os.remove(resume_journal)
+    plan2 = ChaosPlan(seed, {victim: FAULT_JOB_EXCEPTION})
+    previous = set_attempt_hook(plan2)
+    try:
+        SerialExecutor().run(groups, journal=JobJournal(resume_journal),
+                             failure_policy=FailurePolicy())
+        raise ReproError("mid-group fault never fired (victim %s "
+                         "matched no member)" % victim)
+    except InjectedFault:
+        pass
+    finally:
+        set_attempt_hook(previous)
+    journaled = set(JobJournal(resume_journal).completed_ids)
+    expected_prefix = {member.job_id for member
+                       in groups[0].member_jobs[:victim_index]}
+
+    # Phase 3: resume.  Only the unfinished members may re-run.
+    healer = SerialExecutor()
+    final = healer.run(groups, journal=JobJournal(resume_journal),
+                       failure_policy=retry_policy)
+    resumed = {job_id for job_id, outcome
+               in healer.last_outcomes.items()
+               if outcome.status == STATUS_RESUMED}
+    reexecuted = {job_id for job_id, outcome
+                  in healer.last_outcomes.items()
+                  if outcome.status != STATUS_RESUMED}
+    failures.extend(outcome.as_dict() for outcome
+                    in healer.failures.values())
+    resume_exact = (journaled == expected_prefix
+                    and resumed == journaled
+                    and reexecuted == set(ref_digests) - journaled)
+
+    mismatches = []
+    digests = []
+    for job in jobs:
+        match = next((result for member, result in final.items()
+                      if member.job_id == job.job_id), None)
+        if match is None:
+            mismatches.append(job.job_id)
+            continue
+        digest = result_digest(match)
+        digests.append(digest)
+        if digest != ref_digests[job.job_id]:
+            mismatches.append(job.job_id)
+    mismatches.extend(job_id for job_id in kill_mismatches
+                      if job_id not in mismatches)
+    stats_digest = hashlib.sha256("".join(digests).encode()).hexdigest()
+
+    return GroupChaosReport(
+        identical=(not mismatches and not failures and resume_exact),
+        seed=seed,
+        benchmarks=tuple(benchmarks),
+        policies=tuple(policies),
+        victim=victim,
+        total_members=len(jobs),
+        pool_rebuilds=pool_rebuilds,
+        degraded=degraded,
+        journaled_before_kill=len(journaled),
+        resume_exact=resume_exact,
+        resumed_members=len(resumed),
+        reexecuted_members=len(reexecuted),
+        mismatches=mismatches,
+        failures=failures,
+        stats_digest=stats_digest,
+        workdir=workdir,
     )
 
 

@@ -9,6 +9,16 @@ in-process, :class:`ParallelExecutor` fans them out over a
 ``ProcessPoolExecutor`` -- and both produce bit-identical cycle counts
 and stats for the same job set.
 
+Grouped jobs: a :class:`~repro.exec.job.MultiPolicySimJob` routes
+through :func:`iter_group_results` instead -- one cached trace and one
+structural prepass (:mod:`repro.cpu.prepass`) fanned out to N
+shared-kernel policy evaluations inside a single worker.  Each member
+evaluation is journaled as the plain :class:`~repro.exec.job.SimJob` it
+replaces, under the identical job_id, so resume/retry/chaos/telemetry
+see exactly the per-job stream they always did; the serial backend
+journals members incrementally, so a kill mid-group re-runs only the
+unfinished evaluations.
+
 Fault tolerance: both backends drive every job through the
 :class:`~repro.exec.retry.FailurePolicy` handed to :meth:`Executor.run`
 -- per-attempt timeouts, bounded retries with deterministic backoff, and
@@ -37,6 +47,7 @@ from contextlib import contextmanager
 
 from repro.errors import JobTimeoutError
 from repro.exec.cache import GLOBAL_CACHE, cached_trace
+from repro.exec.job import MultiPolicySimJob
 from repro.exec.retry import (
     FAIL_FAST,
     STATUS_FAILED,
@@ -128,11 +139,126 @@ def execute_job(job, tracer=None, profiler=None, cache=None):
     return result
 
 
+def iter_group_results(group, skip=(), tracer=None, profiler=None,
+                       cache=None, attempt_of=None):
+    """Execute a :class:`MultiPolicySimJob`; yields ``(member, result)``.
+
+    One decode serves every member: the trace comes from the cache once
+    and -- when config and policy fit the shared-pass envelope -- one
+    structural prepass (:mod:`repro.cpu.prepass`) feeds the shared
+    timestamp kernel once per policy.  Members outside the envelope
+    (address obfuscation, non-ctr encryption, hash tree, prefetching)
+    run the legacy per-policy simulator on the same cached trace.  Both
+    paths produce results bit-identical to :func:`execute_job`.
+
+    ``skip`` is a set of member job_ids to leave out (mid-group resume:
+    the retry loop passes the members already journaled).
+
+    The attempt hook fires once per *member*, right before its
+    evaluation, exactly as the ungrouped pipeline fires it per job --
+    fault injection keyed by member job_id or (benchmark, policy) cell
+    keeps working unchanged.  ``attempt_of(member)`` supplies the
+    attempt number the hook reports (default: 1).
+
+    Accounting mirrors the ungrouped pipeline: the first executed member
+    carries the group's shared cost (tracegen plus prepass) and the
+    cache-lookup verdict; every later member is a pure cache reuse
+    (``cache_hit`` True, zero tracegen), which
+    :meth:`~repro.exec.cache.TraceCache.count_group_reuse` also charges
+    to the cache counters.
+    """
+    from repro.cpu.prepass import (build_prepass, policy_supported,
+                                   prepass_supported)
+    from repro.cpu.shared_kernel import replay_policy
+    from repro.policies import make_policy
+    from repro.sim.metrics import collect_metrics
+    from repro.sim.runner import build_simulator
+
+    skip = set(skip)
+    members = [m for m in group.member_jobs if m.job_id not in skip]
+    if not members:
+        return
+    started = time.perf_counter()
+    active_cache = cache if cache is not None else GLOBAL_CACHE
+    hits_before = active_cache.hits
+    gen_before = active_cache.gen_seconds
+    trace = cached_trace(group.benchmark, group.trace_length,
+                         group.effective_seed, profiler=profiler,
+                         cache=active_cache)
+    first_cache_hit = active_cache.hits > hits_before
+    tracegen = active_cache.gen_seconds - gen_before
+    active_cache.count_group_reuse(len(members) - 1)
+    policies = {m.policy: make_policy(m.policy) for m in members}
+    prepass = None
+    if (prepass_supported(group.config)
+            and any(policy_supported(p) for p in policies.values())):
+        if profiler is not None:
+            with profiler.phase("prepass"):
+                prepass = build_prepass(trace, group.config,
+                                        warmup=group.warmup)
+        else:
+            prepass = build_prepass(trace, group.config,
+                                    warmup=group.warmup)
+    shared_seconds = time.perf_counter() - started
+    for position, member in enumerate(members):
+        if _ATTEMPT_HOOK is not None:
+            _ATTEMPT_HOOK(member,
+                          attempt_of(member) if attempt_of is not None
+                          else 1)
+        member_start = time.perf_counter()
+        policy = policies[member.policy]
+        hierarchy = None
+        if prepass is not None and policy_supported(policy):
+            result = replay_policy(prepass, policy, group.config,
+                                   trace_name=getattr(trace, "name",
+                                                      "trace"),
+                                   profiler=profiler)
+        else:
+            core, hierarchy = build_simulator(group.config, member.policy,
+                                              tracer=tracer)
+            result = core.run(trace, warmup=group.warmup,
+                              profiler=profiler)
+        if profiler is not None:
+            with profiler.phase("metrics"):
+                result.metrics = collect_metrics(result, hierarchy)
+        else:
+            result.metrics = collect_metrics(result, hierarchy)
+        wall = time.perf_counter() - member_start
+        if position == 0:
+            wall += shared_seconds
+        result.accounting = {
+            "wall_seconds": round(wall, 6),
+            "tracegen_seconds": round(tracegen if position == 0 else 0.0,
+                                      6),
+            "cache_hit": first_cache_hit if position == 0 else True,
+            "peak_rss_kb": _peak_rss_kb(),
+        }
+        yield member, result
+
+
 def _pool_worker(job, attempt=1):
     """Top-level worker entry (must be picklable by ProcessPoolExecutor)."""
     if _ATTEMPT_HOOK is not None:
         _ATTEMPT_HOOK(job, attempt)
     return job.job_id, execute_job(job)
+
+
+def _pool_worker_group(group, attempt=1):
+    """Pool entry for grouped jobs: runs every member, returns the list.
+
+    The ``[(member_job_id, result), ...]`` list crosses the pickle
+    boundary whole, so a pool group attempt is all-or-nothing: a worker
+    death mid-group yields no partial results and the retry re-runs the
+    full group (bit-identically, since execution is pure).  Incremental
+    mid-group journaling is the serial/degraded path's province.  The
+    attempt hook fires per member (inside ``iter_group_results``), all
+    reporting the group attempt number.
+    """
+    return group.job_id, [
+        (member.job_id, result)
+        for member, result in iter_group_results(
+            group, attempt_of=lambda member: attempt)
+    ]
 
 
 class Executor:
@@ -174,23 +300,45 @@ class Executor:
         results = {}
         pending = []
         outcomes = {}
-        for job in jobs:
+        total = 0
+
+        def resume(job):
             done = journal.result(job) if journal is not None else None
-            if done is not None:
-                results[job] = done
-                outcomes[job.job_id] = JobResult(
-                    job_id=job.job_id, status=STATUS_RESUMED, attempts=0,
-                    cache_hit=(done.accounting or {}).get("cache_hit"),
-                    peak_rss_kb=(done.accounting or {}).get("peak_rss_kb"))
+            if done is None:
+                return False
+            results[job] = done
+            outcomes[job.job_id] = JobResult(
+                job_id=job.job_id, status=STATUS_RESUMED, attempts=0,
+                cache_hit=(done.accounting or {}).get("cache_hit"),
+                peak_rss_kb=(done.accounting or {}).get("peak_rss_kb"))
+            return True
+
+        for job in jobs:
+            if isinstance(job, MultiPolicySimJob):
+                # Groups resume member-wise: journaled members come back
+                # from disk and the group is trimmed to the rest, so a
+                # rerun pays only the evaluations that never finished.
+                total += len(job.policies)
+                remaining = [member.policy for member in job.member_jobs
+                             if not resume(member)]
+                if remaining:
+                    pending.append(job
+                                   if len(remaining) == len(job.policies)
+                                   else job.subset(remaining))
             else:
-                pending.append(job)
-        state = _RunState(len(jobs), len(jobs) - len(pending), journal,
+                total += 1
+                if not resume(job):
+                    pending.append(job)
+        pending_units = sum(len(job.policies)
+                            if isinstance(job, MultiPolicySimJob) else 1
+                            for job in pending)
+        state = _RunState(total, total - pending_units, journal,
                           tracer, profiler, progress,
                           failure_policy or FailurePolicy(), outcomes,
                           metrics=metrics)
         for outcome in outcomes.values():
             state.jm.jobs.labels(STATUS_RESUMED).inc()
-        state.jm.pending.set(len(pending))
+        state.jm.pending.set(pending_units)
         self.last_outcomes = outcomes
         if pending:
             self._execute(pending, results, state)
@@ -238,6 +386,63 @@ class Executor:
             results[job] = result
             state.complete(job, result, attempts=attempt,
                            wall=time.perf_counter() - start)
+            return
+
+    def _run_group(self, group, results, state, run_tracer=None,
+                   cache=None, prior_attempts=0, started=None):
+        """In-process attempt loop for one grouped job.
+
+        Members are journaled incrementally (``state.complete`` fires
+        after each member, before the next starts), so a kill mid-group
+        loses only the in-flight member, and a retry after a mid-group
+        fault re-runs only the members that never completed -- the
+        grouped analogue of per-job journaling.
+
+        Retries are charged *per member*, not per group: a pass aborts
+        at its first failing member (members execute in order, so that
+        is the first member not yet settled), that member alone is
+        charged the attempt, and the next pass resumes from it.  A
+        member that exhausts the failure policy is failed individually
+        and the rest of the group still runs -- the same semantics N
+        ungrouped jobs would have had.
+        """
+        policy = state.policy
+        start = started if started is not None else time.perf_counter()
+        done_ids = set()   # settled members: completed or failed
+        counts = {}        # member job_id -> failed attempts so far
+
+        def attempt_of(member):
+            return (prior_attempts + counts.get(member.job_id, 0) + 1)
+
+        while True:
+            try:
+                with attempt_deadline(policy.timeout):
+                    for member, result in iter_group_results(
+                            group, skip=done_ids, tracer=run_tracer,
+                            profiler=state.profiler, cache=cache,
+                            attempt_of=attempt_of):
+                        results[member] = result
+                        done_ids.add(member.job_id)
+                        state.complete(member, result,
+                                       attempts=attempt_of(member),
+                                       wall=(time.perf_counter()
+                                             - start))
+            except Exception as exc:
+                victim = next(member for member in group.member_jobs
+                              if member.job_id not in done_ids)
+                count = attempt_of(victim)
+                counts[victim.job_id] = (counts.get(victim.job_id, 0)
+                                         + 1)
+                if policy.should_retry(count):
+                    delay = policy.backoff(victim.job_id, count)
+                    state.retry(victim, count, exc, delay)
+                    if delay:
+                        time.sleep(delay)
+                    continue
+                state.fail(victim, count,
+                           time.perf_counter() - start, exc)
+                done_ids.add(victim.job_id)
+                continue
             return
 
     def describe(self):
@@ -365,8 +570,13 @@ class SerialExecutor(Executor):
         cache = self._cache if self._cache is not None else GLOBAL_CACHE
         evictions_before = cache.evictions
         for job in pending:
-            self._run_one(job, results, state, run_tracer=state.tracer,
-                          cache=self._cache)
+            if isinstance(job, MultiPolicySimJob):
+                self._run_group(job, results, state,
+                                run_tracer=state.tracer,
+                                cache=self._cache)
+            else:
+                self._run_one(job, results, state,
+                              run_tracer=state.tracer, cache=self._cache)
         state.jm.cache_evictions.inc(cache.evictions - evictions_before)
 
 
@@ -450,8 +660,11 @@ class ParallelExecutor(Executor):
                 while queue and len(inflight) < self.jobs:
                     job = queue[0]
                     attempt = attempts.get(job.job_id, 0) + 1
+                    worker = (_pool_worker_group
+                              if isinstance(job, MultiPolicySimJob)
+                              else _pool_worker)
                     try:
-                        future = pool.submit(_pool_worker, job, attempt)
+                        future = pool.submit(worker, job, attempt)
                     except RuntimeError:  # pool broke under us
                         break
                     queue.pop(0)
@@ -493,11 +706,23 @@ class ParallelExecutor(Executor):
                         self._attempt_failed(job, exc, attempts,
                                              first_start, queue, state)
                     else:
-                        results[job] = result
-                        state.complete(
-                            job, result, attempts=attempts[job.job_id],
-                            wall=(time.perf_counter()
-                                  - first_start[job.job_id]))
+                        wall = (time.perf_counter()
+                                - first_start[job.job_id])
+                        if isinstance(job, MultiPolicySimJob):
+                            members = {member.job_id: member
+                                       for member in job.member_jobs}
+                            for member_id, member_result in result:
+                                member = members[member_id]
+                                results[member] = member_result
+                                state.complete(
+                                    member, member_result,
+                                    attempts=attempts[job.job_id],
+                                    wall=wall)
+                        else:
+                            results[job] = result
+                            state.complete(
+                                job, result,
+                                attempts=attempts[job.job_id], wall=wall)
 
                 now = time.monotonic()
                 expired = [future
@@ -544,9 +769,15 @@ class ParallelExecutor(Executor):
                 time.sleep(delay)
             queue.append(job)
         else:
-            state.fail(job, count,
-                       time.perf_counter() - first_start[job.job_id],
-                       exc)
+            wall = time.perf_counter() - first_start[job.job_id]
+            if isinstance(job, MultiPolicySimJob):
+                # A pool group attempt is all-or-nothing, so a terminal
+                # failure fails every member (each gets its own
+                # JOB_FAILED outcome under its legacy job_id).
+                for member in job.member_jobs:
+                    state.fail(member, count, wall, exc)
+            else:
+                state.fail(job, count, wall, exc)
 
     def _maybe_degrade(self, rebuilds, queue, results, state, attempts,
                        first_start):
@@ -558,9 +789,15 @@ class ParallelExecutor(Executor):
                        remaining=len(queue))
         while queue:
             job = queue.pop(0)
-            self._run_one(job, results, state,
-                          prior_attempts=attempts.get(job.job_id, 0),
-                          started=first_start.get(job.job_id))
+            if isinstance(job, MultiPolicySimJob):
+                self._run_group(job, results, state,
+                                prior_attempts=attempts.get(job.job_id,
+                                                            0),
+                                started=first_start.get(job.job_id))
+            else:
+                self._run_one(job, results, state,
+                              prior_attempts=attempts.get(job.job_id, 0),
+                              started=first_start.get(job.job_id))
         return True
 
     def describe(self):

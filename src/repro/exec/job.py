@@ -122,6 +122,116 @@ class SimJob:
             self.warmup, self.seed, self.job_id)
 
 
+@dataclasses.dataclass(frozen=True)
+class MultiPolicySimJob:
+    """One decoded trace fanned out to N policy evaluations.
+
+    The grouped unit of work of the shared-pass pipeline: one benchmark
+    trace at one config/scale, evaluated under every policy in
+    ``policies`` inside a single worker.  The group itself is never
+    journaled -- each member evaluation is recorded as the plain
+    :class:`SimJob` it replaces, under the *identical* content-hash
+    ``job_id``, so journals, resume, retry accounting and telemetry are
+    oblivious to grouping.
+
+    Decorrelated jobs cannot be grouped: ``decorrelate`` derives a
+    distinct seed (hence a distinct trace) per (benchmark, policy) spec,
+    which is precisely the sharing this job exists to exploit.  Build
+    plain jobs for those.
+    """
+
+    benchmark: str
+    policies: tuple
+    config: SimConfig = dataclasses.field(default_factory=SimConfig)
+    num_instructions: int = 20_000
+    warmup: int = 0
+    seed: int = None
+
+    def __post_init__(self):
+        if self.seed is None:
+            object.__setattr__(self, "seed", self.config.seed)
+        object.__setattr__(self, "policies", tuple(self.policies))
+        if not self.policies:
+            raise ConfigError("MultiPolicySimJob needs at least one policy")
+        if len(set(self.policies)) != len(self.policies):
+            raise ConfigError(
+                "duplicate policies in group: %r" % (self.policies,))
+        for policy in self.policies:
+            if not isinstance(policy, str):
+                raise ConfigError(
+                    "MultiPolicySimJob.policies must be registry names "
+                    "(got %r)" % (policy,))
+            if policy not in available_policies():
+                raise ConfigError("unknown policy %r" % policy)
+        get_profile(self.benchmark)
+        if self.num_instructions < 0 or self.warmup < 0:
+            raise ConfigError("instruction counts must be non-negative")
+
+    @property
+    def policy(self):
+        """Display/fault-key alias: the member policies, comma-joined."""
+        return ",".join(self.policies)
+
+    @property
+    def trace_length(self):
+        return self.num_instructions + self.warmup
+
+    @property
+    def effective_seed(self):
+        return self.seed
+
+    @property
+    def trace_key(self):
+        """Shared by every member: one cache entry serves the group."""
+        return (self.benchmark, self.trace_length, self.effective_seed)
+
+    @cached_property
+    def member_jobs(self):
+        """The plain per-policy :class:`SimJob` each member stands for.
+
+        Members carry the exact ids a one-job-per-policy sweep would
+        have produced -- the journal-compatibility contract.
+        """
+        return tuple(
+            SimJob(benchmark=self.benchmark, policy=policy,
+                   config=self.config,
+                   num_instructions=self.num_instructions,
+                   warmup=self.warmup, seed=self.seed)
+            for policy in self.policies
+        )
+
+    @cached_property
+    def job_id(self):
+        """Content hash of the group spec (progress/retry bookkeeping).
+
+        Never journaled -- only member ids reach the journal -- so the
+        encoding is free to differ from :class:`SimJob`'s.
+        """
+        payload = {
+            "group": True,
+            "benchmark": self.benchmark,
+            "policies": list(self.policies),
+            "config": dataclasses.asdict(self.config),
+            "num_instructions": self.num_instructions,
+            "warmup": self.warmup,
+            "seed": self.seed,
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def subset(self, policies):
+        """The same group trimmed to ``policies`` (resume trimming)."""
+        return MultiPolicySimJob(
+            benchmark=self.benchmark, policies=tuple(policies),
+            config=self.config, num_instructions=self.num_instructions,
+            warmup=self.warmup, seed=self.seed)
+
+    def __repr__(self):
+        return "MultiPolicySimJob(%s x %d policies, n=%d+%d, id=%s)" % (
+            self.benchmark, len(self.policies), self.num_instructions,
+            self.warmup, self.job_id)
+
+
 def build_jobs(benchmarks, policies, config=None, num_instructions=20_000,
                warmup=0, seed=None, decorrelate=False):
     """The benchmark-major job list for a sweep (deterministic order)."""
@@ -132,4 +242,20 @@ def build_jobs(benchmarks, policies, config=None, num_instructions=20_000,
                decorrelate=decorrelate)
         for benchmark in benchmarks
         for policy in policies
+    ]
+
+
+def build_job_groups(benchmarks, policies, config=None,
+                     num_instructions=20_000, warmup=0, seed=None):
+    """One :class:`MultiPolicySimJob` per benchmark (decode once, eval N).
+
+    The grouped counterpart of :func:`build_jobs`: same benchmark-major
+    order, same member job_ids, one decoded trace per group.
+    """
+    config = config or SimConfig()
+    return [
+        MultiPolicySimJob(benchmark=benchmark, policies=tuple(policies),
+                          config=config, num_instructions=num_instructions,
+                          warmup=warmup, seed=seed)
+        for benchmark in benchmarks
     ]

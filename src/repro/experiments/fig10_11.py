@@ -10,12 +10,12 @@ thread straight through to it; failed cells render as ``--``.
 """
 
 from repro.config import SimConfig
+from repro.policies.registry import policy_set
 from repro.sim.report import render_table, series_rows
 from repro.sim.sweep import PolicySweep, normalized_ipc_table, speedup_over
 from repro.workloads.spec import fp_benchmarks, int_benchmarks
 
-FIG10_POLICIES = ("authen-then-issue", "authen-then-write",
-                  "authen-then-commit", "commit+fetch")
+FIG10_POLICIES = policy_set("figure10")
 
 
 def run(ruu_entries=64, num_instructions=12_000, warmup=12_000,

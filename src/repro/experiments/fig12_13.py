@@ -12,13 +12,12 @@ thread straight through to it; failed cells render as ``--``.
 """
 
 from repro.config import SimConfig
+from repro.policies.registry import policy_set
 from repro.sim.report import render_table, series_rows
 from repro.sim.sweep import PolicySweep, normalized_ipc_table, speedup_over
 from repro.workloads.spec import fp_benchmarks, int_benchmarks
 
-FIG12_POLICIES = ("authen-then-issue", "authen-then-write",
-                  "authen-then-commit", "authen-then-fetch",
-                  "commit+fetch")
+FIG12_POLICIES = policy_set("figure12")
 
 
 def run(num_instructions=12_000, warmup=12_000, l2_bytes=256 * 1024,

@@ -11,12 +11,13 @@ under a skipping policy renders as a ``--`` cell.
 """
 
 from repro.config import SimConfig
+from repro.policies.registry import policy_set
 from repro.sim.report import render_table, series_rows
 from repro.sim.sweep import PolicySweep, speedup_over
 from repro.workloads.spec import fp_benchmarks, int_benchmarks
 
 REFERENCE = "authen-then-issue"
-COMPARED = ("authen-then-commit", "authen-then-write", "commit+fetch")
+COMPARED = policy_set("figure8")
 
 
 def run(num_instructions=12_000, warmup=12_000, l2_bytes=256 * 1024,

@@ -50,7 +50,11 @@ class _OutcomeRecorder:
             kwargs["metrics"] = self._metrics
         results = self._inner.run(jobs, **kwargs)
         for job in jobs:
-            self.job_keys[job.job_id] = (job.benchmark, job.policy)
+            # A grouped job settles as its member jobs (one outcome per
+            # member job_id), so audit the members, not the group.
+            for member in getattr(job, "member_jobs", (job,)):
+                self.job_keys[member.job_id] = (member.benchmark,
+                                                member.policy)
         self.outcomes.update(self._inner.last_outcomes)
         return results
 

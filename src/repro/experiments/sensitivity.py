@@ -11,10 +11,10 @@ results are bit-identical to the serial default.
 """
 
 from repro.config import SimConfig
+from repro.policies.registry import policy_set
 from repro.sim.sweep import PolicySweep
 
-POLICIES = ("authen-then-issue", "authen-then-commit",
-            "authen-then-write", "commit+fetch")
+POLICIES = policy_set("sensitivity")
 BENCHMARKS = ("mcf", "twolf", "swim", "mgrid")
 
 

@@ -9,10 +9,10 @@ policy, so the reproduction's claims carry their own error bars.
 import math
 
 from repro.config import SimConfig
+from repro.policies.registry import policy_set
 from repro.sim.sweep import PolicySweep
 
-DEFAULT_POLICIES = ("authen-then-issue", "authen-then-write",
-                    "authen-then-commit", "commit+fetch")
+DEFAULT_POLICIES = policy_set("figure10")
 DEFAULT_BENCHMARKS = ("mcf", "twolf", "swim", "mgrid")
 
 

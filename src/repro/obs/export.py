@@ -98,11 +98,17 @@ def build_sweep_manifest(sweep, profiler=None):
     """Manifest for a finished :class:`~repro.sim.sweep.PolicySweep`.
 
     ``policies`` lists what actually ran, in the sweep's deterministic
-    execution order (so an injected baseline always shows up, last).
+    execution order (so an injected baseline always shows up, last), and
+    ``policy_labels`` resolves each name through the registry -- the
+    manifest records the resolved policy set, not just the request.
     Each run carries its :class:`~repro.exec.job.SimJob` ``job_id`` and
-    the top level records the executor ``backend``, which is how two
-    manifests produced by different backends stay comparable.
+    the top level records the executor ``backend`` and whether execution
+    was ``grouped`` (one decoded trace fanned out per benchmark), which
+    is how two manifests produced by different backends or pipeline
+    shapes stay comparable.
     """
+    from repro.policies.registry import policy_label
+
     job_ids = getattr(sweep, "job_ids", {})
     outcomes = getattr(sweep, "job_outcomes", {})
     runs = []
@@ -112,6 +118,7 @@ def build_sweep_manifest(sweep, profiler=None):
         runs.append({
             "benchmark": benchmark,
             "policy": policy,
+            "policy_label": policy_label(policy),
             "job_id": job_id,
             "instructions": result.instructions,
             "cycles": result.cycles,
@@ -144,10 +151,16 @@ def build_sweep_manifest(sweep, profiler=None):
         "benchmarks": list(sweep.benchmarks),
         "policies": list(getattr(sweep, "executed_policies",
                                  sweep.policies)),
+        "policy_labels": {
+            name: policy_label(name)
+            for name in getattr(sweep, "executed_policies",
+                                sweep.policies)
+        },
         "num_instructions": sweep.num_instructions,
         "warmup": sweep.warmup,
         "seed": sweep.seed,
         "backend": getattr(sweep, "backend", None),
+        "grouped": getattr(sweep, "grouped", None),
         "git": git_describe(),
         "config": config_to_dict(sweep.config),
         "phases": profiler.as_dict() if profiler is not None else {},

@@ -1,6 +1,6 @@
 """Perf-benchmark harness: measure replay throughput, verify parity.
 
-Two entry points, both reachable through ``repro perf``:
+Three entry points, all reachable through ``repro perf``:
 
 - :func:`run_matrix` times the simulator over a pinned
   (benchmark x policy) matrix and reports instructions/sec and wall time
@@ -9,14 +9,19 @@ Two entry points, both reachable through ``repro perf``:
   clock, so the number tracks the replay loop the optimisations target
   (and matches how :data:`repro.perf.golden.PRE_PR_BASELINE` was
   measured).
-- :func:`check_goldens` re-runs the golden matrix and compares cycle
-  counts and full stats digests against the pinned values -- the
-  bit-identical timing-neutrality contract every hot-path change must
-  keep.
+- :func:`run_group_matrix` times the decode-once multi-policy fan: for
+  each benchmark, every registered policy is evaluated both the legacy
+  way (one ``build_simulator`` + ``core.run`` per policy) and the
+  shared-pass way (one structural prepass replayed per policy), and the
+  end-to-end speedup is reported alongside a cycle-identity check.
+- :func:`check_goldens` re-runs the golden matrix *through both paths*
+  and compares cycle counts and full stats digests against the pinned
+  values -- the bit-identical timing-neutrality contract every hot-path
+  change must keep.
 
 :func:`write_report` serialises a matrix run as ``BENCH_<stamp>.json``
 (at the repository root by convention) with the pre-PR baseline and the
-measured speedup alongside the raw cells.
+measured speedups alongside the raw cells.
 """
 
 import json
@@ -24,6 +29,9 @@ import os
 import time
 
 from repro.config import SimConfig
+from repro.cpu.prepass import (build_prepass, policy_supported,
+                               prepass_supported)
+from repro.cpu.shared_kernel import replay_policy
 from repro.exec.cache import cached_trace
 from repro.perf.golden import (
     GOLDEN_BENCHMARKS,
@@ -33,9 +41,9 @@ from repro.perf.golden import (
     GOLDEN_POLICIES,
     GOLDEN_WARMUP,
     PRE_PR_BASELINE,
-    golden_cells,
     stats_digest,
 )
+from repro.policies import available_policies, make_policy
 from repro.sim.runner import build_simulator
 
 #: Default measurement matrix (kept deliberately identical to the one
@@ -120,6 +128,132 @@ def run_matrix(benchmarks=BENCH_BENCHMARKS, policies=BENCH_POLICIES,
     }
 
 
+def time_group_cell(benchmark, policies, num_instructions=BENCH_INSTRUCTIONS,
+                    warmup=BENCH_WARMUP, config=None, repeats=1):
+    """Time one benchmark's full policy fan both ways; returns a dict.
+
+    The legacy region is what a one-job-per-cell sweep pays per policy
+    after the trace cache warms: simulator construction plus the full
+    replay, once per policy.  The grouped region is what a
+    :class:`~repro.exec.job.MultiPolicySimJob` pays: one structural
+    prepass plus one shared-kernel replay per policy (policies the
+    shared pass cannot express fall back to the legacy build inside the
+    same region, exactly as ``iter_group_results`` does).  Trace
+    generation and packing happen before either clock starts -- both
+    paths share the cached trace, so it cancels out of the comparison.
+
+    Both paths' cycle counts are cross-checked cell by cell; any
+    disagreement is reported in ``cycle_mismatches`` (and would also
+    fail ``repro perf --check``).
+    """
+    config = config or SimConfig()
+    policies = tuple(policies)
+    total = num_instructions + warmup
+    trace = cached_trace(benchmark, total, config.seed)
+    trace.packed()
+    policy_objs = {name: make_policy(name) for name in policies}
+    use_prepass = prepass_supported(config)
+
+    legacy_cycles = {}
+    best_legacy = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        for name in policies:
+            core, _hier = build_simulator(config, name)
+            legacy_cycles[name] = core.run(trace, warmup=warmup).cycles
+        wall = time.perf_counter() - start
+        if best_legacy is None or wall < best_legacy:
+            best_legacy = wall
+
+    grouped_cycles = {}
+    best_grouped = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        prepass = (build_prepass(trace, config, warmup=warmup)
+                   if use_prepass else None)
+        for name in policies:
+            policy = policy_objs[name]
+            if prepass is not None and policy_supported(policy):
+                result = replay_policy(prepass, policy, config)
+            else:
+                core, _hier = build_simulator(config, name)
+                result = core.run(trace, warmup=warmup)
+            grouped_cycles[name] = result.cycles
+        wall = time.perf_counter() - start
+        if best_grouped is None or wall < best_grouped:
+            best_grouped = wall
+
+    mismatches = sorted(name for name in policies
+                        if legacy_cycles[name] != grouped_cycles[name])
+    return {
+        "benchmark": benchmark,
+        "policies": list(policies),
+        "instructions_simulated": total,
+        "legacy_wall_seconds": best_legacy,
+        "grouped_wall_seconds": best_grouped,
+        "speedup": best_legacy / best_grouped if best_grouped else 0.0,
+        "cycles": dict(sorted(grouped_cycles.items())),
+        "cycle_mismatches": mismatches,
+    }
+
+
+def run_group_matrix(benchmarks=BENCH_BENCHMARKS, policies=None,
+                     num_instructions=BENCH_INSTRUCTIONS,
+                     warmup=BENCH_WARMUP, config=None, repeats=1):
+    """Time the grouped multi-policy sweep over every registered policy.
+
+    This is the end-to-end number the decode-once refactor is gated on:
+    total legacy wall (one simulator per policy, the pre-group sweep
+    path) over total grouped wall (one prepass fanned to every policy)
+    across the pinned benchmarks.  ``policies`` defaults to the full
+    registry.
+    """
+    policies = tuple(policies) if policies else available_policies()
+    cells = [time_group_cell(bench, policies, num_instructions, warmup,
+                             config=config, repeats=repeats)
+             for bench in benchmarks]
+    legacy_wall = sum(c["legacy_wall_seconds"] for c in cells)
+    grouped_wall = sum(c["grouped_wall_seconds"] for c in cells)
+    return {
+        "matrix": {
+            "benchmarks": list(benchmarks),
+            "policies": list(policies),
+            "num_instructions": num_instructions,
+            "warmup": warmup,
+            "repeats": repeats,
+        },
+        "cells": cells,
+        "aggregate": {
+            "evaluations": len(cells) * len(policies),
+            "legacy_wall_seconds": legacy_wall,
+            "grouped_wall_seconds": grouped_wall,
+            "speedup":
+                legacy_wall / grouped_wall if grouped_wall else 0.0,
+        },
+        "cycles_identical":
+            not any(c["cycle_mismatches"] for c in cells),
+    }
+
+
+def render_group_table(report):
+    """Human-readable table for one :func:`run_group_matrix` report."""
+    lines = ["%-8s %9s %9s %8s  %s"
+             % ("bench", "legacy(s)", "group(s)", "speedup", "cycles")]
+    for cell in report["cells"]:
+        parity = ("identical" if not cell["cycle_mismatches"] else
+                  "MISMATCH: " + ", ".join(cell["cycle_mismatches"]))
+        lines.append("%-8s %9.3f %9.3f %7.2fx  %s"
+                     % (cell["benchmark"], cell["legacy_wall_seconds"],
+                        cell["grouped_wall_seconds"], cell["speedup"],
+                        parity))
+    agg = report["aggregate"]
+    lines.append("%-8s %9.3f %9.3f %7.2fx  (%d policy evaluations)"
+                 % ("total", agg["legacy_wall_seconds"],
+                    agg["grouped_wall_seconds"], agg["speedup"],
+                    agg["evaluations"]))
+    return "\n".join(lines)
+
+
 def render_table(report):
     """Human-readable table for one :func:`run_matrix` report."""
     lines = ["%-8s %-20s %10s %9s %8s"
@@ -152,29 +286,55 @@ def write_report(report, path=None):
     return os.path.abspath(path)
 
 
+def _verify_cell(key, path, cycles, digest):
+    """Compare one (cell, path) outcome against the pinned goldens."""
+    if cycles != GOLDEN_CYCLES[key]:
+        return ["%s [%s]: cycles %d != golden %d"
+                % (key, path, cycles, GOLDEN_CYCLES[key])]
+    if digest != GOLDEN_DIGESTS[key]:
+        return ["%s [%s]: cycles match but stats digest drifted "
+                "(%s != %s)"
+                % (key, path, digest[:16], GOLDEN_DIGESTS[key][:16])]
+    return []
+
+
 def check_goldens(config=None):
     """Re-run the pinned golden matrix; returns a list of mismatches.
 
-    An empty list means every cell reproduced its pinned cycle count
-    *and* full stats digest bit-identically.  Each mismatch is a
-    human-readable string naming the cell and what drifted.
+    Every cell is evaluated twice -- once through the legacy
+    ``build_simulator`` + ``core.run`` path and once through the
+    decode-once shared pass (:func:`~repro.cpu.prepass.build_prepass` +
+    :func:`~repro.cpu.shared_kernel.replay_policy`, the path a
+    :class:`~repro.exec.job.MultiPolicySimJob` takes) -- and both
+    outcomes must reproduce the pinned cycle count *and* full stats
+    digest bit-identically.  An empty list means clean; each mismatch
+    is a human-readable string naming the cell, the path that drifted
+    and what drifted.
     """
     config = config or SimConfig()
     mismatches = []
     total = GOLDEN_INSTRUCTIONS + GOLDEN_WARMUP
-    for bench, policy in golden_cells():
-        key = "%s/%s" % (bench, policy)
+    use_prepass = prepass_supported(config)
+    for bench in GOLDEN_BENCHMARKS:
         trace = cached_trace(bench, total, config.seed)
-        core, hier = build_simulator(config, policy)
-        result = core.run(trace, warmup=GOLDEN_WARMUP)
-        if result.cycles != GOLDEN_CYCLES[key]:
-            mismatches.append(
-                "%s: cycles %d != golden %d"
-                % (key, result.cycles, GOLDEN_CYCLES[key]))
-            continue
-        digest = stats_digest(result.stats.as_dict(), hier.miss_summary())
-        if digest != GOLDEN_DIGESTS[key]:
-            mismatches.append(
-                "%s: cycles match but stats digest drifted (%s != %s)"
-                % (key, digest[:16], GOLDEN_DIGESTS[key][:16]))
+        prepass = (build_prepass(trace, config, warmup=GOLDEN_WARMUP)
+                   if use_prepass else None)
+        for policy in GOLDEN_POLICIES:
+            key = "%s/%s" % (bench, policy)
+            core, hier = build_simulator(config, policy)
+            result = core.run(trace, warmup=GOLDEN_WARMUP)
+            mismatches += _verify_cell(
+                key, "legacy", result.cycles,
+                stats_digest(result.stats.as_dict(),
+                             hier.miss_summary()))
+            policy_obj = make_policy(policy)
+            if prepass is None or not policy_supported(policy_obj):
+                continue
+            shared = replay_policy(prepass, policy_obj, config,
+                                   trace_name=getattr(trace, "name",
+                                                      "trace"))
+            mismatches += _verify_cell(
+                key, "shared", shared.cycles,
+                stats_digest(shared.stats.as_dict(),
+                             shared.miss_summary))
     return mismatches

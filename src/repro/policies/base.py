@@ -1,4 +1,12 @@
-"""Policy interface: where authentication gates the pipeline."""
+"""Policy interface: where authentication gates the pipeline.
+
+Each policy is a *declarative* set of gating terms (:class:`GatingTerms`):
+which pipeline points verification blocks, how bus fetches are gated, and
+whether the address space is obfuscated.  The shared timestamp kernel
+(:mod:`repro.cpu.shared_kernel`) and the legacy per-policy core
+(:mod:`repro.cpu.core`) both consume the same terms, so a policy is one
+frozen record -- there is no per-policy timing code left to drift.
+"""
 
 from dataclasses import dataclass
 
@@ -13,33 +21,60 @@ class SecurityProperties:
     authenticated_processor_state: bool
 
 
+@dataclass(frozen=True)
+class GatingTerms:
+    """The complete declarative timing contract of one policy.
+
+    Every field is consumed by the shared timestamp kernel; a policy
+    subclass declares exactly one of these and nothing else (plus its
+    security matrix row).  The legacy class attributes
+    (``policy.gate_issue`` etc.) are unpacked from the terms at class
+    creation, so all historical call sites keep working.
+    """
+
+    #: verification engine active at all (False only for the baseline)
+    authentication: bool = False
+    #: operands/instructions usable only once verified (authen-then-issue)
+    gate_issue: bool = False
+    #: instructions commit only once verified (authen-then-commit)
+    gate_commit: bool = False
+    #: stores leave the store buffer only once verified (authen-then-write)
+    gate_store: bool = False
+    #: bus fetches gated on the authentication frontier (authen-then-fetch)
+    gate_fetch: bool = False
+    #: fetch gating granularity: "tag" (LastRequest register), "drain"
+    #: (whole queue), or "precise" (exact data/control dependency slice)
+    fetch_mode: str = "tag"
+    #: address obfuscation layer enabled
+    obfuscation: bool = False
+    #: multiplier on the functional machine's verification window (lazy
+    #: authentication batches verification over a much larger window)
+    window_scale: int = 1
+
+
 class AuthPolicy:
     """Base authentication control point.
 
-    Subclasses toggle the four gates; the timing core consults them at the
-    matching pipeline points.  The base class is the *decrypt-only
-    baseline*: verification never blocks anything (and is not even
-    performed -- ``authentication`` is False).
+    Subclasses declare their :class:`GatingTerms`; the base class turns
+    the terms into the decision methods the timing core consults.  The
+    base class itself is the *decrypt-only baseline*: verification never
+    blocks anything (and is not even performed -- ``authentication`` is
+    False).
     """
 
     name = "decrypt-only"
-    #: verification engine active at all (False only for the baseline)
+    terms = GatingTerms()
+
+    # Legacy flat attributes, unpacked from ``terms`` (see
+    # ``__init_subclass__``); kept so policy consumers predating the
+    # declarative refactor -- and pickled configs -- read the same shape.
     authentication = False
-    #: operands/instructions usable only once verified (authen-then-issue)
     gate_issue = False
-    #: instructions commit only once verified (authen-then-commit)
     gate_commit = False
-    #: stores leave the store buffer only once verified (authen-then-write)
     gate_store = False
-    #: bus fetches gated on the authentication frontier (authen-then-fetch)
     gate_fetch = False
-    #: fetch gating granularity: "tag" (LastRequest register), "drain"
-    #: (whole queue), or "precise" (exact data/control dependency slice)
     fetch_mode = "tag"
-    #: address obfuscation layer enabled
     obfuscation = False
-    #: multiplier on the functional machine's verification window (lazy
-    #: authentication batches verification over a much larger window)
     window_scale = 1
 
     security = SecurityProperties(
@@ -48,6 +83,19 @@ class AuthPolicy:
         authenticated_memory_state=False,
         authenticated_processor_state=False,
     )
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        terms = cls.__dict__.get("terms")
+        if terms is not None:
+            cls.authentication = terms.authentication
+            cls.gate_issue = terms.gate_issue
+            cls.gate_commit = terms.gate_commit
+            cls.gate_store = terms.gate_store
+            cls.gate_fetch = terms.gate_fetch
+            cls.fetch_mode = terms.fetch_mode
+            cls.obfuscation = terms.obfuscation
+            cls.window_scale = terms.window_scale
 
     # ---- decision points consulted by the timing core -----------------
 
@@ -74,11 +122,15 @@ class AuthPolicy:
         """Earliest cycle a new external fetch may be granted.
 
         The tag variant (Section 4.2.4) waits on the LastRequest register
-        as read at the *triggering instruction's issue*; see the drain
-        variant below for the alternative.
+        as read at the *triggering instruction's issue*; the drain variant
+        waits for every request outstanding at fetch-creation time.  The
+        precise variant's slice frontier is computed by the core itself,
+        so this method is not consulted for it.
         """
         if not self.gate_fetch:
             return 0
+        if self.fetch_mode == "drain":
+            return engine.auth_frontier(fetch_time)
         return engine.auth_frontier(issue_time)
 
     # ---- functional-machine semantics ----------------------------------
@@ -101,14 +153,14 @@ class DecryptOnlyPolicy(AuthPolicy):
     normalisation baseline)."""
 
     name = "decrypt-only"
+    terms = GatingTerms()
 
 
 class AuthenThenIssuePolicy(AuthPolicy):
     """Section 4.2.1: conservative; verification is on the critical path."""
 
     name = "authen-then-issue"
-    authentication = True
-    gate_issue = True
+    terms = GatingTerms(authentication=True, gate_issue=True)
     security = SecurityProperties(True, True, True, True)
 
 
@@ -116,8 +168,7 @@ class AuthenThenWritePolicy(AuthPolicy):
     """Section 4.2.2: only memory state must derive from verified inputs."""
 
     name = "authen-then-write"
-    authentication = True
-    gate_store = True
+    terms = GatingTerms(authentication=True, gate_store=True)
     security = SecurityProperties(False, False, True, False)
 
 
@@ -126,8 +177,7 @@ class AuthenThenCommitPolicy(AuthPolicy):
     authentication exceptions."""
 
     name = "authen-then-commit"
-    authentication = True
-    gate_commit = True
+    terms = GatingTerms(authentication=True, gate_commit=True)
     security = SecurityProperties(False, True, True, True)
 
 
@@ -136,8 +186,7 @@ class AuthenThenFetchPolicy(AuthPolicy):
     authentication frontier recorded at its triggering instruction."""
 
     name = "authen-then-fetch"
-    authentication = True
-    gate_fetch = True
+    terms = GatingTerms(authentication=True, gate_fetch=True)
     # Alone it neither commits-verified nor write-gates; the paper pairs
     # it with authen-then-commit for the full property set.
     security = SecurityProperties(True, False, False, False)
@@ -149,10 +198,8 @@ class DrainAuthenThenFetchPolicy(AuthenThenFetchPolicy):
     the tag variant, which snapshots at the trigger's issue)."""
 
     name = "authen-then-fetch-drain"
-    fetch_mode = "drain"
-
-    def fetch_gate_time(self, engine, issue_time, fetch_time):
-        return engine.auth_frontier(fetch_time)
+    terms = GatingTerms(authentication=True, gate_fetch=True,
+                        fetch_mode="drain")
 
 
 class PreciseAuthenThenFetchPolicy(AuthenThenFetchPolicy):
@@ -167,16 +214,16 @@ class PreciseAuthenThenFetchPolicy(AuthenThenFetchPolicy):
     verification timestamps); ``fetch_gate_time`` is not used."""
 
     name = "authen-then-fetch-precise"
-    fetch_mode = "precise"
+    terms = GatingTerms(authentication=True, gate_fetch=True,
+                        fetch_mode="precise")
 
 
 class CommitPlusFetchPolicy(AuthPolicy):
     """The paper's recommended combination (Table 2 row 4)."""
 
     name = "commit+fetch"
-    authentication = True
-    gate_commit = True
-    gate_fetch = True
+    terms = GatingTerms(authentication=True, gate_commit=True,
+                        gate_fetch=True)
     security = SecurityProperties(True, True, True, True)
 
 
@@ -184,9 +231,8 @@ class CommitPlusObfuscationPolicy(AuthPolicy):
     """Authen-then-commit plus address obfuscation (Table 2 row 5)."""
 
     name = "commit+obfuscation"
-    authentication = True
-    gate_commit = True
-    obfuscation = True
+    terms = GatingTerms(authentication=True, gate_commit=True,
+                        obfuscation=True)
     security = SecurityProperties(True, True, True, True)
 
 
@@ -196,6 +242,5 @@ class LazyAuthPolicy(AuthPolicy):
     pipeline gating at all.  Weaker than every scheme above."""
 
     name = "lazy"
-    authentication = True
-    window_scale = 100
+    terms = GatingTerms(authentication=True, window_scale=100)
     security = SecurityProperties(False, False, False, False)

@@ -1,4 +1,13 @@
-"""Policy registry: construct policies by name."""
+"""Policy registry: the one catalogue of authentication schemes.
+
+Every consumer -- experiments, sweeps, figures, the CLI, manifests --
+resolves policies through this module: ``scheme name -> class -> label``
+via :data:`POLICY_REGISTRY`, and the named policy *sets* the figures and
+tables are built from via :data:`POLICY_SETS` (previously scattered as
+per-module tuples across ``experiments/fig*.py`` / ``table*.py``).
+"""
+
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.policies.base import (
@@ -14,23 +23,48 @@ from repro.policies.base import (
     PreciseAuthenThenFetchPolicy,
 )
 
-_POLICIES = {
-    cls.name: cls
-    for cls in (
-        DecryptOnlyPolicy,
-        AuthenThenIssuePolicy,
-        AuthenThenWritePolicy,
-        AuthenThenCommitPolicy,
-        AuthenThenFetchPolicy,
-        DrainAuthenThenFetchPolicy,
-        PreciseAuthenThenFetchPolicy,
-        CommitPlusFetchPolicy,
-        CommitPlusObfuscationPolicy,
-        LazyAuthPolicy,
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One registered scheme: its name, class and presentation label."""
+
+    name: str
+    cls: type
+    label: str
+
+    def make(self):
+        return self.cls()
+
+
+#: scheme name -> :class:`PolicyEntry`, in the paper's presentation order.
+POLICY_REGISTRY = {
+    entry.name: entry
+    for entry in (
+        PolicyEntry("decrypt-only", DecryptOnlyPolicy, "Decrypt Only"),
+        PolicyEntry("authen-then-issue", AuthenThenIssuePolicy,
+                    "Authen-then-Issue"),
+        PolicyEntry("authen-then-write", AuthenThenWritePolicy,
+                    "Authen-then-Write"),
+        PolicyEntry("authen-then-commit", AuthenThenCommitPolicy,
+                    "Authen-then-Commit"),
+        PolicyEntry("authen-then-fetch", AuthenThenFetchPolicy,
+                    "Authen-then-Fetch"),
+        PolicyEntry("authen-then-fetch-drain", DrainAuthenThenFetchPolicy,
+                    "Authen-then-Fetch (drain)"),
+        PolicyEntry("authen-then-fetch-precise",
+                    PreciseAuthenThenFetchPolicy,
+                    "Authen-then-Fetch (precise)"),
+        PolicyEntry("commit+fetch", CommitPlusFetchPolicy,
+                    "Commit + Fetch"),
+        PolicyEntry("commit+obfuscation", CommitPlusObfuscationPolicy,
+                    "Commit + Obfuscation"),
+        PolicyEntry("lazy", LazyAuthPolicy, "Lazy Authentication"),
     )
 }
 
-POLICY_NAMES = tuple(sorted(_POLICIES))
+_POLICIES = {name: entry.cls for name, entry in POLICY_REGISTRY.items()}
+
+POLICY_NAMES = tuple(sorted(POLICY_REGISTRY))
 
 #: The six schemes of Figure 7, in the paper's presentation order.
 FIGURE7_POLICIES = (
@@ -42,6 +76,38 @@ FIGURE7_POLICIES = (
     "commit+obfuscation",
 )
 
+#: Named policy sets the experiments draw from.  A figure module names
+#: its set instead of carrying a private tuple, and manifests record the
+#: resolved membership, so "which schemes did this cell cover" has one
+#: authoritative answer.
+POLICY_SETS = {
+    # Everything registered, deterministic order.
+    "all": POLICY_NAMES,
+    "figure7": FIGURE7_POLICIES,
+    # Figure 8 compares these against authen-then-issue.
+    "figure8": ("authen-then-commit", "authen-then-write",
+                "commit+fetch"),
+    # Figures 10/11 (RUU sensitivity) and the seed-variance experiment.
+    "figure10": ("authen-then-issue", "authen-then-write",
+                 "authen-then-commit", "commit+fetch"),
+    # Figures 12/13 (hash-tree authentication).
+    "figure12": ("authen-then-issue", "authen-then-write",
+                 "authen-then-commit", "authen-then-fetch",
+                 "commit+fetch"),
+    # Parameter-sensitivity studies (Section 5.2), column order as
+    # rendered.
+    "sensitivity": ("authen-then-issue", "authen-then-commit",
+                    "authen-then-write", "commit+fetch"),
+    # Table 2's security matrix.
+    "table2": ("authen-then-issue", "authen-then-write",
+               "authen-then-commit", "commit+fetch",
+               "commit+obfuscation"),
+    # ``repro run``/``repro sweep`` when no --policy is given.
+    "cli-default": ("decrypt-only", "authen-then-issue",
+                    "authen-then-commit", "authen-then-write",
+                    "commit+fetch"),
+}
+
 
 def make_policy(name):
     """Instantiate the policy called ``name``.
@@ -50,7 +116,7 @@ def make_policy(name):
     True
     """
     try:
-        return _POLICIES[name]()
+        return POLICY_REGISTRY[name].make()
     except KeyError:
         raise ConfigError(
             "unknown policy %r (available: %s)" % (name, ", ".join(POLICY_NAMES))
@@ -60,3 +126,20 @@ def make_policy(name):
 def available_policies():
     """All registered policy names."""
     return POLICY_NAMES
+
+
+def policy_label(name):
+    """Presentation label for ``name`` (the name itself if unregistered)."""
+    entry = POLICY_REGISTRY.get(name)
+    return entry.label if entry is not None else name
+
+
+def policy_set(name):
+    """The named policy set as a tuple; raises ConfigError when unknown."""
+    try:
+        return tuple(POLICY_SETS[name])
+    except KeyError:
+        raise ConfigError(
+            "unknown policy set %r (available: %s)"
+            % (name, ", ".join(sorted(POLICY_SETS)))
+        ) from None

@@ -5,15 +5,9 @@ the same table is produced by running the attack suite against each policy
 (:mod:`repro.attacks.harness`), and a test asserts the two agree.
 """
 
-from repro.policies.registry import make_policy
+from repro.policies.registry import make_policy, policy_set
 
-TABLE2_POLICIES = (
-    "authen-then-issue",
-    "authen-then-write",
-    "authen-then-commit",
-    "commit+fetch",
-    "commit+obfuscation",
-)
+TABLE2_POLICIES = policy_set("table2")
 
 COLUMNS = (
     ("prevents active fetch side-channel", "prevents_fetch_side_channel"),

@@ -44,9 +44,18 @@ class RunMetrics:
         return out
 
 
-def collect_metrics(result, hierarchy):
-    """Build :class:`RunMetrics` from a RunResult and its hierarchy."""
-    stats = hierarchy.controller.stats
+def collect_metrics(result, hierarchy=None):
+    """Build :class:`RunMetrics` from a RunResult.
+
+    Every counter lives in the one shared "sim" :class:`StatGroup`, which
+    the RunResult itself carries (``hierarchy.controller.stats``,
+    ``hierarchy.stats`` and ``result.stats`` are the same object on the
+    legacy path), so ``hierarchy`` is optional: shared-kernel replays
+    (:mod:`repro.cpu.shared_kernel`) have no hierarchy but produce the
+    identical group.
+    """
+    stats = (hierarchy.controller.stats if hierarchy is not None
+             else result.stats)
     cycles = max(result.cycles, 1)
 
     reads = stats["line_reads"].value
@@ -63,7 +72,7 @@ def collect_metrics(result, hierarchy):
     wait = stats["wait_cycles"].value
 
     read_latency = stats["read_latency"]
-    hier_stats = hierarchy.stats
+    hier_stats = hierarchy.stats if hierarchy is not None else stats
     auth_requests = (hier_stats["auth_requests"].value
                      if "auth_requests" in hier_stats else 0)
     queue_full = (hier_stats["auth_queue_full"].value

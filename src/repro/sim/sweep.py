@@ -1,17 +1,23 @@
 """Experiment sweeps: benchmarks x policies through the job pipeline.
 
 A :class:`PolicySweep` describes one benchmark x policy grid, expands it
-into :class:`~repro.exec.job.SimJob` specs and hands them to an
+into job specs and hands them to an
 :class:`~repro.exec.executor.Executor` -- serial by default, or a
 process pool via ``run(executor=...)`` / the ``REPRO_JOBS`` env var.
-Each benchmark's trace is generated once per process by the shared
-trace cache, and results normalise against the decrypt-only baseline
-(the paper's Figure 7 presentation) or against authen-then-issue
-(Figures 8/11/13).
+
+By default the grid is expanded *grouped*: one
+:class:`~repro.exec.job.MultiPolicySimJob` per benchmark decodes the
+trace once and evaluates every policy against it through the shared
+timestamp kernel (``run(grouped=False)`` keeps the historical
+one-job-per-cell expansion; results are bit-identical either way, and
+both shapes journal under the same per-cell job_ids).  Results
+normalise against the decrypt-only baseline (the paper's Figure 7
+presentation) or against authen-then-issue (Figures 8/11/13).
 """
 
 from repro.config import SimConfig
 from repro.exec import build_jobs, executor_scope
+from repro.exec.job import build_job_groups
 
 BASELINE = "decrypt-only"
 
@@ -36,6 +42,7 @@ class PolicySweep:
         self.job_outcomes = {}  # job_id -> JobResult (attempts, status)
         self.executed_policies = list(self.policies)
         self.backend = None     # executor.describe() of the last run
+        self.grouped = None     # whether the last run used grouped jobs
 
     def policy_order(self, include_baseline=True):
         """Deterministic execution order for the sweep's policies.
@@ -51,16 +58,28 @@ class PolicySweep:
         return policies
 
     def jobs(self, include_baseline=True):
-        """The sweep's job list (benchmark-major, deterministic)."""
+        """The sweep's per-cell job list (benchmark-major, deterministic).
+
+        This is the journal-facing view: one :class:`SimJob` id per
+        (benchmark, policy) cell, whether or not execution is grouped.
+        """
         return build_jobs(self.benchmarks,
                           self.policy_order(include_baseline),
                           config=self.config,
                           num_instructions=self.num_instructions,
                           warmup=self.warmup, seed=self.seed)
 
+    def job_groups(self, include_baseline=True):
+        """One grouped job per benchmark covering the whole policy set."""
+        return build_job_groups(self.benchmarks,
+                                self.policy_order(include_baseline),
+                                config=self.config,
+                                num_instructions=self.num_instructions,
+                                warmup=self.warmup, seed=self.seed)
+
     def run(self, include_baseline=True, profiler=None, tracer=None,
             executor=None, journal=None, progress=None,
-            failure_policy=None, metrics=None):
+            failure_policy=None, metrics=None, grouped=True):
         """Execute the sweep; returns self for chaining.
 
         ``executor`` picks the backend (default: serial, or whatever
@@ -80,16 +99,24 @@ class PolicySweep:
         (a :class:`~repro.obs.metrics.MetricsRegistry`) receives the
         execution-layer families plus a per-cell
         ``repro_sweep_cells_total{benchmark,policy,status}`` rollup.
+
+        ``grouped`` (default True) runs each benchmark as one
+        :class:`~repro.exec.job.MultiPolicySimJob` -- decode once,
+        evaluate every policy -- instead of one job per cell; cycle
+        counts, stats, journal records and per-cell bookkeeping are
+        identical either way.
         """
         jobs = self.jobs(include_baseline)
+        units = self.job_groups(include_baseline) if grouped else jobs
         with executor_scope(executor) as active:
-            results = active.run(jobs, journal=journal, tracer=tracer,
+            results = active.run(units, journal=journal, tracer=tracer,
                                  profiler=profiler, progress=progress,
                                  failure_policy=failure_policy,
                                  metrics=metrics)
             self.backend = active.describe()
             self.job_outcomes.update(active.last_outcomes)
         self.executed_policies = self.policy_order(include_baseline)
+        self.grouped = grouped
         for job in jobs:
             self.job_ids[(job.benchmark, job.policy)] = job.job_id
             if job in results:

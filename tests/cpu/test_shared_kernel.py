@@ -1,0 +1,133 @@
+"""Differential equivalence suite for the shared timestamp kernel.
+
+The merge gate of the decode-once/evaluate-many pipeline: every
+registered policy, replayed from one structural prepass, must be
+*bit-identical* -- cycles, every StatGroup counter, the miss summary --
+to the legacy per-policy simulator on the same trace.  The native (C)
+build of the kernel is additionally pinned bit-identical to the
+pure-Python loop whenever a compiler is available.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.cpu import native
+from repro.cpu.prepass import (build_prepass, policy_supported,
+                               prepass_supported)
+from repro.cpu.shared_kernel import (_policy_constants, _replay_python,
+                                     replay_policy)
+from repro.exec.cache import cached_trace
+from repro.policies import available_policies, make_policy
+from repro.sim.runner import build_simulator
+
+BENCHMARKS = ("mcf", "swim")
+NUM_INSTRUCTIONS = 1200
+WARMUP = 400
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimConfig()
+
+
+@pytest.fixture(scope="module")
+def prepasses(config):
+    """One decoded prepass per benchmark, shared across every test."""
+    out = {}
+    for bench in BENCHMARKS:
+        trace = cached_trace(bench, NUM_INSTRUCTIONS + WARMUP,
+                             config.seed)
+        out[bench] = (trace, build_prepass(trace, config, warmup=WARMUP))
+    return out
+
+
+def _legacy(config, trace, policy_name):
+    core, _hierarchy = build_simulator(config, policy_name)
+    return core.run(trace, warmup=WARMUP)
+
+
+class TestSharedPassEquivalence:
+    """Shared-pass replay == legacy simulator, for every policy."""
+
+    @pytest.mark.parametrize("policy_name", available_policies())
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_bit_identical_to_legacy(self, prepasses, config, bench,
+                                     policy_name):
+        policy = make_policy(policy_name)
+        trace, prepass = prepasses[bench]
+        legacy = _legacy(config, trace, policy_name)
+        if not policy_supported(policy):
+            # Outside the shared-pass envelope (address obfuscation);
+            # the grouped pipeline falls back to the legacy simulator
+            # for these members, so there is nothing to diff here.
+            pytest.skip("policy outside the shared-pass envelope")
+        shared = replay_policy(prepass, policy, config,
+                               trace_name=bench)
+        assert shared.cycles == legacy.cycles
+        assert shared.instructions == legacy.instructions
+        assert shared.stats.as_dict() == legacy.stats.as_dict()
+        assert shared.miss_summary == legacy.miss_summary
+
+    def test_envelope_covers_all_but_obfuscation(self):
+        outside = [name for name in available_policies()
+                   if not policy_supported(make_policy(name))]
+        assert outside == ["commit+obfuscation"]
+
+    def test_default_config_inside_envelope(self, config):
+        assert prepass_supported(config)
+
+    def test_prepass_reused_across_policies(self, prepasses, config):
+        """One prepass serves every policy: replays do not mutate it."""
+        trace, prepass = prepasses["mcf"]
+        before = (list(prepass.a_pre), list(prepass.m_counter),
+                  dict(prepass.miss_summary))
+        for policy_name in ("decrypt-only", "authen-then-issue",
+                            "authen-then-fetch-precise"):
+            replay_policy(prepass, make_policy(policy_name), config)
+        assert (list(prepass.a_pre), list(prepass.m_counter),
+                dict(prepass.miss_summary)) == before
+
+
+class TestNativeKernel:
+    """Native (C) replay == pure-Python replay, payload for payload."""
+
+    @pytest.mark.skipif(not native.native_available(),
+                        reason="no C compiler / native kernel disabled")
+    @pytest.mark.parametrize("policy_name", available_policies())
+    def test_payload_identical_to_python(self, prepasses, config,
+                                         policy_name):
+        policy = make_policy(policy_name)
+        if not policy_supported(policy):
+            pytest.skip("policy outside the shared-pass envelope")
+        _trace, prepass = prepasses["mcf"]
+        constants = _policy_constants(policy, config)
+        payload = native.replay(prepass, constants)
+        assert payload is not None
+        assert payload == _replay_python(prepass, constants)
+
+    @pytest.mark.skipif(not native.native_available(),
+                        reason="no C compiler / native kernel disabled")
+    def test_buffers_cached_on_prepass(self, prepasses, config):
+        _trace, prepass = prepasses["swim"]
+        constants = _policy_constants(make_policy("decrypt-only"), config)
+        native.replay(prepass, constants)
+        first = prepass._native
+        native.replay(prepass, constants)
+        assert prepass._native is first
+
+    def test_env_kill_switch(self, prepasses, config, monkeypatch):
+        """REPRO_NATIVE=0 forces the pure-Python loop (and back)."""
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native.reset()
+        try:
+            assert not native.native_available()
+            constants = _policy_constants(make_policy("decrypt-only"),
+                                          config)
+            assert native.replay(prepasses["mcf"][1], constants) is None
+            # replay_policy transparently falls back.
+            result = replay_policy(prepasses["mcf"][1],
+                                   make_policy("decrypt-only"), config)
+            assert result.cycles > 0
+        finally:
+            monkeypatch.delenv("REPRO_NATIVE", raising=False)
+            native.reset()

@@ -278,3 +278,53 @@ class TestFiguresChaos:
 
         assert main(["chaos", "--figures", "fig99"]) == 2
         assert "unknown figure" in capsys.readouterr().err
+
+
+class TestGroupChaos:
+    def test_serial_mid_group_campaign_converges(self, tmp_path):
+        from repro.exec.chaos import run_group_chaos
+
+        report = run_group_chaos(benchmarks=("gzip",),
+                                 num_instructions=600, warmup=300,
+                                 seed=0, workers=1,
+                                 workdir=str(tmp_path))
+        assert report.identical
+        assert report.resume_exact
+        assert report.failures == []
+        assert report.mismatches == []
+        # The kill landed mid-group: at least one member was journaled
+        # before the fault, and resume re-ran only the rest.
+        assert report.journaled_before_kill == 1
+        assert report.resumed_members == 1
+        assert (report.reexecuted_members
+                == report.total_members - report.resumed_members)
+        assert "bit-identical" in report.render()
+        assert report.as_dict()["victim"] == report.victim
+
+    def test_pool_worker_kill_campaign_converges(self, tmp_path):
+        from repro.exec.chaos import run_group_chaos
+
+        report = run_group_chaos(benchmarks=("gzip", "mcf"),
+                                 num_instructions=600, warmup=300,
+                                 seed=0, workers=2,
+                                 workdir=str(tmp_path))
+        assert report.identical
+        assert report.pool_rebuilds >= 1   # the kill broke the pool
+        assert report.failures == []
+
+    def test_needs_enough_policies_for_a_mid_group_fault(self):
+        from repro.exec.chaos import run_group_chaos
+
+        with pytest.raises(ReproError):
+            run_group_chaos(policies=("decrypt-only", "lazy"))
+
+    def test_cli_group_smoke(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(["chaos", "--group", "--benchmark", "gzip",
+                     "-n", "600", "--warmup", "300",
+                     "--workdir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exactly the unfinished members" in out
+        assert "bit-identical" in out

@@ -1,0 +1,154 @@
+"""Grouped (decode once, evaluate N) execution pipeline tests.
+
+One :class:`MultiPolicySimJob` must be observably indistinguishable
+from the N plain jobs it replaces: identical member job_ids, identical
+results on every backend, journal-compatible resume that re-runs only
+unfinished members, and cache accounting that credits the in-group
+trace reuse.
+"""
+
+import pytest
+
+from repro.exec import (
+    ParallelExecutor,
+    SerialExecutor,
+    TraceCache,
+    build_job_groups,
+    build_jobs,
+)
+from repro.exec.job import MultiPolicySimJob
+from repro.exec.retry import STATUS_OK, STATUS_RESUMED
+from repro.sim.checkpoint import JobJournal
+
+BENCHMARKS = ("gzip", "mcf")
+POLICIES = ("decrypt-only", "authen-then-commit", "authen-then-issue",
+            "commit+obfuscation")   # last one: legacy-fallback member
+N, W = 800, 400
+
+GROUPS = build_job_groups(BENCHMARKS, POLICIES,
+                          num_instructions=N, warmup=W)
+PLAIN = build_jobs(BENCHMARKS, POLICIES, num_instructions=N, warmup=W)
+
+
+@pytest.fixture(scope="module")
+def plain_results():
+    return SerialExecutor().run(PLAIN)
+
+
+class TestGroupSpec:
+    def test_member_ids_match_plain_jobs(self):
+        grouped_ids = [member.job_id for group in GROUPS
+                       for member in group.member_jobs]
+        assert grouped_ids == [job.job_id for job in PLAIN]
+
+    def test_group_validation(self):
+        with pytest.raises(Exception):
+            MultiPolicySimJob("mcf", ())
+        with pytest.raises(Exception):
+            MultiPolicySimJob("mcf", ("decrypt-only", "decrypt-only"))
+        with pytest.raises(Exception):
+            MultiPolicySimJob("mcf", ("no-such-policy",))
+
+    def test_subset_preserves_member_ids(self):
+        trimmed = GROUPS[0].subset(POLICIES[1:])
+        assert [m.job_id for m in trimmed.member_jobs] == \
+            [m.job_id for m in GROUPS[0].member_jobs[1:]]
+
+
+class TestGroupedExecutionParity:
+    def test_serial_grouped_identical_to_plain(self, plain_results):
+        grouped = SerialExecutor().run(GROUPS)
+        assert {job.job_id for job in grouped} == \
+            {job.job_id for job in plain_results}
+        by_id = {job.job_id: result for job, result
+                 in plain_results.items()}
+        for member, result in grouped.items():
+            legacy = by_id[member.job_id]
+            assert result.cycles == legacy.cycles
+            assert result.stats.as_dict() == legacy.stats.as_dict()
+            assert result.miss_summary == legacy.miss_summary
+
+    def test_parallel_grouped_identical_to_plain(self, plain_results):
+        with ParallelExecutor(2) as executor:
+            grouped = executor.run(GROUPS)
+        by_id = {job.job_id: result for job, result
+                 in plain_results.items()}
+        for member, result in grouped.items():
+            legacy = by_id[member.job_id]
+            assert result.cycles == legacy.cycles
+            assert result.stats.as_dict() == legacy.stats.as_dict()
+
+    def test_member_outcomes_recorded_individually(self):
+        executor = SerialExecutor()
+        executor.run(GROUPS)
+        outcomes = executor.last_outcomes
+        for group in GROUPS:
+            for member in group.member_jobs:
+                assert outcomes[member.job_id].status == STATUS_OK
+
+
+class TestGroupResume:
+    def test_journaled_members_resume(self, tmp_path, plain_results):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        # Pre-seed the journal with half of the first group's members,
+        # as a plain per-job sweep would have written them.
+        seeded = GROUPS[0].member_jobs[:2]
+        for member in seeded:
+            journal.record(member, plain_results[
+                next(j for j in plain_results if j.job_id
+                     == member.job_id)])
+        executor = SerialExecutor()
+        results = executor.run(GROUPS, journal=JobJournal(path))
+        # Full result set comes back...
+        assert {job.job_id for job in results} == \
+            {job.job_id for job in PLAIN}
+        # ...but only the unseeded members were executed.
+        seeded_ids = {member.job_id for member in seeded}
+        for job_id, outcome in executor.last_outcomes.items():
+            expected = (STATUS_RESUMED if job_id in seeded_ids
+                        else STATUS_OK)
+            assert outcome.status == expected
+        # Resumed results are bit-identical to a fresh run.
+        by_id = {job.job_id: result for job, result
+                 in plain_results.items()}
+        for member, result in results.items():
+            assert result.cycles == by_id[member.job_id].cycles
+
+    def test_rerun_after_full_journal_executes_nothing(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        SerialExecutor().run(GROUPS, journal=JobJournal(path))
+        executor = SerialExecutor()
+        results = executor.run(GROUPS, journal=JobJournal(path))
+        assert len(results) == len(PLAIN)
+        assert all(outcome.status == STATUS_RESUMED
+                   for outcome in executor.last_outcomes.values())
+
+
+class TestGroupCacheAccounting:
+    def test_one_generation_n_minus_one_hits(self):
+        cache = TraceCache()
+        group = GROUPS[0]
+        SerialExecutor(cache=cache).run([group])
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == len(group.policies) - 1
+        assert stats["group_reuses"] == len(group.policies) - 1
+        assert stats["hit_rate"] == pytest.approx(
+            (len(group.policies) - 1) / len(group.policies))
+
+    def test_fresh_cache_stats_no_division_by_zero(self):
+        assert TraceCache().stats()["hit_rate"] == 0.0
+
+    def test_member_accounting_marks_reuse(self):
+        cache = TraceCache()
+        group = GROUPS[0]
+        results = SerialExecutor(cache=cache).run([group])
+        by_policy = {member.policy: result
+                     for member, result in results.items()}
+        first = by_policy[group.policies[0]]
+        assert first.accounting["cache_hit"] is False
+        for policy in group.policies[1:]:
+            accounting = by_policy[policy].accounting
+            assert accounting["cache_hit"] is True
+            assert accounting["tracegen_seconds"] == 0.0
