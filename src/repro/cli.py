@@ -31,12 +31,18 @@ Commands
     per-job resource accounting.
 ``attack NAME``
     Run one exploit against one policy and report leak/detection.
+``store stats|verify|gc``
+    Inspect or maintain the persistent artifact store: tier sizes,
+    CRC verification with quarantine, LRU eviction to ``--max-bytes``.
 ``list``
     Show available benchmarks, policies and attacks.
 
 ``run``, ``sweep`` and ``figures`` all accept ``--metrics-out FILE`` to
 dump the run's fleet-telemetry snapshot (JSON, or Prometheus text when
-the file ends in ``.prom``/``.txt``).
+the file ends in ``.prom``/``.txt``), and ``--store [DIR]`` to reuse
+traces, prepass columns and finished results through the persistent
+content-addressed artifact store (bare ``--store`` resolves
+``$REPRO_STORE`` or ``~/.cache/repro/store``).
 """
 
 import argparse
@@ -112,6 +118,39 @@ def _write_metrics(metrics, args):
         print("metrics snapshot written to %s" % args.metrics_out)
 
 
+def _activate_store(args, metrics=None):
+    """Turn on the persistent artifact store when ``--store`` was given.
+
+    Exports :data:`~repro.exec.store.STORE_ENV` so forked pool workers
+    resolve the same store after fork (the same propagation path
+    ``REPRO_JOBS``/``REPRO_NATIVE`` use), and binds the parent's store
+    to the run's metrics registry so store traffic shows up in
+    ``--metrics-out`` snapshots.
+    """
+    import os
+
+    target = getattr(args, "store", None)
+    if not target:
+        return None
+    from repro.exec.store import (STORE_ENV, ArtifactStore,
+                                  default_store_path, set_active_store)
+
+    path = default_store_path() if target == "auto" else target
+    store = ArtifactStore(path, metrics=metrics)
+    os.environ[STORE_ENV] = os.fspath(store.root)
+    set_active_store(store)
+    print("artifact store: %s" % store.root, file=sys.stderr)
+    return store
+
+
+def _add_store(parser):
+    parser.add_argument("--store", metavar="DIR", nargs="?", const="auto",
+                        help="reuse traces/prepass/results through a "
+                             "persistent content-addressed store at DIR "
+                             "(bare --store: $REPRO_STORE or "
+                             "~/.cache/repro/store)")
+
+
 def _cmd_run(args):
     import time
 
@@ -147,6 +186,7 @@ def _cmd_run(args):
               file=sys.stderr)
         num_workers = 1
     metrics = _metrics_registry(args)
+    _activate_store(args, metrics)
     if num_workers > 1:
         # One grouped job: the worker decodes the trace once and fans it
         # out to every requested policy (results keyed per member job,
@@ -272,6 +312,7 @@ def _cmd_sweep(args):
                   % (args.checkpoint, len(journal)))
 
     metrics = _metrics_registry(args)
+    _activate_store(args, metrics)
     progress = None
     if args.progress:
         # A real TTY gets the single rewriting status line (done/total,
@@ -354,6 +395,7 @@ def _cmd_figures(args):
         names = list(ARTIFACTS)
     scale = _scale(args)
     metrics = _metrics_registry(args)
+    _activate_store(args, metrics)
     summary = run_figures(names, args.out,
                           num_instructions=scale["num_instructions"],
                           warmup=scale["warmup"], jobs=args.jobs,
@@ -371,10 +413,31 @@ def _cmd_figures(args):
 
 def _cmd_chaos(args):
     from repro.exec.chaos import (ALL_FAULTS, run_chaos, run_figures_chaos,
-                                  run_group_chaos)
+                                  run_group_chaos, run_store_chaos)
     from repro.obs import write_json
 
     scale = _scale(args)
+    if args.store:
+        from repro.errors import ReproError
+
+        try:
+            report = run_store_chaos(
+                benchmarks=args.benchmark or ["gzip", "mcf"],
+                policies=args.policy or ["decrypt-only",
+                                         "authen-then-commit",
+                                         "authen-then-issue"],
+                num_instructions=scale["num_instructions"],
+                warmup=scale["warmup"], seed=args.seed,
+                workdir=args.workdir)
+        except ReproError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        print(report.render())
+        if args.emit_json:
+            write_json(report.as_dict(), args.emit_json)
+            print("chaos report written to %s" % args.emit_json)
+        return 0 if report.identical else 1
+
     if args.group:
         from repro.errors import ReproError
 
@@ -547,9 +610,85 @@ def _cmd_perf(args):
             print("grouped path cycle MISMATCH -- see table above",
                   file=sys.stderr)
             return 1
+    if args.store_bench:
+        from repro.perf.bench import render_store_table, run_store_bench
+
+        store = run_store_bench(num_instructions=args.instructions,
+                                warmup=args.warmup)
+        report["store"] = store
+        print()
+        print("artifact store (no-store vs cold vs warm):")
+        print(render_store_table(store))
+        if not store["identical"]:
+            print("store path digest MISMATCH -- warm results diverge "
+                  "from cold/no-store", file=sys.stderr)
+            return 1
     if not args.no_json:
         path = write_report(report, path=args.out)
         print("benchmark report written to %s" % path)
+    return 0
+
+
+def _parse_size(text):
+    """Parse ``500M``-style size strings into bytes (K/M/G suffixes)."""
+    text = str(text).strip()
+    multiplier = 1
+    suffixes = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+    if text and text[-1].lower() in suffixes:
+        multiplier = suffixes[text[-1].lower()]
+        text = text[:-1]
+    try:
+        return int(float(text) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError("invalid size: %r" % text)
+
+
+def _cmd_store(args):
+    import json
+
+    from repro.exec.store import ArtifactStore, default_store_path
+
+    path = args.dir or default_store_path()
+    store = ArtifactStore(path)
+    if args.action == "stats":
+        payload = store.stats()
+    elif args.action == "verify":
+        payload = store.verify()
+        payload["root"] = str(store.root)
+    else:  # gc
+        payload = store.gc(args.max_bytes)
+        payload["root"] = str(store.root)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.action == "stats":
+        print("artifact store %s" % payload["root"])
+        for tier in sorted(payload["tiers"]):
+            info = payload["tiers"][tier]
+            print("  %-8s %6d entr%s %12d bytes"
+                  % (tier, info["entries"],
+                     "y " if info["entries"] == 1 else "ies",
+                     info["bytes"]))
+        print("  total    %19d bytes" % payload["total_bytes"])
+        if payload["quarantined_entries"]:
+            print("  quarantined: %d entr%s (see quarantine.rej)"
+                  % (payload["quarantined_entries"],
+                     "y" if payload["quarantined_entries"] == 1
+                     else "ies"))
+    elif args.action == "verify":
+        print("verified %d entr%s: %d ok, %d corrupt (quarantined), "
+              "%d stale"
+              % (payload["checked"],
+                 "y" if payload["checked"] == 1 else "ies",
+                 payload["ok"], payload["corrupt"], payload["stale"]))
+    else:
+        print("gc: evicted %d entr%s (%d bytes freed), kept %d "
+              "(%d bytes)"
+              % (payload["evicted"],
+                 "y" if payload["evicted"] == 1 else "ies",
+                 payload["freed_bytes"], payload["kept"],
+                 payload["kept_bytes"]))
+    if args.action == "verify" and payload["corrupt"]:
+        return 1
     return 0
 
 
@@ -600,6 +739,7 @@ def build_parser():
     p.add_argument("--metrics-out", metavar="FILE",
                    help="write the fleet-telemetry snapshot (JSON, or "
                         "Prometheus text for .prom/.txt)")
+    _add_store(p)
     _add_scale(p)
     p.set_defaults(func=_cmd_run)
 
@@ -647,6 +787,7 @@ def build_parser():
     p.add_argument("--compact", action="store_true",
                    help="before running, rewrite --checkpoint keeping "
                         "only records for this sweep's job grid")
+    _add_store(p)
     _add_scale(p, default_n=6000)
     p.set_defaults(func=_cmd_sweep)
 
@@ -680,6 +821,7 @@ def build_parser():
     p.add_argument("--metrics-out", metavar="FILE",
                    help="write the fleet-telemetry snapshot (JSON, or "
                         "Prometheus text for .prom/.txt)")
+    _add_store(p)
     _add_scale(p)
     p.set_defaults(func=_cmd_figures)
 
@@ -710,6 +852,12 @@ def build_parser():
                         "evaluation and gate that journal resume "
                         "re-runs only the unfinished policy "
                         "evaluations bit-identically")
+    p.add_argument("--store", action="store_true",
+                   help="run the artifact-store campaign instead: "
+                        "corrupt store entries (truncation, bit flip) "
+                        "and plant a stale single-flight lock, then "
+                        "gate that quarantine + regeneration keep "
+                        "results bit-identical")
     p.add_argument("-j", "--jobs", type=int, default=2,
                    help="worker processes for the faulty phase "
                         "(default 2)")
@@ -781,7 +929,30 @@ def build_parser():
     p.add_argument("--no-group", action="store_true",
                    help="skip the grouped-vs-legacy multi-policy sweep "
                         "benchmark (all registered policies)")
+    p.add_argument("--store-bench", action="store_true",
+                   help="also benchmark the artifact store: no-store vs "
+                        "cold-store vs warm-store phases over a pinned "
+                        "mini-matrix, gated on bit-identical results")
     p.set_defaults(func=_cmd_perf)
+
+    p = sub.add_parser("store",
+                       help="inspect or maintain the persistent "
+                            "artifact store (stats, verify, gc)")
+    p.add_argument("action", choices=("stats", "verify", "gc"),
+                   help="stats: tier sizes and counters; verify: CRC-"
+                        "check every entry (corrupt ones are "
+                        "quarantined); gc: evict least-recently-used "
+                        "entries down to --max-bytes")
+    p.add_argument("--dir", metavar="DIR", default=None,
+                   help="store directory (default: $REPRO_STORE or "
+                        "~/.cache/repro/store)")
+    p.add_argument("--max-bytes", type=_parse_size, default="1G",
+                   metavar="SIZE",
+                   help="gc target size; accepts K/M/G suffixes "
+                        "(default 1G)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the result as JSON")
+    p.set_defaults(func=_cmd_store)
 
     p = sub.add_parser("list", help="list benchmarks/policies/attacks")
     p.set_defaults(func=_cmd_list)

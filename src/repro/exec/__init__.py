@@ -39,6 +39,14 @@ from repro.exec.retry import (
     FailurePolicy,
     JobResult,
 )
+from repro.exec.store import (
+    ArtifactStore,
+    StoredTrace,
+    active_store,
+    code_fingerprint,
+    default_store_path,
+    set_active_store,
+)
 
 __all__ = [
     "SimJob",
@@ -66,4 +74,10 @@ __all__ = [
     "STATUS_OK",
     "STATUS_RESUMED",
     "STATUS_FAILED",
+    "ArtifactStore",
+    "StoredTrace",
+    "active_store",
+    "set_active_store",
+    "default_store_path",
+    "code_fingerprint",
 ]

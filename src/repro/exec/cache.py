@@ -1,13 +1,18 @@
-"""Per-process trace cache.
+"""Per-process trace cache, backed by the persistent artifact store.
 
 Trace generation is deterministic given ``(profile, length, seed)``, so a
 sweep only ever needs to generate each benchmark's trace once -- but the
 old per-caller loops regenerated it per config point (every MAC latency
 in an ablation grid paid tracegen again).  This cache memoises traces by
 their generation key.  It is *process-safe by construction*: each worker
-process holds its own cache and regenerates independently, which is
-cheaper and simpler than shipping multi-megabyte traces across pipes,
-and bit-identical because generation is deterministic.
+process holds its own in-memory cache, and cross-process sharing happens
+through the content-addressed :mod:`~repro.exec.store` when one is
+active -- a memory miss checks the store (an ``mmap`` of a page-cached
+file all workers share) before generating, and a generation is published
+back under a single-flight lock so N concurrent workers asking for the
+same missing trace cost exactly one generation.  With no store active
+(the default) behaviour is the historical one: generate per process,
+bit-identical because generation is deterministic.
 """
 
 import threading
@@ -19,25 +24,41 @@ from repro.workloads.tracegen import generate_trace
 
 
 class TraceCache:
-    """LRU memo of generated traces keyed by (benchmark, length, seed)."""
+    """LRU memo of generated traces keyed by (benchmark, length, seed).
 
-    def __init__(self, capacity=32):
+    ``store`` overrides the process-wide active store for this cache
+    (useful for benchmarks and tests); None means "resolve
+    :func:`~repro.exec.store.active_store` at lookup time", which is
+    how pool workers pick up ``REPRO_STORE`` after fork.
+    """
+
+    def __init__(self, capacity=32, store=None):
         self.capacity = capacity
+        self.store = store
         self._entries = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.group_reuses = 0   # in-worker fan-out hits (grouped jobs)
+        self.store_hits = 0     # misses served by the artifact store
         self.gen_seconds = 0.0  # wall time spent generating on misses
+
+    def _resolve_store(self):
+        if self.store is not None:
+            return self.store
+        from repro.exec.store import active_store
+
+        return active_store()
 
     def get(self, benchmark, num_instructions, seed, profiler=None):
         """The trace for ``benchmark``, generated at most once per key.
 
-        ``profiler`` charges a ``tracegen`` phase only on a miss, so the
-        phase table reports real generation time, not cache lookups; a
-        hit still records the phase (at zero cost) so callers can rely
-        on the key being present.
+        ``profiler`` charges a ``tracegen`` phase only on a generating
+        miss, so the phase table reports real generation time, not
+        cache lookups; a hit (in-memory or store) still records the
+        phase (at zero cost) so callers can rely on the key being
+        present.  Store loads are charged to a ``store`` phase.
         """
         key = (benchmark, num_instructions, seed)
         with self._lock:
@@ -49,14 +70,8 @@ class TraceCache:
                     profiler.add("tracegen", 0.0)
                 return trace
             self.misses += 1
-        profile = get_profile(benchmark)
-        started = time.perf_counter()
-        if profiler is not None:
-            with profiler.phase("tracegen"):
-                trace = generate_trace(profile, num_instructions, seed=seed)
-        else:
-            trace = generate_trace(profile, num_instructions, seed=seed)
-        elapsed = time.perf_counter() - started
+        trace, elapsed = self._load_or_generate(benchmark, num_instructions,
+                                                seed, profiler)
         with self._lock:
             self.gen_seconds += elapsed
             self._entries[key] = trace
@@ -64,6 +79,61 @@ class TraceCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
         return trace
+
+    def _load_or_generate(self, benchmark, num_instructions, seed,
+                          profiler):
+        """Store lookup -> single-flight generate; returns (trace, gen_s).
+
+        ``gen_seconds`` only counts actual generation: a store hit is
+        free by construction, which is what makes warm-store accounting
+        report zero tracegen.
+        """
+        store = self._resolve_store()
+        if store is None:
+            return self._generate(benchmark, num_instructions, seed,
+                                  profiler)
+        trace = self._store_load(store, benchmark, num_instructions, seed,
+                                 profiler)
+        if trace is not None:
+            return trace, 0.0
+        # Single-flight: one process generates and publishes, the rest
+        # re-check the store after the lock (or after a wait timeout --
+        # the lock is advisory, correctness never depends on it).
+        name = store.trace_name(benchmark, num_instructions, seed)
+        with store.single_flight("traces", name):
+            trace = self._store_load(store, benchmark, num_instructions,
+                                     seed, profiler)
+            if trace is not None:
+                return trace, 0.0
+            trace, elapsed = self._generate(benchmark, num_instructions,
+                                            seed, profiler)
+            store.save_trace(trace, benchmark, num_instructions, seed)
+        return trace, elapsed
+
+    def _store_load(self, store, benchmark, num_instructions, seed,
+                    profiler):
+        if profiler is not None:
+            with profiler.phase("store"):
+                trace = store.load_trace(benchmark, num_instructions, seed)
+        else:
+            trace = store.load_trace(benchmark, num_instructions, seed)
+        if trace is None:
+            return None
+        with self._lock:
+            self.store_hits += 1
+        if profiler is not None:
+            profiler.add("tracegen", 0.0)
+        return trace
+
+    def _generate(self, benchmark, num_instructions, seed, profiler):
+        profile = get_profile(benchmark)
+        started = time.perf_counter()
+        if profiler is not None:
+            with profiler.phase("tracegen"):
+                trace = generate_trace(profile, num_instructions, seed=seed)
+        else:
+            trace = generate_trace(profile, num_instructions, seed=seed)
+        return trace, time.perf_counter() - started
 
     def count_group_reuse(self, reuses):
         """Charge ``reuses`` cache hits for a grouped multi-policy job.
@@ -90,6 +160,7 @@ class TraceCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "group_reuses": self.group_reuses,
+                "store_hits": self.store_hits,
                 # Guarded: a fresh cache has zero lookups, and stats()
                 # must never divide by zero.
                 "hit_rate": (round(self.hits / lookups, 6)
@@ -97,9 +168,29 @@ class TraceCache:
                 "gen_seconds": round(self.gen_seconds, 6),
             }
 
+    def _reset_counters_locked(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.group_reuses = 0
+        self.store_hits = 0
+        self.gen_seconds = 0.0
+
+    def reset_stats(self):
+        """Zero the counters without touching cached entries."""
+        with self._lock:
+            self._reset_counters_locked()
+
     def clear(self):
+        """Drop every entry *and* the counters.
+
+        A cleared cache must report a fresh slate: leaving the counters
+        would make the next ``stats()`` claim phantom hit rates for
+        entries that no longer exist.
+        """
         with self._lock:
             self._entries.clear()
+            self._reset_counters_locked()
 
     def __len__(self):
         return len(self._entries)

@@ -11,7 +11,10 @@ converges to results bit-identical to a fault-free serial run (cycles,
 IPC and the sha256 stats digest of every job).
 :func:`run_figures_chaos` holds ``repro figures`` to the same standard:
 a worker kill mid-regeneration must still yield byte-identical text
-artifacts.
+artifacts.  :func:`run_store_chaos` does the same for the persistent
+artifact store: truncated and bit-flipped entries plus a stale
+single-flight lock from a dead process must cost quarantine and one
+regeneration, never a wrong number.
 
 Determinism is the point: a :class:`ChaosPlan` is a pure function of
 ``(job list, seed, fault kinds)``, so a failing chaos run is exactly
@@ -810,4 +813,174 @@ run_figures` produces the reference artifacts, then the same figure set
         degraded=degraded,
         reference_dir=os.path.join(workdir, "reference"),
         faulted_dir=os.path.join(workdir, "faulted"),
+    )
+
+
+@dataclasses.dataclass
+class StoreChaosReport:
+    """Outcome of one :func:`run_store_chaos` campaign."""
+
+    identical: bool
+    seed: int
+    benchmarks: tuple
+    policies: tuple
+    injected: dict          # entry basename -> fault kind
+    quarantined: int        # entries quarantined during the heal run
+    lock_breaks: int        # stale single-flight locks broken
+    store_hits: int         # heal-run jobs served from intact entries
+    regenerated: int        # heal-run jobs that had to re-simulate
+    total_jobs: int
+    mismatches: list        # job_ids whose digest diverged (any phase)
+    stats_digest: str
+    workdir: str
+
+    def as_dict(self):
+        return dataclasses.asdict(self)
+
+    def render(self):
+        lines = ["store chaos campaign: seed=%d" % self.seed]
+        lines.append("  %d benchmark(s) x %d policies (%d jobs) through "
+                     "a populated artifact store"
+                     % (len(self.benchmarks), len(self.policies),
+                        self.total_jobs))
+        lines.append("  injected: %s" % (
+            ", ".join("%s->%s" % (kind, name[:12])
+                      for name, kind in sorted(self.injected.items(),
+                                               key=lambda kv: kv[1]))
+            or "none"))
+        lines.append("  heal run: %d quarantined, %d stale lock(s) "
+                     "broken, %d store hit(s), %d regenerated"
+                     % (self.quarantined, self.lock_breaks,
+                        self.store_hits, self.regenerated))
+        lines.append("  stats digest: %s" % self.stats_digest)
+        lines.append("verdict: %s" % (
+            "bit-identical to the store-free run; corruption was "
+            "quarantined and regenerated"
+            if self.identical else
+            "FAILED: %s" % (self.mismatches
+                            or "(quarantine/lock-break gate)")))
+        return "\n".join(lines)
+
+
+def _exit_immediately():
+    """Target whose prompt death leaves a provably-dead lock owner pid."""
+
+
+def run_store_chaos(benchmarks=("gzip", "mcf"),
+                    policies=("decrypt-only", "authen-then-commit",
+                              "authen-then-issue"),
+                    num_instructions=1500, warmup=750, seed=0,
+                    workdir=None):
+    """Chaos campaign for the persistent artifact store.
+
+    Four phases, all serial (the store's cross-process behaviour is
+    exercised through real files, not a pool):
+
+    1. *Reference*: the sweep with no store -- the digests every later
+       phase must reproduce.
+    2. *Populate*: the same sweep against an empty store (cold), filling
+       the trace and result tiers.
+    3. *Corrupt*: the first job's trace entry is truncated mid-payload,
+       its result entry gets one byte flipped, and a single-flight lock
+       for the truncated trace is planted with the pid of a process that
+       has already exited -- the killed-worker-left-a-lock case.
+    4. *Heal*: the sweep reruns against the damaged store.  The gate:
+       both corrupt entries are quarantined (never misread), the stale
+       lock is broken rather than waited out, every undamaged job is
+       served from the store, exactly the damaged job re-simulates, and
+       all digests are bit-identical to the reference.
+    """
+    import multiprocessing
+
+    from repro.exec.cache import TraceCache
+    from repro.exec.store import ArtifactStore, set_active_store
+
+    benchmarks = list(benchmarks)
+    policies = list(policies)
+    jobs = build_jobs(benchmarks, policies,
+                      num_instructions=num_instructions, warmup=warmup)
+    if workdir is None:
+        import tempfile
+
+        workdir = tempfile.mkdtemp(prefix="repro-storechaos-")
+    os.makedirs(workdir, exist_ok=True)
+    store_dir = os.path.join(workdir, "store")
+
+    def run_jobs(store):
+        previous = set_active_store(store)
+        try:
+            executor = SerialExecutor(cache=TraceCache())
+            results = executor.run(jobs)
+        finally:
+            set_active_store(previous)
+        return executor, results
+
+    _, reference = run_jobs(None)
+    ref_digests = {job.job_id: result_digest(reference[job])
+                   for job in jobs}
+
+    populate_store = ArtifactStore(store_dir)
+    _, populated = run_jobs(populate_store)
+    mismatches = [job.job_id for job in jobs
+                  if result_digest(populated[job])
+                  != ref_digests[job.job_id]]
+
+    # Corruption targets one job end to end: flipping its result forces
+    # a re-simulation, which forces a read of its (truncated) trace,
+    # which forces regeneration under the (stale-locked) single flight.
+    victim = jobs[0]
+    trace_entry = populate_store.trace_name(
+        victim.benchmark, victim.trace_length, victim.effective_seed)
+    trace_path = os.path.join(store_dir, "traces", trace_entry)
+    with open(trace_path, "r+b") as handle:
+        handle.truncate(max(os.path.getsize(trace_path) // 3, 40))
+    result_entry = populate_store.result_name(victim) + ".json"
+    result_path = os.path.join(store_dir, "results", result_entry)
+    with open(result_path, "r+b") as handle:
+        body = bytearray(handle.read())
+        body[len(body) // 2] ^= 0x01
+        handle.seek(0)
+        handle.write(bytes(body))
+    proc = multiprocessing.Process(target=_exit_immediately)
+    proc.start()
+    proc.join()
+    lock_path = os.path.join(store_dir, "locks",
+                             "traces-%s.lock" % trace_entry)
+    with open(lock_path, "w") as handle:
+        json.dump({"pid": proc.pid, "created": time.time()}, handle)
+    injected = {trace_entry: "entry-truncate",
+                result_entry: "entry-bitflip",
+                os.path.basename(lock_path): "stale-lock"}
+
+    heal_store = ArtifactStore(store_dir)
+    healer, healed = run_jobs(heal_store)
+    for job in jobs:
+        if (job not in healed
+                or result_digest(healed[job]) != ref_digests[job.job_id]):
+            if job.job_id not in mismatches:
+                mismatches.append(job.job_id)
+    store_hits = sum(1 for outcome in healer.last_outcomes.values()
+                     if outcome.store_hit)
+    quarantined = heal_store.counters["quarantined"]
+    lock_breaks = heal_store.counters["lock_breaks"]
+    digests = [ref_digests[job.job_id] for job in jobs]
+    stats_digest = hashlib.sha256("".join(digests).encode()).hexdigest()
+
+    return StoreChaosReport(
+        identical=(not mismatches
+                   and quarantined >= 2
+                   and lock_breaks >= 1
+                   and store_hits == len(jobs) - 1),
+        seed=seed,
+        benchmarks=tuple(benchmarks),
+        policies=tuple(policies),
+        injected=injected,
+        quarantined=quarantined,
+        lock_breaks=lock_breaks,
+        store_hits=store_hits,
+        regenerated=len(jobs) - store_hits,
+        total_jobs=len(jobs),
+        mismatches=mismatches,
+        stats_digest=stats_digest,
+        workdir=workdir,
     )

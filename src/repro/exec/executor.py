@@ -100,22 +100,52 @@ def _peak_rss_kb():
     return rss
 
 
-def execute_job(job, tracer=None, profiler=None, cache=None):
+def _store_hit_accounting(started):
+    """Accounting for a result served from the artifact store.
+
+    ``cache_hit`` is None, not False: the trace cache was never
+    consulted, so neither verdict would be true.
+    """
+    return {
+        "wall_seconds": round(time.perf_counter() - started, 6),
+        "tracegen_seconds": 0.0,
+        "cache_hit": None,
+        "store_hit": True,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def execute_job(job, tracer=None, profiler=None, cache=None, store=None):
     """Run one job and return its RunResult (with ``.metrics`` attached).
 
     Pure with respect to ``job``: every call builds a private simulator,
     so results do not depend on execution order or backend.
 
+    ``store`` (default: the process-wide
+    :func:`~repro.exec.store.active_store`) short-circuits the whole
+    call when it holds a completed result for this ``job_id`` under the
+    current code fingerprint -- the rebuild goes through the same
+    record shape journal resume uses, so a warm result is bit-identical
+    to a simulated one.  Fresh completions are published back.
+
     Resource accounting rides along on ``result.accounting`` -- wall
-    and tracegen seconds, whether the trace came from cache, and the
-    process's peak RSS.  It is measured here, inside the worker for the
-    pool backend, because the accounting has to cross the pickle
-    boundary with the result; it never touches simulated state.
+    and tracegen seconds, whether the trace came from cache, whether
+    the result was a store hit, and the process's peak RSS.  It is
+    measured here, inside the worker for the pool backend, because the
+    accounting has to cross the pickle boundary with the result; it
+    never touches simulated state.
     """
+    from repro.exec.store import active_store
     from repro.sim.metrics import collect_metrics
     from repro.sim.runner import build_simulator
 
     started = time.perf_counter()
+    store = store if store is not None else active_store()
+    if store is not None:
+        result = store.load_result(job)
+        if result is not None:
+            result.accounting = _store_hit_accounting(started)
+            return result
     active_cache = cache if cache is not None else GLOBAL_CACHE
     hits_before = active_cache.hits
     gen_before = active_cache.gen_seconds
@@ -134,8 +164,11 @@ def execute_job(job, tracer=None, profiler=None, cache=None):
         "tracegen_seconds": round(active_cache.gen_seconds - gen_before,
                                   6),
         "cache_hit": active_cache.hits > hits_before,
+        "store_hit": False,
         "peak_rss_kb": _peak_rss_kb(),
     }
+    if store is not None:
+        store.save_result(job, result)
     return result
 
 
@@ -166,10 +199,19 @@ def iter_group_results(group, skip=(), tracer=None, profiler=None,
     (``cache_hit`` True, zero tracegen), which
     :meth:`~repro.exec.cache.TraceCache.count_group_reuse` also charges
     to the cache counters.
+
+    The artifact store (when active) resolves members *before* the
+    shared decode: members with a stored result are yielded without
+    evaluation (``store_hit`` accounting, no attempt hook -- the same
+    "settled elsewhere" semantics journal-resumed members have), and if
+    every member resolves the trace and prepass are never touched.  The
+    prepass itself is store-backed too: loaded when present, built and
+    published (under a single-flight lock) when not.
     """
     from repro.cpu.prepass import (build_prepass, policy_supported,
                                    prepass_supported)
     from repro.cpu.shared_kernel import replay_policy
+    from repro.exec.store import active_store
     from repro.policies import make_policy
     from repro.sim.metrics import collect_metrics
     from repro.sim.runner import build_simulator
@@ -178,29 +220,44 @@ def iter_group_results(group, skip=(), tracer=None, profiler=None,
     members = [m for m in group.member_jobs if m.job_id not in skip]
     if not members:
         return
-    started = time.perf_counter()
-    active_cache = cache if cache is not None else GLOBAL_CACHE
-    hits_before = active_cache.hits
-    gen_before = active_cache.gen_seconds
-    trace = cached_trace(group.benchmark, group.trace_length,
-                         group.effective_seed, profiler=profiler,
-                         cache=active_cache)
-    first_cache_hit = active_cache.hits > hits_before
-    tracegen = active_cache.gen_seconds - gen_before
-    active_cache.count_group_reuse(len(members) - 1)
-    policies = {m.policy: make_policy(m.policy) for m in members}
+    store = active_store()
+    stored = {}
+    if store is not None:
+        for member in members:
+            lookup_start = time.perf_counter()
+            hit = store.load_result(member)
+            if hit is not None:
+                hit.accounting = _store_hit_accounting(lookup_start)
+                stored[member.job_id] = hit
+    to_run = [m for m in members if m.job_id not in stored]
+    trace = None
     prepass = None
-    if (prepass_supported(group.config)
-            and any(policy_supported(p) for p in policies.values())):
-        if profiler is not None:
-            with profiler.phase("prepass"):
-                prepass = build_prepass(trace, group.config,
-                                        warmup=group.warmup)
-        else:
-            prepass = build_prepass(trace, group.config,
-                                    warmup=group.warmup)
-    shared_seconds = time.perf_counter() - started
-    for position, member in enumerate(members):
+    first_cache_hit = False
+    tracegen = 0.0
+    shared_seconds = 0.0
+    if to_run:
+        started = time.perf_counter()
+        active_cache = cache if cache is not None else GLOBAL_CACHE
+        hits_before = active_cache.hits
+        gen_before = active_cache.gen_seconds
+        trace = cached_trace(group.benchmark, group.trace_length,
+                             group.effective_seed, profiler=profiler,
+                             cache=active_cache)
+        first_cache_hit = active_cache.hits > hits_before
+        tracegen = active_cache.gen_seconds - gen_before
+        active_cache.count_group_reuse(len(to_run) - 1)
+        policies = {m.policy: make_policy(m.policy) for m in to_run}
+        if (prepass_supported(group.config)
+                and any(policy_supported(p) for p in policies.values())):
+            prepass = _shared_prepass(group, trace, store,
+                                      profiler=profiler)
+        shared_seconds = time.perf_counter() - started
+    position = 0  # over executed (non-store-hit) members
+    for member in members:
+        hit = stored.get(member.job_id)
+        if hit is not None:
+            yield member, hit
+            continue
         if _ATTEMPT_HOOK is not None:
             _ATTEMPT_HOOK(member,
                           attempt_of(member) if attempt_of is not None
@@ -231,9 +288,53 @@ def iter_group_results(group, skip=(), tracer=None, profiler=None,
             "tracegen_seconds": round(tracegen if position == 0 else 0.0,
                                       6),
             "cache_hit": first_cache_hit if position == 0 else True,
+            "store_hit": False,
             "peak_rss_kb": _peak_rss_kb(),
         }
+        if store is not None:
+            store.save_result(member, result)
+        position += 1
         yield member, result
+
+
+def _shared_prepass(group, trace, store, profiler=None):
+    """The group's structural prepass: store-loaded or built-and-saved.
+
+    A store load re-attaches the (cached) trace's packed columns; a
+    build publishes under a single-flight lock so concurrent workers
+    walking the same (trace, config, warmup) pay one walk.
+    """
+    from repro.cpu.prepass import build_prepass
+
+    def build():
+        if profiler is not None:
+            with profiler.phase("prepass"):
+                return build_prepass(trace, group.config,
+                                     warmup=group.warmup)
+        return build_prepass(trace, group.config, warmup=group.warmup)
+
+    if store is None:
+        return build()
+    packed = trace.packed()
+    prepass = store.load_prepass(group.benchmark, group.trace_length,
+                                 group.effective_seed, group.config,
+                                 group.warmup, packed)
+    if prepass is not None:
+        return prepass
+    name = store.prepass_name(group.benchmark, group.trace_length,
+                              group.effective_seed, group.config,
+                              group.warmup)
+    with store.single_flight("prepass", name):
+        prepass = store.load_prepass(group.benchmark, group.trace_length,
+                                     group.effective_seed, group.config,
+                                     group.warmup, packed)
+        if prepass is not None:
+            return prepass
+        prepass = build()
+        store.save_prepass(prepass, group.benchmark, group.trace_length,
+                           group.effective_seed, group.config,
+                           group.warmup)
+    return prepass
 
 
 def _pool_worker(job, attempt=1):
@@ -310,6 +411,7 @@ class Executor:
             outcomes[job.job_id] = JobResult(
                 job_id=job.job_id, status=STATUS_RESUMED, attempts=0,
                 cache_hit=(done.accounting or {}).get("cache_hit"),
+                store_hit=(done.accounting or {}).get("store_hit"),
                 peak_rss_kb=(done.accounting or {}).get("peak_rss_kb"))
             return True
 
@@ -486,6 +588,7 @@ class _RunState:
         self.outcomes[job.job_id] = JobResult(
             job_id=job.job_id, status=STATUS_OK, attempts=attempts,
             wall_time=wall, cache_hit=accounting.get("cache_hit"),
+            store_hit=accounting.get("store_hit"),
             peak_rss_kb=accounting.get("peak_rss_kb"))
         self.jm.observe_completed(result, wall, status=STATUS_OK)
         self.jm.pending.set(self.total - self.done)

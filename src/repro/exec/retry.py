@@ -105,11 +105,12 @@ class JobResult:
     backoff sleeps included; ``error`` is the terminal error's repr
     (None unless ``status`` is failed).
 
-    ``cache_hit`` and ``peak_rss_kb`` carry the per-job resource
-    accounting measured inside ``execute_job`` (None when the job never
-    produced a result, e.g. terminal failures or old journal records).
-    Like ``wall_time`` they are *volatile*: backend- and machine-
-    dependent, so manifest comparisons must strip them.
+    ``cache_hit``, ``store_hit`` and ``peak_rss_kb`` carry the per-job
+    resource accounting measured inside ``execute_job`` (None when the
+    job never produced a result, e.g. terminal failures or old journal
+    records).  Like ``wall_time`` they are *volatile*: backend-,
+    machine- and store-state-dependent, so manifest comparisons must
+    strip them.
     """
 
     job_id: str
@@ -118,11 +119,13 @@ class JobResult:
     wall_time: float = 0.0
     error: str = None
     cache_hit: bool = None
+    store_hit: bool = None
     peak_rss_kb: int = None
 
     #: as_dict keys that vary across backends/machines (stripped from
     #: byte-identical manifest comparisons).
-    VOLATILE_FIELDS = ("wall_time", "cache_hit", "peak_rss_kb")
+    VOLATILE_FIELDS = ("wall_time", "cache_hit", "store_hit",
+                       "peak_rss_kb")
 
     def as_dict(self):
         return dataclasses.asdict(self)

@@ -449,6 +449,10 @@ class JobMetrics:
             "repro_job_peak_rss_kb",
             "Peak RSS of the executing process after each job (KB)",
             resolution=1.0)
+        self.store_jobs = registry.counter(
+            "repro_jobs_store_hits_total",
+            "Jobs short-circuited by an artifact-store result hit "
+            "(no simulation, no tracegen)")
 
     def observe_completed(self, result, wall, status="ok"):
         """Record one settled job plus its per-job accounting."""
@@ -457,7 +461,11 @@ class JobMetrics:
         accounting = getattr(result, "accounting", None)
         if not accounting:
             return
-        if accounting.get("cache_hit"):
+        if accounting.get("store_hit"):
+            # The trace cache was never consulted: neither a cache hit
+            # nor a generating miss happened.
+            self.store_jobs.inc()
+        elif accounting.get("cache_hit"):
             self.cache_hits.inc()
         else:
             self.cache_misses.inc()

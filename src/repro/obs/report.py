@@ -56,6 +56,7 @@ def _new_report():
         "wall": None,       # {"count", "mean", "p50", "p95", "max"}
         "rss": None,        # {"count", "mean_kb", "max_kb"}
         "cache": None,      # {"hits", "misses", "hit_rate", ...}
+        "store": None,      # artifact-store traffic (hits, bytes, ...)
         "degradations": [],
         "metrics_families": None,
     }
@@ -188,8 +189,13 @@ def _ingest_metrics(report, payload):
     def counter(name):
         return summary.get(name, {}).get("total", 0)
 
-    if report["cache"] is None and (
-            counter("repro_trace_cache_hits_total")
+    if report["cache"] is not None:
+        # The journal knows per-job hits but not evictions (those are
+        # process-wide, not per-job); the metrics snapshot fills the gap.
+        if report["cache"].get("evictions") is None:
+            report["cache"]["evictions"] = counter(
+                "repro_trace_cache_evictions_total")
+    elif (counter("repro_trace_cache_hits_total")
             or counter("repro_trace_cache_misses_total")):
         hits = counter("repro_trace_cache_hits_total")
         misses = counter("repro_trace_cache_misses_total")
@@ -202,6 +208,28 @@ def _ingest_metrics(report, payload):
             "saved_seconds": counter("repro_trace_cache_saved_seconds")
             or None,
         }
+    if (counter("repro_store_hits_total")
+            or counter("repro_store_misses_total")
+            or counter("repro_jobs_store_hits_total")):
+        store = report["store"] or {}
+        store.update({
+            "hits": counter("repro_store_hits_total"),
+            "misses": counter("repro_store_misses_total"),
+            "bytes_read": counter("repro_store_bytes_read_total"),
+            "bytes_written": counter("repro_store_bytes_written_total"),
+            "quarantined": counter("repro_store_quarantined_total"),
+            "lock_waits": counter("repro_store_lock_waits_total"),
+        })
+        store.setdefault("result_short_circuits",
+                         counter("repro_jobs_store_hits_total"))
+        report["store"] = store
+    if counter("repro_store_quarantined_total"):
+        line = ("artifact store quarantined %d corrupt entr%s"
+                % (counter("repro_store_quarantined_total"),
+                   "y" if counter("repro_store_quarantined_total") == 1
+                   else "ies"))
+        if line not in report["degradations"]:
+            report["degradations"].append(line)
     if counter("repro_pool_rebuilds_total"):
         line = ("worker pool rebuilt %d time(s) after worker loss"
                 % counter("repro_pool_rebuilds_total"))
@@ -235,7 +263,7 @@ def _ingest_journal(report, journal_path, top):
     wall_hist = HistogramMetric(resolution=1e-3)
     rss_hist = HistogramMetric(resolution=1.0)
     tracegen_hist = HistogramMetric(resolution=1e-3)
-    hits = misses = 0
+    hits = misses = store_hits = 0
     costed = []
     for job_id, info in records.items():
         accounting = info.get("accounting")
@@ -248,7 +276,12 @@ def _ingest_journal(report, journal_path, top):
         rss = accounting.get("peak_rss_kb")
         if rss:
             rss_hist.observe(rss)
-        if accounting.get("cache_hit"):
+        if accounting.get("store_hit"):
+            # Result served straight from the artifact store: the job
+            # never consulted the trace cache, so it belongs in neither
+            # the hit nor the miss column.
+            store_hits += 1
+        elif accounting.get("cache_hit"):
             hits += 1
         else:
             misses += 1
@@ -263,6 +296,7 @@ def _ingest_journal(report, journal_path, top):
             "wall_seconds": wall,
             "tracegen_seconds": accounting.get("tracegen_seconds"),
             "cache_hit": accounting.get("cache_hit"),
+            "store_hit": accounting.get("store_hit"),
             "peak_rss_kb": accounting.get("peak_rss_kb"),
         }
         for wall, job_id, info, accounting in costed[:top]
@@ -286,9 +320,14 @@ def _ingest_journal(report, journal_path, top):
             "hits": hits,
             "misses": misses,
             "hit_rate": round(hits / (hits + misses), 4),
-            "evictions": None,  # not journaled; see metrics snapshot
+            # Evictions are process-wide, not per-job, so the journal
+            # cannot supply them; _ingest_metrics fills this in when a
+            # --metrics snapshot is given.
+            "evictions": None,
             "saved_seconds": saved,
         }
+    if store_hits:
+        report["store"] = {"result_short_circuits": store_hits}
     return key_names
 
 
@@ -404,8 +443,10 @@ def render_report(report, top=10):
              entry["policy"] or "--",
              entry["wall_seconds"],          # floats/ints/None go in raw:
              entry["tracegen_seconds"],      # render_table right-aligns
-             "hit" if entry["cache_hit"]     # numbers and formats them
-             else ("miss" if entry["cache_hit"] is not None else "--"),
+             "store" if entry.get("store_hit")   # numbers, formats them
+             else ("hit" if entry["cache_hit"]
+                   else ("miss" if entry["cache_hit"] is not None
+                         else "--")),
              entry["peak_rss_kb"]]
             for entry in report["slowest"][:top]
         ]
@@ -433,10 +474,30 @@ def render_report(report, top=10):
         rate = ("%.0f%%" % (100.0 * cache["hit_rate"])
                 if cache.get("hit_rate") is not None else "--")
         saved = cache.get("saved_seconds")
+        evictions = cache.get("evictions")
         lines.append("trace cache: %d hit(s) / %d miss(es), %s hit rate"
-                     "%s" % (cache["hits"], cache["misses"], rate,
-                             ", ~%ss tracegen saved" % _fmt(saved)
-                             if saved else ""))
+                     "%s%s" % (cache["hits"], cache["misses"], rate,
+                               ", %d eviction(s)" % evictions
+                               if evictions is not None else "",
+                               ", ~%ss tracegen saved" % _fmt(saved)
+                               if saved else ""))
+
+    store = report.get("store")
+    if store is not None:
+        parts = []
+        if store.get("result_short_circuits") is not None:
+            parts.append("%d job(s) served without simulation"
+                         % store["result_short_circuits"])
+        if store.get("hits") is not None:
+            parts.append("%d entry hit(s) / %d miss(es)"
+                         % (store["hits"], store.get("misses", 0)))
+        if store.get("bytes_read"):
+            parts.append("%d KB read" % (store["bytes_read"] // 1024))
+        if store.get("bytes_written"):
+            parts.append("%d KB written"
+                         % (store["bytes_written"] // 1024))
+        if parts:
+            lines.append("artifact store: " + ", ".join(parts))
 
     lines.append("")
     if report["degradations"]:

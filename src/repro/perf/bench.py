@@ -254,6 +254,101 @@ def render_group_table(report):
     return "\n".join(lines)
 
 
+def run_store_bench(benchmarks=BENCH_BENCHMARKS, policies=BENCH_POLICIES,
+                    num_instructions=BENCH_INSTRUCTIONS,
+                    warmup=BENCH_WARMUP, config=None, store_dir=None):
+    """Benchmark the artifact store: no-store vs cold vs warm phases.
+
+    Each phase runs the same pinned grouped sweep end to end (tracegen,
+    prepass and simulation all inside the clock -- the store's value is
+    precisely that it removes those from the warm path) with a fresh
+    :class:`~repro.exec.TraceCache`, so in-memory reuse never masks
+    store reuse:
+
+    - *no-store*: the historical path, no store active (the reference
+      both digests and timing are compared against);
+    - *cold*: an empty store -- pays generation plus publication;
+    - *warm*: the store the cold phase filled -- every job should
+      short-circuit on a stored result.
+
+    The gate is ``identical``: per-job result digests
+    (:func:`~repro.exec.chaos.result_digest`) must be bit-identical
+    across all three phases.  ``store_dir`` keeps the store somewhere
+    inspectable; default is a temp dir deleted on return.
+    """
+    import shutil
+    import tempfile
+
+    from repro.exec import (SerialExecutor, TraceCache, build_job_groups,
+                            set_active_store)
+    from repro.exec.chaos import result_digest
+    from repro.exec.store import ArtifactStore
+
+    config = config or SimConfig()
+    root = store_dir or tempfile.mkdtemp(prefix="repro-store-bench-")
+
+    def run_phase(store):
+        previous = set_active_store(store)
+        try:
+            executor = SerialExecutor(cache=TraceCache())
+            start = time.perf_counter()
+            results = executor.run(build_job_groups(
+                list(benchmarks), list(policies), config=config,
+                num_instructions=num_instructions, warmup=warmup))
+            wall = time.perf_counter() - start
+        finally:
+            set_active_store(previous)
+        digests = {job.job_id: result_digest(result)
+                   for job, result in results.items()}
+        hits = sum(1 for outcome in executor.last_outcomes.values()
+                   if outcome.store_hit)
+        return wall, digests, hits
+
+    try:
+        no_store_wall, reference, _ = run_phase(None)
+        cold_wall, cold_digests, _ = run_phase(ArtifactStore(root))
+        warm_wall, warm_digests, warm_hits = run_phase(ArtifactStore(root))
+        stats = ArtifactStore(root).stats()
+    finally:
+        if store_dir is None:
+            shutil.rmtree(root, ignore_errors=True)
+    return {
+        "matrix": {
+            "benchmarks": list(benchmarks),
+            "policies": list(policies),
+            "num_instructions": num_instructions,
+            "warmup": warmup,
+        },
+        "jobs": len(reference),
+        "no_store_wall_seconds": no_store_wall,
+        "cold_wall_seconds": cold_wall,
+        "warm_wall_seconds": warm_wall,
+        "warm_speedup_vs_cold":
+            cold_wall / warm_wall if warm_wall else 0.0,
+        "warm_store_hits": warm_hits,
+        "store_bytes": stats["total_bytes"],
+        "identical": reference == cold_digests == warm_digests,
+    }
+
+
+def render_store_table(report):
+    """Human-readable table for one :func:`run_store_bench` report."""
+    lines = ["%-10s %9s  %s" % ("phase", "wall(s)", "notes")]
+    lines.append("%-10s %9.3f  reference (store off)"
+                 % ("no-store", report["no_store_wall_seconds"]))
+    lines.append("%-10s %9.3f  generates + publishes %d KB"
+                 % ("cold", report["cold_wall_seconds"],
+                    report["store_bytes"] // 1024))
+    lines.append("%-10s %9.3f  %d/%d jobs served from the store"
+                 % ("warm", report["warm_wall_seconds"],
+                    report["warm_store_hits"], report["jobs"]))
+    lines.append("warm speedup vs cold: %.2fx; results %s"
+                 % (report["warm_speedup_vs_cold"],
+                    "bit-identical across all three phases"
+                    if report["identical"] else "DIVERGED"))
+    return "\n".join(lines)
+
+
 def render_table(report):
     """Human-readable table for one :func:`run_matrix` report."""
     lines = ["%-8s %-20s %10s %9s %8s"

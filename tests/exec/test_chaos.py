@@ -328,3 +328,49 @@ class TestGroupChaos:
         out = capsys.readouterr().out
         assert "exactly the unfinished members" in out
         assert "bit-identical" in out
+
+
+class TestStoreChaos:
+    def test_campaign_quarantines_and_regenerates(self, tmp_path):
+        from repro.exec.chaos import run_store_chaos
+
+        report = run_store_chaos(benchmarks=("gzip",),
+                                 num_instructions=600, warmup=300,
+                                 seed=0, workdir=str(tmp_path))
+        assert report.identical
+        assert report.mismatches == []
+        # Both damaged entries (trace + result) were quarantined, the
+        # dead-pid lock was broken, and exactly the damaged job paid a
+        # re-simulation -- every other job came straight from the store.
+        assert report.quarantined == 2
+        assert report.lock_breaks >= 1
+        assert report.regenerated == 1
+        assert report.store_hits == report.total_jobs - 1
+        assert "bit-identical" in report.render()
+        assert set(report.as_dict()["injected"].values()) == {
+            "entry-truncate", "entry-bitflip", "stale-lock"}
+
+    def test_quarantine_evidence_left_on_disk(self, tmp_path):
+        import os
+
+        from repro.exec.chaos import run_store_chaos
+
+        report = run_store_chaos(benchmarks=("gzip",),
+                                 num_instructions=600, warmup=300,
+                                 workdir=str(tmp_path))
+        assert report.identical
+        quarantine = os.path.join(str(tmp_path), "store", "quarantine")
+        assert len(os.listdir(quarantine)) == 2
+        assert os.path.exists(os.path.join(str(tmp_path), "store",
+                                           "quarantine.rej"))
+
+    def test_cli_store_smoke(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(["chaos", "--store", "--benchmark", "gzip",
+                     "-n", "600", "--warmup", "300",
+                     "--workdir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "store chaos campaign" in out
+        assert "bit-identical" in out

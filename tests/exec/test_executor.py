@@ -128,6 +128,32 @@ class TestTraceCache:
         cached_trace("gzip", 1200, 7, profiler=profiler, cache=cache)
         assert profiler.seconds("tracegen") == generated
 
+    def test_clear_resets_counters_with_entries(self):
+        cache = TraceCache()
+        cached_trace("gzip", 1200, 7, cache=cache)
+        cached_trace("gzip", 1200, 7, cache=cache)
+        cache.clear()
+        # A cleared cache must not report phantom hit rates for
+        # entries that no longer exist.
+        stats = cache.stats()
+        assert len(cache) == 0
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["hit_rate"] == 0.0
+        assert stats["gen_seconds"] == 0.0
+        # And it still works as a fresh cache afterwards.
+        cached_trace("gzip", 1200, 7, cache=cache)
+        assert cache.stats()["misses"] == 1
+
+    def test_reset_stats_keeps_entries(self):
+        cache = TraceCache()
+        trace = cached_trace("gzip", 1200, 7, cache=cache)
+        cache.reset_stats()
+        assert len(cache) == 1
+        assert cache.stats()["misses"] == 0
+        assert cached_trace("gzip", 1200, 7, cache=cache) is trace
+        assert cache.stats()["hits"] == 1
+
 
 class TestProgressHooks:
     def test_job_done_events_on_tracer(self):

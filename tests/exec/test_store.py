@@ -1,0 +1,456 @@
+"""Artifact-store tests: round trips, bit-identity, corruption, locks."""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.config import SimConfig
+from repro.cpu.prepass import build_prepass
+from repro.exec import (
+    ArtifactStore,
+    ParallelExecutor,
+    SerialExecutor,
+    TraceCache,
+    build_job_groups,
+    build_jobs,
+    execute_job,
+    set_active_store,
+)
+from repro.exec.chaos import result_digest
+from repro.exec.store import STORE_ENV, code_fingerprint, default_store_path
+from repro.workloads.spec import get_profile
+from repro.workloads.tracegen import generate_trace
+
+N = 1200
+WARMUP = 600
+JOBS = build_jobs(["gzip", "mcf"], ["decrypt-only", "authen-then-commit"],
+                  num_instructions=N, warmup=WARMUP)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture
+def active(store):
+    """Install ``store`` process-wide for the test, restore after."""
+    previous = set_active_store(store)
+    yield store
+    set_active_store(previous)
+
+
+def _trace(benchmark="gzip", total=N + WARMUP, seed=12345):
+    return generate_trace(get_profile(benchmark), total, seed=seed)
+
+
+class TestTraceRoundTrip:
+    def test_columns_bit_identical(self, store):
+        trace = _trace()
+        assert store.save_trace(trace, "gzip", len(trace), 12345)
+        loaded = store.load_trace("gzip", len(trace), 12345)
+        assert loaded is not None
+        want, got = trace.packed(), loaded.packed()
+        assert list(got.pcs) == list(want.pcs)
+        assert list(got.ops) == list(want.ops)
+        assert list(got.dests) == list(want.dests)
+        assert list(got.addrs) == list(want.addrs)
+        assert [bool(m) for m in got.mispredicts] == \
+            [bool(m) for m in want.mispredicts]
+        assert len(got.srcss) == len(want.srcss)
+        assert [tuple(s) for s in got.srcss] == \
+            [tuple(s) for s in want.srcss]
+        assert loaded.name == trace.name
+        assert loaded.footprint_bytes == trace.footprint_bytes
+        assert len(loaded) == len(trace)
+
+    def test_miss_on_absent_key(self, store):
+        assert store.load_trace("gzip", 999, 1) is None
+        assert store.counters["trace_misses"] == 1
+
+    def test_distinct_keys_distinct_entries(self, store):
+        trace = _trace()
+        store.save_trace(trace, "gzip", len(trace), 1)
+        assert store.load_trace("gzip", len(trace), 2) is None
+        assert store.load_trace("mcf", len(trace), 1) is None
+        assert store.load_trace("gzip", len(trace), 1) is not None
+
+
+class TestPrepassRoundTrip:
+    def test_columns_and_scalars_bit_identical(self, store):
+        config = SimConfig()
+        trace = _trace(total=N + WARMUP, seed=config.seed)
+        built = build_prepass(trace, config, warmup=WARMUP)
+        assert store.save_prepass(built, "gzip", len(trace), config.seed,
+                                  config, WARMUP)
+        loaded = store.load_prepass("gzip", len(trace), config.seed,
+                                    config, WARMUP, trace.packed())
+        assert loaded is not None
+        from repro.exec.store import _PREPASS_COLUMNS, _PREPASS_SCALARS
+
+        for name in _PREPASS_COLUMNS:
+            assert list(getattr(loaded, name)) == \
+                list(getattr(built, name)), name
+        assert list(loaded.if_flags) == list(built.if_flags)
+        for name in _PREPASS_SCALARS:
+            assert getattr(loaded, name) == getattr(built, name), name
+        assert loaded.miss_summary == built.miss_summary
+        assert loaded.packed is trace.packed()
+
+    def test_replay_identical_through_loaded_prepass(self, store):
+        from repro.cpu.shared_kernel import replay_policy
+        from repro.policies import make_policy
+
+        config = SimConfig()
+        trace = _trace(total=N + WARMUP, seed=config.seed)
+        built = build_prepass(trace, config, warmup=WARMUP)
+        store.save_prepass(built, "gzip", len(trace), config.seed,
+                           config, WARMUP)
+        loaded = store.load_prepass("gzip", len(trace), config.seed,
+                                    config, WARMUP, trace.packed())
+        policy = make_policy("authen-then-commit")
+        want = replay_policy(built, policy, config)
+        got = replay_policy(loaded, make_policy("authen-then-commit"),
+                            config)
+        assert got.cycles == want.cycles
+        assert got.stats.as_dict() == want.stats.as_dict()
+
+
+class TestColdWarmIdentity:
+    def test_serial_cold_warm_no_store_identical(self, active):
+        previous = set_active_store(None)
+        try:
+            reference = SerialExecutor(cache=TraceCache()).run(JOBS)
+        finally:
+            set_active_store(previous)
+        cold = SerialExecutor(cache=TraceCache()).run(JOBS)
+        warm = SerialExecutor(cache=TraceCache()).run(JOBS)
+        for job in JOBS:
+            want = result_digest(reference[job])
+            assert result_digest(cold[job]) == want
+            assert result_digest(warm[job]) == want
+            assert cold[job].stats.as_dict() == \
+                warm[job].stats.as_dict()
+
+    def test_warm_jobs_short_circuit(self, active):
+        SerialExecutor(cache=TraceCache()).run(JOBS)
+        warm = SerialExecutor(cache=TraceCache())
+        warm.run(JOBS)
+        assert all(outcome.store_hit
+                   for outcome in warm.last_outcomes.values())
+
+    def test_parallel_warm_identical(self, active):
+        cold = SerialExecutor(cache=TraceCache()).run(JOBS)
+        with ParallelExecutor(2) as executor:
+            warm = executor.run(JOBS)
+        for job in JOBS:
+            assert result_digest(warm[job]) == result_digest(cold[job])
+
+    def test_grouped_cold_warm_identical(self, active):
+        groups = build_job_groups(["gzip", "mcf"],
+                                  ["decrypt-only", "authen-then-commit",
+                                   "authen-then-issue"],
+                                  num_instructions=N, warmup=WARMUP)
+        previous = set_active_store(None)
+        try:
+            reference = SerialExecutor(cache=TraceCache()).run(groups)
+        finally:
+            set_active_store(previous)
+        cold = SerialExecutor(cache=TraceCache()).run(groups)
+        warm_exec = SerialExecutor(cache=TraceCache())
+        warm = warm_exec.run(groups)
+        ref = {job.job_id: result_digest(result)
+               for job, result in reference.items()}
+        for job, result in cold.items():
+            assert result_digest(result) == ref[job.job_id]
+        for job, result in warm.items():
+            assert result_digest(result) == ref[job.job_id]
+        assert all(outcome.store_hit
+                   for outcome in warm_exec.last_outcomes.values())
+        # Grouped cold run populates the prepass tier too.
+        assert active.stats()["tiers"]["prepass"]["entries"] >= 1
+
+
+class TestResultShortCircuit:
+    def test_accounting_marks_store_hit(self, active):
+        job = JOBS[0]
+        cold = execute_job(job, cache=TraceCache())
+        assert cold.accounting["store_hit"] is False
+        warm = execute_job(job, cache=TraceCache())
+        assert warm.accounting["store_hit"] is True
+        assert warm.accounting["tracegen_seconds"] == 0.0
+        assert warm.accounting["cache_hit"] is None
+        assert result_digest(warm) == result_digest(cold)
+        assert warm.metrics is not None
+        assert warm.metrics.as_dict() == cold.metrics.as_dict()
+
+    def test_fresh_accounting_not_recorded_accounting(self, active):
+        job = JOBS[0]
+        cold = execute_job(job, cache=TraceCache())
+        warm = execute_job(job, cache=TraceCache())
+        # wall time describes *this* execution, not the recorded one.
+        assert warm.accounting["wall_seconds"] <= \
+            cold.accounting["wall_seconds"]
+
+
+class TestCorruption:
+    def test_truncated_trace_quarantined_and_regenerated(self, store):
+        previous = set_active_store(store)
+        try:
+            cold = SerialExecutor(cache=TraceCache()).run(JOBS)
+            path = sorted(p for p, _ in store._entries("traces"))[0]
+            with open(path, "r+b") as handle:
+                handle.truncate(os.path.getsize(path) // 2)
+            # Also wipe results so re-execution really re-reads traces.
+            for rpath, _ in list(store._entries("results")):
+                os.unlink(rpath)
+            healed = SerialExecutor(cache=TraceCache()).run(JOBS)
+        finally:
+            set_active_store(previous)
+        assert store.counters["quarantined"] >= 1
+        assert os.path.exists(
+            os.path.join(store.root, "quarantine",
+                         os.path.basename(path)))
+        rej = os.path.join(store.root, "quarantine.rej")
+        assert os.path.exists(rej)
+        with open(rej) as handle:
+            reasons = [json.loads(line) for line in handle]
+        assert any(r["entry"] == os.path.basename(path) for r in reasons)
+        for job in JOBS:
+            assert result_digest(healed[job]) == result_digest(cold[job])
+        # The entry was republished by the heal run.
+        assert os.path.exists(path)
+
+    def test_bitflipped_result_quarantined(self, store):
+        previous = set_active_store(store)
+        try:
+            job = JOBS[0]
+            cold = execute_job(job, cache=TraceCache())
+            path = os.path.join(store.root, "results",
+                                store.result_name(job) + ".json")
+            body = bytearray(open(path, "rb").read())
+            body[len(body) // 2] ^= 0x01
+            with open(path, "wb") as handle:
+                handle.write(bytes(body))
+            healed = execute_job(job, cache=TraceCache())
+        finally:
+            set_active_store(previous)
+        assert healed.accounting["store_hit"] is False
+        assert store.counters["quarantined"] == 1
+        assert result_digest(healed) == result_digest(cold)
+
+    def test_garbage_file_is_a_miss_not_a_crash(self, store):
+        name = store.trace_name("gzip", N + WARMUP, 7)
+        path = os.path.join(store.root, "traces", name)
+        with open(path, "wb") as handle:
+            handle.write(b"not a store entry at all")
+        assert store.load_trace("gzip", N + WARMUP, 7) is None
+        assert store.counters["quarantined"] == 1
+
+    def test_verify_quarantines_corruption_counts_stale(self, store):
+        trace = _trace()
+        store.save_trace(trace, "gzip", len(trace), 1)
+        store.save_trace(trace, "gzip", len(trace), 2)
+        paths = sorted(p for p, _ in store._entries("traces"))
+        with open(paths[0], "r+b") as handle:
+            handle.truncate(10)
+        report = store.verify()
+        assert report["checked"] == 2
+        assert report["corrupt"] == 1
+        assert report["ok"] == 1
+        assert store.stats()["quarantined_entries"] == 1
+
+
+class TestFingerprintInvalidation:
+    def test_changed_fingerprint_misses(self, store, monkeypatch):
+        trace = _trace()
+        store.save_trace(trace, "gzip", len(trace), 1)
+        assert store.load_trace("gzip", len(trace), 1) is not None
+        monkeypatch.setattr("repro.exec.store.code_fingerprint",
+                            lambda kind: "f" * 16)
+        # New fingerprint -> new content address -> clean miss; the old
+        # entry is untouched (gc ages it out), never misread.
+        assert store.load_trace("gzip", len(trace), 1) is None
+        assert store.counters["quarantined"] == 0
+        assert store.stats()["tiers"]["traces"]["entries"] == 1
+
+    def test_result_fingerprint_in_key(self, store, monkeypatch):
+        job = JOBS[0]
+        previous = set_active_store(store)
+        try:
+            execute_job(job, cache=TraceCache())
+            warm = execute_job(job, cache=TraceCache())
+            assert warm.accounting["store_hit"] is True
+            monkeypatch.setattr("repro.exec.store.code_fingerprint",
+                                lambda kind: "0" * 16)
+            invalidated = execute_job(job, cache=TraceCache())
+        finally:
+            set_active_store(previous)
+        assert invalidated.accounting["store_hit"] is False
+        assert result_digest(invalidated) == result_digest(warm)
+
+    def test_fingerprint_tracks_source_bytes(self):
+        assert code_fingerprint("trace") == code_fingerprint("trace")
+        assert code_fingerprint("trace") != code_fingerprint("prepass")
+        assert len(code_fingerprint("result")) == 16
+
+
+class TestSingleFlight:
+    def test_concurrent_readers_coalesce_to_one_generation(
+            self, store, monkeypatch):
+        calls = []
+        real = generate_trace
+
+        def counting(profile, length, seed=0):
+            calls.append(threading.get_ident())
+            time.sleep(0.05)
+            return real(profile, length, seed=seed)
+
+        monkeypatch.setattr("repro.exec.cache.generate_trace", counting)
+        results = {}
+
+        def reader(index):
+            cache = TraceCache(store=store)
+            trace = cache.get("gzip", N + WARMUP, 9)
+            results[index] = list(trace.packed().pcs)
+
+        threads = [threading.Thread(target=reader, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+        assert len({tuple(pcs) for pcs in results.values()}) == 1
+        assert store.counters["lock_waits"] >= 1
+
+    def test_waiter_rechecks_after_lock(self, store):
+        trace = _trace()
+        name = store.trace_name("gzip", len(trace), 3)
+        with store.single_flight("traces", name) as leader:
+            assert leader
+            # Leader publishes while holding the lock.
+            store.save_trace(trace, "gzip", len(trace), 3)
+        # A late-coming process acquires and finds the entry.
+        with store.single_flight("traces", name) as leader:
+            assert leader
+            assert store.load_trace("gzip", len(trace), 3) is not None
+
+    def test_stale_lock_from_dead_pid_is_broken(self, store):
+        proc = multiprocessing.Process(target=_noop)
+        proc.start()
+        proc.join()
+        lock_path = os.path.join(store.root, "locks", "traces-xyz.lock")
+        with open(lock_path, "w") as handle:
+            json.dump({"pid": proc.pid, "created": time.time()}, handle)
+        with store.single_flight("traces", "xyz") as leader:
+            assert leader
+        assert store.counters["lock_breaks"] == 1
+        assert not os.path.exists(lock_path)
+
+    def test_aged_lock_from_live_pid_is_broken(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s", stale_lock_seconds=0.05)
+        lock_path = os.path.join(store.root, "locks", "traces-old.lock")
+        with open(lock_path, "w") as handle:
+            json.dump({"pid": os.getpid(), "created": time.time()},
+                      handle)
+        old = time.time() - 10
+        os.utime(lock_path, (old, old))
+        with store.single_flight("traces", "old") as leader:
+            assert leader
+        assert store.counters["lock_breaks"] == 1
+
+    def test_wait_timeout_degrades_to_solo_generation(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s", lock_timeout=0.05)
+        lock_path = os.path.join(store.root, "locks", "traces-held.lock")
+        with open(lock_path, "w") as handle:
+            json.dump({"pid": os.getpid(), "created": time.time()},
+                      handle)
+        started = time.monotonic()
+        with store.single_flight("traces", "held") as leader:
+            assert not leader  # advisory: caller generates anyway
+        assert time.monotonic() - started < 5.0
+        assert store.counters["lock_waits"] == 1
+        os.unlink(lock_path)
+
+
+class TestGc:
+    def test_evicts_least_recently_used_first(self, store):
+        trace = _trace()
+        for seed in (1, 2, 3):
+            store.save_trace(trace, "gzip", len(trace), seed)
+        paths = {seed: os.path.join(
+            store.root, "traces", store.trace_name("gzip", len(trace),
+                                                   seed))
+            for seed in (1, 2, 3)}
+        now = time.time()
+        for age, seed in ((300, 1), (200, 2), (100, 3)):
+            os.utime(paths[seed], (now - age, now - age))
+        size = os.path.getsize(paths[1])
+        report = store.gc(max_bytes=size * 2)
+        assert report["evicted"] == 1
+        assert not os.path.exists(paths[1])      # oldest went first
+        assert os.path.exists(paths[2])
+        assert os.path.exists(paths[3])
+        assert report["kept"] == 2
+
+    def test_load_refreshes_recency(self, store):
+        trace = _trace()
+        for seed in (1, 2):
+            store.save_trace(trace, "gzip", len(trace), seed)
+        paths = {seed: os.path.join(
+            store.root, "traces", store.trace_name("gzip", len(trace),
+                                                   seed))
+            for seed in (1, 2)}
+        old = time.time() - 500
+        os.utime(paths[2], (old, old))
+        os.utime(paths[1], (old - 500, old - 500))
+        # Touching entry 1 via a load makes entry 2 the LRU victim.
+        assert store.load_trace("gzip", len(trace), 1) is not None
+        store.gc(max_bytes=os.path.getsize(paths[1]))
+        assert os.path.exists(paths[1])
+        assert not os.path.exists(paths[2])
+
+    def test_gc_to_zero_empties_the_store(self, store):
+        trace = _trace()
+        store.save_trace(trace, "gzip", len(trace), 1)
+        report = store.gc(max_bytes=0)
+        assert report["evicted"] == 1
+        assert report["kept"] == 0
+        assert store.stats()["total_bytes"] == 0
+
+
+class TestStatsAndEnv:
+    def test_stats_shape(self, store):
+        trace = _trace()
+        store.save_trace(trace, "gzip", len(trace), 1)
+        stats = store.stats()
+        assert stats["tiers"]["traces"]["entries"] == 1
+        assert stats["tiers"]["traces"]["bytes"] > 0
+        assert stats["total_bytes"] == stats["tiers"]["traces"]["bytes"]
+        assert stats["counters"]["bytes_written"] > 0
+        assert stats["quarantined_entries"] == 0
+
+    def test_default_store_path_prefers_env(self, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, "/tmp/elsewhere")
+        assert default_store_path() == "/tmp/elsewhere"
+        monkeypatch.delenv(STORE_ENV)
+        assert default_store_path().endswith(os.path.join("repro",
+                                                          "store"))
+
+    def test_set_active_store_returns_previous(self, store):
+        previous = set_active_store(store)
+        try:
+            from repro.exec.store import active_store
+
+            assert active_store() is store
+        finally:
+            set_active_store(previous)
+
+
+def _noop():
+    """Exit immediately: its reaped pid proves a lock owner is dead."""

@@ -237,3 +237,48 @@ class TestReportCli:
         report = json.loads(capsys.readouterr().out)
         assert report["jobs"]["retried"] >= 1  # the killed job re-ran
         assert any("worker-kill" in d for d in report["degradations"])
+
+
+class TestStoreReporting:
+    def test_metrics_snapshot_fills_cache_evictions(self, tmp_path, hook):
+        _, manifest, metrics, journal = faulty_sweep(tmp_path, hook)
+        # The journal cannot know evictions (they are process-wide);
+        # the metrics snapshot fills them in instead of the old
+        # hardcoded None.
+        with_metrics = build_report([manifest, metrics], journal=journal)
+        assert with_metrics["cache"]["evictions"] == 0
+        journal_only = build_report([manifest], journal=journal)
+        assert journal_only["cache"]["evictions"] is None
+
+    def test_store_section_from_metrics_and_journal(self, tmp_path):
+        from repro.exec import (ArtifactStore, SerialExecutor, TraceCache,
+                                build_jobs, set_active_store)
+
+        registry = MetricsRegistry()
+        store = ArtifactStore(tmp_path / "store", metrics=registry)
+        jobs = build_jobs(["gzip"],
+                          ["decrypt-only", "authen-then-commit"],
+                          num_instructions=600, warmup=300)
+        journal_path = tmp_path / "warm.journal"
+        previous = set_active_store(store)
+        try:
+            SerialExecutor(cache=TraceCache()).run(jobs)   # cold
+            SerialExecutor(cache=TraceCache()).run(        # warm
+                jobs, journal=JobJournal(journal_path),
+                metrics=registry)
+        finally:
+            set_active_store(previous)
+        metrics_path = tmp_path / "metrics.json"
+        write_metrics(registry, metrics_path)
+
+        report = build_report([metrics_path], journal=journal_path)
+        assert report["store"]["result_short_circuits"] == len(jobs)
+        assert report["store"]["hits"] >= len(jobs)
+        assert report["store"]["quarantined"] == 0
+        # Store-served jobs belong in neither cache column.
+        assert report["cache"] is None
+
+        text = render_report(report)
+        assert "artifact store:" in text
+        assert "%d job(s) served without simulation" % len(jobs) in text
+        assert "store" in text.lower()

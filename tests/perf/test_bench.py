@@ -85,3 +85,33 @@ class TestCli:
         payload = json.loads(open(out).read())
         assert payload["speedup_vs_baseline"] > 0
         assert "inst/s" in capsys.readouterr().out
+
+
+class TestStoreBench:
+    def test_phases_identical_and_warm_hits(self, tmp_path):
+        from repro.perf.bench import render_store_table, run_store_bench
+
+        report = run_store_bench(benchmarks=("gzip",),
+                                 policies=("decrypt-only",
+                                           "authen-then-commit"),
+                                 num_instructions=1500, warmup=750,
+                                 store_dir=str(tmp_path / "store"))
+        assert report["identical"]
+        assert report["warm_store_hits"] == report["jobs"]
+        assert report["warm_wall_seconds"] > 0
+        assert report["store_bytes"] > 0
+        text = render_store_table(report)
+        assert "no-store" in text
+        assert "bit-identical" in text
+
+    def test_cli_store_bench_flag(self, capsys, tmp_path, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        code = main(["perf", "-n", "1500", "--warmup", "750",
+                     "--repeats", "1", "--no-group", "--no-json",
+                     "--store-bench"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "artifact store (no-store vs cold vs warm):" in out
+        assert "bit-identical across all three phases" in out

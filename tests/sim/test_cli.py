@@ -102,3 +102,70 @@ class TestCli:
     def test_table2_static(self, capsys):
         assert main(["table2", "--static"]) == 0
         assert "authen-then-issue" in capsys.readouterr().out
+
+
+class TestStoreCli:
+    def test_sweep_store_warm_table_identical(self, capsys, tmp_path):
+        import os
+
+        from repro.exec.store import STORE_ENV, set_active_store
+
+        argv = ["sweep", "gzip", "-p", "decrypt-only",
+                "-p", "authen-then-commit", "-n", "1000",
+                "--warmup", "500", "--store", str(tmp_path / "store")]
+
+        def table(out):
+            return [line for line in out.splitlines()
+                    if line.startswith(("gzip", "average"))]
+
+        try:
+            assert main(argv) == 0
+            cold = table(capsys.readouterr().out)
+            assert main(argv) == 0
+            warm = table(capsys.readouterr().out)
+        finally:
+            set_active_store(None)
+            os.environ.pop(STORE_ENV, None)
+        assert cold and cold == warm
+        store_root = tmp_path / "store"
+        assert (store_root / "results").is_dir()
+        assert any((store_root / "results").iterdir())
+
+    def test_store_subcommand_stats_verify_gc(self, capsys, tmp_path):
+        import json as jsonlib
+
+        from repro.exec import ArtifactStore
+        from repro.workloads.spec import get_profile
+        from repro.workloads.tracegen import generate_trace
+
+        store_dir = str(tmp_path / "store")
+        store = ArtifactStore(store_dir)
+        trace = generate_trace(get_profile("gzip"), 800, seed=1)
+        store.save_trace(trace, "gzip", 800, 1)
+
+        assert main(["store", "stats", "--dir", store_dir,
+                     "--json"]) == 0
+        payload = jsonlib.loads(capsys.readouterr().out)
+        assert payload["tiers"]["traces"]["entries"] == 1
+
+        assert main(["store", "verify", "--dir", store_dir]) == 0
+        assert "1 ok" in capsys.readouterr().out
+
+        assert main(["store", "gc", "--dir", store_dir,
+                     "--max-bytes", "0"]) == 0
+        assert "evicted 1 entry" in capsys.readouterr().out
+
+    def test_store_verify_flags_corruption(self, capsys, tmp_path):
+        from repro.exec import ArtifactStore
+        from repro.workloads.spec import get_profile
+        from repro.workloads.tracegen import generate_trace
+
+        store_dir = str(tmp_path / "store")
+        store = ArtifactStore(store_dir)
+        trace = generate_trace(get_profile("gzip"), 800, seed=1)
+        store.save_trace(trace, "gzip", 800, 1)
+        path = next(p for p, _ in store._entries("traces"))
+        with open(path, "r+b") as handle:
+            handle.truncate(16)
+        assert main(["store", "verify", "--dir", store_dir]) == 1
+        assert "1 corrupt" in capsys.readouterr().out
