@@ -34,15 +34,24 @@ Commands
 ``store stats|verify|gc``
     Inspect or maintain the persistent artifact store: tier sizes,
     CRC verification with quarantine, LRU eviction to ``--max-bytes``.
+``worker``
+    Run one work-stealing daemon against a shared ``--spool``
+    directory: claim job units via exclusive leases, heartbeat them,
+    append results to this host's journal segment.  ``--stop`` asks
+    every worker on the spool to drain and exit.
 ``list``
     Show available benchmarks, policies and attacks.
 
 ``run``, ``sweep`` and ``figures`` all accept ``--metrics-out FILE`` to
 dump the run's fleet-telemetry snapshot (JSON, or Prometheus text when
-the file ends in ``.prom``/``.txt``), and ``--store [DIR]`` to reuse
+the file ends in ``.prom``/``.txt``), ``--store [DIR]`` to reuse
 traces, prepass columns and finished results through the persistent
 content-addressed artifact store (bare ``--store`` resolves
-``$REPRO_STORE`` or ``~/.cache/repro/store``).
+``$REPRO_STORE`` or ``~/.cache/repro/store``), and ``--spool DIR`` to
+execute through the multi-host work-stealing backend: the driver spools
+job units to DIR and merges results journaled by ``repro worker``
+daemons (falling back to in-process execution if no worker ever shows
+up).
 """
 
 import argparse
@@ -151,6 +160,28 @@ def _add_store(parser):
                              "~/.cache/repro/store)")
 
 
+def _add_spool(parser):
+    parser.add_argument("--spool", metavar="DIR", default=None,
+                        help="execute through the multi-host "
+                             "work-stealing backend: spool job units "
+                             "to DIR and merge results from `repro "
+                             "worker --spool DIR` daemons (degrades to "
+                             "in-process execution if no worker "
+                             "appears)")
+
+
+def _dist_executor(args):
+    """The DistExecutor ``--spool`` asks for (None when absent)."""
+    spool = getattr(args, "spool", None)
+    if not spool:
+        return None
+    from repro.exec import DistExecutor
+
+    print("dist backend: spooling job units to %s (serve with "
+          "`repro worker --spool %s`)" % (spool, spool), file=sys.stderr)
+    return DistExecutor(spool)
+
+
 def _cmd_run(args):
     import time
 
@@ -180,14 +211,25 @@ def _cmd_run(args):
                       num_instructions=scale["num_instructions"],
                       warmup=scale["warmup"])
     num_workers = args.jobs
-    if chrome is not None and num_workers > 1:
+    if chrome is not None and (num_workers > 1 or args.spool):
         print("note: --trace-out records per-run events, which only the "
               "serial backend supports; running with --jobs 1",
               file=sys.stderr)
         num_workers = 1
+        args.spool = None
     metrics = _metrics_registry(args)
     _activate_store(args, metrics)
-    if num_workers > 1:
+    dist = _dist_executor(args)
+    if dist is not None:
+        groups = build_job_groups([args.benchmark], policies,
+                                  config=config,
+                                  num_instructions=scale[
+                                      "num_instructions"],
+                                  warmup=scale["warmup"])
+        with dist as executor:
+            results = executor.run(groups, profiler=profiler,
+                                   metrics=metrics)
+    elif num_workers > 1:
         # One grouped job: the worker decodes the trace once and fans it
         # out to every requested policy (results keyed per member job,
         # identical to the per-job expansion below).
@@ -322,7 +364,7 @@ def _cmd_sweep(args):
 
     start = time.perf_counter()
     try:
-        with make_executor(args.jobs) as executor:
+        with _dist_executor(args) or make_executor(args.jobs) as executor:
             sweep.run(include_baseline=not args.no_baseline,
                       profiler=profiler, executor=executor,
                       journal=journal, progress=progress,
@@ -396,11 +438,17 @@ def _cmd_figures(args):
     scale = _scale(args)
     metrics = _metrics_registry(args)
     _activate_store(args, metrics)
-    summary = run_figures(names, args.out,
-                          num_instructions=scale["num_instructions"],
-                          warmup=scale["warmup"], jobs=args.jobs,
-                          failure_policy=_failure_policy(args),
-                          log=print, metrics=metrics)
+    dist = _dist_executor(args)
+    try:
+        summary = run_figures(names, args.out,
+                              num_instructions=scale["num_instructions"],
+                              warmup=scale["warmup"], jobs=args.jobs,
+                              executor=dist,
+                              failure_policy=_failure_policy(args),
+                              log=print, metrics=metrics)
+    finally:
+        if dist is not None:
+            dist.close()
     print("figures manifest written to %s" % summary["manifest_path"])
     _write_metrics(metrics, args)
     if summary["total_failures"]:
@@ -412,11 +460,33 @@ def _cmd_figures(args):
 
 
 def _cmd_chaos(args):
-    from repro.exec.chaos import (ALL_FAULTS, run_chaos, run_figures_chaos,
-                                  run_group_chaos, run_store_chaos)
+    from repro.exec.chaos import (ALL_FAULTS, run_chaos, run_dist_chaos,
+                                  run_figures_chaos, run_group_chaos,
+                                  run_store_chaos)
     from repro.obs import write_json
 
     scale = _scale(args)
+    if args.dist:
+        from repro.errors import ReproError
+
+        try:
+            report = run_dist_chaos(
+                benchmarks=args.benchmark or ["gzip", "mcf"],
+                policies=args.policy or ["decrypt-only",
+                                         "authen-then-commit",
+                                         "authen-then-issue"],
+                num_instructions=scale["num_instructions"],
+                warmup=scale["warmup"], seed=args.seed,
+                workdir=args.workdir)
+        except ReproError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        print(report.render())
+        if args.emit_json:
+            write_json(report.as_dict(), args.emit_json)
+            print("chaos report written to %s" % args.emit_json)
+        return 0 if report.identical else 1
+
     if args.store:
         from repro.errors import ReproError
 
@@ -692,6 +762,46 @@ def _cmd_store(args):
     return 0
 
 
+def _cmd_worker(args):
+    import os
+
+    from repro.exec import run_worker
+    from repro.exec.dist import ensure_spool, request_stop
+
+    if args.stop:
+        ensure_spool(args.spool)
+        request_stop(args.spool)
+        print("stop requested: workers on %s will drain and exit"
+              % args.spool)
+        return 0
+    _activate_store(args)
+    on_record = None
+    die_after = os.environ.get("REPRO_WORKER_DIE_AFTER")
+    if die_after:
+        # Chaos/CI hook: SIGKILL this worker right after its Nth
+        # journal append -- mid-unit by construction -- so host-death
+        # recovery can be exercised from a plain shell script.
+        import signal
+
+        budget = [int(die_after)]
+
+        def on_record(job, result):
+            budget[0] -= 1
+            if budget[0] <= 0:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    summary = run_worker(args.spool, host_id=args.host_id,
+                         poll=args.poll,
+                         lease_timeout=args.lease_timeout,
+                         idle_exit=args.idle_exit,
+                         max_units=args.max_units, on_record=on_record,
+                         log=lambda line: print(line, file=sys.stderr))
+    print("worker %s: %d unit(s), %d member result(s), %d error(s)"
+          % (summary["host_id"], summary["units"], summary["members"],
+             summary["errors"]))
+    return 1 if summary["errors"] else 0
+
+
 def _cmd_list(args):
     from repro.attacks.harness import ALL_ATTACKS
 
@@ -740,6 +850,7 @@ def build_parser():
                    help="write the fleet-telemetry snapshot (JSON, or "
                         "Prometheus text for .prom/.txt)")
     _add_store(p)
+    _add_spool(p)
     _add_scale(p)
     p.set_defaults(func=_cmd_run)
 
@@ -788,6 +899,7 @@ def build_parser():
                    help="before running, rewrite --checkpoint keeping "
                         "only records for this sweep's job grid")
     _add_store(p)
+    _add_spool(p)
     _add_scale(p, default_n=6000)
     p.set_defaults(func=_cmd_sweep)
 
@@ -822,6 +934,7 @@ def build_parser():
                    help="write the fleet-telemetry snapshot (JSON, or "
                         "Prometheus text for .prom/.txt)")
     _add_store(p)
+    _add_spool(p)
     _add_scale(p)
     p.set_defaults(func=_cmd_figures)
 
@@ -858,6 +971,12 @@ def build_parser():
                         "and plant a stale single-flight lock, then "
                         "gate that quarantine + regeneration keep "
                         "results bit-identical")
+    p.add_argument("--dist", action="store_true",
+                   help="run the multi-host campaign instead: a worker "
+                        "daemon SIGKILLed mid-unit, two daemons "
+                        "appending one journal segment (then torn), "
+                        "and a vanished fleet must all heal to "
+                        "bit-identical results")
     p.add_argument("-j", "--jobs", type=int, default=2,
                    help="worker processes for the faulty phase "
                         "(default 2)")
@@ -953,6 +1072,36 @@ def build_parser():
     p.add_argument("--json", action="store_true",
                    help="emit the result as JSON")
     p.set_defaults(func=_cmd_store)
+
+    p = sub.add_parser("worker",
+                       help="run one work-stealing daemon against a "
+                            "shared --spool directory (claim units via "
+                            "leases, heartbeat, journal results)")
+    p.add_argument("--spool", metavar="DIR", required=True,
+                   help="the shared spool directory drivers submit "
+                        "job units to")
+    p.add_argument("--host-id", metavar="NAME", default=None,
+                   help="name for this worker's journal segment and "
+                        "census entry (default: <hostname>-<pid>)")
+    p.add_argument("--poll", type=float, default=0.25, metavar="SECS",
+                   help="idle claim-loop poll interval (default 0.25)")
+    p.add_argument("--lease-timeout", type=float, default=5.0,
+                   metavar="SECS",
+                   help="lease heartbeat budget; the driver reclaims a "
+                        "unit whose lease goes this long without a "
+                        "heartbeat (default 5.0; must match the "
+                        "driver's)")
+    p.add_argument("--idle-exit", type=float, default=None,
+                   metavar="SECS",
+                   help="exit after this long with nothing claimable "
+                        "(default: run until --stop)")
+    p.add_argument("--max-units", type=int, default=None, metavar="N",
+                   help="exit after executing N job units")
+    p.add_argument("--stop", action="store_true",
+                   help="ask every worker on the spool to drain and "
+                        "exit, then return")
+    _add_store(p)
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser("list", help="list benchmarks/policies/attacks")
     p.set_defaults(func=_cmd_list)

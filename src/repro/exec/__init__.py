@@ -11,6 +11,7 @@ pool -- with optional resume via a
 """
 
 from repro.exec.cache import GLOBAL_CACHE, TraceCache, cached_trace
+from repro.exec.dist import DistExecutor, run_worker
 from repro.exec.executor import (
     Executor,
     ParallelExecutor,
@@ -59,6 +60,8 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "DistExecutor",
+    "run_worker",
     "make_executor",
     "default_jobs",
     "executor_scope",

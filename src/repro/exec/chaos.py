@@ -14,7 +14,11 @@ a worker kill mid-regeneration must still yield byte-identical text
 artifacts.  :func:`run_store_chaos` does the same for the persistent
 artifact store: truncated and bit-flipped entries plus a stale
 single-flight lock from a dead process must cost quarantine and one
-regeneration, never a wrong number.
+regeneration, never a wrong number.  :func:`run_dist_chaos` extends the
+standard across hosts: a worker daemon SIGKILLed mid-unit, a journal
+segment two daemons appended concurrently (then torn mid-record), and a
+fleet that vanishes entirely must all heal to results bit-identical to
+``SerialExecutor`` -- with the victim's leased jobs re-run exactly once.
 
 Determinism is the point: a :class:`ChaosPlan` is a pure function of
 ``(job list, seed, fault kinds)``, so a failing chaos run is exactly
@@ -30,6 +34,7 @@ import hashlib
 import json
 import os
 import signal
+import socket
 import time
 
 from repro.errors import ReproError
@@ -947,7 +952,11 @@ def run_store_chaos(benchmarks=("gzip", "mcf"),
     lock_path = os.path.join(store_dir, "locks",
                              "traces-%s.lock" % trace_entry)
     with open(lock_path, "w") as handle:
-        json.dump({"pid": proc.pid, "created": time.time()}, handle)
+        # Recording our own hostname keeps the pid-liveness check in
+        # play: locks from *foreign* hosts age out instead (their pids
+        # mean nothing here), which is its own satellite-tested path.
+        json.dump({"pid": proc.pid, "host": socket.gethostname(),
+                   "created": time.time()}, handle)
     injected = {trace_entry: "entry-truncate",
                 result_entry: "entry-bitflip",
                 os.path.basename(lock_path): "stale-lock"}
@@ -981,6 +990,286 @@ def run_store_chaos(benchmarks=("gzip", "mcf"),
         regenerated=len(jobs) - store_hits,
         total_jobs=len(jobs),
         mismatches=mismatches,
+        stats_digest=stats_digest,
+        workdir=workdir,
+    )
+
+
+@dataclasses.dataclass
+class DistChaosReport:
+    """Outcome of one :func:`run_dist_chaos` campaign."""
+
+    identical: bool
+    seed: int
+    benchmarks: tuple
+    policies: tuple
+    total_members: int
+    # host-death campaign
+    host_losses: int        # hosts the driver declared dead
+    lease_breaks: int       # expired leases released back to the spool
+    victim_records: int     # members the victim journaled before dying
+    exactly_once: bool      # every member executed once across segments
+    duplicates: list        # member job_ids executed more than once
+    death_mismatches: list  # digest divergence in the host-death phase
+    # split-journal campaign
+    split_records: int      # intact records after the torn-tail resume
+    split_quarantined: int  # lines quarantined (must be the tear alone)
+    split_resumed: int      # members resumed, not re-simulated
+    split_mismatches: list
+    # degrade-to-local campaign
+    degraded_ok: bool       # empty fleet finished in-process, identical
+    failures: list          # terminal JobResult dicts from any phase
+    stats_digest: str
+    workdir: str
+
+    def as_dict(self):
+        return dataclasses.asdict(self)
+
+    def render(self):
+        lines = ["dist chaos campaign: seed=%d" % self.seed]
+        lines.append("  %d benchmark group(s) x %d policies (%d member "
+                     "jobs) over a shared spool"
+                     % (len(self.benchmarks), len(self.policies),
+                        self.total_members))
+        lines.append("  host death: victim journaled %d member(s) then "
+                     "died; %d host loss(es), %d lease break(s), "
+                     "re-run exactly once: %s"
+                     % (self.victim_records, self.host_losses,
+                        self.lease_breaks,
+                        "yes" if self.exactly_once
+                        else "NO %s" % self.duplicates))
+        lines.append("  split journal: %d intact record(s), %d "
+                     "quarantined, %d resumed without re-simulation"
+                     % (self.split_records, self.split_quarantined,
+                        self.split_resumed))
+        lines.append("  degrade-to-local: %s"
+                     % ("empty fleet finished in-process, bit-identical"
+                        if self.degraded_ok else "FAILED"))
+        if self.failures:
+            lines.append("  TERMINAL FAILURES: %s" % self.failures)
+        lines.append("  stats digest: %s" % self.stats_digest)
+        mismatches = self.death_mismatches + self.split_mismatches
+        lines.append("verdict: %s" % (
+            "bit-identical to the fault-free serial run across every "
+            "campaign" if self.identical else
+            "FAILED: %s" % (mismatches or "(recovery gate)")))
+        return "\n".join(lines)
+
+
+def _dist_worker_main(spool, host_id, die_after=None, poll=0.05,
+                      lease_timeout=1.0):
+    """Child-process entry for the dist campaigns' worker daemons.
+
+    ``die_after=N`` SIGKILLs the process right after its Nth journal
+    append -- mid-unit by construction when units are multi-member
+    groups -- which is exactly the host-death fault: the lease is left
+    behind with a heartbeat that will never refresh again.
+    """
+    from repro.exec import dist
+
+    state = {"records": 0}
+
+    def on_record(member, result):
+        state["records"] += 1
+        if die_after is not None and state["records"] >= die_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    dist.run_worker(spool, host_id=host_id, poll=poll,
+                    lease_timeout=lease_timeout,
+                    on_record=on_record if die_after is not None
+                    else None)
+
+
+def run_dist_chaos(benchmarks=("gzip", "mcf"),
+                   policies=("decrypt-only", "authen-then-commit",
+                             "authen-then-issue"),
+                   num_instructions=1500, warmup=750, seed=0,
+                   lease_timeout=1.0, workdir=None):
+    """Chaos campaign for the multi-host work-stealing backend.
+
+    A fault-free serial run establishes per-member digests, then three
+    campaigns over real worker processes and spool directories:
+
+    1. *Host death*: a victim worker claims a group, journals exactly
+       one member and SIGKILLs itself; a survivor worker plus the
+       driver must detect the expired lease (``HOST_LOST``), re-claim
+       the unit, skip the member the victim already published, and
+       finish the sweep.  Gate: bit-identical results, at least one
+       host loss, and every member executed *exactly once* across all
+       journal segments.
+    2. *Split journal*: two worker daemons share one ``--host-id`` so
+       their appends interleave in a single journal segment; after the
+       run the segment gets a torn partial record appended (the
+       mid-write kill).  Re-opening it as a ``JobJournal`` plus a
+       serial heal run must quarantine exactly the tear, resume every
+       member from the concurrently-written records, and stay
+       bit-identical after ``compact``.
+    3. *Degrade to local*: a driver over an empty spool with no workers
+       must degrade to in-process execution and still produce
+       bit-identical results.
+    """
+    import multiprocessing
+
+    from repro.exec import dist
+    from repro.exec.job import build_job_groups
+    from repro.sim.checkpoint import JobJournal
+
+    benchmarks = list(benchmarks)
+    policies = list(policies)
+    if len(benchmarks) < 2:
+        raise ReproError("dist chaos needs >= 2 benchmarks (the "
+                         "survivor must have work while the victim "
+                         "dies)")
+    if len(policies) < 2:
+        raise ReproError("dist chaos needs >= 2 policies (the victim "
+                         "must die mid-group, after its first member)")
+    jobs = build_jobs(benchmarks, policies,
+                      num_instructions=num_instructions, warmup=warmup)
+    groups = build_job_groups(benchmarks, policies,
+                              num_instructions=num_instructions,
+                              warmup=warmup)
+    member_ids = {job.job_id for job in jobs}
+    reference = SerialExecutor().run(jobs)
+    ref_digests = {job.job_id: result_digest(reference[job])
+                   for job in jobs}
+
+    if workdir is None:
+        import tempfile
+
+        workdir = tempfile.mkdtemp(prefix="repro-distchaos-")
+    os.makedirs(workdir, exist_ok=True)
+    failures = []
+    retry_policy = FailurePolicy(mode=RETRY_THEN_SKIP, max_attempts=4,
+                                 backoff_base=0.01, backoff_max=0.05,
+                                 jitter_seed=seed)
+
+    def reap(proc, timeout=60):
+        proc.join(timeout=timeout)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+
+    def mismatched(results):
+        return sorted(job.job_id for job in jobs
+                      if job not in results
+                      or result_digest(results[job])
+                      != ref_digests[job.job_id])
+
+    # ---- campaign 1: host death ---------------------------------------
+    spool_death = os.path.join(workdir, "spool-death")
+    dist.ensure_spool(spool_death)
+    dist.spool_jobs(spool_death, groups)
+    victim = multiprocessing.Process(
+        target=_dist_worker_main, args=(spool_death, "victim"),
+        kwargs={"die_after": 1, "lease_timeout": lease_timeout})
+    victim.start()
+    reap(victim)   # it SIGKILLs itself after its first journal append
+    survivor = multiprocessing.Process(
+        target=_dist_worker_main, args=(spool_death, "survivor"),
+        kwargs={"lease_timeout": lease_timeout})
+    survivor.start()
+    driver = dist.DistExecutor(spool_death, poll=0.05,
+                               lease_timeout=lease_timeout,
+                               degrade_after=120.0)
+    try:
+        death_results = driver.run(groups, failure_policy=retry_policy)
+    finally:
+        dist.request_stop(spool_death)
+        reap(survivor)
+    failures.extend(outcome.as_dict()
+                    for outcome in driver.failures.values())
+    death_mismatches = mismatched(death_results)
+    counts = {}
+    victim_records = 0
+    journals_dir = os.path.join(spool_death, "journals")
+    for name in sorted(os.listdir(journals_dir)):
+        if not name.endswith(".journal"):
+            continue
+        records = dist.JournalTail(
+            os.path.join(journals_dir, name)).poll()
+        for record in records:
+            counts[record["job_id"]] = counts.get(record["job_id"], 0) + 1
+        if name == "victim.journal":
+            victim_records = len(records)
+    duplicates = sorted(job_id for job_id, n in counts.items() if n > 1)
+    exactly_once = (set(counts) == member_ids and not duplicates)
+
+    # ---- campaign 2: split journal ------------------------------------
+    spool_split = os.path.join(workdir, "spool-split")
+    dist.ensure_spool(spool_split)
+    twins = [multiprocessing.Process(
+        target=_dist_worker_main, args=(spool_split, "shared"),
+        kwargs={"lease_timeout": lease_timeout}) for _ in range(2)]
+    for twin in twins:
+        twin.start()
+    driver2 = dist.DistExecutor(spool_split, poll=0.05,
+                                lease_timeout=lease_timeout,
+                                degrade_after=120.0)
+    try:
+        split_results = driver2.run(groups, failure_policy=retry_policy)
+    finally:
+        dist.request_stop(spool_split)
+        for twin in twins:
+            reap(twin)
+    failures.extend(outcome.as_dict()
+                    for outcome in driver2.failures.values())
+    split_mismatches = mismatched(split_results)
+    segment = dist.segment_path(spool_split, "shared")
+    with open(segment, "ab") as handle:
+        # A mid-write kill: valid prefix of a record, no newline.
+        handle.write(b'{"journal_version": 2, "job_id": "torn-wri')
+    journal = JobJournal(segment)   # workers are gone: safe to rewrite
+    split_quarantined = journal.quarantined_lines
+    journal.compact(keep_ids=member_ids)
+    healer = SerialExecutor()
+    healed = healer.run(jobs, journal=JobJournal(segment),
+                        failure_policy=retry_policy)
+    failures.extend(outcome.as_dict()
+                    for outcome in healer.failures.values())
+    split_resumed = sum(1 for outcome in healer.last_outcomes.values()
+                        if outcome.status == STATUS_RESUMED)
+    split_mismatches += [job_id for job_id in mismatched(healed)
+                         if job_id not in split_mismatches]
+    split_records = len(journal)
+
+    # ---- campaign 3: degrade to local ---------------------------------
+    spool_local = os.path.join(workdir, "spool-local")
+    driver3 = dist.DistExecutor(spool_local, poll=0.05,
+                                lease_timeout=lease_timeout,
+                                degrade_after=0.3)
+    local_results = driver3.run(groups, failure_policy=retry_policy)
+    failures.extend(outcome.as_dict()
+                    for outcome in driver3.failures.values())
+    degraded_ok = driver3.degraded and not mismatched(local_results)
+
+    digests = [ref_digests[job.job_id] for job in jobs]
+    stats_digest = hashlib.sha256("".join(digests).encode()).hexdigest()
+    return DistChaosReport(
+        identical=(not death_mismatches
+                   and not split_mismatches
+                   and not failures
+                   and driver.host_losses >= 1
+                   and victim_records >= 1
+                   and exactly_once
+                   and split_quarantined == 1
+                   and split_resumed == len(jobs)
+                   and degraded_ok),
+        seed=seed,
+        benchmarks=tuple(benchmarks),
+        policies=tuple(policies),
+        total_members=len(jobs),
+        host_losses=driver.host_losses,
+        lease_breaks=driver.lease_breaks,
+        victim_records=victim_records,
+        exactly_once=exactly_once,
+        duplicates=duplicates,
+        death_mismatches=death_mismatches,
+        split_records=split_records,
+        split_quarantined=split_quarantined,
+        split_resumed=split_resumed,
+        split_mismatches=split_mismatches,
+        degraded_ok=degraded_ok,
+        failures=failures,
         stats_digest=stats_digest,
         workdir=workdir,
     )

@@ -59,6 +59,7 @@ from repro.exec.retry import (
 )
 from repro.obs.events import (
     BACKEND_DEGRADED,
+    HOST_LOST,
     JOB_DONE,
     JOB_FAILED,
     JOB_RETRY,
@@ -648,6 +649,14 @@ class _RunState:
         if self.tracer is not None:
             self.tracer.emit(BACKEND_DEGRADED, LANE_JOBS, self.done,
                              reason=reason, remaining=remaining)
+
+    def host_lost(self, host_id, job_id, lease_age):
+        """A dist worker host stopped heartbeating while holding a job."""
+        self.jm.host_lost.inc()
+        if self.tracer is not None:
+            self.tracer.emit(HOST_LOST, LANE_JOBS, self.done,
+                             host=host_id, job_id=job_id,
+                             lease_age=round(lease_age, 3))
 
 
 class SerialExecutor(Executor):

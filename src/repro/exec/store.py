@@ -52,13 +52,14 @@ import hashlib
 import json
 import mmap
 import os
+import socket
 import struct
 import time
 import zlib
 from array import array
 from contextlib import contextmanager
 
-from repro.sim.checkpoint import _record_crc, atomic_write_text
+from repro.sim.checkpoint import _record_crc, atomic_write_text, tmp_suffix
 
 #: Environment variable naming the store root (inherited by workers).
 STORE_ENV = "REPRO_STORE"
@@ -190,7 +191,10 @@ def _write_entry(path, header, columns):
     body += blob
     body += b"\x00" * ((-len(body)) % 8)
     body += payload
-    tmp = "%s.tmp.%d" % (path, os.getpid())
+    # Not pid-alone: two hosts sharing the store over a network
+    # filesystem can hold equal pids, and one process can stage the
+    # same entry twice -- the suffix folds in hostname + pid + counter.
+    tmp = path + tmp_suffix()
     try:
         with open(tmp, "wb") as handle:
             handle.write(body)
@@ -710,7 +714,11 @@ class ArtifactStore:
             except OSError:
                 return False  # unwritable locks dir: generate solo
             with os.fdopen(fd, "w") as handle:
+                # "host" scopes the pid: a pid is only meaningful on
+                # the host whose pid namespace issued it, and the store
+                # may be shared across hosts over a network filesystem.
                 json.dump({"pid": os.getpid(),
+                           "host": socket.gethostname(),
                            "created": time.time()}, handle)
             return True
 
@@ -724,15 +732,26 @@ class ArtifactStore:
         milliseconds to seconds, never minutes).  An unreadable lock --
         e.g. a partial write from a dying process -- gets a short grace
         period instead of the full timeout.
+
+        PID liveness only proves anything inside the pid namespace that
+        issued the pid: on a store shared across hosts, a *live* foreign
+        pid can look dead locally (or a dead one alive), so the check
+        applies only when the lock's recorded hostname matches ours.
+        Foreign-host locks age out on the full timeout instead.  Locks
+        without a host field predate the field and were always local.
         """
         pid = None
+        host = None
         try:
             with open(lock_path) as handle:
-                pid = int(json.load(handle).get("pid"))
-        except (OSError, ValueError, TypeError):
+                payload = json.load(handle)
+            pid = int(payload.get("pid"))
+            host = payload.get("host")
+        except (OSError, ValueError, TypeError, AttributeError):
             pass
+        local = host is None or host == socket.gethostname()
         stale = False
-        if pid is not None:
+        if pid is not None and local:
             try:
                 os.kill(pid, 0)
             except ProcessLookupError:

@@ -453,6 +453,22 @@ class JobMetrics:
             "repro_jobs_store_hits_total",
             "Jobs short-circuited by an artifact-store result hit "
             "(no simulation, no tracegen)")
+        self.dist_hosts = registry.gauge(
+            "repro_dist_hosts",
+            "Worker hosts with a fresh heartbeat on the spool")
+        self.dist_jobs = registry.counter(
+            "repro_dist_jobs_total",
+            "Member results merged from per-host journal segments, "
+            "by executing host", ("host",))
+        self.host_lost = registry.counter(
+            "repro_dist_host_lost_total",
+            "Worker hosts declared dead after missed lease heartbeats")
+        self.lease_breaks = registry.counter(
+            "repro_dist_lease_breaks_total",
+            "Expired job leases released back to the spool for re-claim")
+        self.spooled = registry.gauge(
+            "repro_dist_spooled_jobs",
+            "Job units spooled for remote claim and not yet settled")
 
     def observe_completed(self, result, wall, status="ok"):
         """Record one settled job plus its per-job accounting."""

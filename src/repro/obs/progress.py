@@ -93,6 +93,16 @@ class ProgressLine:
         misses = self._family_total("repro_trace_cache_misses_total")
         if hits + misses:
             parts.append("cache %.0f%%" % (100.0 * hits / (hits + misses)))
+        hosts = self._family_total("repro_dist_hosts")
+        spooled = self._family_total("repro_dist_spooled_jobs")
+        lost = self._family_total("repro_dist_host_lost_total")
+        if hosts or spooled or lost:
+            # Only on dist runs (the families exist but stay zero
+            # elsewhere).  "hosts 0" with work spooled is the cue that
+            # the fleet is gone and the degrade clock is running.
+            parts.append("hosts %d" % hosts)
+            if lost:
+                parts.append("lost %d" % lost)
         return parts
 
     def __call__(self, job, result, done, total):

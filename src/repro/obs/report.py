@@ -57,6 +57,7 @@ def _new_report():
         "rss": None,        # {"count", "mean_kb", "max_kb"}
         "cache": None,      # {"hits", "misses", "hit_rate", ...}
         "store": None,      # artifact-store traffic (hits, bytes, ...)
+        "hosts": None,      # dist backend host health (per-host merges)
         "degradations": [],
         "metrics_families": None,
     }
@@ -228,6 +229,27 @@ def _ingest_metrics(report, payload):
                 % (counter("repro_store_quarantined_total"),
                    "y" if counter("repro_store_quarantined_total") == 1
                    else "ies"))
+        if line not in report["degradations"]:
+            report["degradations"].append(line)
+    by_host = {}
+    for sample in families.get("repro_dist_jobs_total",
+                               {}).get("samples", ()):
+        host = (sample.get("labels") or {}).get("host")
+        if host:
+            by_host[host] = (by_host.get(host, 0)
+                             + sample.get("value", 0))
+    if (by_host or counter("repro_dist_host_lost_total")
+            or counter("repro_dist_lease_breaks_total")):
+        report["hosts"] = {
+            "live": counter("repro_dist_hosts"),
+            "lost": counter("repro_dist_host_lost_total"),
+            "lease_breaks": counter("repro_dist_lease_breaks_total"),
+            "jobs_by_host": by_host,
+        }
+    if counter("repro_dist_host_lost_total"):
+        lost = counter("repro_dist_host_lost_total")
+        line = ("%d worker host(s) lost mid-run; leases released and "
+                "their jobs re-claimed" % lost)
         if line not in report["degradations"]:
             report["degradations"].append(line)
     if counter("repro_pool_rebuilds_total"):
@@ -498,6 +520,17 @@ def render_report(report, top=10):
                          % (store["bytes_written"] // 1024))
         if parts:
             lines.append("artifact store: " + ", ".join(parts))
+
+    hosts = report.get("hosts")
+    if hosts is not None:
+        lines.append("")
+        lines.append("host health: %d live at last census | %d lost | "
+                     "%d lease break(s)"
+                     % (hosts.get("live", 0), hosts.get("lost", 0),
+                        hosts.get("lease_breaks", 0)))
+        for host, merged in sorted(hosts.get("jobs_by_host",
+                                             {}).items()):
+            lines.append("  %-24s %d job(s) merged" % (host, merged))
 
     lines.append("")
     if report["degradations"]:

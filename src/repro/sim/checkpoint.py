@@ -21,12 +21,30 @@ Two granularities:
   rejected (see ``docs/robustness.md``).
 """
 
+import itertools
 import json
 import os
+import socket
 import zlib
 
 from repro.errors import CheckpointError
 from repro.util.statistics import StatGroup
+
+_HOST = socket.gethostname()
+_TMP_COUNTER = itertools.count()
+
+
+def tmp_suffix():
+    """A collision-proof temp-file suffix for write-then-rename.
+
+    Folds in the hostname, the pid *and* a per-process monotonic
+    counter: on a shared filesystem two hosts can hold equal pids, and
+    one process can stage two writes to the same target back to back,
+    so pid alone (let alone a bare ``.tmp``) is not unique.  The
+    literal ``.tmp`` substring is what store/journal directory scans
+    key on to ignore staged files.
+    """
+    return ".tmp.%s.%d.%d" % (_HOST, os.getpid(), next(_TMP_COUNTER))
 
 
 def atomic_write_text(path, text):
@@ -34,15 +52,24 @@ def atomic_write_text(path, text):
 
     A crash mid-write leaves the old file intact (or a stray ``.tmp``),
     never a half-written checkpoint; ``os.replace`` is atomic on POSIX
-    and Windows.
+    and Windows.  The staging name is unique per host, process and
+    call, so concurrent writers on a shared filesystem never clobber
+    each other's staging file -- last rename wins whole.
     """
     path = os.fspath(path)
-    tmp = path + ".tmp"
-    with open(tmp, "w") as handle:
-        handle.write(text)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    tmp = path + tmp_suffix()
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 #: Bump when the checkpoint shape changes incompatibly.
 #: v1: unversioned seed format (no stats, no format_version field).
@@ -165,6 +192,65 @@ def _record_crc(record):
     return zlib.crc32(json.dumps(body, sort_keys=True).encode())
 
 
+#: :func:`parse_record` reason for a structurally sound line written by
+#: a different ``journal_version`` -- ignorable in place, never corrupt.
+INCOMPATIBLE_VERSION = "incompatible journal_version"
+
+
+def parse_record(raw):
+    """Validate one journal line; returns ``(record, reason)``.
+
+    A valid current-version line returns ``(dict, None)``; anything
+    else returns ``(None, reason)``.  ``reason`` is
+    :data:`INCOMPATIBLE_VERSION` for foreign-version lines (keep them
+    in place) and a quarantine reason string otherwise.  Pure and
+    read-only -- safe on a journal another process is appending to,
+    which is what the distributed driver's segment tailer needs.
+    """
+    try:
+        record = json.loads(raw)
+    except ValueError:
+        return None, "unparseable JSON (torn write?)"
+    if not isinstance(record, dict):
+        return None, "not a JSON object"
+    if record.get("journal_version") != JOURNAL_VERSION:
+        return None, INCOMPATIBLE_VERSION
+    if "job_id" not in record:
+        return None, "missing job_id"
+    stored = record.get("crc32")
+    if stored is None:
+        return None, "missing crc32"
+    if stored != _record_crc(record):
+        return None, "crc32 mismatch (stored %s)" % stored
+    return record, None
+
+
+def result_from_record(record):
+    """Rebuild a live RunResult from one validated journal record.
+
+    The rebuilt result carries a real :class:`StatGroup` and the
+    persisted :class:`~repro.sim.metrics.RunMetrics`, so sweep
+    accessors and manifests work the same whether a run was simulated,
+    resumed locally, or merged from another host's journal segment.
+    """
+    from repro.cpu.core import RunResult
+
+    result = RunResult(
+        record["name"],
+        record["policy_name"],
+        record["instructions"],
+        record["cycles"],
+        StatGroup.from_dict(record["stats"], name="sim"),
+        dict(record["miss_rates"]),
+    )
+    if record.get("metrics") is not None:
+        from repro.sim.metrics import RunMetrics
+
+        result.metrics = RunMetrics(**record["metrics"])
+    result.accounting = record.get("accounting")
+    return result
+
+
 class JobJournal:
     """Append-only JSONL journal of completed jobs (resumable sweeps).
 
@@ -213,33 +299,15 @@ class JobJournal:
                 raw = line.rstrip("\n")
                 if not raw.strip():
                     continue
-                try:
-                    record = json.loads(raw)
-                except ValueError:
-                    rejected.append(("unparseable JSON (torn write?)",
-                                     raw))
-                    continue
-                if not isinstance(record, dict):
-                    rejected.append(("not a JSON object", raw))
-                    continue
-                version = record.get("journal_version")
-                if version != JOURNAL_VERSION:
+                record, reason = parse_record(raw)
+                if record is not None:
+                    kept.append(raw)
+                    self._records[record["job_id"]] = record
+                elif reason == INCOMPATIBLE_VERSION:
                     self.incompatible_lines += 1
                     kept.append(raw)
-                    continue
-                if "job_id" not in record:
-                    rejected.append(("missing job_id", raw))
-                    continue
-                stored = record.get("crc32")
-                if stored is None:
-                    rejected.append(("missing crc32", raw))
-                    continue
-                if stored != _record_crc(record):
-                    rejected.append(
-                        ("crc32 mismatch (stored %s)" % stored, raw))
-                    continue
-                kept.append(raw)
-                self._records[record["job_id"]] = record
+                else:
+                    rejected.append((reason, raw))
         if rejected:
             self.quarantined_lines = len(rejected)
             self._quarantine(kept, rejected)
@@ -296,10 +364,19 @@ class JobJournal:
         # reader will re-canonicalise.
         record = json.loads(json.dumps(record))
         record["crc32"] = _record_crc(record)
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        # One os.write of the whole line on an O_APPEND descriptor:
+        # concurrent appenders to the same journal (two workers sharing
+        # a host-id on one spool) interleave at line granularity, never
+        # inside a record.  A line torn by a crash mid-write is still
+        # caught by the CRC and quarantined on the next open.
+        line = (json.dumps(record, sort_keys=True) + "\n").encode()
+        fd = os.open(self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
         self._records[record["job_id"]] = record
 
     def result(self, job):
@@ -313,22 +390,7 @@ class JobJournal:
         record = self._records.get(job.job_id)
         if record is None:
             return None
-        from repro.cpu.core import RunResult
-
-        result = RunResult(
-            record["name"],
-            record["policy_name"],
-            record["instructions"],
-            record["cycles"],
-            StatGroup.from_dict(record["stats"], name="sim"),
-            dict(record["miss_rates"]),
-        )
-        if record.get("metrics") is not None:
-            from repro.sim.metrics import RunMetrics
-
-            result.metrics = RunMetrics(**record["metrics"])
-        result.accounting = record.get("accounting")
-        return result
+        return result_from_record(record)
 
     def accounting(self):
         """Per-job accounting for every journaled record.

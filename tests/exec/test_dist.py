@@ -1,0 +1,240 @@
+"""Multi-host work-stealing backend: spool, leases, merge, recovery.
+
+Everything here runs on one machine -- worker daemons are plain
+threads or child processes sharing a tmp_path spool -- but the
+protocol under test is the cross-host one: exclusive lease claims,
+heartbeats, per-host journal segments, driver-side merge, and the
+failure ladder (worker error -> retry -> skip; lost host -> lease
+reaped, unit re-claimed; empty fleet -> degrade to local).  The
+invariant every test holds is the repo-wide one: results bit-identical
+to ``SerialExecutor``.
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.exec import (
+    DistExecutor,
+    SerialExecutor,
+    build_job_groups,
+    build_jobs,
+    run_worker,
+)
+from repro.exec.chaos import result_digest, run_dist_chaos
+from repro.exec.dist import (
+    JournalTail,
+    completed_job_ids,
+    ensure_spool,
+    lease_age,
+    release_lease,
+    request_stop,
+    segment_path,
+    spool_jobs,
+    try_claim,
+)
+from repro.exec.retry import RETRY_THEN_SKIP, FailurePolicy
+from repro.sim.checkpoint import JobJournal
+
+N = 800
+WARMUP = 400
+BENCHMARKS = ["gzip", "mcf"]
+POLICIES = ["decrypt-only", "authen-then-commit"]
+
+
+def _jobs():
+    return build_jobs(BENCHMARKS, POLICIES,
+                      num_instructions=N, warmup=WARMUP)
+
+
+def _groups():
+    return build_job_groups(BENCHMARKS, POLICIES,
+                            num_instructions=N, warmup=WARMUP)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    jobs = _jobs()
+    results = SerialExecutor().run(jobs)
+    return {job.job_id: result_digest(results[job]) for job in jobs}
+
+
+def _assert_identical(results, reference):
+    assert {job.job_id for job in results} == set(reference)
+    for job, result in results.items():
+        assert result_digest(result) == reference[job.job_id]
+
+
+class TestSpoolProtocol:
+    def test_spool_and_claim_are_exclusive(self, tmp_path):
+        spool = ensure_spool(tmp_path / "spool")
+        groups = _groups()
+        ids = spool_jobs(spool, groups)
+        assert len(ids) == len(groups)
+        # Second spool of the same units is a no-op (resubmit-safe).
+        assert spool_jobs(spool, groups) == []
+        lease = try_claim(spool, ids[0], "worker-a")
+        assert lease is not None
+        assert try_claim(spool, ids[0], "worker-b") is None
+        assert lease_age(lease) is not None
+        release_lease(lease)
+        assert lease_age(lease) is None
+        assert try_claim(spool, ids[0], "worker-b") is not None
+
+    def test_worker_max_units_and_done_ids(self, tmp_path):
+        spool = ensure_spool(tmp_path / "spool")
+        groups = _groups()
+        spool_jobs(spool, groups)
+        summary = run_worker(spool, host_id="solo", poll=0.01,
+                             lease_timeout=1.0, max_units=1)
+        assert summary["units"] == 1
+        assert summary["members"] == len(POLICIES)
+        done = completed_job_ids(spool)
+        assert len(done) == len(POLICIES)
+        # The claimed unit's job file is gone, its lease released.
+        remaining = os.listdir(os.path.join(spool, "jobs"))
+        assert len(remaining) == len(groups) - 1
+        assert os.listdir(os.path.join(spool, "leases")) == []
+
+
+class TestJournalTail:
+    def test_incremental_polls_and_torn_tail(self, tmp_path):
+        jobs = _jobs()[:2]
+        results = SerialExecutor().run(jobs)
+        path = str(tmp_path / "seg.journal")
+        journal = JobJournal(path)
+        journal.record(jobs[0], results[jobs[0]])
+        tail = JournalTail(path)
+        first = tail.poll()
+        assert [r["job_id"] for r in first] == [jobs[0].job_id]
+        assert tail.poll() == []          # nothing new
+        journal.record(jobs[1], results[jobs[1]])
+        assert [r["job_id"] for r in tail.poll()] == [jobs[1].job_id]
+
+    def test_unterminated_line_waits_corrupt_line_counts(self, tmp_path):
+        path = str(tmp_path / "seg.journal")
+        tail = JournalTail(path)
+        assert tail.poll() == []          # missing file: nothing yet
+        with open(path, "ab") as handle:
+            handle.write(b'{"journal_version": 2, "job_id": "half')
+        assert tail.poll() == []          # write in flight: wait
+        with open(path, "ab") as handle:
+            handle.write(b'"}\n')
+        assert tail.poll() == []          # complete but CRC-less
+        assert tail.bad_lines == 1
+
+
+class TestDistExecutor:
+    def test_worker_thread_and_driver_merge_bit_identical(
+            self, tmp_path, reference):
+        spool = str(tmp_path / "spool")
+        worker = threading.Thread(
+            target=run_worker, args=(spool,),
+            kwargs=dict(host_id="thread-a", poll=0.01, lease_timeout=1.0))
+        worker.start()
+        executor = DistExecutor(spool, poll=0.01, lease_timeout=1.0,
+                                degrade_after=60.0)
+        try:
+            results = executor.run(_groups())
+        finally:
+            request_stop(spool)
+            worker.join(timeout=30)
+        assert not worker.is_alive()
+        _assert_identical(results, reference)
+        assert not executor.degraded
+        assert "thread-a" in executor.hosts_seen
+        assert os.path.exists(segment_path(spool, "thread-a"))
+        assert executor.describe()["backend"] == "dist"
+
+    def test_degrades_to_local_when_no_worker_appears(
+            self, tmp_path, reference):
+        executor = DistExecutor(str(tmp_path / "spool"), poll=0.01,
+                                lease_timeout=0.5, degrade_after=0.1)
+        results = executor.run(_groups())
+        _assert_identical(results, reference)
+        assert executor.degraded
+        assert executor.describe()["degraded"]
+
+    def test_preexisting_segment_records_are_merged_not_rerun(
+            self, tmp_path, reference):
+        spool = ensure_spool(tmp_path / "spool")
+        jobs = _jobs()
+        seeded = jobs[0]
+        result = SerialExecutor().run([seeded])[seeded]
+        JobJournal(segment_path(spool, "pre")).record(seeded, result)
+        executor = DistExecutor(spool, poll=0.01, lease_timeout=0.5,
+                                degrade_after=0.1)
+        results = executor.run(_groups())
+        _assert_identical(results, reference)
+        tail = JournalTail(segment_path(spool, "pre"))
+        assert [r["job_id"] for r in tail.poll()] == [seeded.job_id]
+
+    def test_worker_errors_charge_retries_then_skip(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        groups = _groups()
+        policy = FailurePolicy(mode=RETRY_THEN_SKIP, max_attempts=2,
+                               backoff_base=0.0, backoff_max=0.0)
+        executor = DistExecutor(spool, poll=0.01, lease_timeout=5.0,
+                                degrade_after=60.0, local_fallback=False)
+        victim_id = groups[0].job_id
+        box = {}
+
+        def drive():
+            box["results"] = executor.run(groups, failure_policy=policy)
+
+        # Pin the victim's lease so the helper worker can only claim
+        # the other units (workers never break leases, whatever their
+        # age); the lease outlives the test's ~2s, so the driver never
+        # reaps it into the attempt accounting either.
+        ensure_spool(spool)
+        pin = try_claim(spool, victim_id, "pinner")
+        assert pin is not None
+        driver = threading.Thread(target=drive)
+        driver.start()
+        job_path = os.path.join(spool, "jobs", victim_id + ".job")
+        deadline = time.monotonic() + 30
+        while not os.path.exists(job_path):
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        # Two reported attempt failures exhaust max_attempts=2; the
+        # other unit is satisfied from a worker segment so the run
+        # can finish without any live host.
+        others = [g for g in groups if g.job_id != victim_id]
+        worker = threading.Thread(
+            target=run_worker, args=(spool,),
+            kwargs=dict(host_id="helper", poll=0.01, lease_timeout=5.0,
+                        max_units=len(others)))
+        worker.start()
+        with open(os.path.join(spool, "errors", victim_id + ".err"),
+                  "a") as handle:
+            for attempt in (1, 2):
+                handle.write(json.dumps(
+                    {"job_id": victim_id, "host_id": "helper",
+                     "error": "boom %d" % attempt}) + "\n")
+        driver.join(timeout=60)
+        worker.join(timeout=30)
+        release_lease(pin)
+        assert not driver.is_alive() and not worker.is_alive()
+        results = box["results"]
+        member_ids = {m.job_id for m in groups[0].member_jobs}
+        assert member_ids == set(executor.failures)
+        assert {job.job_id for job in results} == {
+            m.job_id for g in others for m in g.member_jobs}
+        assert os.path.exists(
+            os.path.join(spool, "skip", victim_id + ".skip"))
+
+
+class TestDistChaos:
+    def test_campaigns_heal_bit_identically(self, tmp_path):
+        report = run_dist_chaos(num_instructions=N, warmup=WARMUP,
+                                seed=1, workdir=str(tmp_path / "chaos"))
+        assert report.identical, report.render()
+        assert report.host_losses >= 1
+        assert report.victim_records >= 1
+        assert report.exactly_once
+        assert report.split_quarantined == 1
+        assert report.split_resumed == report.total_members
+        assert report.degraded_ok

@@ -3,6 +3,7 @@
 import json
 import multiprocessing
 import os
+import socket
 import threading
 import time
 
@@ -363,6 +364,60 @@ class TestSingleFlight:
         with store.single_flight("traces", "old") as leader:
             assert leader
         assert store.counters["lock_breaks"] == 1
+
+    def test_lock_payload_names_host_and_pid(self, store):
+        with store.single_flight("traces", "payload") as leader:
+            assert leader
+            lock_path = os.path.join(store.root, "locks",
+                                     "traces-payload.lock")
+            with open(lock_path) as handle:
+                payload = json.load(handle)
+        assert payload["pid"] == os.getpid()
+        assert payload["host"] == socket.gethostname()
+
+    def test_foreign_host_lock_ignores_pid_liveness(self, tmp_path):
+        # Pid numbers are per-host namespaces: a pid that is dead
+        # *here* says nothing about the owner on another host.  A
+        # fresh foreign lock must survive until the age timeout.
+        store = ArtifactStore(tmp_path / "s", lock_timeout=0.05)
+        proc = multiprocessing.Process(target=_noop)
+        proc.start()
+        proc.join()
+        lock_path = os.path.join(store.root, "locks", "traces-far.lock")
+        with open(lock_path, "w") as handle:
+            json.dump({"pid": proc.pid, "host": "somewhere-else",
+                       "created": time.time()}, handle)
+        with store.single_flight("traces", "far") as leader:
+            assert not leader      # waited out, degraded to solo
+        assert store.counters["lock_breaks"] == 0
+        assert os.path.exists(lock_path)
+        os.unlink(lock_path)
+
+    def test_foreign_host_lock_is_broken_by_age(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s", stale_lock_seconds=0.05)
+        lock_path = os.path.join(store.root, "locks",
+                                 "traces-faraged.lock")
+        with open(lock_path, "w") as handle:
+            json.dump({"pid": 1, "host": "somewhere-else",
+                       "created": time.time()}, handle)
+        old = time.time() - 10
+        os.utime(lock_path, (old, old))
+        with store.single_flight("traces", "faraged") as leader:
+            assert leader
+        assert store.counters["lock_breaks"] == 1
+
+    def test_local_dead_pid_lock_is_broken_immediately(self, store):
+        proc = multiprocessing.Process(target=_noop)
+        proc.start()
+        proc.join()
+        lock_path = os.path.join(store.root, "locks", "traces-home.lock")
+        with open(lock_path, "w") as handle:
+            json.dump({"pid": proc.pid, "host": socket.gethostname(),
+                       "created": time.time()}, handle)
+        with store.single_flight("traces", "home") as leader:
+            assert leader
+        assert store.counters["lock_breaks"] == 1
+        assert not os.path.exists(lock_path)
 
     def test_wait_timeout_degrades_to_solo_generation(self, tmp_path):
         store = ArtifactStore(tmp_path / "s", lock_timeout=0.05)
