@@ -445,7 +445,8 @@ def _cmd_figures(args):
                               warmup=scale["warmup"], jobs=args.jobs,
                               executor=dist,
                               failure_policy=_failure_policy(args),
-                              log=print, metrics=metrics)
+                              log=print, metrics=metrics,
+                              emit_json=args.emit_json)
     finally:
         if dist is not None:
             dist.close()
@@ -457,6 +458,61 @@ def _cmd_figures(args):
               % summary["total_failures"], file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_serve(args):
+    from repro.obs import MetricsRegistry
+    from repro.serve import FigureService, serve_forever
+
+    # /metricsz always has something to say, so the registry is
+    # unconditional here (unlike the batch commands, where telemetry
+    # is opt-in).
+    metrics = MetricsRegistry()
+    store = _activate_store(args, metrics)
+    scale = _scale(args)
+    log = (lambda message: print(message, file=sys.stderr)) \
+        if not args.quiet else None
+    service = FigureService(args.out, store=store,
+                            num_instructions=scale["num_instructions"],
+                            warmup=scale["warmup"], jobs=args.jobs,
+                            failure_policy=_failure_policy(args),
+                            metrics=metrics, log=log)
+    if args.warm:
+        names = [name.strip() for name in args.warm.split(",")
+                 if name.strip()]
+        from repro.experiments.figures import run_figures
+        run_figures(names, args.out,
+                    num_instructions=scale["num_instructions"],
+                    warmup=scale["warmup"], jobs=args.jobs,
+                    failure_policy=_failure_policy(args),
+                    metrics=metrics, emit_json=True)
+    return serve_forever(service, args.host, args.port,
+                         log=lambda message: print(message,
+                                                   file=sys.stderr))
+
+
+def _cmd_diff(args):
+    import json
+
+    from repro.serve import diff_figures, render_diff
+
+    only = None
+    if args.only:
+        only = {name.strip() for name in args.only.split(",")
+                if name.strip()}
+    report = diff_figures(args.dir_a, args.dir_b, atol=args.atol,
+                          rtol=args.rtol, only=only)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_diff(report))
+    if (not report["compared"] and not report["only_a"]
+            and not report["only_b"]):
+        print("error: no figure-series artifacts found under %s or %s "
+              "(generate them with repro figures --emit-json)"
+              % (args.dir_a, args.dir_b), file=sys.stderr)
+        return 2
+    return 0 if report["identical"] else 1
 
 
 def _cmd_chaos(args):
@@ -752,11 +808,11 @@ def _cmd_store(args):
                  payload["ok"], payload["corrupt"], payload["stale"]))
     else:
         print("gc: evicted %d entr%s (%d bytes freed), kept %d "
-              "(%d bytes)"
+              "(%d bytes, %d recently-touched pinned)"
               % (payload["evicted"],
                  "y" if payload["evicted"] == 1 else "ies",
                  payload["freed_bytes"], payload["kept"],
-                 payload["kept_bytes"]))
+                 payload["kept_bytes"], payload["pinned"]))
     if args.action == "verify" and payload["corrupt"]:
         return 1
     return 0
@@ -933,10 +989,67 @@ def build_parser():
     p.add_argument("--metrics-out", metavar="FILE",
                    help="write the fleet-telemetry snapshot (JSON, or "
                         "Prometheus text for .prom/.txt)")
+    p.add_argument("--emit-json", action="store_true",
+                   help="also write each artifact's machine-readable "
+                        "figure-series twin to <name>.json (the format "
+                        "repro serve and repro diff consume)")
     _add_store(p)
     _add_spool(p)
     _add_scale(p)
     p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("serve",
+                       help="HTTP figure/sweep server over the artifact "
+                            "store: warm requests answer from disk, "
+                            "cold ones simulate once and 202 until "
+                            "ready")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8178,
+                   help="bind port (default 8178; 0 picks a free one)")
+    p.add_argument("--out", metavar="DIR", default="serve-out",
+                   help="artifact directory served and regenerated "
+                        "into (default: serve-out)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes per regeneration (default 1)")
+    p.add_argument("--warm", metavar="CSV", default=None,
+                   help="regenerate these figures synchronously before "
+                        "binding (e.g. fig8,table1)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                   help="per-attempt wall-clock budget for one job")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="re-run a failed/timed-out job up to N more "
+                        "times (with backoff) before giving up")
+    p.add_argument("--on-error", choices=("fail", "skip", "retry"),
+                   default="skip",
+                   help="terminal-failure policy for regenerations "
+                        "(default skip: a bad cell renders -- instead "
+                        "of wedging the server)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-request/regeneration log lines")
+    _add_store(p)
+    _add_scale(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("diff",
+                       help="compare per-figure JSON artifacts between "
+                            "two output directories; exit 0 identical, "
+                            "1 differences, 2 nothing to compare")
+    p.add_argument("dir_a", help="baseline directory of <figure>.json "
+                                 "artifacts (repro figures --emit-json)")
+    p.add_argument("dir_b", help="candidate directory to compare")
+    p.add_argument("--only", metavar="CSV", default=None,
+                   help="restrict to these figures")
+    p.add_argument("--atol", type=float, default=0.0,
+                   help="absolute tolerance for numeric cells "
+                        "(default 0: exact)")
+    p.add_argument("--rtol", type=float, default=0.0,
+                   help="relative tolerance for numeric cells "
+                        "(default 0: exact)")
+    p.add_argument("--json", action="store_true",
+                   help="print the structured diff report instead of "
+                        "the changed-cells table")
+    p.set_defaults(func=_cmd_diff)
 
     p = sub.add_parser("chaos",
                        help="fault-injection harness: run a sweep under "

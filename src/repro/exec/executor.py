@@ -629,9 +629,10 @@ class _RunState:
     def fail(self, job, attempts, wall, exc):
         """Record a terminal failure; re-raises under fail-fast."""
         self.done += 1
-        self.outcomes[job.job_id] = JobResult(
+        outcome = JobResult(
             job_id=job.job_id, status=STATUS_FAILED, attempts=attempts,
             wall_time=wall, error=repr(exc))
+        self.outcomes[job.job_id] = outcome
         self.jm.jobs.labels(STATUS_FAILED).inc()
         self.jm.pending.set(self.total - self.done)
         if isinstance(exc, JobTimeoutError):
@@ -641,6 +642,13 @@ class _RunState:
                              job_id=job.job_id, benchmark=job.benchmark,
                              policy=job.policy, attempts=attempts,
                              error=repr(exc))
+        if self.progress is not None:
+            # Failures advance the same done/total cursor completions
+            # do; the renderer receives the failed JobResult (no
+            # ``.cycles``) and must render a FAILED marker.  Fired
+            # before the fail-fast raise so the status line reflects
+            # the terminal job even when the run aborts here.
+            self.progress(job, outcome, self.done, self.total)
         if self.policy.mode == FAIL_FAST:
             raise exc
 

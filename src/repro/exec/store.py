@@ -668,6 +668,44 @@ class ArtifactStore:
         self._wrote(len(text))
         return True
 
+    def iter_results(self, current_only=True):
+        """Read-side listing of the result tier (for the serving layer).
+
+        Yields one light dict per stored result -- the foreign keys a
+        server needs to answer "which (benchmark, policy, scale) cells
+        are warm?" without rebuilding RunResults: job_id, benchmark,
+        policy, seed, warmup, instructions, cycles, ipc, plus
+        ``current`` (does the record's code fingerprint match the
+        running code -- stale records would miss on load) and the entry
+        mtime.  Unreadable or unsealed records are skipped silently;
+        :meth:`verify` is the loud path for those.
+        """
+        current = code_fingerprint("result")
+        for path, st in list(self._entries("results")):
+            try:
+                with open(path) as handle:
+                    record = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if (not isinstance(record, dict)
+                    or record.get("store_version") != RESULT_VERSION
+                    or record.get("crc32") != _record_crc(record)):
+                continue
+            if current_only and record.get("fingerprint") != current:
+                continue
+            yield {
+                "job_id": record.get("job_id"),
+                "benchmark": record.get("benchmark"),
+                "policy": record.get("policy"),
+                "seed": record.get("seed"),
+                "warmup": record.get("warmup"),
+                "instructions": record.get("instructions"),
+                "cycles": record.get("cycles"),
+                "ipc": record.get("ipc"),
+                "current": record.get("fingerprint") == current,
+                "mtime": st.st_mtime,
+            }
+
     # -- single-flight locks --------------------------------------------
 
     @contextmanager
@@ -861,15 +899,27 @@ class ArtifactStore:
 
         Recency is file mtime, refreshed on every load hit, so a
         size-capped store keeps what current sweeps actually touch.
-        Quarantined entries and locks never count against the cap and
-        are not collected here.
+        Entries touched within the last ``stale_lock_seconds`` are
+        pinned outright: a fresh mtime means some process just loaded
+        or published the entry, and a concurrent single-flight waiter
+        that observed that hit may be about to ``open()`` the path --
+        unlinking it here would turn its hit into a spurious
+        regeneration.  The pin horizon matches the lock-staleness
+        horizon because that is how long the protocol lets an observer
+        act on what it saw.  Quarantined entries and locks never count
+        against the cap and are not collected here.
         """
+        now = time.time()
         entries = []
+        pinned = 0
         total = 0
         for tier in _TIERS:
             for path, st in self._entries(tier):
-                entries.append((st.st_mtime, path, st.st_size))
                 total += st.st_size
+                if now - st.st_mtime < self.stale_lock_seconds:
+                    pinned += 1
+                    continue
+                entries.append((st.st_mtime, path, st.st_size))
         entries.sort()
         evicted = 0
         freed = 0
@@ -884,7 +934,8 @@ class ArtifactStore:
             freed += size
             evicted += 1
         return {"evicted": evicted, "freed_bytes": freed,
-                "kept": len(entries) - evicted, "kept_bytes": total}
+                "kept": pinned + len(entries) - evicted,
+                "kept_bytes": total, "pinned": pinned}
 
 
 # ---------------------------------------------------------------------------

@@ -250,10 +250,31 @@ def lazy_comparison(benchmarks=DEFAULT_BENCHMARKS,
     }
 
 
-def render(num_instructions=8000, warmup=8000,
-           benchmarks=DEFAULT_BENCHMARKS, executor=None,
-           failure_policy=None):
-    """Text artifact for ``repro figures``: the headline ablations.
+def to_series(mac, depth, lazy, benchmarks=DEFAULT_BENCHMARKS):
+    """Machine-readable twin of the three rendered grids."""
+    from repro.obs.export import (build_figure_series, series_panel)
+    title = ("Ablations -- normalized IPC of authen-then-commit "
+             "(averaged over %s)" % ", ".join(benchmarks))
+
+    def grid_series(grid):
+        return [{"name": "normalized ipc",
+                 "points": [{"x": key, "y": grid[key]}
+                            for key in sorted(grid)]}]
+
+    return build_figure_series(
+        "ablations", title,
+        [series_panel("mac-latency", "MAC latency sweep",
+                      grid_series(mac), x_label="hmac_latency"),
+         series_panel("queue-depth", "Authentication-queue depth sweep",
+                      grid_series(depth), x_label="queue_depth"),
+         series_panel("lazy", "Lazy authentication vs commit gating",
+                      grid_series(lazy), x_label="policy")])
+
+
+def emit(num_instructions=8000, warmup=8000,
+         benchmarks=DEFAULT_BENCHMARKS, executor=None,
+         failure_policy=None):
+    """Both artifact forms for ``repro figures``: ``(text, series)``.
 
     Covers the three grids DESIGN.md leans on most -- MAC latency,
     authentication-queue depth and the lazy-vs-gated comparison -- under
@@ -291,4 +312,11 @@ def render(num_instructions=8000, warmup=8000,
         render_table(["policy", "normalized ipc"],
                      [[name, lazy[name]] for name in sorted(lazy)]),
     ]
-    return "\n".join(out)
+    return "\n".join(out), to_series(mac, depth, lazy, benchmarks)
+
+
+def render(num_instructions=8000, warmup=8000,
+           benchmarks=DEFAULT_BENCHMARKS, executor=None,
+           failure_policy=None):
+    return emit(num_instructions, warmup, benchmarks=benchmarks,
+                executor=executor, failure_policy=failure_policy)[0]

@@ -34,8 +34,29 @@ def run(ruu_entries=64, num_instructions=12_000, warmup=12_000,
     return sweep, fig10, fig11
 
 
-def render(ruu_entries=64, num_instructions=12_000, warmup=12_000,
-           benchmarks=None, executor=None, failure_policy=None):
+FIG11_POLICIES = ("authen-then-commit", "commit+fetch")
+TITLE = "Figures 10 and 11 -- RUU-size sensitivity"
+
+
+def to_series(fig10, fig11, ruu_entries=64):
+    """Machine-readable twin of the two rendered tables."""
+    from repro.obs.export import (build_figure_series, series_from_rows,
+                                  series_panel)
+    return build_figure_series(
+        "fig10", TITLE,
+        [series_panel("fig10",
+                      "Figure 10 -- normalized IPC, %d-entry RUU "
+                      "(256KB L2)" % ruu_entries,
+                      series_from_rows(fig10, list(FIG10_POLICIES))),
+         series_panel("fig11",
+                      "Figure 11 -- speedup over authen-then-issue, "
+                      "%d-entry RUU" % ruu_entries,
+                      series_from_rows(fig11, list(FIG11_POLICIES)))])
+
+
+def emit(ruu_entries=64, num_instructions=12_000, warmup=12_000,
+         benchmarks=None, executor=None, failure_policy=None):
+    """One workload run, both artifact forms: ``(text, series)``."""
     _, fig10, fig11 = run(ruu_entries, num_instructions, warmup,
                           benchmarks=benchmarks, executor=executor,
                           failure_policy=failure_policy)
@@ -47,11 +68,18 @@ def render(ruu_entries=64, num_instructions=12_000, warmup=12_000,
         "Figure 11 -- speedup over authen-then-issue, %d-entry RUU"
         % ruu_entries,
         render_table(
-            ["benchmark", "authen-then-commit", "commit+fetch"],
-            series_rows(fig11, ["authen-then-commit", "commit+fetch"]),
+            ["benchmark"] + list(FIG11_POLICIES),
+            series_rows(fig11, list(FIG11_POLICIES)),
         ),
     ]
-    return "\n".join(out)
+    return "\n".join(out), to_series(fig10, fig11, ruu_entries)
+
+
+def render(ruu_entries=64, num_instructions=12_000, warmup=12_000,
+           benchmarks=None, executor=None, failure_policy=None):
+    return emit(ruu_entries, num_instructions, warmup,
+                benchmarks=benchmarks, executor=executor,
+                failure_policy=failure_policy)[0]
 
 
 if __name__ == "__main__":

@@ -38,8 +38,29 @@ def run(num_instructions=12_000, warmup=12_000, l2_bytes=256 * 1024,
     return sweep, fig12, fig13
 
 
-def render(num_instructions=12_000, warmup=12_000, benchmarks=None,
-           executor=None, failure_policy=None):
+FIG13_POLICIES = ("authen-then-commit", "commit+fetch")
+TITLE = "Figures 12 and 13 -- CHTree hash-tree authentication"
+FIG12_TITLE = ("Figure 12 -- normalized IPC under CHTree hash-tree "
+               "authentication (256KB L2, 8KB tree cache; baseline: "
+               "decryption only)")
+FIG13_TITLE = "Figure 13 -- speedup over authen-then-issue, hash tree"
+
+
+def to_series(fig12, fig13):
+    """Machine-readable twin of the two rendered tables."""
+    from repro.obs.export import (build_figure_series, series_from_rows,
+                                  series_panel)
+    return build_figure_series(
+        "fig12", TITLE,
+        [series_panel("fig12", FIG12_TITLE,
+                      series_from_rows(fig12, list(FIG12_POLICIES))),
+         series_panel("fig13", FIG13_TITLE,
+                      series_from_rows(fig13, list(FIG13_POLICIES)))])
+
+
+def emit(num_instructions=12_000, warmup=12_000, benchmarks=None,
+         executor=None, failure_policy=None):
+    """One workload run, both artifact forms: ``(text, series)``."""
     _, fig12, fig13 = run(num_instructions, warmup,
                           benchmarks=benchmarks, executor=executor,
                           failure_policy=failure_policy)
@@ -49,13 +70,19 @@ def render(num_instructions=12_000, warmup=12_000, benchmarks=None,
         render_table(["benchmark"] + list(FIG12_POLICIES),
                      series_rows(fig12, list(FIG12_POLICIES))),
         "",
-        "Figure 13 -- speedup over authen-then-issue, hash tree",
+        FIG13_TITLE,
         render_table(
-            ["benchmark", "authen-then-commit", "commit+fetch"],
-            series_rows(fig13, ["authen-then-commit", "commit+fetch"]),
+            ["benchmark"] + list(FIG13_POLICIES),
+            series_rows(fig13, list(FIG13_POLICIES)),
         ),
     ]
-    return "\n".join(out)
+    return "\n".join(out), to_series(fig12, fig13)
+
+
+def render(num_instructions=12_000, warmup=12_000, benchmarks=None,
+           executor=None, failure_policy=None):
+    return emit(num_instructions, warmup, benchmarks=benchmarks,
+                executor=executor, failure_policy=failure_policy)[0]
 
 
 if __name__ == "__main__":

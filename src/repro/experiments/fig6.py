@@ -72,9 +72,40 @@ def run(compute_latency=30, config=None):
     return timelines
 
 
-def render(compute_latency=30, config=None, executor=None,
-           failure_policy=None):
-    """Render the Figure 6 timeline.
+#: Timeline milestones, in event order (the x axis of the series).
+MILESTONES = ("fetch1_issue", "data1", "verify1", "fetch2_issue",
+              "data2", "verify2")
+
+
+def to_series(timelines, compute_latency=30):
+    """Machine-readable twin of the timeline render.
+
+    One series per scheme, one point per milestone (cycle numbers),
+    plus the headline cycle advantage in ``extra``.
+    """
+    from repro.obs.export import build_figure_series, series_panel
+    title = ("Figure 6 -- two dependent external fetches "
+             "(compute latency between them: %d cycles)"
+             % compute_latency)
+    series = [
+        {"name": scheme,
+         "points": [{"x": milestone,
+                     "y": getattr(timelines[scheme], milestone)}
+                    for milestone in MILESTONES]}
+        for scheme in ("authen-then-issue", "authen-then-fetch")
+    ]
+    advantage = (timelines["authen-then-issue"].finish
+                 - timelines["authen-then-fetch"].finish)
+    return build_figure_series(
+        "fig6", title,
+        [series_panel("fig6", title, series, x_label="milestone")],
+        extra={"advantage_cycles": advantage,
+               "compute_latency": compute_latency})
+
+
+def emit(compute_latency=30, config=None, executor=None,
+         failure_policy=None):
+    """Both artifact forms of the Figure 6 timeline: ``(text, series)``.
 
     ``executor``/``failure_policy`` are accepted for interface
     uniformity with the sweep-backed figures (``repro figures`` passes
@@ -95,7 +126,13 @@ def render(compute_latency=30, config=None, executor=None,
     advantage = (timelines["authen-then-issue"].finish
                  - timelines["authen-then-fetch"].finish)
     lines.append("authen-then-fetch finishes %d cycles earlier" % advantage)
-    return "\n".join(lines)
+    return "\n".join(lines), to_series(timelines, compute_latency)
+
+
+def render(compute_latency=30, config=None, executor=None,
+           failure_policy=None):
+    return emit(compute_latency, config, executor=executor,
+                failure_policy=failure_policy)[0]
 
 
 if __name__ == "__main__":

@@ -60,21 +60,53 @@ def render_panel(rows, title, policies=FIGURE7_POLICIES):
                                        series_rows(rows, list(policies)))
 
 
-def render(num_instructions=DEFAULT_N, warmup=DEFAULT_WARMUP,
-           policies=FIGURE7_POLICIES, benchmarks_per_suite=None,
-           executor=None, failure_policy=None):
+#: Panel key -> (short name, title), in the (a)-(d) render order.
+PANELS = {("int", 256 * 1024): ("fig7a", "Figure 7(a) SPEC2000 INT, "
+                                         "256KB L2"),
+          ("fp", 256 * 1024): ("fig7b", "Figure 7(b) SPEC2000 FP, "
+                                        "256KB L2"),
+          ("int", 1024 * 1024): ("fig7c", "Figure 7(c) SPEC2000 INT, "
+                                          "1MB L2"),
+          ("fp", 1024 * 1024): ("fig7d", "Figure 7(d) SPEC2000 FP, "
+                                         "1MB L2")}
+TITLE = "Figure 7 -- normalized IPC of the six schemes"
+
+
+def _panel_order():
+    return sorted(PANELS, key=lambda k: (k[1], k[0]))
+
+
+def to_series(panels, policies=FIGURE7_POLICIES):
+    """Machine-readable twin of the four rendered panels."""
+    from repro.obs.export import (build_figure_series, series_from_rows,
+                                  series_panel)
+    return build_figure_series(
+        "fig7", TITLE,
+        [series_panel(PANELS[key][0], PANELS[key][1],
+                      series_from_rows(panels[key], list(policies)))
+         for key in _panel_order()])
+
+
+def emit(num_instructions=DEFAULT_N, warmup=DEFAULT_WARMUP,
+         policies=FIGURE7_POLICIES, benchmarks_per_suite=None,
+         executor=None, failure_policy=None):
+    """One workload run, both artifact forms: ``(text, series)``."""
     panels = run_all_panels(num_instructions, warmup, policies,
                             benchmarks_per_suite, executor=executor,
                             failure_policy=failure_policy)
     out = []
-    names = {("int", 256 * 1024): "Figure 7(a) SPEC2000 INT, 256KB L2",
-             ("fp", 256 * 1024): "Figure 7(b) SPEC2000 FP, 256KB L2",
-             ("int", 1024 * 1024): "Figure 7(c) SPEC2000 INT, 1MB L2",
-             ("fp", 1024 * 1024): "Figure 7(d) SPEC2000 FP, 1MB L2"}
-    for key in sorted(names, key=lambda k: (k[1], k[0])):
-        out.append(render_panel(panels[key], names[key], policies))
+    for key in _panel_order():
+        out.append(render_panel(panels[key], PANELS[key][1], policies))
         out.append("")
-    return "\n".join(out)
+    return "\n".join(out), to_series(panels, policies)
+
+
+def render(num_instructions=DEFAULT_N, warmup=DEFAULT_WARMUP,
+           policies=FIGURE7_POLICIES, benchmarks_per_suite=None,
+           executor=None, failure_policy=None):
+    return emit(num_instructions, warmup, policies,
+                benchmarks_per_suite, executor=executor,
+                failure_policy=failure_policy)[0]
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from repro.workloads.spec import fp_benchmarks, int_benchmarks
 
 REFERENCE = "authen-then-issue"
 COMPARED = policy_set("figure8")
+TITLE = "Figure 8 -- IPC speedup over authen-then-issue (256KB L2)"
 
 
 def run(num_instructions=12_000, warmup=12_000, l2_bytes=256 * 1024,
@@ -34,13 +35,31 @@ def run(num_instructions=12_000, warmup=12_000, l2_bytes=256 * 1024,
     return sweep, speedup_over(sweep, REFERENCE, list(compared))
 
 
-def render(num_instructions=12_000, warmup=12_000, benchmarks=None,
-           executor=None, failure_policy=None):
+def to_series(rows):
+    """Machine-readable twin of the rendered table (same numbers)."""
+    from repro.obs.export import (build_figure_series, series_from_rows,
+                                  series_panel)
+    return build_figure_series(
+        "fig8", TITLE,
+        [series_panel("fig8", TITLE, series_from_rows(rows,
+                                                      list(COMPARED)))])
+
+
+def emit(num_instructions=12_000, warmup=12_000, benchmarks=None,
+         executor=None, failure_policy=None):
+    """One workload run, both artifact forms: ``(text, series)``."""
     _, rows = run(num_instructions, warmup, benchmarks=benchmarks,
                   executor=executor, failure_policy=failure_policy)
     headers = ["benchmark"] + list(COMPARED)
-    return ("Figure 8 -- IPC speedup over authen-then-issue (256KB L2)\n"
-            + render_table(headers, series_rows(rows, list(COMPARED))))
+    text = TITLE + "\n" + render_table(headers,
+                                       series_rows(rows, list(COMPARED)))
+    return text, to_series(rows)
+
+
+def render(num_instructions=12_000, warmup=12_000, benchmarks=None,
+           executor=None, failure_policy=None):
+    return emit(num_instructions, warmup, benchmarks=benchmarks,
+                executor=executor, failure_policy=failure_policy)[0]
 
 
 if __name__ == "__main__":

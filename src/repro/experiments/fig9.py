@@ -48,20 +48,46 @@ def averages(results):
     return out
 
 
-def render(sizes=DEFAULT_SIZES, num_instructions=12_000, warmup=12_000,
-           benchmarks=None, executor=None, failure_policy=None):
-    results = run(sizes, benchmarks=benchmarks,
-                  num_instructions=num_instructions, warmup=warmup,
-                  executor=executor, failure_policy=failure_policy)
+TITLE = ("Figure 9 -- normalized IPC vs re-map cache size "
+         "(obfuscation + authen-then-commit, 256KB L2)")
+
+
+def _table(results, sizes):
+    """The rendered table's (headers, rows) from ``run`` results."""
     benchmark_names = sorted(next(iter(results.values())))
     headers = ["benchmark"] + ["%dKB" % (s // 1024) for s in sizes]
     rows = [[b] + [results[s][b] for s in sizes]
             for b in benchmark_names]
     avg = averages(results)
     rows.append(["average"] + [avg[s] for s in sizes])
-    return ("Figure 9 -- normalized IPC vs re-map cache size "
-            "(obfuscation + authen-then-commit, 256KB L2)\n"
-            + render_table(headers, rows))
+    return headers, rows
+
+
+def to_series(results, sizes=DEFAULT_SIZES):
+    """Machine-readable twin of the rendered table (same numbers)."""
+    from repro.obs.export import (build_figure_series, series_from_matrix,
+                                  series_panel)
+    headers, rows = _table(results, sizes)
+    return build_figure_series(
+        "fig9", TITLE,
+        [series_panel("fig9", TITLE, series_from_matrix(headers, rows))])
+
+
+def emit(sizes=DEFAULT_SIZES, num_instructions=12_000, warmup=12_000,
+         benchmarks=None, executor=None, failure_policy=None):
+    """One workload run, both artifact forms: ``(text, series)``."""
+    results = run(sizes, benchmarks=benchmarks,
+                  num_instructions=num_instructions, warmup=warmup,
+                  executor=executor, failure_policy=failure_policy)
+    headers, rows = _table(results, sizes)
+    return (TITLE + "\n" + render_table(headers, rows),
+            to_series(results, sizes))
+
+
+def render(sizes=DEFAULT_SIZES, num_instructions=12_000, warmup=12_000,
+           benchmarks=None, executor=None, failure_policy=None):
+    return emit(sizes, num_instructions, warmup, benchmarks=benchmarks,
+                executor=executor, failure_policy=failure_policy)[0]
 
 
 if __name__ == "__main__":

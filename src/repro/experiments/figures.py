@@ -114,80 +114,80 @@ class _OutcomeRecorder:
         return counts
 
 
-def _render_table1(ctx):
+def _emit_table1(ctx):
     from repro.experiments import table1
-    return table1.render(executor=ctx["executor"],
-                         failure_policy=ctx["failure_policy"])
-
-
-def _render_table2(ctx):
-    from repro.experiments import table2
-    return table2.render(executor=ctx["executor"],
-                         failure_policy=ctx["failure_policy"])
-
-
-def _render_table3(ctx):
-    from repro.experiments import table3
-    return table3.render(executor=ctx["executor"],
-                         failure_policy=ctx["failure_policy"])
-
-
-def _render_fig6(ctx):
-    from repro.experiments import fig6
-    return fig6.render(executor=ctx["executor"],
+    return table1.emit(executor=ctx["executor"],
                        failure_policy=ctx["failure_policy"])
 
 
-def _render_fig7(ctx):
+def _emit_table2(ctx):
+    from repro.experiments import table2
+    return table2.emit(executor=ctx["executor"],
+                       failure_policy=ctx["failure_policy"])
+
+
+def _emit_table3(ctx):
+    from repro.experiments import table3
+    return table3.emit(executor=ctx["executor"],
+                       failure_policy=ctx["failure_policy"])
+
+
+def _emit_fig6(ctx):
+    from repro.experiments import fig6
+    return fig6.emit(executor=ctx["executor"],
+                     failure_policy=ctx["failure_policy"])
+
+
+def _emit_fig7(ctx):
     from repro.experiments import fig7
     per_suite = None
     if ctx["benchmarks"] is not None:
         per_suite = {"int": list(ctx["benchmarks"]),
                      "fp": list(ctx["benchmarks"])}
-    return fig7.render(num_instructions=ctx["num_instructions"],
-                       warmup=ctx["warmup"],
-                       benchmarks_per_suite=per_suite,
-                       executor=ctx["executor"],
-                       failure_policy=ctx["failure_policy"])
+    return fig7.emit(num_instructions=ctx["num_instructions"],
+                     warmup=ctx["warmup"],
+                     benchmarks_per_suite=per_suite,
+                     executor=ctx["executor"],
+                     failure_policy=ctx["failure_policy"])
 
 
-def _render_fig8(ctx):
+def _emit_fig8(ctx):
     from repro.experiments import fig8
-    return fig8.render(num_instructions=ctx["num_instructions"],
-                       warmup=ctx["warmup"],
-                       benchmarks=ctx["benchmarks"],
-                       executor=ctx["executor"],
-                       failure_policy=ctx["failure_policy"])
+    return fig8.emit(num_instructions=ctx["num_instructions"],
+                     warmup=ctx["warmup"],
+                     benchmarks=ctx["benchmarks"],
+                     executor=ctx["executor"],
+                     failure_policy=ctx["failure_policy"])
 
 
-def _render_fig9(ctx):
+def _emit_fig9(ctx):
     from repro.experiments import fig9
-    return fig9.render(num_instructions=ctx["num_instructions"],
-                       warmup=ctx["warmup"],
-                       benchmarks=ctx["benchmarks"],
-                       executor=ctx["executor"],
-                       failure_policy=ctx["failure_policy"])
+    return fig9.emit(num_instructions=ctx["num_instructions"],
+                     warmup=ctx["warmup"],
+                     benchmarks=ctx["benchmarks"],
+                     executor=ctx["executor"],
+                     failure_policy=ctx["failure_policy"])
 
 
-def _render_fig10(ctx):
+def _emit_fig10(ctx):
     from repro.experiments import fig10_11
-    return fig10_11.render(num_instructions=ctx["num_instructions"],
-                           warmup=ctx["warmup"],
-                           benchmarks=ctx["benchmarks"],
-                           executor=ctx["executor"],
-                           failure_policy=ctx["failure_policy"])
+    return fig10_11.emit(num_instructions=ctx["num_instructions"],
+                         warmup=ctx["warmup"],
+                         benchmarks=ctx["benchmarks"],
+                         executor=ctx["executor"],
+                         failure_policy=ctx["failure_policy"])
 
 
-def _render_fig12(ctx):
+def _emit_fig12(ctx):
     from repro.experiments import fig12_13
-    return fig12_13.render(num_instructions=ctx["num_instructions"],
-                           warmup=ctx["warmup"],
-                           benchmarks=ctx["benchmarks"],
-                           executor=ctx["executor"],
-                           failure_policy=ctx["failure_policy"])
+    return fig12_13.emit(num_instructions=ctx["num_instructions"],
+                         warmup=ctx["warmup"],
+                         benchmarks=ctx["benchmarks"],
+                         executor=ctx["executor"],
+                         failure_policy=ctx["failure_policy"])
 
 
-def _render_ablations(ctx):
+def _emit_ablations(ctx):
     from repro.experiments import ablations
     kwargs = dict(num_instructions=ctx["num_instructions"],
                   warmup=ctx["warmup"],
@@ -195,10 +195,10 @@ def _render_ablations(ctx):
                   failure_policy=ctx["failure_policy"])
     if ctx["benchmarks"] is not None:
         kwargs["benchmarks"] = tuple(ctx["benchmarks"])
-    return ablations.render(**kwargs)
+    return ablations.emit(**kwargs)
 
 
-def _render_variance(ctx):
+def _emit_variance(ctx):
     from repro.experiments import variance
     kwargs = dict(num_instructions=ctx["num_instructions"],
                   warmup=ctx["warmup"],
@@ -206,10 +206,10 @@ def _render_variance(ctx):
                   failure_policy=ctx["failure_policy"])
     if ctx["benchmarks"] is not None:
         kwargs["benchmarks"] = tuple(ctx["benchmarks"])
-    return variance.render(variance.run(**kwargs))
+    return variance.emit(**kwargs)
 
 
-def _render_sensitivity(ctx):
+def _emit_sensitivity(ctx):
     from repro.experiments import sensitivity
     kwargs = dict(num_instructions=ctx["num_instructions"],
                   warmup=ctx["warmup"],
@@ -217,31 +217,34 @@ def _render_sensitivity(ctx):
                   failure_policy=ctx["failure_policy"])
     if ctx["benchmarks"] is not None:
         kwargs["benchmarks"] = tuple(ctx["benchmarks"])
-    return sensitivity.render(**kwargs)
+    return sensitivity.emit(**kwargs)
 
 
 #: Every regenerable artifact, in deterministic regeneration order.
 #: Names match the single-figure CLI subcommands (fig10 renders Figures
-#: 10 and 11; fig12 renders Figures 12 and 13).
+#: 10 and 11; fig12 renders Figures 12 and 13).  Each callable runs the
+#: figure's workload once and returns ``(text, series)`` -- the ``.txt``
+#: render and its machine-readable figure-series twin.
 ARTIFACTS = {
-    "table1": _render_table1,
-    "table2": _render_table2,
-    "table3": _render_table3,
-    "fig6": _render_fig6,
-    "fig7": _render_fig7,
-    "fig8": _render_fig8,
-    "fig9": _render_fig9,
-    "fig10": _render_fig10,
-    "fig12": _render_fig12,
-    "ablations": _render_ablations,
-    "variance": _render_variance,
-    "sensitivity": _render_sensitivity,
+    "table1": _emit_table1,
+    "table2": _emit_table2,
+    "table3": _emit_table3,
+    "fig6": _emit_fig6,
+    "fig7": _emit_fig7,
+    "fig8": _emit_fig8,
+    "fig9": _emit_fig9,
+    "fig10": _emit_fig10,
+    "fig12": _emit_fig12,
+    "ablations": _emit_ablations,
+    "variance": _emit_variance,
+    "sensitivity": _emit_sensitivity,
 }
 
 
 def run_figures(names, out_dir, num_instructions=12_000, warmup=12_000,
                 jobs=None, executor=None, failure_policy=None,
-                benchmarks=None, log=None, metrics=None):
+                benchmarks=None, log=None, metrics=None,
+                emit_json=False):
     """Regenerate ``names`` (artifact keys) into ``out_dir``.
 
     All figures share one executor: a borrowed ``executor`` is used and
@@ -251,9 +254,14 @@ def run_figures(names, out_dir, num_instructions=12_000, warmup=12_000,
 
     Writes ``<out_dir>/<name>.txt`` per artifact (with a failure footer
     when jobs failed terminally under a skipping ``failure_policy``) and
-    ``<out_dir>/figures-manifest.json``.  Returns a dict with
-    ``entries`` (per-figure manifest entries), ``manifest_path``,
-    ``artifact_paths`` and ``total_failures``.
+    ``<out_dir>/figures-manifest.json``.  With ``emit_json`` each
+    artifact additionally gets its machine-readable figure-series twin
+    at ``<out_dir>/<name>.json`` (written atomically, so a concurrent
+    reader -- the figure server -- never sees a torn file; the text
+    artifact is complete before the JSON appears, making the JSON the
+    figure's warm marker).  Returns a dict with ``entries`` (per-figure
+    manifest entries), ``manifest_path``, ``artifact_paths`` and
+    ``total_failures``.
 
     ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) is
     threaded through every sweep and additionally receives one
@@ -261,7 +269,8 @@ def run_figures(names, out_dir, num_instructions=12_000, warmup=12_000,
     """
     import os
 
-    from repro.obs.export import build_figures_manifest, write_json
+    from repro.obs.export import (build_figures_manifest, write_json,
+                                  write_json_atomic)
 
     unknown = [name for name in names if name not in ARTIFACTS]
     if unknown:
@@ -284,7 +293,7 @@ def run_figures(names, out_dir, num_instructions=12_000, warmup=12_000,
                 "failure_policy": None,  # recorder injects per sweep
                 "benchmarks": benchmarks,
             }
-            text = ARTIFACTS[name](ctx)
+            text, series = ARTIFACTS[name](ctx)
             failures = recorder.failure_lines()
             if failures:
                 text += ("\n\n%d job(s) failed terminally and are "
@@ -294,10 +303,16 @@ def run_figures(names, out_dir, num_instructions=12_000, warmup=12_000,
             with open(path, "w") as handle:
                 handle.write(text + "\n")
             artifact_paths[name] = path
+            series_artifact = None
+            if emit_json:
+                series_artifact = "%s.json" % name
+                write_json_atomic(series,
+                                  os.path.join(out_dir, series_artifact))
             manifest_jobs = recorder.manifest_jobs()
             entries.append({
                 "name": name,
                 "artifact": "%s.txt" % name,
+                "series_artifact": series_artifact,
                 "jobs": manifest_jobs,
                 "rollup": recorder.rollup(),
                 "failures": [job for job in manifest_jobs

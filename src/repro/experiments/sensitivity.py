@@ -92,10 +92,29 @@ def ruu_sweep(sizes=(32, 64, 128, 256),
     }
 
 
-def render(num_instructions=8000, warmup=8000, benchmarks=BENCHMARKS,
-           executor=None, failure_policy=None):
-    """Text artifact for ``repro figures``: all four sensitivity sweeps
-    under one shared executor, one table per varied parameter."""
+def to_series(grids, benchmarks=BENCHMARKS):
+    """Machine-readable twin of the four rendered sweep tables."""
+    from repro.obs.export import build_figure_series, series_panel
+    title = ("Sensitivity -- average normalized IPC per policy "
+             "(benchmarks: %s)" % ", ".join(benchmarks))
+    panels = []
+    for grid_title, grid in grids:
+        series = [
+            {"name": policy,
+             "points": [{"x": value, "y": grid[value][policy]}
+                        for value in sorted(grid)]}
+            for policy in POLICIES
+        ]
+        panels.append(series_panel(grid_title, grid_title, series,
+                                   x_label=grid_title))
+    return build_figure_series("sensitivity", title, panels)
+
+
+def emit(num_instructions=8000, warmup=8000, benchmarks=BENCHMARKS,
+         executor=None, failure_policy=None):
+    """Both artifact forms for ``repro figures``: all four sensitivity
+    sweeps under one shared executor, one table per varied parameter;
+    returns ``(text, series)``."""
     from repro.exec import executor_scope
     from repro.sim.report import render_table
 
@@ -130,4 +149,10 @@ def render(num_instructions=8000, warmup=8000, benchmarks=BENCHMARKS,
         rows = [[value] + [grid[value][p] for p in POLICIES]
                 for value in sorted(grid)]
         out.append(render_table([title] + list(POLICIES), rows))
-    return "\n".join(out)
+    return "\n".join(out), to_series(grids, benchmarks)
+
+
+def render(num_instructions=8000, warmup=8000, benchmarks=BENCHMARKS,
+           executor=None, failure_policy=None):
+    return emit(num_instructions, warmup, benchmarks=benchmarks,
+                executor=executor, failure_policy=failure_policy)[0]

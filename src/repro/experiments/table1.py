@@ -13,12 +13,34 @@ def run(memory_fetch_latency=200, decrypt_latency=80, hmac_latency=74,
     return latency_gap_table(model, memory_fetch_latency)
 
 
-def render(memory_fetch_latency=200, executor=None, failure_policy=None):
-    # executor/failure_policy: interface uniformity only -- this table
-    # is computed from the analytic crypto latency model, no jobs run.
+HEADERS = ["scheme", "decrypt (critical)", "decrypt (full line)",
+           "authenticate", "gap"]
+
+
+def to_series(rows, memory_fetch_latency=200):
+    """Machine-readable twin of the rendered table (same numbers)."""
+    from repro.obs.export import (build_figure_series, series_from_matrix,
+                                  series_panel)
+    title = ("Table 1 -- decryption vs authentication latency "
+             "(memory fetch = %d cycles)" % memory_fetch_latency)
+    table = [
+        [r.scheme, r.decryption_latency, r.full_decryption_latency,
+         r.authentication_latency, r.gap]
+        for r in rows
+    ]
+    return build_figure_series(
+        "table1", title,
+        [series_panel("table1", title, series_from_matrix(HEADERS, table),
+                      x_label="scheme")])
+
+
+def emit(memory_fetch_latency=200, executor=None, failure_policy=None):
+    """Both artifact forms: ``(text, series)``.
+
+    executor/failure_policy: interface uniformity only -- this table
+    is computed from the analytic crypto latency model, no jobs run.
+    """
     rows = run(memory_fetch_latency)
-    headers = ["scheme", "decrypt (critical)", "decrypt (full line)",
-               "authenticate", "gap"]
     table = [
         [r.scheme, r.decryption_latency, r.full_decryption_latency,
          r.authentication_latency, r.gap]
@@ -26,7 +48,13 @@ def render(memory_fetch_latency=200, executor=None, failure_policy=None):
     ]
     title = ("Table 1 -- decryption vs authentication latency "
              "(memory fetch = %d cycles)" % memory_fetch_latency)
-    return title + "\n" + render_table(headers, table)
+    return (title + "\n" + render_table(HEADERS, table),
+            to_series(rows, memory_fetch_latency))
+
+
+def render(memory_fetch_latency=200, executor=None, failure_policy=None):
+    return emit(memory_fetch_latency, executor=executor,
+                failure_policy=failure_policy)[0]
 
 
 if __name__ == "__main__":

@@ -24,29 +24,62 @@ def run_empirical(policies=TABLE2_POLICIES, attacks=FETCH_CHANNEL_ATTACKS):
     return empirical_security_matrix(policies, attacks)
 
 
-def render(policies=TABLE2_POLICIES, empirical=True, executor=None,
-           failure_policy=None):
-    # executor/failure_policy: interface uniformity only -- the
-    # empirical column runs the functional attack harness in-process,
-    # not SimJobs through the executor.
+TITLE = "Table 2 -- characteristics of the authentication schemes"
+EMPIRICAL_TITLE = ("Empirical fetch-side-channel outcomes "
+                   "(functional machine, real ciphertext tampering)")
+
+
+def _empirical_table(policies, matrix):
+    headers = ["scheme"] + [a for a in FETCH_CHANNEL_ATTACKS]
+    table = []
+    for policy in policies:
+        table.append(
+            [policy]
+            + ["LEAK" if matrix[policy][a].leaked else "blocked"
+               for a in FETCH_CHANNEL_ATTACKS]
+        )
+    return headers, table
+
+
+def to_series(rows, matrix=None, policies=TABLE2_POLICIES):
+    """Machine-readable twin of the rendered tables (string cells)."""
+    from repro.obs.export import (build_figure_series, series_from_matrix,
+                                  series_panel)
+    panels = [series_panel("static", TITLE,
+                           series_from_matrix(rows[0], rows[1:]),
+                           x_label=rows[0][0])]
+    if matrix is not None:
+        headers, table = _empirical_table(policies, matrix)
+        panels.append(series_panel("empirical", EMPIRICAL_TITLE,
+                                   series_from_matrix(headers, table),
+                                   x_label="scheme"))
+    return build_figure_series("table2", TITLE, panels)
+
+
+def emit(policies=TABLE2_POLICIES, empirical=True, executor=None,
+         failure_policy=None):
+    """Both artifact forms: ``(text, series)``.
+
+    executor/failure_policy: interface uniformity only -- the
+    empirical column runs the functional attack harness in-process,
+    not SimJobs through the executor.
+    """
     rows = run_static(policies)
-    out = ["Table 2 -- characteristics of the authentication schemes",
-           render_table(rows[0], rows[1:])]
+    out = [TITLE, render_table(rows[0], rows[1:])]
+    matrix = None
     if empirical:
         matrix = run_empirical(policies)
-        headers = ["scheme"] + [a for a in FETCH_CHANNEL_ATTACKS]
-        table = []
-        for policy in policies:
-            table.append(
-                [policy]
-                + ["LEAK" if matrix[policy][a].leaked else "blocked"
-                   for a in FETCH_CHANNEL_ATTACKS]
-            )
+        headers, table = _empirical_table(policies, matrix)
         out.append("")
-        out.append("Empirical fetch-side-channel outcomes "
-                   "(functional machine, real ciphertext tampering):")
+        out.append(EMPIRICAL_TITLE + ":")
         out.append(render_table(headers, table))
-    return "\n".join(out)
+    return "\n".join(out), to_series(rows, matrix, policies)
+
+
+def render(policies=TABLE2_POLICIES, empirical=True, executor=None,
+           failure_policy=None):
+    return emit(policies, empirical, executor=executor,
+                failure_policy=failure_policy)[0]
 
 
 if __name__ == "__main__":

@@ -84,6 +84,40 @@ def ordering_is_stable(result, order=("authen-then-issue",
     return True
 
 
+TITLE = "Seed variance of normalized IPC (mean +/- std)"
+
+
+def to_series(result):
+    """Machine-readable twin of the variance render.
+
+    ``mean``/``std`` series walk the policies; one ``samples:<policy>``
+    series per policy walks the seed-aligned sample index (a skipped
+    seed's None sample survives as JSON null).  The seed-stability
+    verdict rides in ``extra``.
+    """
+    from repro.obs.export import build_figure_series, series_panel
+    policies = sorted(result)
+    stats_series = [
+        {"name": name,
+         "points": [{"x": policy, "y": result[policy][name]}
+                    for policy in policies]}
+        for name in ("mean", "std")
+    ]
+    sample_series = [
+        {"name": "samples:%s" % policy,
+         "points": [{"x": index, "y": value}
+                    for index, value in
+                    enumerate(result[policy]["samples"])]}
+        for policy in policies
+    ]
+    return build_figure_series(
+        "variance", TITLE,
+        [series_panel("stats", TITLE, stats_series, x_label="policy"),
+         series_panel("samples", "Per-seed samples", sample_series,
+                      x_label="seed_index")],
+        extra={"ordering_stable": ordering_is_stable(result)})
+
+
 def render(result):
     def fmt(value):
         return "--" if value is None else "%.3f" % value
@@ -96,3 +130,9 @@ def render(result):
     lines.append("ordering stable across seeds: %s"
                  % ordering_is_stable(result))
     return "\n".join(lines)
+
+
+def emit(**kwargs):
+    """Both artifact forms: ``(text, series)`` from one :func:`run`."""
+    result = run(**kwargs)
+    return render(result), to_series(result)

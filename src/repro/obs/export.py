@@ -198,10 +198,84 @@ def build_figures_manifest(entries, backend=None, num_instructions=None,
     }
 
 
+FIGURE_SERIES_VERSION = 1
+
+
+def series_from_rows(rows, columns):
+    """Series list from sweep-table rows ``[(x, {column: value})]``.
+
+    One series per column (the policies, in the given order), one point
+    per row (the benchmarks).  A failed cell's None survives as-is --
+    it renders as ``--`` in the text table and as JSON null here.
+    """
+    return [
+        {"name": column,
+         "points": [{"x": x, "y": values.get(column)}
+                    for x, values in rows]}
+        for column in columns
+    ]
+
+
+def series_from_matrix(headers, rows):
+    """Series list from a plain list-of-lists table.
+
+    ``headers[0]`` labels the x axis; each remaining header becomes one
+    series whose points walk the rows (``row[0]`` is x).
+    """
+    return [
+        {"name": header,
+         "points": [{"x": row[0], "y": row[index + 1]} for row in rows]}
+        for index, header in enumerate(headers[1:])
+    ]
+
+
+def series_panel(name, title, series, x_label="benchmark"):
+    """One panel of a figure-series artifact."""
+    return {"name": name, "title": title, "x_label": x_label,
+            "series": series}
+
+
+def build_figure_series(figure, title, panels, extra=None):
+    """The machine-readable twin of one figure/table text artifact.
+
+    Same numbers as the ``.txt`` render, structured: a list of panels
+    (a single-table figure has one), each a list of named series of
+    ``{"x", "y"}`` points.  ``extra`` carries figure-specific scalars
+    that are not series-shaped (fig6's cycle advantage, variance's
+    ordering verdict).  Serialise with :func:`write_json` so serial and
+    parallel regenerations -- and the figure server -- stay
+    byte-identical.
+    """
+    payload = {
+        "format_version": FIGURE_SERIES_VERSION,
+        "kind": "figure-series",
+        "figure": figure,
+        "title": title,
+        "panels": panels,
+    }
+    if extra:
+        payload["extra"] = extra
+    return payload
+
+
 def write_json(payload, path):
     """Write any manifest to ``path`` (stable key order)."""
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True, default=str)
+    return path
+
+
+def write_json_atomic(payload, path):
+    """:func:`write_json` via rename, for files a server may be reading.
+
+    Byte-identical output to :func:`write_json` (same dump arguments);
+    the tmp-write + ``os.replace`` means a concurrent reader sees the
+    old complete file or the new complete file, never a torn one.
+    """
+    from repro.sim.checkpoint import atomic_write_text
+
+    text = json.dumps(payload, indent=1, sort_keys=True, default=str)
+    atomic_write_text(path, text)
     return path
 
 

@@ -17,6 +17,22 @@ that finishes the line.
 """
 
 import time
+from collections import deque
+
+
+def _describe_outcome(result):
+    """A short human string for a non-completed job's outcome.
+
+    Executor failure paths hand renderers the failed
+    :class:`~repro.exec.executor.JobResult` (status/error, no
+    ``.cycles``); completions hand the simulation's RunResult.  Returns
+    None for the latter so callers keep the cycles fast path.
+    """
+    if getattr(result, "cycles", None) is not None:
+        return None
+    status = str(getattr(result, "status", None) or "failed").upper()
+    error = getattr(result, "error", None)
+    return "%s (%s)" % (status, error) if error else status
 
 
 class ProgressLog:
@@ -26,9 +42,15 @@ class ProgressLog:
         self._stream = stream
 
     def __call__(self, job, result, done, total):
-        self._stream.write("[%d/%d] %s/%s: %d cycles\n"
-                           % (done, total, job.benchmark, job.policy,
-                              result.cycles))
+        outcome = _describe_outcome(result)
+        if outcome is not None:
+            self._stream.write("[%d/%d] %s/%s: %s\n"
+                               % (done, total, job.benchmark, job.policy,
+                                  outcome))
+        else:
+            self._stream.write("[%d/%d] %s/%s: %d cycles\n"
+                               % (done, total, job.benchmark, job.policy,
+                                  result.cycles))
         self._stream.flush()
 
     def close(self):
@@ -38,6 +60,12 @@ class ProgressLog:
 class ProgressLine:
     """Single rewriting TTY status line fed by the metrics registry."""
 
+    #: Completions the concurrency estimate looks back over.  Wide
+    #: enough to smooth jitter, narrow enough that a mid-run pool
+    #: degrade (or a warm-cache prefix) ages out of the estimate after
+    #: a handful of jobs instead of skewing the ETA for the whole run.
+    ETA_WINDOW = 8
+
     def __init__(self, stream, metrics=None, clock=time.monotonic):
         self._stream = stream
         self._metrics = metrics
@@ -45,6 +73,9 @@ class ProgressLine:
         self._started = clock()
         self._last_width = 0
         self._dirty = False
+        # (clock, wall.sum) at each completion, for the recent-window
+        # concurrency estimate in _eta.
+        self._samples = deque(maxlen=self.ETA_WINDOW)
 
     def _family_total(self, name):
         if self._metrics is None:
@@ -52,31 +83,46 @@ class ProgressLine:
         family = self._metrics.get(name)
         return family.total() if family is not None else 0
 
-    def _eta(self, done, total):
+    def _wall(self):
+        return (self._metrics.get("repro_job_wall_seconds")
+                if self._metrics is not None else None)
+
+    def _eta(self, done, total, now):
         """Remaining seconds, estimated from the wall-time histogram.
 
-        mean-wall x remaining, divided by the observed concurrency
-        (total wall banked / elapsed) so a parallel backend's ETA does
-        not overshoot by the worker count.  Falls back to elapsed-rate
-        when no histogram is available; None until anything completes.
+        mean-wall x remaining, divided by the observed concurrency so a
+        parallel backend's ETA does not overshoot by the worker count.
+        Concurrency is wall banked per second of elapsed time over the
+        last :attr:`ETA_WINDOW` completions (falling back to the
+        whole-run ratio while the window is degenerate), so a long
+        warm-cache prefix or a mid-run pool degrade stops skewing the
+        estimate once it ages out of the window.  The divisor is also
+        clamped to the pending count: with only ``remaining`` jobs
+        left, no backend can bank wall faster than ``remaining``-wide.
+        Falls back to elapsed-rate when no histogram is available; None
+        until anything completes.
         """
         remaining = total - done
         if remaining <= 0:
             return 0.0
-        elapsed = self._clock() - self._started
-        wall = (self._metrics.get("repro_job_wall_seconds")
-                if self._metrics is not None else None)
+        elapsed = now - self._started
+        wall = self._wall()
         if wall is not None and wall.count:
-            concurrency = max(1.0, wall.sum / elapsed if elapsed else 1.0)
+            concurrency = wall.sum / elapsed if elapsed else 1.0
+            if len(self._samples) >= 2:
+                (t0, sum0), (t1, sum1) = self._samples[0], self._samples[-1]
+                if t1 > t0:
+                    concurrency = (sum1 - sum0) / (t1 - t0)
+            concurrency = max(1.0, min(concurrency, float(remaining)))
             return remaining * wall.mean() / concurrency
         if done and elapsed:
             return elapsed / done * remaining
         return None
 
-    def _segments(self, done, total):
+    def _segments(self, done, total, now):
         parts = ["[%d/%d]" % (done, total),
                  "%3.0f%%" % (100.0 * done / total if total else 100.0)]
-        eta = self._eta(done, total)
+        eta = self._eta(done, total, now)
         if eta is not None:
             parts.append("eta %s" % _format_seconds(eta))
         retries = self._family_total("repro_job_retries_total")
@@ -106,8 +152,16 @@ class ProgressLine:
         return parts
 
     def __call__(self, job, result, done, total):
-        line = "%s | %s/%s" % (" ".join(self._segments(done, total)),
-                               job.benchmark, job.policy)
+        now = self._clock()
+        wall = self._wall()
+        if wall is not None and wall.count:
+            self._samples.append((now, wall.sum))
+        suffix = "%s/%s" % (job.benchmark, job.policy)
+        outcome = _describe_outcome(result)
+        if outcome is not None:
+            suffix = "%s: %s" % (suffix, outcome)
+        line = "%s | %s" % (" ".join(self._segments(done, total, now)),
+                            suffix)
         padding = " " * max(0, self._last_width - len(line))
         self._stream.write("\r" + line + padding)
         self._stream.flush()

@@ -1,0 +1,25 @@
+"""Simulation-as-a-service: HTTP figure/sweep serving over the store.
+
+The serving tier turns the simulator into the memoized slow tier of a
+request/response stack: warm figures and result-tier sweep cells are
+answered straight from disk artifacts, cold ones enqueue one
+regeneration through the normal executor path and answer 202 until it
+lands.  :class:`~repro.serve.service.FigureService` holds the state
+machine, :mod:`repro.serve.http` is the stdlib HTTP skin, and
+:mod:`repro.serve.diff` compares the per-figure JSON artifacts two
+runs produced.
+"""
+
+from repro.serve.diff import diff_figures, load_series_dir, render_diff
+from repro.serve.http import make_server, serve_forever
+from repro.serve.service import RETRY_AFTER_SECONDS, FigureService
+
+__all__ = [
+    "FigureService",
+    "RETRY_AFTER_SECONDS",
+    "diff_figures",
+    "load_series_dir",
+    "make_server",
+    "render_diff",
+    "serve_forever",
+]

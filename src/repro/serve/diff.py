@@ -1,0 +1,167 @@
+"""``repro diff``: compare per-figure JSON artifacts across two runs.
+
+Two output directories (or store-backed serve dirs, or checkouts of
+the same figures at different commits) each hold ``<figure>.json``
+figure-series artifacts.  :func:`diff_figures` flattens every artifact
+to ``(panel, series, x) -> y`` cells and reports exactly which cells
+changed, with absolute/relative tolerances for float noise --
+``repro figures`` output is deterministic, so the default tolerance is
+exact equality and *any* changed cell is a real behaviour change.
+
+Exit-code contract (the CLI's): 0 identical, 1 differences, 2 nothing
+comparable (a side had no figure-series artifacts at all).
+"""
+
+import json
+import os
+
+_ABSENT = object()
+
+
+def load_series_dir(path, only=None):
+    """``{figure: payload}`` from every figure-series JSON under ``path``.
+
+    Non-series JSON (the figures manifest, metrics snapshots) and
+    unparseable files are skipped; ``only`` (a set of figure names)
+    filters the result.
+    """
+    out = {}
+    try:
+        entries = sorted(os.listdir(path))
+    except OSError:
+        return out
+    for entry in entries:
+        if not entry.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(path, entry)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if (not isinstance(payload, dict)
+                or payload.get("kind") != "figure-series"):
+            continue
+        figure = payload.get("figure") or entry[:-len(".json")]
+        if only is not None and figure not in only:
+            continue
+        out[figure] = payload
+    return out
+
+
+def flatten_cells(payload):
+    """``{(panel, series, x): y}`` for one figure-series payload.
+
+    ``extra`` scalars participate as ``("extra", key, "")`` cells so a
+    changed fig6 advantage or variance verdict is a diff, not silence.
+    """
+    cells = {}
+    for panel in payload.get("panels", ()):
+        for series in panel.get("series", ()):
+            for point in series.get("points", ()):
+                key = (str(panel.get("name")), str(series.get("name")),
+                       str(point.get("x")))
+                cells[key] = point.get("y")
+    extra = payload.get("extra")
+    if isinstance(extra, dict):
+        for name in extra:
+            cells[("extra", str(name), "")] = extra[name]
+    return cells
+
+
+def _close(a, b, atol, rtol):
+    numbers = (int, float)
+    if (isinstance(a, numbers) and isinstance(b, numbers)
+            and not isinstance(a, bool) and not isinstance(b, bool)):
+        return abs(a - b) <= atol + rtol * max(abs(a), abs(b))
+    return a == b
+
+
+def diff_figures(dir_a, dir_b, atol=0.0, rtol=0.0, only=None):
+    """Structured diff of two figure-series directories.
+
+    Returns a report dict: ``only_a``/``only_b`` (figures present on
+    one side), per-figure changed-cell lists (each ``{panel, series,
+    x, a, b}``; a missing cell's side is None with ``missing`` naming
+    it), ``changed_cells``, ``compared`` and the rolled-up
+    ``identical`` verdict.  Tolerances apply to numeric cells only --
+    string cells (table2's LEAK/blocked) compare exactly.
+    """
+    series_a = load_series_dir(dir_a, only=only)
+    series_b = load_series_dir(dir_b, only=only)
+    report = {
+        "kind": "figure-diff",
+        "dir_a": os.fspath(dir_a),
+        "dir_b": os.fspath(dir_b),
+        "atol": atol,
+        "rtol": rtol,
+        "only_a": sorted(set(series_a) - set(series_b)),
+        "only_b": sorted(set(series_b) - set(series_a)),
+        "figures": {},
+        "compared": 0,
+        "changed_cells": 0,
+    }
+    for figure in sorted(set(series_a) & set(series_b)):
+        cells_a = flatten_cells(series_a[figure])
+        cells_b = flatten_cells(series_b[figure])
+        changed = []
+        for key in sorted(set(cells_a) | set(cells_b)):
+            value_a = cells_a.get(key, _ABSENT)
+            value_b = cells_b.get(key, _ABSENT)
+            if value_a is _ABSENT or value_b is _ABSENT:
+                changed.append({
+                    "panel": key[0], "series": key[1], "x": key[2],
+                    "a": None if value_a is _ABSENT else value_a,
+                    "b": None if value_b is _ABSENT else value_b,
+                    "missing": "a" if value_a is _ABSENT else "b",
+                })
+            elif not _close(value_a, value_b, atol, rtol):
+                changed.append({"panel": key[0], "series": key[1],
+                                "x": key[2], "a": value_a, "b": value_b})
+        report["compared"] += 1
+        if changed:
+            report["figures"][figure] = changed
+            report["changed_cells"] += len(changed)
+    report["identical"] = (not report["only_a"] and not report["only_b"]
+                           and report["changed_cells"] == 0)
+    return report
+
+
+def _cell(value):
+    if value is None:
+        return "(absent)"
+    if isinstance(value, float):
+        return "%.6g" % value
+    return str(value)
+
+
+def render_diff(report):
+    """The changed-cells table (or the all-clear line)."""
+    from repro.sim.report import render_table
+
+    lines = ["figure diff: %s vs %s" % (report["dir_a"],
+                                        report["dir_b"])]
+    if report["atol"] or report["rtol"]:
+        lines.append("tolerances: atol=%g rtol=%g"
+                     % (report["atol"], report["rtol"]))
+    for side, figures in (("a", report["only_a"]),
+                          ("b", report["only_b"])):
+        if figures:
+            lines.append("only in %s: %s" % (side, ", ".join(figures)))
+    if report["changed_cells"]:
+        rows = []
+        for figure in sorted(report["figures"]):
+            for cell in report["figures"][figure]:
+                rows.append([figure, cell["panel"], cell["series"],
+                             cell["x"], _cell(cell["a"]),
+                             _cell(cell["b"])])
+        lines.append(render_table(
+            ["figure", "panel", "series", "x", "a", "b"], rows))
+        lines.append("%d changed cell(s) across %d figure(s)"
+                     % (report["changed_cells"],
+                        len(report["figures"])))
+    elif report["compared"]:
+        lines.append("%d figure(s) compared, no changed cells"
+                     % report["compared"])
+    else:
+        lines.append("no figure-series artifacts to compare")
+    return "\n".join(lines)

@@ -5,6 +5,8 @@ import pickle
 import pytest
 
 from repro.exec import (
+    SKIP_AND_REPORT,
+    FailurePolicy,
     ParallelExecutor,
     SerialExecutor,
     TraceCache,
@@ -12,9 +14,12 @@ from repro.exec import (
     cached_trace,
     execute_job,
     make_executor,
+    set_attempt_hook,
 )
 from repro.obs import MemorySink, PhaseProfiler, Tracer
 from repro.obs.events import JOB_DONE
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressLine
 
 JOBS = build_jobs(["gzip", "mcf"],
                   ["decrypt-only", "authen-then-commit"],
@@ -200,3 +205,109 @@ class TestMakeExecutor:
         executor.close()
         monkeypatch.setenv("REPRO_JOBS", "bogus")
         assert isinstance(make_executor(), SerialExecutor)
+
+
+class Boom(RuntimeError):
+    """Deterministic injected failure."""
+
+
+@pytest.fixture
+def fail_hook():
+    """Install-and-restore wrapper around set_attempt_hook."""
+    installed = []
+
+    def install(fn):
+        installed.append(set_attempt_hook(fn))
+        return fn
+
+    yield install
+    while installed:
+        set_attempt_hook(installed.pop())
+
+
+class _TtyStream:
+    def __init__(self):
+        import io
+        self._buf = io.StringIO()
+
+    def write(self, text):
+        self._buf.write(text)
+
+    def flush(self):
+        pass
+
+    def isatty(self):
+        return True
+
+    def getvalue(self):
+        return self._buf.getvalue()
+
+
+class TestFailureProgress:
+    """Failed jobs advance the status line like completions do."""
+
+    def test_skip_run_ends_with_full_cursor_and_failed_segment(
+            self, fail_hook):
+        jobs = build_jobs(["gzip", "mcf"], ["decrypt-only"],
+                          num_instructions=600, warmup=300)
+        bad = jobs[0].job_id
+
+        def explode(job, attempt):
+            if job.job_id == bad:
+                raise Boom("injected")
+
+        fail_hook(explode)
+        reg = MetricsRegistry()
+        stream = _TtyStream()
+        progress = ProgressLine(stream, metrics=reg)
+        results = SerialExecutor().run(
+            jobs, progress=progress,
+            failure_policy=FailurePolicy(mode=SKIP_AND_REPORT),
+            metrics=reg)
+        progress.close()
+        text = stream.getvalue()
+        last = text.rstrip("\n").split("\r")[-1]
+        # the failed job advanced the same done/total cursor, so the
+        # run finishes at [N/N] -- not one short, as before the fix
+        assert "[2/2]" in last
+        assert "failed 1" in last
+        assert "FAILED (Boom" in text
+        assert len(results) == 1  # only the surviving job completed
+
+    def test_fail_fast_fires_progress_before_the_raise(self, fail_hook):
+        jobs = build_jobs(["gzip"],
+                          ["decrypt-only", "authen-then-commit"],
+                          num_instructions=600, warmup=300)
+
+        def explode(job, attempt):
+            raise Boom("injected")
+
+        fail_hook(explode)
+        seen = []
+        with pytest.raises(Boom):
+            SerialExecutor().run(
+                jobs,
+                progress=lambda job, result, done, total:
+                    seen.append((done, total, result.status)))
+        assert seen == [(1, 2, "failed")]
+
+    def test_fail_fast_line_is_terminated_by_the_cli_finally(
+            self, fail_hook):
+        jobs = build_jobs(["gzip"], ["decrypt-only"],
+                          num_instructions=600, warmup=300)
+
+        def explode(job, attempt):
+            raise Boom("injected")
+
+        fail_hook(explode)
+        stream = _TtyStream()
+        progress = ProgressLine(stream)
+        try:
+            with pytest.raises(Boom):
+                SerialExecutor().run(jobs, progress=progress)
+        finally:
+            progress.close()  # what the CLI's finally block does
+        text = stream.getvalue()
+        assert "[1/1]" in text
+        assert "FAILED (Boom" in text
+        assert text.endswith("\n")

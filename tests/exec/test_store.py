@@ -473,10 +473,37 @@ class TestGc:
     def test_gc_to_zero_empties_the_store(self, store):
         trace = _trace()
         store.save_trace(trace, "gzip", len(trace), 1)
+        path = os.path.join(
+            store.root, "traces", store.trace_name("gzip", len(trace), 1))
+        old = time.time() - store.stale_lock_seconds - 1
+        os.utime(path, (old, old))
         report = store.gc(max_bytes=0)
         assert report["evicted"] == 1
         assert report["kept"] == 0
+        assert report["pinned"] == 0
         assert store.stats()["total_bytes"] == 0
+
+    def test_gc_pins_recently_touched_entries(self, store):
+        # A fresh mtime means a hit just refreshed the entry -- a
+        # concurrent single-flight waiter that observed that hit may be
+        # about to open() it, so gc must not unlink it even when the
+        # store is over budget.
+        trace = _trace()
+        for seed in (1, 2):
+            store.save_trace(trace, "gzip", len(trace), seed)
+        paths = {seed: os.path.join(
+            store.root, "traces", store.trace_name("gzip", len(trace),
+                                                   seed))
+            for seed in (1, 2)}
+        old = time.time() - store.stale_lock_seconds - 1
+        os.utime(paths[1], (old, old))
+        report = store.gc(max_bytes=0)
+        assert report["evicted"] == 1
+        assert not os.path.exists(paths[1])
+        assert os.path.exists(paths[2])        # fresh entry survives gc(0)
+        assert report["pinned"] == 1
+        assert report["kept"] == 1
+        assert report["kept_bytes"] == os.path.getsize(paths[2])
 
 
 class TestStatsAndEnv:
@@ -509,3 +536,44 @@ class TestStatsAndEnv:
 
 def _noop():
     """Exit immediately: its reaped pid proves a lock owner is dead."""
+
+
+class TestIterResults:
+    def test_lists_sealed_records(self, store):
+        job = JOBS[0]
+        assert store.save_result(job, execute_job(job))
+        [row] = list(store.iter_results())
+        assert row["job_id"] == job.job_id
+        assert row["benchmark"] == job.benchmark
+        assert row["policy"] == job.policy
+        assert row["seed"] == job.seed
+        assert row["warmup"] == job.warmup
+        assert row["cycles"] > 0
+        assert row["ipc"] > 0
+        assert row["current"] is True
+        assert row["mtime"] > 0
+
+    def test_skips_corrupt_records(self, store):
+        job = JOBS[0]
+        assert store.save_result(job, execute_job(job))
+        path = store._path("results", store.result_name(job) + ".json")
+        with open(path, "a") as handle:
+            handle.write("garbage")
+        assert list(store.iter_results()) == []
+
+    def test_stale_fingerprints_filtered_unless_asked(self, store):
+        from repro.sim.checkpoint import _record_crc
+
+        job = JOBS[0]
+        assert store.save_result(job, execute_job(job))
+        path = store._path("results", store.result_name(job) + ".json")
+        with open(path) as handle:
+            record = json.load(handle)
+        record["fingerprint"] = "stale"
+        record.pop("crc32")
+        record["crc32"] = _record_crc(record)
+        with open(path, "w") as handle:
+            json.dump(record, handle)
+        assert list(store.iter_results()) == []
+        [row] = list(store.iter_results(current_only=False))
+        assert row["current"] is False

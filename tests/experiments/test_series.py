@@ -1,0 +1,151 @@
+"""Round-trip tests: every figure's JSON series matches its .txt render.
+
+``repro figures --emit-json`` writes ``<figure>.json`` next to each
+``<figure>.txt``.  For every table-backed figure the JSON cells must
+reproduce the rendered table cell-for-cell (same ``%.3f`` formatting,
+``--`` for None), so the serving/diff tier never drifts from the
+human-readable artifact.  fig6 and variance render prose rather than
+tables; their series are checked value-by-value against the text.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.experiments.figures import ARTIFACTS, run_figures
+from repro.obs.export import FIGURE_SERIES_VERSION
+
+SCALE = dict(num_instructions=600, warmup=300)
+BENCHMARKS = ("gzip", "mcf")
+
+#: Figures whose .txt is prose, not render_table output.
+PROSE = ("fig6", "variance")
+
+
+@pytest.fixture(scope="module")
+def emitted(tmp_path_factory):
+    out = tmp_path_factory.mktemp("series")
+    run_figures(list(ARTIFACTS), str(out), benchmarks=BENCHMARKS,
+                emit_json=True, **SCALE)
+    return out
+
+
+def _load(emitted, name):
+    payload = json.loads((emitted / (name + ".json")).read_text())
+    text = (emitted / (name + ".txt")).read_text()
+    return payload, text
+
+
+def _tables(text):
+    """Every render_table block in ``text`` as (headers, rows) strings.
+
+    The dash rule under the header line gives the exact column extents
+    (render_table pads every cell to the column width), so cells are
+    recovered by slicing -- robust to values containing runs of spaces.
+    """
+    lines = text.split("\n")
+    tables, i = [], 0
+    while i + 1 < len(lines):
+        rule = lines[i + 1]
+        dashes = rule.replace(" ", "")
+        if not (dashes and set(dashes) == {"-"}
+                and set(rule) <= {"-", " "} and lines[i].strip()):
+            i += 1
+            continue
+        spans = [(m.start(), m.end()) for m in re.finditer(r"-+", rule)]
+        cut = lambda line: [line[a:b].strip() for a, b in spans]
+        headers = cut(lines[i])
+        rows = []
+        j = i + 2
+        while j < len(lines) and lines[j].strip():
+            rows.append(cut(lines[j]))
+            j += 1
+        tables.append((headers, rows))
+        i = j
+    return tables
+
+
+def _cell(value):
+    """A JSON cell formatted exactly as render_table formats it."""
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)
+
+
+class TestSchema:
+    @pytest.mark.parametrize("name", list(ARTIFACTS))
+    def test_envelope(self, emitted, name):
+        payload, _ = _load(emitted, name)
+        assert payload["format_version"] == FIGURE_SERIES_VERSION
+        assert payload["kind"] == "figure-series"
+        assert payload["figure"] == name
+        assert payload["title"]
+        assert payload["panels"]
+        for panel in payload["panels"]:
+            assert panel["name"] and panel["title"] and panel["x_label"]
+            assert panel["series"]
+            for series in panel["series"]:
+                assert series["name"]
+                assert series["points"]
+                for point in series["points"]:
+                    assert set(point) == {"x", "y"}
+
+    def test_manifest_records_series_artifacts(self, emitted):
+        manifest = json.loads(
+            (emitted / "figures-manifest.json").read_text())
+        for entry in manifest["figures"]:
+            assert entry["series_artifact"] == \
+                entry["name"] + ".json"
+
+
+class TestTableRoundTrip:
+    @pytest.mark.parametrize(
+        "name", [n for n in ARTIFACTS if n not in PROSE])
+    def test_json_matches_txt_cell_for_cell(self, emitted, name):
+        payload, text = _load(emitted, name)
+        tables = _tables(text)
+        panels = payload["panels"]
+        assert len(tables) == len(panels), \
+            "%s: %d tables vs %d panels" % (name, len(tables),
+                                            len(panels))
+        for (headers, rows), panel in zip(tables, panels):
+            assert headers[1:] == \
+                [series["name"] for series in panel["series"]]
+            xs = [row[0] for row in rows]
+            for k, series in enumerate(panel["series"], start=1):
+                assert [_cell(p["x"]) for p in series["points"]] == xs
+                assert [_cell(p["y"]) for p in series["points"]] == \
+                    [row[k] for row in rows]
+
+
+class TestProseRoundTrip:
+    def test_fig6_milestones_and_advantage_appear_in_text(self, emitted):
+        payload, text = _load(emitted, "fig6")
+        advantage = int(re.search(r"finishes (\d+) cycles earlier",
+                                  text).group(1))
+        assert payload["extra"]["advantage_cycles"] == advantage
+        for series in payload["panels"][0]["series"]:
+            assert series["name"] in text
+            assert [p["x"] for p in series["points"]] == [
+                "fetch1_issue", "data1", "verify1", "fetch2_issue",
+                "data2", "verify2"]
+            for point in series["points"]:
+                assert isinstance(point["y"], int)
+            # the render prints the first five milestones (verify2 is
+            # series-only): each cycle number must appear verbatim
+            for point in series["points"][:5]:
+                assert "@%d" % point["y"] in text
+
+    def test_variance_stats_and_verdict_appear_in_text(self, emitted):
+        payload, text = _load(emitted, "variance")
+        panels = {panel["name"]: panel for panel in payload["panels"]}
+        assert set(panels) == {"stats", "samples"}
+        for series in panels["stats"]["series"]:
+            assert series["name"] in ("mean", "std")
+            for point in series["points"]:
+                assert _cell(point["y"]) in text
+        stable = payload["extra"]["ordering_stable"]
+        assert ("ordering stable across seeds: %s" % stable) in text

@@ -29,6 +29,13 @@ class FakeResult:
     cycles = 1234
 
 
+class FailedResult:
+    """What the executor's fail() path hands renderers (no .cycles)."""
+    status = "failed"
+    attempts = 1
+    error = "Boom('injected')"
+
+
 class TestFactory:
     def test_tty_gets_the_rewriting_line(self):
         assert isinstance(make_progress(FakeStream(True)), ProgressLine)
@@ -48,6 +55,30 @@ class TestProgressLog:
         progress.close()
         assert stream.getvalue() == \
             "[1/4] gzip/authen-then-commit: 1234 cycles\n"
+
+
+class TestFailureRendering:
+    def test_log_renders_failed_outcome(self):
+        stream = FakeStream(False)
+        ProgressLog(stream)(FakeJob(), FailedResult(), 3, 4)
+        assert stream.getvalue() == \
+            "[3/4] gzip/authen-then-commit: FAILED (Boom('injected'))\n"
+
+    def test_log_renders_bare_status_without_error(self):
+        stream = FakeStream(False)
+        result = FailedResult()
+        result.error = None
+        ProgressLog(stream)(FakeJob(), result, 1, 4)
+        assert stream.getvalue() == \
+            "[1/4] gzip/authen-then-commit: FAILED\n"
+
+    def test_line_suffixes_failed_outcome(self):
+        stream = FakeStream(True)
+        progress = ProgressLine(stream,
+                                clock=iter([0.0, 1.0]).__next__)
+        progress(FakeJob(), FailedResult(), 1, 4)
+        assert "gzip/authen-then-commit: FAILED (Boom('injected'))" \
+            in stream.getvalue()
 
 
 class TestProgressLine:
@@ -90,6 +121,44 @@ class TestProgressLine:
         progress = ProgressLine(stream, metrics=reg, clock=clock)
         progress(FakeJob(), FakeResult(), 4, 8)
         assert "eta 4.0s" in stream.getvalue()
+
+    def test_eta_recent_window_ages_out_a_degraded_pool(self):
+        reg = MetricsRegistry()
+        jm = JobMetrics(reg)
+        clock = iter([0.0, 1.0, 1.0, 1.0, 1.0,
+                      2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).__next__
+        progress = ProgressLine(FakeStream(True), metrics=reg,
+                                clock=clock)
+        done = 0
+        # 4-wide burst: 16s of wall banked by t=1 ...
+        for _ in range(4):
+            jm.wall.observe(4.0)
+            done += 1
+            progress(FakeJob(), FakeResult(), done, 16)
+        # ... then the pool degrades to serial: 1s of wall per elapsed
+        # second.  The ETA_WINDOW=8 recent samples are all serial.
+        for _ in range(8):
+            jm.wall.observe(1.0)
+            done += 1
+            progress(FakeJob(), FakeResult(), done, 16)
+        last = progress._stream.getvalue().split("\r")[-1]
+        # window concurrency 1.0: 4 remaining x mean 2.0s wall -> 8s.
+        # The whole-run ratio (24s wall / 9s elapsed ~ 2.7-wide) would
+        # have claimed ~3s -- the stale estimate this fix ages out.
+        assert "eta 8.0s" in last
+
+    def test_eta_concurrency_clamped_to_pending(self):
+        reg = MetricsRegistry()
+        jm = JobMetrics(reg)
+        # An 8-wide burst banks 8s of wall in 1s of elapsed time, but
+        # only one job remains: it cannot run 8-wide, so the divisor
+        # clamps to the pending count and the ETA is one mean wall.
+        for _ in range(8):
+            jm.wall.observe(1.0)
+        progress = ProgressLine(FakeStream(True), metrics=reg,
+                                clock=iter([0.0, 1.0]).__next__)
+        progress(FakeJob(), FakeResult(), 7, 8)
+        assert "eta 1.0s" in progress._stream.getvalue()
 
     def test_reading_the_line_never_pollutes_the_snapshot(self):
         # The status line reads failure counts via value_for; it must

@@ -1,0 +1,182 @@
+"""``repro diff`` tests: cell flattening, tolerances, CLI exit codes."""
+
+import json
+import os
+
+from repro.serve.diff import (
+    diff_figures,
+    flatten_cells,
+    load_series_dir,
+    render_diff,
+)
+
+
+def _payload(figure, y, extra=None):
+    payload = {
+        "format_version": 1,
+        "kind": "figure-series",
+        "figure": figure,
+        "title": figure,
+        "panels": [{
+            "name": "p", "title": "p", "x_label": "benchmark",
+            "series": [{"name": "s",
+                        "points": [{"x": "gzip", "y": y}]}],
+        }],
+    }
+    if extra is not None:
+        payload["extra"] = extra
+    return payload
+
+
+def _write(dir_path, figure, y, extra=None, payload=None):
+    os.makedirs(dir_path, exist_ok=True)
+    payload = payload if payload is not None else \
+        _payload(figure, y, extra=extra)
+    with open(os.path.join(dir_path, figure + ".json"), "w") as fh:
+        json.dump(payload, fh)
+
+
+class TestLoadSeriesDir:
+    def test_skips_manifests_and_garbage(self, tmp_path):
+        _write(tmp_path, "fig8", 1.0)
+        with open(tmp_path / "figures-manifest.json", "w") as fh:
+            json.dump({"kind": "figures"}, fh)
+        (tmp_path / "torn.json").write_text("{not json")
+        (tmp_path / "notes.txt").write_text("not even json")
+        assert list(load_series_dir(tmp_path)) == ["fig8"]
+
+    def test_only_filter(self, tmp_path):
+        _write(tmp_path, "fig8", 1.0)
+        _write(tmp_path, "fig9", 2.0)
+        assert list(load_series_dir(tmp_path, only={"fig9"})) == ["fig9"]
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert load_series_dir(tmp_path / "nope") == {}
+
+
+class TestFlattenCells:
+    def test_points_and_extra_become_cells(self):
+        cells = flatten_cells(_payload("fig8", 1.5,
+                                       extra={"advantage_cycles": 42}))
+        assert cells == {("p", "s", "gzip"): 1.5,
+                         ("extra", "advantage_cycles", ""): 42}
+
+
+class TestDiffFigures:
+    def test_identical_dirs(self, tmp_path):
+        _write(tmp_path / "a", "fig8", 1.11)
+        _write(tmp_path / "b", "fig8", 1.11)
+        report = diff_figures(tmp_path / "a", tmp_path / "b")
+        assert report["identical"] is True
+        assert report["compared"] == 1
+        assert report["changed_cells"] == 0
+        assert "no changed cells" in render_diff(report)
+
+    def test_changed_cell_is_located_exactly(self, tmp_path):
+        _write(tmp_path / "a", "fig8", 1.11)
+        _write(tmp_path / "b", "fig8", 1.12)
+        report = diff_figures(tmp_path / "a", tmp_path / "b")
+        assert report["identical"] is False
+        assert report["changed_cells"] == 1
+        [cell] = report["figures"]["fig8"]
+        assert cell == {"panel": "p", "series": "s", "x": "gzip",
+                        "a": 1.11, "b": 1.12}
+        rendered = render_diff(report)
+        assert "fig8" in rendered
+        assert "1 changed cell(s) across 1 figure(s)" in rendered
+
+    def test_tolerances_absorb_float_noise(self, tmp_path):
+        _write(tmp_path / "a", "fig8", 1.11)
+        _write(tmp_path / "b", "fig8", 1.12)
+        assert diff_figures(tmp_path / "a", tmp_path / "b",
+                            atol=0.05)["identical"] is True
+        assert diff_figures(tmp_path / "a", tmp_path / "b",
+                            rtol=0.05)["identical"] is True
+        assert diff_figures(tmp_path / "a", tmp_path / "b",
+                            atol=0.001)["identical"] is False
+
+    def test_string_cells_ignore_tolerances(self, tmp_path):
+        _write(tmp_path / "a", "table2", "LEAK")
+        _write(tmp_path / "b", "table2", "blocked")
+        report = diff_figures(tmp_path / "a", tmp_path / "b", atol=1e9)
+        assert report["identical"] is False
+
+    def test_figure_on_one_side_only(self, tmp_path):
+        _write(tmp_path / "a", "fig8", 1.0)
+        _write(tmp_path / "a", "fig9", 2.0)
+        _write(tmp_path / "b", "fig8", 1.0)
+        report = diff_figures(tmp_path / "a", tmp_path / "b")
+        assert report["only_a"] == ["fig9"]
+        assert report["only_b"] == []
+        assert report["identical"] is False
+        assert "only in a: fig9" in render_diff(report)
+
+    def test_missing_cell_names_the_absent_side(self, tmp_path):
+        wide = _payload("fig8", 1.0)
+        wide["panels"][0]["series"][0]["points"].append(
+            {"x": "mcf", "y": 2.0})
+        _write(tmp_path / "a", "fig8", None, payload=wide)
+        _write(tmp_path / "b", "fig8", 1.0)
+        report = diff_figures(tmp_path / "a", tmp_path / "b")
+        [cell] = report["figures"]["fig8"]
+        assert cell["x"] == "mcf"
+        assert cell["missing"] == "b"
+        assert cell["a"] == 2.0 and cell["b"] is None
+        assert "(absent)" in render_diff(report)
+
+    def test_changed_extra_is_a_diff(self, tmp_path):
+        _write(tmp_path / "a", "fig6", 1.0, extra={"advantage_cycles": 40})
+        _write(tmp_path / "b", "fig6", 1.0, extra={"advantage_cycles": 41})
+        report = diff_figures(tmp_path / "a", tmp_path / "b")
+        [cell] = report["figures"]["fig6"]
+        assert cell["panel"] == "extra"
+        assert cell["series"] == "advantage_cycles"
+
+    def test_empty_dirs_compare_nothing(self, tmp_path):
+        report = diff_figures(tmp_path / "a", tmp_path / "b")
+        assert report["compared"] == 0
+        assert report["identical"] is True  # vacuously; CLI exits 2
+        assert "no figure-series artifacts" in render_diff(report)
+
+
+class TestDiffCli:
+    def test_exit_codes_and_json_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _write(tmp_path / "a", "fig8", 1.11)
+        _write(tmp_path / "same", "fig8", 1.11)
+        _write(tmp_path / "b", "fig8", 1.12)
+
+        assert main(["diff", str(tmp_path / "a"),
+                     str(tmp_path / "same")]) == 0
+        capsys.readouterr()
+
+        assert main(["diff", str(tmp_path / "a"),
+                     str(tmp_path / "b")]) == 1
+        out = capsys.readouterr().out
+        assert "1 changed cell(s)" in out
+
+        assert main(["diff", str(tmp_path / "a"), str(tmp_path / "b"),
+                     "--atol", "0.05"]) == 0
+        capsys.readouterr()
+
+        assert main(["diff", str(tmp_path / "x"),
+                     str(tmp_path / "y")]) == 2
+        capsys.readouterr()
+
+        assert main(["diff", str(tmp_path / "a"), str(tmp_path / "b"),
+                     "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["kind"] == "figure-diff"
+        assert report["changed_cells"] == 1
+
+    def test_only_filter_restricts_comparison(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _write(tmp_path / "a", "fig8", 1.11)
+        _write(tmp_path / "a", "fig9", 2.0)
+        _write(tmp_path / "b", "fig8", 1.11)
+        _write(tmp_path / "b", "fig9", 3.0)
+        assert main(["diff", str(tmp_path / "a"), str(tmp_path / "b"),
+                     "--only", "fig8"]) == 0
+        capsys.readouterr()

@@ -151,6 +151,14 @@ class TestStoreCli:
         assert main(["store", "verify", "--dir", store_dir]) == 0
         assert "1 ok" in capsys.readouterr().out
 
+        # gc pins recently-touched entries (concurrent readers may
+        # hold them); age the entry past the horizon so it can go
+        import os
+        import time
+        old = time.time() - store.stale_lock_seconds - 1
+        for root, _, files in os.walk(store_dir):
+            for name in files:
+                os.utime(os.path.join(root, name), (old, old))
         assert main(["store", "gc", "--dir", store_dir,
                      "--max-bytes", "0"]) == 0
         assert "evicted 1 entry" in capsys.readouterr().out
